@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Ablation (section 4.2): why Algorithm 2 instead of prior repeat
+ * detectors. Compares the coverage each identifier achieves on
+ * realistic task-history slices:
+ *
+ *  - a clean iterative loop (everything should work);
+ *  - a loop interrupted by irregular convergence checks (tandem
+ *    repeats collapse — the paper's stated reason for relaxing them);
+ *  - a long-body loop seen only a few times (LZW-style detection
+ *    cannot have grown candidates to the body length yet).
+ */
+#include <cstdio>
+
+#include "apps/cfd.h"
+#include "apps/sink.h"
+#include "core/config.h"
+#include "core/finder.h"
+#include "strings/identifiers.h"
+#include "strings/repeats.h"
+
+namespace {
+
+using namespace apo;
+
+strings::Sequence CleanLoop(std::size_t n)
+{
+    strings::Sequence s;
+    for (std::size_t i = 0; i < n; ++i) {
+        s.push_back(i % 60);
+    }
+    return s;
+}
+
+strings::Sequence InterruptedLoop(std::size_t n)
+{
+    strings::Sequence s;
+    std::uint64_t noise = 1u << 24;
+    for (std::size_t i = 0; s.size() < n; ++i) {
+        s.push_back(i % 60);
+        if (i % 47 == 46) {
+            s.push_back(noise++);  // convergence check / stats task
+        }
+    }
+    s.resize(n);
+    return s;
+}
+
+strings::Sequence FewSightingsLongBody(std::size_t body, std::size_t reps)
+{
+    strings::Sequence s;
+    for (std::size_t r = 0; r < reps; ++r) {
+        for (std::size_t i = 0; i < body; ++i) {
+            s.push_back(1000 + i);
+        }
+    }
+    return s;
+}
+
+/** Task-history slice of the real CFD skeleton (region renaming). */
+strings::Sequence CfdSlice(std::size_t iterations)
+{
+    rt::Runtime runtime;
+    apps::RuntimeSink sink(runtime);
+    apps::CfdOptions options;
+    options.machine.nodes = 1;
+    options.machine.gpus_per_node = 4;
+    apps::CfdApplication app(options);
+    app.Setup(sink);
+    for (std::size_t i = 0; i < iterations; ++i) {
+        app.Iteration(sink, i, false);
+    }
+    strings::Sequence s;
+    for (const auto& op : runtime.Log()) {
+        s.push_back(op.token);
+    }
+    return s;
+}
+
+void Row(const char* stream_name, const strings::Sequence& s,
+         std::size_t min_length)
+{
+    const double n = static_cast<double>(s.size());
+    const auto ours =
+        strings::FindRepeats(s, {.min_length = min_length});
+    const auto tandem = strings::FindTandemRepeats(s, min_length);
+    const auto lzw = strings::FindRepeatsLzw(s, min_length);
+    const auto quad = strings::FindRepeatsQuadratic(s, min_length);
+    std::printf("%-22s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n", stream_name,
+                100.0 * strings::TotalCoverage(ours) / n,
+                100.0 * strings::TotalCoverage(tandem) / n,
+                100.0 * strings::TotalCoverage(lzw) / n,
+                100.0 * strings::TotalCoverage(quad) / n);
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("# Ablation: trace-identifier coverage by algorithm\n");
+    std::printf("%-22s %10s %10s %10s %10s\n", "stream", "alg2", "tandem",
+                "lzw", "quadratic");
+    Row("clean-loop", CleanLoop(3000), 20);
+    Row("interrupted-loop", InterruptedLoop(3000), 20);
+    Row("long-body-few-reps", FewSightingsLongBody(800, 4), 20);
+    Row("cfd-region-renaming", CfdSlice(80), 20);
+    std::printf(
+        "\n# paper: tandem repeats fail on interrupted loops; LZW needs"
+        " ~n sightings for a\n# length-n trace; Algorithm 2 retains high"
+        " coverage everywhere at O(n log n).\n");
+    return 0;
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Ablation (section 4.3): the trace-selection scoring function.
+ *
+ * Two scenarios exercise the scorer's ingredients:
+ *
+ *  1. Switch latency (the count cap). The application starts with a
+ *     40-task loop; later the loop doubles to 80 tasks whose first 40
+ *     match the old body. The old trace keeps matching as a prefix,
+ *     so Apophenia must *switch* to the better, longer trace. The cap
+ *     bounds how large the old trace's appearance count can grow, and
+ *     therefore how long the switch takes ("the capping of the
+ *     appearance count allows Apophenia to eventually switch from a
+ *     trace that appeared early ... to a better trace").
+ *
+ *  2. Steady-state stability (the decay). A rare interloper fragment
+ *     appears every 23 iterations. Decaying its count between
+ *     appearances keeps it from slowly accumulating rank and
+ *     disrupting the established steady state ("decaying the
+ *     appearance count ensures that a seemingly promising trace that
+ *     occurs infrequently does not eventually hit a threshold and
+ *     disrupt a steady state").
+ */
+#include <cstdio>
+
+#include "apps/sink.h"
+#include "core/apophenia.h"
+#include "runtime/runtime.h"
+
+namespace {
+
+using namespace apo;
+
+core::ApopheniaConfig BaseConfig()
+{
+    core::ApopheniaConfig config;
+    config.min_trace_length = 10;
+    config.batchsize = 2000;
+    config.multi_scale_factor = 100;
+    return config;
+}
+
+void IssueLoop(apps::AutoSink& sink, std::vector<rt::RegionId>& regions,
+               rt::TaskId base, std::size_t body)
+{
+    for (std::size_t i = 0; i < body; ++i) {
+        sink.ExecuteTask(rt::TaskLaunch{
+            base + static_cast<rt::TaskId>(i),
+            {{regions[i % regions.size()], 0, rt::Privilege::kReadOnly, 0},
+             {regions[(i + 1) % regions.size()], 0,
+              rt::Privilege::kReadWrite, 0}}});
+    }
+}
+
+/** Scenario 1: how many tasks after the loop doubles until replays of
+ * the full 80-task body begin. */
+std::size_t SwitchLatency(double count_cap)
+{
+    core::ApopheniaConfig config = BaseConfig();
+    config.score_count_cap = count_cap;
+    rt::Runtime runtime;
+    core::Apophenia fe(runtime, config);
+    apps::AutoSink sink(fe);
+    std::vector<rt::RegionId> regions;
+    for (int i = 0; i < 80; ++i) {
+        regions.push_back(sink.CreateRegion());
+    }
+    for (int it = 0; it < 150; ++it) {  // phase A: 40-task body
+        IssueLoop(sink, regions, 100, 40);
+    }
+    const std::size_t phase_b_start = runtime.Log().size();
+    for (int it = 0; it < 400; ++it) {  // phase B: 80-task body,
+        IssueLoop(sink, regions, 100, 40);  // same 40-task prefix
+        IssueLoop(sink, regions, 500, 40);
+    }
+    sink.Flush();
+    // First replay belonging to a trace at least 80 tasks long.
+    for (std::size_t i = phase_b_start; i < runtime.Log().size(); ++i) {
+        const auto& op = runtime.Log()[i];
+        if (op.replay_head) {
+            const auto* tmpl = runtime.Traces().Find(op.trace);
+            if (tmpl != nullptr && tmpl->Length() >= 80) {
+                return i - phase_b_start;
+            }
+        }
+    }
+    return runtime.Log().size() - phase_b_start;  // never switched
+}
+
+/** Scenario 2: replayed fraction of the steady tail with a rare
+ * interloper, under a given decay half-life. */
+double SteadyStability(double half_life)
+{
+    core::ApopheniaConfig config = BaseConfig();
+    config.score_decay_half_life = half_life;
+    rt::Runtime runtime;
+    core::Apophenia fe(runtime, config);
+    apps::AutoSink sink(fe);
+    std::vector<rt::RegionId> regions;
+    for (int i = 0; i < 60; ++i) {
+        regions.push_back(sink.CreateRegion());
+    }
+    for (int it = 0; it < 600; ++it) {
+        IssueLoop(sink, regions, 100, 40);
+        if (it % 23 == 22) {
+            IssueLoop(sink, regions, 9000, 30);  // rare interloper
+        }
+    }
+    sink.Flush();
+    const auto& log = runtime.Log();
+    std::size_t replayed = 0;
+    const std::size_t tail_start = log.size() / 2;
+    for (std::size_t i = tail_start; i < log.size(); ++i) {
+        replayed += log[i].mode == rt::AnalysisMode::kReplayed;
+    }
+    return static_cast<double>(replayed) /
+           static_cast<double>(log.size() - tail_start);
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("# Ablation: scoring-function ingredients\n\n");
+    std::printf("## count cap: tasks until the better (2x longer) trace"
+                " takes over\n");
+    std::printf("%-18s %14s\n", "cap", "switch-latency");
+    for (const double cap : {4.0, 16.0, 64.0, 1e18}) {
+        char name[32];
+        if (cap > 1e17) {
+            std::snprintf(name, sizeof name, "uncapped");
+        } else {
+            std::snprintf(name, sizeof name, "cap=%.0f", cap);
+        }
+        std::printf("%-18s %14zu\n", name, SwitchLatency(cap));
+    }
+    std::printf("\n## decay: steady-tail replay coverage with a rare"
+                " interloper fragment\n");
+    std::printf("%-18s %14s\n", "half-life", "tail-replayed");
+    for (const double hl : {2000.0, 10000.0, 1e18}) {
+        char name[32];
+        if (hl > 1e17) {
+            std::snprintf(name, sizeof name, "no-decay");
+        } else {
+            std::snprintf(name, sizeof name, "%.0f", hl);
+        }
+        std::printf("%-18s %13.1f%%\n", name, 100.0 * SteadyStability(hl));
+    }
+    std::printf("\n# paper: the cap lets later, better traces win;"
+                " decay prevents infrequent\n# traces from slowly"
+                " accumulating rank and disrupting the steady state.\n"
+                "# In this implementation the replayer's structural"
+                " gates (the held-match queue\n# and growing-match"
+                " blocking) make steady-state selection robust across"
+                " scorer\n# settings on these workloads; the scorer"
+                " decides only genuine near-ties.\n");
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmarks: machine
+ * models for the paper's two systems, the artifact's Apophenia
+ * configuration, and table printing.
+ *
+ * Absolute throughputs are simulated (see DESIGN.md section 4.1) and
+ * are not expected to match the paper's hardware numbers; the *shapes*
+ * — who wins, by what factor, where the crossovers are — are the
+ * reproduction target, and EXPERIMENTS.md records both.
+ */
+#ifndef APOPHENIA_BENCH_BENCH_UTIL_H
+#define APOPHENIA_BENCH_BENCH_UTIL_H
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "core/config.h"
+#include "sim/harness.h"
+
+namespace apo::bench {
+
+/** Perlmutter: 4 NVIDIA A100s per node (paper section 6). */
+inline apps::MachineConfig Perlmutter(std::size_t gpus)
+{
+    apps::MachineConfig m;
+    m.gpus_per_node = 4;
+    m.nodes = std::max<std::size_t>(1, gpus / m.gpus_per_node);
+    if (gpus < m.gpus_per_node) {
+        m.gpus_per_node = gpus;
+    }
+    return m;
+}
+
+/** Eos: 8 NVIDIA H100s per node (paper section 6). */
+inline apps::MachineConfig Eos(std::size_t gpus)
+{
+    apps::MachineConfig m;
+    m.gpus_per_node = 8;
+    m.nodes = std::max<std::size_t>(1, gpus / m.gpus_per_node);
+    if (gpus < m.gpus_per_node) {
+        m.gpus_per_node = gpus;
+    }
+    return m;
+}
+
+/** The artifact's standard Apophenia configuration (appendix A.5). */
+inline core::ApopheniaConfig ArtifactConfig()
+{
+    core::ApopheniaConfig config;
+    config.min_trace_length = 25;
+    config.max_trace_length = 5000;
+    config.batchsize = 5000;
+    config.multi_scale_factor = 250;
+    return config;
+}
+
+/** Tracks the min/max of a ratio across a sweep (the "0.92x-1.03x"
+ * style bands the paper reports). */
+class RatioBand {
+  public:
+    void Add(double value)
+    {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+        seen_ = true;
+    }
+    std::string Format() const
+    {
+        if (!seen_) {
+            return "n/a";
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.2fx-%.2fx", min_, max_);
+        return buf;
+    }
+
+  private:
+    double min_ = 1e300;
+    double max_ = -1e300;
+    bool seen_ = false;
+};
+
+/** Run one experiment with a freshly constructed application. */
+template <typename App, typename Options>
+sim::ExperimentResult RunOne(const Options& app_options,
+                             sim::TracingMode mode,
+                             const apps::MachineConfig& machine,
+                             std::size_t iterations,
+                             const core::ApopheniaConfig& auto_config)
+{
+    App app(app_options);
+    sim::ExperimentOptions options;
+    options.mode = mode;
+    options.machine = machine;
+    options.iterations = iterations;
+    options.auto_config = auto_config;
+    return sim::RunExperiment(app, options);
+}
+
+}  // namespace apo::bench
+
+#endif  // APOPHENIA_BENCH_BENCH_UTIL_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 6a: S3D weak scaling on the Perlmutter model.
+ *
+ * Paper result: Apophenia ("auto") achieves 0.92x-1.03x of the
+ * manually traced S3D and 0.98x-1.82x speedup over the untraced
+ * version; tracing matters most for the small problem size and at
+ * scale, where untraced runs are dominated by the dependence
+ * analysis.
+ */
+#include <cstdio>
+
+#include "apps/s3d.h"
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace apo;
+    using bench::RunOne;
+
+    std::printf("# Figure 6a: S3D weak scaling (Perlmutter model, 4 "
+                "GPUs/node)\n");
+    std::printf("# steady-state throughput, iterations/second\n");
+    std::printf("%-5s %-4s %10s %10s %10s %13s %14s\n", "gpus", "size",
+                "untraced", "manual", "auto", "auto/manual",
+                "auto/untraced");
+
+    bench::RatioBand vs_manual, vs_untraced;
+    const std::size_t iterations = 80;
+    for (const std::size_t gpus : {4, 8, 16, 32, 64}) {
+        const apps::MachineConfig machine = bench::Perlmutter(gpus);
+        for (const auto size :
+             {apps::ProblemSize::kSmall, apps::ProblemSize::kMedium,
+              apps::ProblemSize::kLarge}) {
+            apps::S3dOptions options;
+            options.machine = machine;
+            options.size = size;
+            const auto auto_config = bench::ArtifactConfig();
+            const auto untraced = RunOne<apps::S3dApplication>(
+                options, sim::TracingMode::kUntraced, machine, iterations,
+                auto_config);
+            const auto manual = RunOne<apps::S3dApplication>(
+                options, sim::TracingMode::kManual, machine, iterations,
+                auto_config);
+            const auto automatic = RunOne<apps::S3dApplication>(
+                options, sim::TracingMode::kAuto, machine, iterations,
+                auto_config);
+            const double rm = automatic.iterations_per_second /
+                              manual.iterations_per_second;
+            const double ru = automatic.iterations_per_second /
+                              untraced.iterations_per_second;
+            vs_manual.Add(rm);
+            vs_untraced.Add(ru);
+            std::printf("%-5zu %-4s %10.2f %10.2f %10.2f %13.2f %14.2f\n",
+                        gpus, apps::SizeSuffix(size).data(),
+                        untraced.iterations_per_second,
+                        manual.iterations_per_second,
+                        automatic.iterations_per_second, rm, ru);
+        }
+    }
+    std::printf("\n# paper: auto within 0.92x-1.03x of manual;"
+                " 0.98x-1.82x over untraced\n");
+    std::printf("measured: auto/manual %s; auto/untraced %s\n",
+                vs_manual.Format().c_str(), vs_untraced.Format().c_str());
+    return 0;
+}

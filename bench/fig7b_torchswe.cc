@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 7b: TorchSWE weak scaling on the Eos model.
+ *
+ * Paper result: TorchSWE (the largest cuPyNumeric application; no
+ * manually traced version is practical) cannot hide untraced runtime
+ * overhead at *any* problem size; with Apophenia it achieves
+ * 0.91x-2.82x over untraced and nearly perfect weak scaling at 64
+ * GPUs.
+ */
+#include <cstdio>
+
+#include "apps/torchswe.h"
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace apo;
+    using bench::RunOne;
+
+    std::printf(
+        "# Figure 7b: TorchSWE weak scaling (Eos model, 8 GPUs/node)\n");
+    std::printf("# steady-state throughput, iterations/second\n");
+    std::printf("%-5s %-4s %10s %10s %14s\n", "gpus", "size", "untraced",
+                "auto", "auto/untraced");
+
+    bench::RatioBand vs_untraced;
+    const std::size_t iterations = 120;
+    for (const std::size_t gpus : {1, 2, 4, 8, 16, 32, 64}) {
+        const apps::MachineConfig machine = bench::Eos(gpus);
+        for (const auto size :
+             {apps::ProblemSize::kSmall, apps::ProblemSize::kMedium,
+              apps::ProblemSize::kLarge}) {
+            apps::TorchSweOptions options;
+            options.machine = machine;
+            options.size = size;
+            const auto auto_config = bench::ArtifactConfig();
+            const auto untraced = RunOne<apps::TorchSweApplication>(
+                options, sim::TracingMode::kUntraced, machine, iterations,
+                auto_config);
+            const auto automatic = RunOne<apps::TorchSweApplication>(
+                options, sim::TracingMode::kAuto, machine, iterations,
+                auto_config);
+            const double ru = automatic.iterations_per_second /
+                              untraced.iterations_per_second;
+            vs_untraced.Add(ru);
+            std::printf("%-5zu %-4s %10.2f %10.2f %14.2f\n", gpus,
+                        apps::SizeSuffix(size).data(),
+                        untraced.iterations_per_second,
+                        automatic.iterations_per_second, ru);
+        }
+    }
+    std::printf("\n# paper: auto 0.91x-2.82x over untraced; near-perfect"
+                " scaling at 64 GPUs with tracing\n");
+    std::printf("measured: auto/untraced %s\n", vs_untraced.Format().c_str());
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 8: FlexFlow (CANDLE pilot1) strong scaling on the Eos model.
+ *
+ * Paper result: fixing the per-GPU batch while adding GPUs shrinks
+ * tasks until untraced runs slow down; Apophenia with its standard
+ * configuration (auto-5000: effectively unbounded trace length) is
+ * hurt at scale by the cost of issuing very long replays, while a
+ * maximum trace length of 200 (auto-200, similar to the manual
+ * trace's length) reaches 0.97x of manual at 32 GPUs and 1.5x over
+ * untraced.
+ */
+#include <cstdio>
+
+#include "apps/flexflow.h"
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace apo;
+    using bench::RunOne;
+
+    std::printf(
+        "# Figure 8: FlexFlow strong scaling (Eos model, 8 GPUs/node)\n");
+    std::printf("# speedup over the 1-GPU untraced baseline\n");
+    std::printf("%-5s %10s %10s %10s %10s %13s %15s\n", "gpus", "untraced",
+                "manual", "auto5000", "auto200", "a200/manual",
+                "a200/untraced");
+
+    const std::size_t iterations = 60;
+    core::ApopheniaConfig auto5000 = bench::ArtifactConfig();
+    core::ApopheniaConfig auto200 = bench::ArtifactConfig();
+    auto200.max_trace_length = 200;
+
+    // Baseline: one GPU, untraced.
+    apps::FlexFlowOptions base_options;
+    base_options.machine = bench::Eos(1);
+    const double baseline =
+        RunOne<apps::FlexFlowApplication>(
+            base_options, sim::TracingMode::kUntraced, base_options.machine,
+            iterations, auto5000)
+            .iterations_per_second;
+
+    double a200_at_32 = 0, manual_at_32 = 0, untraced_at_32 = 0;
+    for (const std::size_t gpus : {1, 2, 4, 8, 16, 32}) {
+        const apps::MachineConfig machine = bench::Eos(gpus);
+        apps::FlexFlowOptions options;
+        options.machine = machine;
+        const auto untraced = RunOne<apps::FlexFlowApplication>(
+            options, sim::TracingMode::kUntraced, machine, iterations,
+            auto5000);
+        const auto manual = RunOne<apps::FlexFlowApplication>(
+            options, sim::TracingMode::kManual, machine, iterations,
+            auto5000);
+        const auto a5000 = RunOne<apps::FlexFlowApplication>(
+            options, sim::TracingMode::kAuto, machine, iterations, auto5000);
+        const auto a200 = RunOne<apps::FlexFlowApplication>(
+            options, sim::TracingMode::kAuto, machine, iterations, auto200);
+        const double su = untraced.iterations_per_second / baseline;
+        const double sm = manual.iterations_per_second / baseline;
+        const double s5000 = a5000.iterations_per_second / baseline;
+        const double s200 = a200.iterations_per_second / baseline;
+        std::printf("%-5zu %10.2f %10.2f %10.2f %10.2f %13.2f %15.2f\n",
+                    gpus, su, sm, s5000, s200, s200 / sm, s200 / su);
+        if (gpus == 32) {
+            a200_at_32 = s200;
+            manual_at_32 = sm;
+            untraced_at_32 = su;
+        }
+    }
+    std::printf("\n# paper at 32 GPUs: auto-200 ~0.97x of manual, 1.5x"
+                " over untraced; auto-200 > auto-5000 at scale\n");
+    std::printf("measured at 32 GPUs: auto-200/manual %.2fx,"
+                " auto-200/untraced %.2fx\n",
+                a200_at_32 / manual_at_32, a200_at_32 / untraced_at_32);
+    return 0;
+}

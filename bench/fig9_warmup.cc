@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 9 (table): warmup iterations before Apophenia reaches a
+ * replaying steady state.
+ *
+ * Paper result: S3D 50, HTR 50, CFD 300, TorchSWE 300, FlexFlow 30.
+ * The cuPyNumeric applications (CFD, TorchSWE) need many more warmup
+ * iterations because dynamic region allocation makes the repeating
+ * unit span several source-level iterations (section 2), so more
+ * stream must be observed before high-coverage traces emerge. The
+ * reproduction target is that ordering (cuPyNumeric apps ≫ statically
+ * allocated apps ≳ FlexFlow), not the absolute counts, which depend
+ * on machine size and loop lengths.
+ */
+#include <cstdio>
+
+#include "apps/cfd.h"
+#include "apps/flexflow.h"
+#include "apps/htr.h"
+#include "apps/s3d.h"
+#include "apps/torchswe.h"
+#include "bench_util.h"
+
+namespace {
+
+template <typename App, typename Options>
+std::size_t Warmup(Options options, const apo::apps::MachineConfig& machine,
+                   std::size_t iterations)
+{
+    using namespace apo;
+    options.machine = machine;
+    const auto result = bench::RunOne<App>(
+        options, sim::TracingMode::kAuto, machine, iterations,
+        bench::ArtifactConfig());
+    return result.warmup_iterations;
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace apo;
+    std::printf("# Figure 9: iterations until a replaying steady state\n");
+    std::printf("%-10s %8s %8s\n", "app", "paper", "measured");
+
+    const auto perlmutter = bench::Perlmutter(16);
+    const auto eos = bench::Eos(16);
+    const std::size_t s3d = Warmup<apps::S3dApplication>(
+        apps::S3dOptions{}, perlmutter, 200);
+    const std::size_t htr = Warmup<apps::HtrApplication>(
+        apps::HtrOptions{}, perlmutter, 200);
+    const std::size_t cfd = Warmup<apps::CfdApplication>(
+        apps::CfdOptions{}, eos, 400);
+    const std::size_t swe = Warmup<apps::TorchSweApplication>(
+        apps::TorchSweOptions{}, eos, 400);
+    const std::size_t ff = Warmup<apps::FlexFlowApplication>(
+        apps::FlexFlowOptions{}, eos, 200);
+
+    std::printf("%-10s %8d %8zu\n", "S3D", 50, s3d);
+    std::printf("%-10s %8d %8zu\n", "HTR", 50, htr);
+    std::printf("%-10s %8d %8zu\n", "CFD", 300, cfd);
+    std::printf("%-10s %8d %8zu\n", "TorchSWE", 300, swe);
+    std::printf("%-10s %8d %8zu\n", "FlexFlow", 30, ff);
+    std::printf("\n# reproduction target: cuPyNumeric apps (CFD/TorchSWE)"
+                " require the most warmup;\n# statically-allocated apps"
+                " settle quickly.\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Section 4.2 microbenchmarks: the repeat-mining algorithm's
+ * O(n log n) scaling, the suffix-array constructions, and the
+ * quadratic baseline for contrast.
+ *
+ * The paper requires the finder to scale to buffers of several
+ * thousand tokens (real traces exceed 2000 tasks); Algorithm 2's
+ * near-linear growth vs the quadratic baseline's blow-up is the
+ * claim being validated.
+ */
+#include <benchmark/benchmark.h>
+
+#include "strings/identifiers.h"
+#include "strings/repeats.h"
+#include "strings/suffix_array.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace apo;
+
+/** A periodic token stream with occasional noise — the task-history
+ * shape the finder actually sees. */
+strings::Sequence AppLikeStream(std::size_t n)
+{
+    strings::Sequence s;
+    s.reserve(n);
+    std::uint64_t noise = 1u << 20;
+    for (std::size_t i = 0; s.size() < n; ++i) {
+        if (i % 97 == 96) {
+            s.push_back(noise++);
+        }
+        s.push_back(i % 64);
+    }
+    s.resize(n);
+    return s;
+}
+
+void BM_FindRepeats(benchmark::State& state)
+{
+    const auto s = AppLikeStream(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            strings::FindRepeats(s, {.min_length = 25}));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FindRepeats)->RangeMultiplier(2)->Range(512, 16384)->Complexity(
+    benchmark::oNLogN);
+
+void BM_SuffixArraySais(benchmark::State& state)
+{
+    const auto s = AppLikeStream(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            strings::BuildSuffixArray(s, strings::SuffixAlgorithm::kSais));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SuffixArraySais)->RangeMultiplier(4)->Range(512, 32768);
+
+void BM_SuffixArrayDoubling(benchmark::State& state)
+{
+    const auto s = AppLikeStream(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(strings::BuildSuffixArray(
+            s, strings::SuffixAlgorithm::kPrefixDoubling));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SuffixArrayDoubling)->RangeMultiplier(4)->Range(512, 32768);
+
+void BM_QuadraticBaseline(benchmark::State& state)
+{
+    const auto s = AppLikeStream(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            strings::FindRepeatsQuadratic(s, 25));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_QuadraticBaseline)->RangeMultiplier(2)->Range(512, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

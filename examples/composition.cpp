@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Domain example: tracing a program composed from independent
+ * libraries — the case the paper argues manual annotation cannot
+ * serve (section 1: "programmer introduced trace annotations do not
+ * obey these composition principles").
+ *
+ * Two "libraries" (a solver and an analytics package) are developed
+ * independently; neither knows the other exists, and neither could
+ * place trace annotations that stay valid when the application
+ * interleaves them. Apophenia sits below both and traces the
+ * *composed* stream: the repeating unit spans library boundaries.
+ *
+ *   $ ./examples/composition
+ */
+#include <cstdio>
+
+#include "core/apophenia.h"
+#include "runtime/runtime.h"
+
+namespace {
+
+using namespace apo;
+
+/** Library 1: an iterative solver over its own arrays. It allocates
+ * scratch regions per call (so its stream is not 1-periodic) and
+ * could not be annotated from inside. */
+class SolverLibrary {
+  public:
+    explicit SolverLibrary(core::Apophenia& rt) : rt_(&rt)
+    {
+        state_ = rt.CreateRegion();
+        coeff_ = rt.CreateRegion();
+    }
+
+    void Step()
+    {
+        const rt::RegionId scratch = rt_->CreateRegion();
+        rt_->ExecuteTask(rt::TaskLaunch{
+            rt::TaskIdOf("solver_apply"),
+            {{coeff_, 0, rt::Privilege::kReadOnly, 0},
+             {state_, 0, rt::Privilege::kReadOnly, 0},
+             {scratch, 0, rt::Privilege::kWriteDiscard, 0}}});
+        rt_->ExecuteTask(rt::TaskLaunch{
+            rt::TaskIdOf("solver_update"),
+            {{scratch, 0, rt::Privilege::kReadOnly, 0},
+             {state_, 0, rt::Privilege::kReadWrite, 0}}});
+        rt_->DestroyRegion(scratch);
+    }
+
+    rt::RegionId State() const { return state_; }
+
+  private:
+    core::Apophenia* rt_;
+    rt::RegionId state_, coeff_;
+};
+
+/** Library 2: analytics over data produced by *someone else*. */
+class AnalyticsLibrary {
+  public:
+    explicit AnalyticsLibrary(core::Apophenia& rt) : rt_(&rt)
+    {
+        moments_ = rt.CreateRegion();
+    }
+
+    void Accumulate(rt::RegionId data)
+    {
+        const rt::RegionId local = rt_->CreateRegion();
+        rt_->ExecuteTask(rt::TaskLaunch{
+            rt::TaskIdOf("analytics_local"),
+            {{data, 0, rt::Privilege::kReadOnly, 0},
+             {local, 0, rt::Privilege::kWriteDiscard, 0}}});
+        rt_->ExecuteTask(rt::TaskLaunch{
+            rt::TaskIdOf("analytics_fold"),
+            {{local, 0, rt::Privilege::kReadOnly, 0},
+             {moments_, 0, rt::Privilege::kReduce, 1}}});
+        rt_->DestroyRegion(local);
+    }
+
+  private:
+    core::Apophenia* rt_;
+    rt::RegionId moments_;
+};
+
+}  // namespace
+
+int
+main()
+{
+    using namespace apo;
+
+    rt::Runtime runtime;
+    core::ApopheniaConfig config;
+    config.min_trace_length = 6;
+    config.batchsize = 500;
+    config.multi_scale_factor = 50;
+    core::Apophenia apophenia(runtime, config);
+
+    SolverLibrary solver(apophenia);
+    AnalyticsLibrary analytics(apophenia);
+
+    // The application composes the libraries: solve, then analyze the
+    // solver's data — data flows across the library boundary, and the
+    // repeated fragment spans tasks from both.
+    for (int iter = 0; iter < 250; ++iter) {
+        solver.Step();
+        solver.Step();
+        analytics.Accumulate(solver.State());
+    }
+    apophenia.Flush();
+
+    const auto& stats = runtime.Stats();
+    std::printf("composed program: %zu tasks from two independent"
+                " libraries\n",
+                stats.TotalTasks());
+    std::printf("replayed fraction: %.0f%%\n",
+                100.0 * stats.ReplayedFraction());
+    for (const auto& op : runtime.Log()) {
+        if (op.replay_head) {
+            const auto* tmpl = runtime.Traces().Find(op.trace);
+            std::printf("discovered trace: %zu tasks spanning both"
+                        " libraries' operations\n",
+                        tmpl->Length());
+            break;
+        }
+    }
+    std::printf("\nNeither library could have placed tbegin/tend"
+                " correctly: the repeated\nfragment only exists in the"
+                " composition. Apophenia traces it from below.\n");
+    return stats.ReplayedFraction() > 0.5 ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Domain example: data-parallel DNN training (the FlexFlow/CANDLE
+ * workload) and the effect of the maximum trace length — the paper's
+ * figure 8 story in miniature.
+ *
+ * The training loop reads the loss back every iteration, so the
+ * pipeline drains and the latency of issuing a trace replay lands on
+ * the critical path. With small per-GPU batches (strong scaling),
+ * replaying one monolithic whole-iteration trace is slower than
+ * replaying it in bounded pieces that overlap execution.
+ *
+ *   $ ./examples/dnn_training
+ */
+#include <cstdio>
+
+#include "apps/flexflow.h"
+#include "sim/harness.h"
+
+int
+main()
+{
+    using namespace apo;
+
+    apps::FlexFlowOptions app_options;
+    app_options.machine.nodes = 4;
+    app_options.machine.gpus_per_node = 8;  // 32 GPUs, strong scaled
+
+    sim::ExperimentOptions options;
+    options.machine = app_options.machine;
+    options.iterations = 60;
+    options.auto_config.min_trace_length = 25;
+    options.auto_config.batchsize = 5000;
+    options.auto_config.multi_scale_factor = 250;
+
+    std::printf("CANDLE pilot1-style MLP, 32 GPUs, fixed global batch\n\n");
+    std::printf("%-28s %14s %10s\n", "configuration", "iterations/s",
+                "replayed");
+
+    options.mode = sim::TracingMode::kUntraced;
+    apps::FlexFlowApplication untraced_app(app_options);
+    const auto untraced = sim::RunExperiment(untraced_app, options);
+    std::printf("%-28s %14.2f %9.0f%%\n", "untraced",
+                untraced.iterations_per_second, 0.0);
+
+    options.mode = sim::TracingMode::kAuto;
+    for (const std::size_t max_len : {5000, 1000, 200, 50}) {
+        options.auto_config.max_trace_length = max_len;
+        apps::FlexFlowApplication app(app_options);
+        const auto result = sim::RunExperiment(app, options);
+        char name[64];
+        std::snprintf(name, sizeof name, "apophenia, max trace %zu",
+                      max_len);
+        std::printf("%-28s %14.2f %9.0f%%\n", name,
+                    result.iterations_per_second,
+                    100.0 * result.replayed_fraction);
+    }
+
+    std::printf("\nShorter traces replay in pieces that overlap"
+                " execution, while a monolithic\ntrace serializes its"
+                " whole replay behind the drained pipeline (figure 8)."
+                "\nEach piece also pays the per-replay constant, which"
+                " bounds how far shrinking\nthe maximum keeps paying"
+                " off.\n");
+    return 0;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The paper's section 2 motivating example, end to end.
+ *
+ * A cuPyNumeric-style Jacobi iteration allocates a fresh region for
+ * every operation result and rebinds the loop variable x each
+ * iteration. Consequences demonstrated here:
+ *
+ *  1. the "natural" manual annotation around one loop iteration is
+ *     INVALID — the runtime rejects the second replay because the
+ *     region arguments differ (TraceMismatchError);
+ *  2. an expert can annotate *two* iterations (the allocator's true
+ *     steady-state period) — valid but brittle;
+ *  3. Apophenia traces the program automatically, discovering the
+ *     2-iteration period nobody annotated.
+ *
+ *   $ ./examples/jacobi_motivating
+ */
+#include <cstdio>
+
+#include "core/apophenia.h"
+#include "runtime/runtime.h"
+
+namespace {
+
+using namespace apo;
+
+/** Issues tasks for `x = (b - R·x) / d`, cuPyNumeric-style: results
+ * live in freshly allocated regions; dead regions are freed eagerly
+ * and their ids recycled. */
+class Jacobi {
+  public:
+    template <typename Target>
+    explicit Jacobi(Target& target)
+    {
+        R_ = target.CreateRegion();
+        b_ = target.CreateRegion();
+        d_ = target.CreateRegion();
+        x_ = target.CreateRegion();
+    }
+
+    template <typename Target>
+    void Iteration(Target& target)
+    {
+        const rt::RegionId t1 = target.CreateRegion();
+        target.ExecuteTask(rt::TaskLaunch{
+            rt::TaskIdOf("DOT"),
+            {{R_, 0, rt::Privilege::kReadOnly, 0},
+             {x_, 0, rt::Privilege::kReadOnly, 0},
+             {t1, 0, rt::Privilege::kWriteDiscard, 0}}});
+        const rt::RegionId t2 = target.CreateRegion();
+        target.ExecuteTask(rt::TaskLaunch{
+            rt::TaskIdOf("SUB"),
+            {{b_, 0, rt::Privilege::kReadOnly, 0},
+             {t1, 0, rt::Privilege::kReadOnly, 0},
+             {t2, 0, rt::Privilege::kWriteDiscard, 0}}});
+        target.DestroyRegion(t1);
+        const rt::RegionId x_new = target.CreateRegion();
+        target.ExecuteTask(rt::TaskLaunch{
+            rt::TaskIdOf("DIV"),
+            {{t2, 0, rt::Privilege::kReadOnly, 0},
+             {d_, 0, rt::Privilege::kReadOnly, 0},
+             {x_new, 0, rt::Privilege::kWriteDiscard, 0}}});
+        target.DestroyRegion(t2);
+        target.DestroyRegion(x_);
+        x_ = x_new;  // the Python variable rebinds to a new region
+    }
+
+  private:
+    rt::RegionId R_, b_, d_, x_;
+};
+
+}  // namespace
+
+int
+main()
+{
+    using namespace apo;
+
+    // --- Attempt 1: the natural one-iteration annotation. -----------------
+    std::printf("1) manual trace around ONE loop iteration:\n");
+    {
+        rt::Runtime runtime;
+        Jacobi jacobi(runtime);
+        jacobi.Iteration(runtime);  // warm the allocator up
+        runtime.BeginTrace(1);
+        jacobi.Iteration(runtime);
+        runtime.EndTrace(1);
+        try {
+            runtime.BeginTrace(1);
+            jacobi.Iteration(runtime);
+            runtime.EndTrace(1);
+            std::printf("   unexpectedly succeeded?!\n");
+            return 1;
+        } catch (const rt::TraceMismatchError& e) {
+            std::printf("   INVALID, as the paper predicts: %s\n", e.what());
+            std::printf("   (iteration i+1 issues different region"
+                        " arguments than iteration i)\n\n");
+        }
+    }
+
+    // --- Attempt 2: the expert's two-iteration annotation. ----------------
+    std::printf("2) manual trace around TWO iterations (the allocator's"
+                " steady-state period):\n");
+    {
+        rt::Runtime runtime;
+        Jacobi jacobi(runtime);
+        jacobi.Iteration(runtime);
+        for (int pair = 0; pair < 50; ++pair) {
+            runtime.BeginTrace(1);
+            jacobi.Iteration(runtime);
+            jacobi.Iteration(runtime);
+            runtime.EndTrace(1);
+        }
+        std::printf("   valid: %zu replays, %.0f%% of tasks replayed —"
+                    " but brittle:\n",
+                    runtime.Stats().trace_replays,
+                    100.0 * runtime.Stats().ReplayedFraction());
+        std::printf("   any change to the loop body or the allocator"
+                    " policy breaks it.\n\n");
+    }
+
+    // --- Attempt 3: Apophenia. ---------------------------------------------
+    std::printf("3) Apophenia, no annotations:\n");
+    {
+        rt::Runtime runtime;
+        core::ApopheniaConfig config;
+        config.min_trace_length = 5;
+        config.batchsize = 500;
+        config.multi_scale_factor = 50;
+        core::Apophenia apophenia(runtime, config);
+        Jacobi jacobi(apophenia);
+        for (int iter = 0; iter < 300; ++iter) {
+            jacobi.Iteration(apophenia);
+        }
+        apophenia.Flush();
+        std::printf("   %.0f%% of tasks replayed across %zu trace"
+                    " replays.\n",
+                    100.0 * runtime.Stats().ReplayedFraction(),
+                    runtime.Stats().trace_replays);
+        for (const auto& op : runtime.Log()) {
+            if (op.replay_head) {
+                const auto* tmpl = runtime.Traces().Find(op.trace);
+                std::printf("   discovered trace length: %zu tasks = %zu"
+                            " source iterations\n",
+                            tmpl->Length(), tmpl->Length() / 3);
+                break;
+            }
+        }
+        std::printf("   Apophenia found the multi-iteration period"
+                    " automatically.\n");
+        return runtime.Stats().trace_replays > 0 ? 0 : 1;
+    }
+}

@@ -1,0 +1,28 @@
+#include "apps/app.h"
+
+#include <cmath>
+
+namespace apo::apps {
+
+double
+MachineConfig::CrossNodeLatencyUs() const
+{
+    const double n = static_cast<double>(nodes == 0 ? 1 : nodes);
+    return comm_latency_us + comm_latency_scale_us * std::log2(n);
+}
+
+std::string_view
+SizeSuffix(ProblemSize size)
+{
+    switch (size) {
+      case ProblemSize::kSmall:
+        return "s";
+      case ProblemSize::kMedium:
+        return "m";
+      case ProblemSize::kLarge:
+        return "l";
+    }
+    return "?";
+}
+
+}  // namespace apo::apps

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The application interface the scaling harness drives, plus the
+ * machine and problem-size models shared by all workloads.
+ *
+ * Each workload (src/apps/{s3d,htr,cfd,torchswe,flexflow}.h) is a
+ * task-stream skeleton of the corresponding paper application: it
+ * issues the same *structure* of tasks and region arguments — stages,
+ * periodicities, irregular interruptions, dynamic region allocation —
+ * that drive Apophenia's trace identification, with execution times
+ * standing in for the real kernels.
+ */
+#ifndef APOPHENIA_APPS_APP_H
+#define APOPHENIA_APPS_APP_H
+
+#include <cstddef>
+#include <string_view>
+
+#include "apps/sink.h"
+
+namespace apo::apps {
+
+/** The simulated cluster (Perlmutter: 4 GPUs/node; Eos: 8). */
+struct MachineConfig {
+    std::size_t nodes = 1;
+    std::size_t gpus_per_node = 4;
+    /** Base latency charged on a dependence crossing nodes. */
+    double comm_latency_us = 25.0;
+    /** Additional cross-node latency per log2(nodes) — network
+     * diameter/contention growth. */
+    double comm_latency_scale_us = 4.0;
+
+    std::size_t GpuCount() const { return nodes * gpus_per_node; }
+    std::size_t NodeOf(std::uint32_t shard) const
+    {
+        return shard / gpus_per_node;
+    }
+    double CrossNodeLatencyUs() const;
+};
+
+/** Weak-scaling problem sizes ("-s", "-m", "-l" in the figures). */
+enum class ProblemSize { kSmall, kMedium, kLarge };
+
+/** Suffix used in the paper's figure legends. */
+std::string_view SizeSuffix(ProblemSize size);
+
+/** A runnable workload skeleton. */
+class Application {
+  public:
+    virtual ~Application() = default;
+
+    virtual std::string_view Name() const = 0;
+
+    /** Create the long-lived regions. Called once before iterating. */
+    virtual void Setup(TaskSink& sink) = 0;
+
+    /**
+     * Issue one main-loop iteration's task stream.
+     * @param manual_tracing if true, the application places its own
+     *   tbegin/tend annotations the way the paper's hand-traced ports
+     *   do (only meaningful for apps that support it).
+     */
+    virtual void Iteration(TaskSink& sink, std::size_t iter,
+                           bool manual_tracing) = 0;
+
+    /** Whether a hand-traced port of this application exists. The
+     * cuPyNumeric applications (CFD, TorchSWE) have none — that is
+     * the paper's point. */
+    virtual bool SupportsManualTracing() const { return false; }
+};
+
+}  // namespace apo::apps
+
+#endif  // APOPHENIA_APPS_APP_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Distributed-array helpers shared by the workload skeletons.
+ *
+ * A DistArray models one logical array partitioned across GPUs: a
+ * single region in which shard s touches field s. Stencil-style tasks
+ * read their own field plus their neighbours', which creates the
+ * cross-shard (and, across node boundaries, cross-node) dependences
+ * the communication model charges for. Dynamically allocated arrays
+ * (the cuPyNumeric pattern) are created and destroyed per operation,
+ * exercising the region allocator's id reuse — the source of the
+ * paper's section 2 periodicity pathology.
+ */
+#ifndef APOPHENIA_APPS_ARRAY_H
+#define APOPHENIA_APPS_ARRAY_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "apps/sink.h"
+#include "runtime/task.h"
+
+namespace apo::apps {
+
+/** One logical distributed array (region); shard s uses field s. */
+class DistArray {
+  public:
+    DistArray() = default;
+    explicit DistArray(TaskSink& sink) : region_(sink.CreateRegion()) {}
+
+    rt::RegionId Region() const { return region_; }
+    bool Valid() const { return region_.value != 0; }
+
+    rt::RegionRequirement Read(std::uint32_t shard) const
+    {
+        return {region_, shard, rt::Privilege::kReadOnly, 0};
+    }
+    rt::RegionRequirement Write(std::uint32_t shard) const
+    {
+        return {region_, shard, rt::Privilege::kWriteDiscard, 0};
+    }
+    rt::RegionRequirement ReadWrite(std::uint32_t shard) const
+    {
+        return {region_, shard, rt::Privilege::kReadWrite, 0};
+    }
+    rt::RegionRequirement Reduce(std::uint32_t shard,
+                                 rt::ReductionOpId op) const
+    {
+        return {region_, shard, rt::Privilege::kReduce, op};
+    }
+
+    void Destroy(TaskSink& sink)
+    {
+        if (Valid()) {
+            sink.DestroyRegion(region_);
+            region_ = rt::RegionId{};
+        }
+    }
+
+  private:
+    rt::RegionId region_;
+};
+
+/** Small convenience builder for task launches. */
+class TaskBuilder {
+  public:
+    TaskBuilder(std::string_view name, std::uint32_t shard,
+                double execution_us)
+    {
+        launch_.task = rt::TaskIdOf(name);
+        launch_.shard = shard;
+        launch_.execution_us = execution_us;
+    }
+
+    TaskBuilder& Add(const rt::RegionRequirement& req)
+    {
+        launch_.requirements.push_back(req);
+        return *this;
+    }
+
+    void LaunchOn(TaskSink& sink) { sink.ExecuteTask(launch_); }
+
+  private:
+    rt::TaskLaunch launch_;
+};
+
+}  // namespace apo::apps
+
+#endif  // APOPHENIA_APPS_ARRAY_H

@@ -1,0 +1,142 @@
+#include "apps/cfd.h"
+
+#include <string>
+
+namespace apo::apps {
+
+CfdApplication::CfdApplication(CfdOptions options) : options_(options) {}
+
+double
+CfdApplication::KernelUs() const
+{
+    switch (options_.size) {
+      case ProblemSize::kSmall:
+        return options_.exec_small_us;
+      case ProblemSize::kMedium:
+        return options_.exec_medium_us;
+      case ProblemSize::kLarge:
+        return options_.exec_large_us;
+    }
+    return options_.exec_small_us;
+}
+
+void
+CfdApplication::Setup(TaskSink& sink)
+{
+    u_ = DistArray(sink);
+    v_ = DistArray(sink);
+    p_ = DistArray(sink);
+}
+
+DistArray
+CfdApplication::PointwiseOp(TaskSink& sink, std::string_view name,
+                            const DistArray& a, const DistArray& b,
+                            double exec_scale)
+{
+    const std::uint32_t gpus =
+        static_cast<std::uint32_t>(options_.machine.GpuCount());
+    DistArray out(sink);  // cuPyNumeric: every result is a fresh array
+    for (std::uint32_t g = 0; g < gpus; ++g) {
+        TaskBuilder task(name, g, KernelUs() * exec_scale);
+        task.Add(a.Read(g));
+        if (b.Valid()) {
+            task.Add(b.Read(g));
+        }
+        task.Add(out.Write(g));
+        task.LaunchOn(sink);
+    }
+    return out;
+}
+
+DistArray
+CfdApplication::StencilOp(TaskSink& sink, std::string_view name,
+                          const DistArray& a, const DistArray& b,
+                          double exec_scale)
+{
+    const std::uint32_t gpus =
+        static_cast<std::uint32_t>(options_.machine.GpuCount());
+    DistArray out(sink);
+    for (std::uint32_t g = 0; g < gpus; ++g) {
+        TaskBuilder task(name, g, KernelUs() * exec_scale);
+        task.Add(a.Read(g));
+        if (g > 0) {
+            task.Add(a.Read(g - 1));
+        }
+        if (g + 1 < gpus) {
+            task.Add(a.Read(g + 1));
+        }
+        if (b.Valid()) {
+            task.Add(b.Read(g));
+        }
+        task.Add(out.Write(g));
+        task.LaunchOn(sink);
+    }
+    return out;
+}
+
+void
+CfdApplication::ResidualCheck(TaskSink& sink, std::size_t iter)
+{
+    const std::uint32_t gpus =
+        static_cast<std::uint32_t>(options_.machine.GpuCount());
+    // An irregular computation: its task ids vary with the checkpoint
+    // index, so it never becomes part of a repeated fragment — the
+    // structure that defeats tandem-repeat analysis (section 4.2).
+    const std::string name =
+        "cfd_residual_" + std::to_string(iter / options_.check_interval);
+    DistArray norm(sink);
+    for (std::uint32_t g = 0; g < gpus; ++g) {
+        TaskBuilder(name, g, KernelUs() * 0.3)
+            .Add(u_.Read(g))
+            .Add(norm.Reduce(g, /*op=*/1))
+            .LaunchOn(sink);
+    }
+    TaskBuilder check("cfd_check", 0, KernelUs() * 0.1);
+    check.Add(norm.Read(0));
+    check.LaunchOn(sink);
+    norm.Destroy(sink);
+}
+
+void
+CfdApplication::Iteration(TaskSink& sink, std::size_t iter,
+                          bool manual_tracing)
+{
+    (void)manual_tracing;  // no hand-traced CFD exists (section 6.1)
+    const std::uint32_t gpus =
+        static_cast<std::uint32_t>(options_.machine.GpuCount());
+
+    // b = build_up_b(u, v): stencil of the velocity field.
+    DistArray b = StencilOp(sink, "cfd_build_b", u_, v_, 0.8);
+    // Pressure Poisson sub-iterations: p' = pressure(p, b).
+    for (std::size_t s = 0; s < options_.pressure_iters; ++s) {
+        DistArray p_new = StencilOp(sink, "cfd_pressure", p_, b, 1.0);
+        p_.Destroy(sink);
+        p_ = p_new;
+    }
+    b.Destroy(sink);
+    // Velocity updates read the new pressure.
+    DistArray u_new = StencilOp(sink, "cfd_vel_u", u_, p_, 1.0);
+    DistArray v_new = StencilOp(sink, "cfd_vel_v", v_, p_, 1.0);
+    u_.Destroy(sink);
+    v_.Destroy(sink);
+    u_ = u_new;
+    v_ = v_new;
+    // Boundary conditions + halo settlement: a collective whose cost
+    // grows with the participant count; on small problems this is the
+    // latency the paper says cannot be hidden at scale.
+    TaskBuilder bc("cfd_boundary", 0,
+                   options_.collective_per_gpu_us *
+                       static_cast<double>(gpus));
+    for (std::uint32_t g = 0; g < gpus; ++g) {
+        bc.Add(u_.ReadWrite(g));
+        bc.Add(v_.ReadWrite(g));
+    }
+    bc.LaunchOn(sink);
+
+    if (options_.check_interval != 0 &&
+        iter % options_.check_interval == options_.check_interval - 1) {
+        ResidualCheck(sink, iter);
+    }
+}
+
+}  // namespace apo::apps

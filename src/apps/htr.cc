@@ -1,0 +1,115 @@
+#include "apps/htr.h"
+
+#include <string>
+
+namespace apo::apps {
+
+namespace {
+
+constexpr rt::TraceId kHtrManualTrace = 77002;
+
+}  // namespace
+
+HtrApplication::HtrApplication(HtrOptions options) : options_(options) {}
+
+double
+HtrApplication::KernelUs() const
+{
+    switch (options_.size) {
+      case ProblemSize::kSmall:
+        return options_.exec_small_us;
+      case ProblemSize::kMedium:
+        return options_.exec_medium_us;
+      case ProblemSize::kLarge:
+        return options_.exec_large_us;
+    }
+    return options_.exec_medium_us;
+}
+
+void
+HtrApplication::Setup(TaskSink& sink)
+{
+    conserved_ = DistArray(sink);
+    primitive_ = DistArray(sink);
+    fluxes_ = DistArray(sink);
+    sources_ = DistArray(sink);
+    stats_ = DistArray(sink);
+}
+
+void
+HtrApplication::Stage(TaskSink& sink, std::size_t stage)
+{
+    const std::uint32_t gpus =
+        static_cast<std::uint32_t>(options_.machine.GpuCount());
+    const double exec = KernelUs();
+    // Primitive recovery, then a battery of physics kernels, then the
+    // conservative update. Kernel identities differ per slot so the
+    // token stream distinguishes them (as distinct task ids do).
+    for (std::uint32_t g = 0; g < gpus; ++g) {
+        TaskBuilder("htr_primitives", g, exec * 0.3)
+            .Add(conserved_.Read(g))
+            .Add(primitive_.Write(g))
+            .LaunchOn(sink);
+    }
+    for (std::size_t k = 0; k < options_.kernels_per_stage; ++k) {
+        const std::string name =
+            "htr_kernel_" + std::to_string(stage) + "_" + std::to_string(k);
+        const bool stencil = k % 2 == 0;  // alternating stencil kernels
+        for (std::uint32_t g = 0; g < gpus; ++g) {
+            TaskBuilder kernel(name, g, exec);
+            kernel.Add(primitive_.Read(g));
+            if (stencil && g > 0) {
+                kernel.Add(primitive_.Read(g - 1));
+            }
+            if (stencil && g + 1 < gpus) {
+                kernel.Add(primitive_.Read(g + 1));
+            }
+            kernel.Add(k % 3 == 2 ? sources_.ReadWrite(g)
+                                  : fluxes_.ReadWrite(g));
+            kernel.LaunchOn(sink);
+        }
+    }
+    for (std::uint32_t g = 0; g < gpus; ++g) {
+        TaskBuilder("htr_update", g, exec * 0.5)
+            .Add(fluxes_.Read(g))
+            .Add(sources_.Read(g))
+            .Add(conserved_.ReadWrite(g))
+            .LaunchOn(sink);
+    }
+}
+
+void
+HtrApplication::Statistics(TaskSink& sink)
+{
+    const std::uint32_t gpus =
+        static_cast<std::uint32_t>(options_.machine.GpuCount());
+    for (std::uint32_t g = 0; g < gpus; ++g) {
+        TaskBuilder("htr_average", g, KernelUs() * 0.2)
+            .Add(conserved_.Read(g))
+            .Add(stats_.Reduce(g, /*op=*/1))
+            .LaunchOn(sink);
+    }
+}
+
+void
+HtrApplication::Iteration(TaskSink& sink, std::size_t iter,
+                          bool manual_tracing)
+{
+    if (manual_tracing) {
+        sink.BeginTrace(kHtrManualTrace);
+    }
+    for (std::size_t s = 0; s < options_.stages; ++s) {
+        Stage(sink, s);
+    }
+    if (manual_tracing) {
+        sink.EndTrace(kHtrManualTrace);
+    }
+    // Time-averaged statistics interrupt the loop irregularly; the
+    // manual port leaves them untraced.
+    if (options_.stats_interval != 0 &&
+        iter % options_.stats_interval == options_.stats_interval - 1) {
+        Statistics(sink);
+    }
+}
+
+}  // namespace apo::apps

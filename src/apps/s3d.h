@@ -1,0 +1,75 @@
+/**
+ * @file
+ * S3D task-stream skeleton (paper section 6.1, figure 6a).
+ *
+ * S3D is a production combustion-chemistry simulation; its Legion port
+ * implements the right-hand-side function of a Runge-Kutta scheme and
+ * interoperates with a legacy Fortran+MPI driver. Two structural
+ * properties matter for tracing and are reproduced here:
+ *
+ *  - each iteration runs a fixed sequence of RK stages (exchange,
+ *    chemistry, diffusion, update per GPU) over statically allocated
+ *    regions — a perfectly periodic, traceable main loop;
+ *  - a hand-off with the Fortran+MPI driver happens every iteration
+ *    for the first 10 iterations and every 10th iteration afterwards,
+ *    which is why the paper calls S3D's *manual* annotation logic
+ *    "relatively complicated": the hand-off tasks must stay outside
+ *    the trace.
+ */
+#ifndef APOPHENIA_APPS_S3D_H
+#define APOPHENIA_APPS_S3D_H
+
+#include <vector>
+
+#include "apps/app.h"
+#include "apps/array.h"
+
+namespace apo::apps {
+
+/** Tuning knobs for the S3D skeleton. */
+struct S3dOptions {
+    MachineConfig machine;
+    ProblemSize size = ProblemSize::kMedium;
+    /** Runge-Kutta stages per iteration. */
+    std::size_t rk_stages = 4;
+    /** Kernel durations per problem size (µs). */
+    double exec_small_us = 5300.0;
+    double exec_medium_us = 8000.0;
+    double exec_large_us = 12000.0;
+};
+
+/** See file comment. */
+class S3dApplication final : public Application {
+  public:
+    explicit S3dApplication(S3dOptions options);
+
+    std::string_view Name() const override { return "S3D"; }
+    bool SupportsManualTracing() const override { return true; }
+
+    void Setup(TaskSink& sink) override;
+    void Iteration(TaskSink& sink, std::size_t iter,
+                   bool manual_tracing) override;
+
+    /** Whether iteration `iter` requires a Fortran+MPI hand-off. */
+    static bool NeedsHandoff(std::size_t iter)
+    {
+        return iter < 10 || iter % 10 == 0;
+    }
+
+    double KernelUs() const;
+
+  private:
+    void RkStage(TaskSink& sink);
+    void Handoff(TaskSink& sink);
+
+    S3dOptions options_;
+    DistArray state_;    ///< conserved variables U
+    DistArray halo_;     ///< exchanged ghost zones
+    DistArray chem_;     ///< chemistry source terms
+    DistArray rhs_;      ///< accumulated right-hand side
+    DistArray fortran_;  ///< staging buffer shared with the driver
+};
+
+}  // namespace apo::apps
+
+#endif  // APOPHENIA_APPS_S3D_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The task-sink interface applications are written against.
+ *
+ * The same application code can be driven in the paper's three
+ * evaluation modes by swapping the sink:
+ *  - RuntimeSink: manual tracing — the application's own tbegin/tend
+ *    annotations reach the runtime;
+ *  - UntracedSink: annotations are ignored, every task is analyzed;
+ *  - AutoSink: all tasks flow through Apophenia, which inserts its own
+ *    trace markers (annotations are ignored, as a real port would
+ *    simply not have them).
+ */
+#ifndef APOPHENIA_APPS_SINK_H
+#define APOPHENIA_APPS_SINK_H
+
+#include "core/apophenia.h"
+#include "runtime/runtime.h"
+
+namespace apo::apps {
+
+/** Where an application sends its region and task operations. */
+class TaskSink {
+  public:
+    virtual ~TaskSink() = default;
+
+    virtual rt::RegionId CreateRegion() = 0;
+    virtual void DestroyRegion(rt::RegionId r) = 0;
+    virtual void ExecuteTask(const rt::TaskLaunch& launch) = 0;
+    /** Manual trace annotations; ignored by non-manual sinks. */
+    virtual void BeginTrace(rt::TraceId id) = 0;
+    virtual void EndTrace(rt::TraceId id) = 0;
+    /** End-of-program synchronization. */
+    virtual void Flush() = 0;
+};
+
+/** Direct runtime access: manual annotations are honored. */
+class RuntimeSink final : public TaskSink {
+  public:
+    explicit RuntimeSink(rt::Runtime& runtime) : runtime_(&runtime) {}
+
+    rt::RegionId CreateRegion() override { return runtime_->CreateRegion(); }
+    void DestroyRegion(rt::RegionId r) override
+    {
+        runtime_->DestroyRegion(r);
+    }
+    void ExecuteTask(const rt::TaskLaunch& launch) override
+    {
+        runtime_->ExecuteTask(launch);
+    }
+    void BeginTrace(rt::TraceId id) override { runtime_->BeginTrace(id); }
+    void EndTrace(rt::TraceId id) override { runtime_->EndTrace(id); }
+    void Flush() override {}
+
+  private:
+    rt::Runtime* runtime_;
+};
+
+/** Direct runtime access with annotations stripped. */
+class UntracedSink final : public TaskSink {
+  public:
+    explicit UntracedSink(rt::Runtime& runtime) : runtime_(&runtime) {}
+
+    rt::RegionId CreateRegion() override { return runtime_->CreateRegion(); }
+    void DestroyRegion(rt::RegionId r) override
+    {
+        runtime_->DestroyRegion(r);
+    }
+    void ExecuteTask(const rt::TaskLaunch& launch) override
+    {
+        runtime_->ExecuteTask(launch);
+    }
+    void BeginTrace(rt::TraceId) override {}
+    void EndTrace(rt::TraceId) override {}
+    void Flush() override {}
+
+  private:
+    rt::Runtime* runtime_;
+};
+
+/** Everything flows through Apophenia; annotations are ignored. */
+class AutoSink final : public TaskSink {
+  public:
+    explicit AutoSink(core::Apophenia& front_end) : front_end_(&front_end) {}
+
+    rt::RegionId CreateRegion() override
+    {
+        return front_end_->CreateRegion();
+    }
+    void DestroyRegion(rt::RegionId r) override
+    {
+        front_end_->DestroyRegion(r);
+    }
+    void ExecuteTask(const rt::TaskLaunch& launch) override
+    {
+        front_end_->ExecuteTask(launch);
+    }
+    void BeginTrace(rt::TraceId) override {}
+    void EndTrace(rt::TraceId) override {}
+    void Flush() override { front_end_->Flush(); }
+
+  private:
+    core::Apophenia* front_end_;
+};
+
+}  // namespace apo::apps
+
+#endif  // APOPHENIA_APPS_SINK_H

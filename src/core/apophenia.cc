@@ -1,0 +1,231 @@
+#include "core/apophenia.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace apo::core {
+
+Apophenia::Apophenia(rt::Runtime& runtime, ApopheniaConfig config,
+                     support::Executor* executor)
+    : runtime_(&runtime),
+      config_(config),
+      finder_(config_, executor != nullptr ? *executor : default_executor_),
+      scorer_(config_)
+{
+}
+
+void
+Apophenia::ExecuteTask(const rt::TaskLaunch& launch)
+{
+    if (!config_.enabled) {
+        runtime_->ExecuteTask(launch);
+        return;
+    }
+    // Untraceable operations get a unique token per occurrence, so
+    // they can never appear inside a repeated fragment: no candidate
+    // will contain them, matches break across them, and the pending
+    // prefix flushing forwards them promptly.
+    const rt::TokenHash token =
+        launch.traceable
+            ? rt::HashLaunch(launch)
+            : support::SplitMix64(~counter_ ^ 0xfeedface12345678ULL);
+    ++counter_;
+    stats_.tasks_observed += 1;
+    finder_.Observe(token, counter_);
+    if (!manual_ingest_) {
+        while (!finder_.Jobs().empty() &&
+               finder_.Jobs().front()->done.load(
+                   std::memory_order_acquire)) {
+            IngestOldestJob();
+        }
+    }
+    pending_.push_back(launch);
+    stats_.pending_high_water =
+        std::max(stats_.pending_high_water, pending_.size());
+    AdvancePointers(token);
+    MaybeFire();
+}
+
+void
+Apophenia::AdvancePointers(rt::TokenHash token)
+{
+    const std::uint64_t index = counter_ - 1;  // this task's absolute index
+    std::vector<ActivePointer> next;
+    next.reserve(active_.size() + 1);
+    for (const ActivePointer& p : active_) {
+        if (const auto* child = trie_.Step(p.node, token)) {
+            next.push_back(ActivePointer{child, p.start});
+        }
+    }
+    if (const auto* child = trie_.Step(nullptr, token)) {
+        next.push_back(ActivePointer{child, index});
+    }
+    active_ = std::move(next);
+
+    std::vector<CompletedMatch> completed;
+    for (const ActivePointer& p : active_) {
+        if (CandidateStats* c = CandidateTrie::CandidateAt(p.node)) {
+            // A live appearance: refresh the decayed count.
+            c->count = c->Appearances(counter_,
+                                      config_.score_decay_half_life) +
+                       1.0;
+            c->last_seen = counter_;
+            completed.push_back(CompletedMatch{c, p.start, index + 1});
+        }
+    }
+    ConsiderCompleted(std::move(completed));
+}
+
+void
+Apophenia::ConsiderCompleted(std::vector<CompletedMatch> completed)
+{
+    for (const CompletedMatch& m : completed) {
+        if (held_.empty() || m.start >= held_.back().end) {
+            held_.push_back(m);  // disjoint successor: queue it
+            continue;
+        }
+        // Overlapping: `m` ends at the newest token, so it overlaps a
+        // suffix of the held queue. Replace that suffix only if `m`
+        // outscores the whole of it (SelectReplayTrace's heuristic).
+        std::size_t first_overlap = held_.size();
+        double displaced_score = 0.0;
+        while (first_overlap > 0 &&
+               held_[first_overlap - 1].end > m.start) {
+            --first_overlap;
+            displaced_score += scorer_.Score(
+                *held_[first_overlap].stats, counter_);
+        }
+        if (scorer_.Score(*m.stats, counter_) > displaced_score) {
+            held_.erase(held_.begin() + first_overlap, held_.end());
+            held_.push_back(m);
+        }
+    }
+}
+
+void
+Apophenia::MaybeFire()
+{
+    // Fire queued matches from the front, stopping at the first one a
+    // still-growing match (an active pointer that started at or
+    // before it and can still advance) might supersede.
+    while (!held_.empty()) {
+        const CompletedMatch front = held_.front();
+        bool blocked = false;
+        for (const ActivePointer& p : active_) {
+            if (p.start <= front.start && !p.node->children.empty()) {
+                blocked = true;
+                break;
+            }
+        }
+        if (blocked) {
+            break;
+        }
+        held_.pop_front();
+        Fire(front);
+    }
+
+    // Forward every task no in-progress match could still cover.
+    std::uint64_t keep_from = counter_;  // nothing matches before next token
+    for (const ActivePointer& p : active_) {
+        keep_from = std::min(keep_from, p.start);
+    }
+    if (!held_.empty()) {
+        keep_from = std::min(keep_from, held_.front().start);
+    }
+    FlushPrefixBelow(keep_from);
+
+    // Bound the pending buffer (exploration must not hoard memory).
+    if (pending_.size() > config_.max_pending) {
+        stats_.forced_flushes += 1;
+        if (!held_.empty()) {
+            const CompletedMatch front = held_.front();
+            held_.pop_front();
+            Fire(front);
+        } else {
+            const std::uint64_t target =
+                pending_base_ + pending_.size() / 2;
+            std::erase_if(active_, [&](const ActivePointer& p) {
+                return p.start < target;
+            });
+            FlushPrefixBelow(target);
+        }
+    }
+}
+
+void
+Apophenia::Fire(const CompletedMatch& match)
+{
+    FlushPrefixBelow(match.start);
+    CandidateStats* stats = match.stats;
+    if (stats->trace_id == rt::kNoTrace) {
+        stats->trace_id = next_trace_id_++;
+    }
+    const bool recording = !runtime_->HasTrace(stats->trace_id);
+    runtime_->BeginTrace(stats->trace_id);
+    for (std::uint64_t i = match.start; i < match.end; ++i) {
+        runtime_->ExecuteTask(pending_.front());
+        pending_.pop_front();
+    }
+    pending_base_ = match.end;
+    runtime_->EndTrace(stats->trace_id);
+    stats->replays += 1;
+    stats_.traces_fired += 1;
+    stats_.tasks_forwarded_traced += match.end - match.start;
+    if (recording) {
+        stats_.trace_records += 1;
+    } else {
+        stats_.trace_replays += 1;
+    }
+    // Matches overlapping the consumed range can no longer happen.
+    std::erase_if(active_, [&](const ActivePointer& p) {
+        return p.start < match.end;
+    });
+    // Future analyses include windows anchored here, so candidates
+    // covering whatever follows this replay get discovered.
+    finder_.NoteReplayBoundary(match.end);
+}
+
+void
+Apophenia::FlushPrefixBelow(std::uint64_t keep_from)
+{
+    while (pending_base_ < keep_from && !pending_.empty()) {
+        runtime_->ExecuteTask(pending_.front());
+        pending_.pop_front();
+        pending_base_ += 1;
+        stats_.tasks_forwarded_untraced += 1;
+    }
+}
+
+void
+Apophenia::Flush()
+{
+    if (!config_.enabled) {
+        return;
+    }
+    while (!held_.empty()) {
+        const CompletedMatch front = held_.front();
+        held_.pop_front();
+        Fire(front);
+    }
+    FlushPrefixBelow(pending_base_ + pending_.size());
+    active_.clear();
+}
+
+void
+Apophenia::IngestOldestJob()
+{
+    auto job = finder_.TakeJob();
+    // Callers normally only ingest complete jobs; wait defensively so
+    // the contract is safe under any executor.
+    while (!job->done.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+    }
+    for (const CandidateTrace& c : job->results) {
+        trie_.Insert(c.tokens, c.occurrences, counter_,
+                     config_.score_decay_half_life);
+    }
+    stats_.jobs_ingested += 1;
+    stats_.candidates_ingested += job->results.size();
+}
+
+}  // namespace apo::core

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The Apophenia front-end: automatic tracing for the task runtime.
+ *
+ * Apophenia sits between the application and the runtime (paper
+ * figure 3 / algorithm 1). Applications call ExecuteTask() here
+ * instead of on the runtime; Apophenia hashes each launch into a
+ * token, feeds the token stream to the trace finder's asynchronous
+ * mining jobs, matches the stream against the candidate trie, and
+ * forwards a — possibly different — sequence of calls to the runtime:
+ * untraced tasks, plus BeginTrace/tasks/EndTrace groups for fragments
+ * it decided to memoize or replay.
+ *
+ * Design points carried over from the paper:
+ *  - No speculation (section 5.2): a candidate's tasks are buffered
+ *    until the whole candidate has arrived, then issued as a trace;
+ *    tasks that can no longer be part of any candidate are forwarded
+ *    immediately so the runtime pipeline stays busy.
+ *  - Exploration/exploitation (section 4.3): completed candidates are
+ *    scored by length × capped, decayed appearance count, with a bias
+ *    toward already-replayed traces.
+ *  - Deterministic ingestion (section 5.1): analysis results are
+ *    ingested at task-stream positions only; the replicated front-end
+ *    (replication.h) coordinates those positions across nodes.
+ */
+#ifndef APOPHENIA_CORE_APOPHENIA_H
+#define APOPHENIA_CORE_APOPHENIA_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/finder.h"
+#include "core/trie.h"
+#include "runtime/runtime.h"
+#include "support/executor.h"
+
+namespace apo::core {
+
+/** Front-end statistics. */
+struct ApopheniaStats {
+    std::uint64_t tasks_observed = 0;
+    std::uint64_t tasks_forwarded_traced = 0;
+    std::uint64_t tasks_forwarded_untraced = 0;
+    std::uint64_t traces_fired = 0;     ///< Begin/End pairs issued
+    std::uint64_t trace_records = 0;    ///< fires that recorded
+    std::uint64_t trace_replays = 0;    ///< fires that replayed
+    std::uint64_t jobs_ingested = 0;
+    std::uint64_t candidates_ingested = 0;
+    std::uint64_t forced_flushes = 0;   ///< pending-bound overflows
+    std::size_t pending_high_water = 0;
+};
+
+/** See file comment. */
+class Apophenia {
+  public:
+    /**
+     * @param runtime the runtime to forward calls into.
+     * @param config  front-end tuning; config.enabled == false makes
+     *                this class a transparent pass-through.
+     * @param executor runs mining jobs; defaults to an internal
+     *                inline executor (deterministic, synchronous).
+     */
+    Apophenia(rt::Runtime& runtime, ApopheniaConfig config,
+              support::Executor* executor = nullptr);
+
+    // -- Region pass-through ----------------------------------------------
+
+    rt::RegionId CreateRegion() { return runtime_->CreateRegion(); }
+    void DestroyRegion(rt::RegionId r) { runtime_->DestroyRegion(r); }
+    std::vector<rt::RegionId> PartitionRegion(rt::RegionId parent,
+                                              std::size_t count)
+    {
+        return runtime_->PartitionRegion(parent, count);
+    }
+
+    // -- The intercepted interface ------------------------------------------
+
+    /** Issue a task through the front-end (paper algorithm 1,
+     * ExecuteTask). */
+    void ExecuteTask(const rt::TaskLaunch& launch);
+
+    /**
+     * End-of-stream: fire any profitable completed candidate, then
+     * forward all still-buffered tasks untraced. Call once when the
+     * application finishes (or at a synchronization point).
+     */
+    void Flush();
+
+    // -- Analysis-ingestion control (replication support) -------------------
+
+    /** In manual mode, completed mining jobs are ingested only via
+     * IngestOldestJob(); the replicated front-end uses this to align
+     * ingestion across nodes (paper section 5.1). */
+    void SetManualIngest(bool manual) { manual_ingest_ = manual; }
+
+    /** Launched-but-not-ingested jobs, oldest first. */
+    const std::deque<std::shared_ptr<AnalysisJob>>& PendingJobs() const
+    {
+        return finder_.Jobs();
+    }
+
+    /** Ingest the oldest pending job's candidates into the trie. The
+     * job must exist and be complete. */
+    void IngestOldestJob();
+
+    // -- Introspection -------------------------------------------------------
+
+    const ApopheniaStats& Stats() const { return stats_; }
+    const FinderStats& Finder() const { return finder_.Stats(); }
+    const CandidateTrie& Trie() const { return trie_; }
+    rt::Runtime& Target() { return *runtime_; }
+    const ApopheniaConfig& Config() const { return config_; }
+    std::size_t PendingTasks() const { return pending_.size(); }
+
+  private:
+    /** An in-progress match: a trie position whose path equals the
+     * pending-task suffix starting at absolute index `start`. */
+    struct ActivePointer {
+        const CandidateTrie::Node* node = nullptr;
+        std::uint64_t start = 0;
+    };
+
+    /** A fully matched candidate awaiting the replay decision. */
+    struct CompletedMatch {
+        CandidateStats* stats = nullptr;
+        std::uint64_t start = 0;
+        std::uint64_t end = 0;  ///< exclusive absolute index
+    };
+
+    void AdvancePointers(rt::TokenHash token);
+    void ConsiderCompleted(std::vector<CompletedMatch> completed);
+    void MaybeFire();
+    void Fire(const CompletedMatch& match);
+    void FlushPrefixBelow(std::uint64_t keep_from);
+
+    rt::Runtime* runtime_;
+    ApopheniaConfig config_;
+    support::InlineExecutor default_executor_;
+    TraceFinder finder_;
+    CandidateTrie trie_;
+    TraceScorer scorer_;
+
+    bool manual_ingest_ = false;
+    std::uint64_t counter_ = 0;  ///< tasks observed (absolute index + 1)
+    std::deque<rt::TaskLaunch> pending_;
+    std::uint64_t pending_base_ = 0;  ///< absolute index of pending_[0]
+    std::vector<ActivePointer> active_;
+    /** Completed, pairwise-disjoint matches awaiting replay, in
+     * stream order. The front is fired once no still-growing match
+     * could supersede it. */
+    std::deque<CompletedMatch> held_;
+    rt::TraceId next_trace_id_ = 1;
+    ApopheniaStats stats_;
+};
+
+}  // namespace apo::core
+
+#endif  // APOPHENIA_CORE_APOPHENIA_H

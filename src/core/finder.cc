@@ -1,0 +1,180 @@
+#include "core/finder.h"
+
+#include <algorithm>
+
+#include "strings/identifiers.h"
+#include "strings/repeats.h"
+#include "support/ruler.h"
+
+namespace apo::core {
+
+namespace {
+
+/** Chunk a repeat's token sequence to the configured maximum length,
+ * keeping a remainder only if it is itself a viable trace. */
+void
+EmitChunked(const strings::Repeat& repeat, const ApopheniaConfig& config,
+            std::vector<CandidateTrace>& out)
+{
+    const auto& tokens = repeat.tokens;
+    const double occurrences =
+        static_cast<double>(repeat.starts.size());
+    if (tokens.size() <= config.max_trace_length) {
+        out.push_back(CandidateTrace{tokens, occurrences});
+        return;
+    }
+    for (std::size_t begin = 0; begin < tokens.size();
+         begin += config.max_trace_length) {
+        const std::size_t len =
+            std::min(config.max_trace_length, tokens.size() - begin);
+        if (len < config.min_trace_length) {
+            break;  // tail too short to amortize a replay
+        }
+        out.push_back(CandidateTrace{
+            {tokens.begin() + begin, tokens.begin() + begin + len},
+            occurrences});
+    }
+}
+
+}  // namespace
+
+std::vector<CandidateTrace>
+MineSlice(const std::vector<rt::TokenHash>& slice,
+          const ApopheniaConfig& config)
+{
+    std::vector<strings::Repeat> repeats;
+    switch (config.repeats_algorithm) {
+      case RepeatsAlgorithm::kQuickMatchingOfSubstrings:
+        repeats = strings::FindRepeats(
+            slice, {.min_length = config.min_trace_length,
+                    .min_occurrences = 2});
+        break;
+      case RepeatsAlgorithm::kTandem:
+        repeats =
+            strings::FindTandemRepeats(slice, config.min_trace_length);
+        break;
+      case RepeatsAlgorithm::kLzw:
+        repeats = strings::FindRepeatsLzw(slice, config.min_trace_length);
+        break;
+      case RepeatsAlgorithm::kQuadratic:
+        repeats =
+            strings::FindRepeatsQuadratic(slice, config.min_trace_length);
+        break;
+    }
+    std::vector<CandidateTrace> out;
+    out.reserve(repeats.size());
+    for (const strings::Repeat& r : repeats) {
+        if (r.starts.size() < 2) {
+            continue;  // a trace must repeat to be worth memoizing
+        }
+        EmitChunked(r, config, out);
+        // Speculative period completion: when two occurrences sit a
+        // fixed distance d apart with d greater than the repeat
+        // length, the stream is likely periodic with period d and the
+        // repeat is a fragment of a longer loop body. Emit the full
+        // presumed period as a low-confidence candidate; if the guess
+        // is wrong it simply never matches in the trie.
+        if (config.speculative_period_completion && r.starts.size() >= 2) {
+            const std::size_t d = r.starts[1] - r.starts[0];
+            if (d > r.Length() && d >= config.min_trace_length &&
+                r.starts[0] + d <= slice.size()) {
+                strings::Repeat period;
+                period.tokens.assign(
+                    slice.begin() + r.starts[0],
+                    slice.begin() + r.starts[0] + d);
+                period.starts = {r.starts[0]};
+                EmitChunked(period, config, out);
+            }
+        }
+    }
+    return out;
+}
+
+TraceFinder::TraceFinder(const ApopheniaConfig& config,
+                         support::Executor& executor)
+    : config_(&config), executor_(&executor)
+{
+}
+
+void
+TraceFinder::Observe(rt::TokenHash token, std::uint64_t now)
+{
+    history_.push_back(token);
+    if (history_.size() > config_->batchsize) {
+        history_.pop_front();
+    }
+    stats_.tokens_observed += 1;
+
+    if (config_->identifier_algorithm == IdentifierAlgorithm::kBatched) {
+        if (stats_.tokens_observed % config_->batchsize == 0) {
+            LaunchAnalysis(history_.size(), now);
+        }
+        return;
+    }
+    // Multi-scale: at every multiple of the scale factor, analyze the
+    // last factor * 2^ruler(k) tokens (figure 5).
+    if (stats_.tokens_observed % config_->multi_scale_factor == 0) {
+        ++sample_counter_;
+        const std::size_t len = support::RulerSampleLength(
+            sample_counter_, config_->multi_scale_factor,
+            config_->batchsize);
+        LaunchAnalysis(std::min(len, history_.size()), now);
+        // Replay-anchored window: align a slice with the end of the
+        // last replay so gap-phase candidates are found (see
+        // NoteReplayBoundary). Lengths double per launch.
+        if (anchor_ != 0 && stats_.tokens_observed > anchor_ &&
+            stats_.tokens_observed - anchor_ >= anchor_next_len_) {
+            const std::size_t anchored_len =
+                std::min<std::uint64_t>(stats_.tokens_observed - anchor_,
+                                        config_->batchsize);
+            LaunchAnalysis(std::min<std::size_t>(anchored_len,
+                                                 history_.size()),
+                           now);
+            anchor_next_len_ = anchored_len * 2;
+        }
+    }
+}
+
+void
+TraceFinder::NoteReplayBoundary(std::uint64_t pos)
+{
+    if (!config_->replay_anchored_analysis) {
+        return;
+    }
+    anchor_ = pos;
+    anchor_next_len_ = 2 * config_->min_trace_length;
+}
+
+void
+TraceFinder::LaunchAnalysis(std::size_t slice_length, std::uint64_t now)
+{
+    if (slice_length < 2 * config_->min_trace_length) {
+        return;  // cannot contain two occurrences of any viable trace
+    }
+    auto job = std::make_shared<AnalysisJob>();
+    job->id = stats_.jobs_launched++;
+    job->issued_at = now;
+    job->slice_length = slice_length;
+    stats_.tokens_analyzed += slice_length;
+
+    // Copy the slice so the worker needs no access to live state.
+    std::vector<rt::TokenHash> slice(history_.end() - slice_length,
+                                     history_.end());
+    jobs_.push_back(job);
+    const ApopheniaConfig* config = config_;
+    executor_->Submit([job, config, slice = std::move(slice)]() mutable {
+        job->results = MineSlice(slice, *config);
+        job->done.store(true, std::memory_order_release);
+    });
+}
+
+std::shared_ptr<AnalysisJob>
+TraceFinder::TakeJob()
+{
+    auto job = jobs_.front();
+    jobs_.pop_front();
+    stats_.candidates_produced += job->results.size();
+    return job;
+}
+
+}  // namespace apo::core

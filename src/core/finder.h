@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The trace finder (paper sections 4.2 and 4.4).
+ *
+ * The finder accumulates the hash-token stream into a sliding history
+ * buffer of `batchsize` tokens and launches asynchronous mining jobs
+ * over slices of it. Slice sizes follow the ruler-function schedule:
+ * at the k'th sampling point (every `multi_scale_factor` tasks) the
+ * last multi_scale_factor * 2^ruler(k) tokens are analyzed, so short
+ * traces are discovered quickly while the full buffer is still mined
+ * periodically for long traces. Each job runs the configured repeat
+ * mining algorithm (Algorithm 2 by default) and emits candidate
+ * traces, chunked to the configured maximum trace length.
+ */
+#ifndef APOPHENIA_CORE_FINDER_H
+#define APOPHENIA_CORE_FINDER_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "runtime/task.h"
+#include "support/executor.h"
+
+namespace apo::core {
+
+/** A candidate trace produced by a mining job. */
+struct CandidateTrace {
+    std::vector<rt::TokenHash> tokens;
+    /** Non-overlapping occurrences observed in the analyzed slice. */
+    double occurrences = 0.0;
+};
+
+/** One asynchronous history-mining job. */
+struct AnalysisJob {
+    /** Stable id (launch order). */
+    std::uint64_t id = 0;
+    /** Task counter at which the job was launched. */
+    std::uint64_t issued_at = 0;
+    /** Number of tokens analyzed. */
+    std::size_t slice_length = 0;
+    /** Set (release) by the worker when `results` is complete. */
+    std::atomic<bool> done{false};
+    std::vector<CandidateTrace> results;
+};
+
+/** Finder statistics. */
+struct FinderStats {
+    std::uint64_t tokens_observed = 0;
+    std::uint64_t jobs_launched = 0;
+    std::uint64_t tokens_analyzed = 0;
+    std::uint64_t candidates_produced = 0;
+};
+
+/** See file comment. */
+class TraceFinder {
+  public:
+    TraceFinder(const ApopheniaConfig& config, support::Executor& executor);
+
+    /** Record one token; launches mining jobs per the sampling
+     * schedule. `now` is the global task counter. */
+    void Observe(rt::TokenHash token, std::uint64_t now);
+
+    /**
+     * Note that a trace replay ended at stream position `pos` (tasks
+     * before `pos` have been issued). Subsequent analyses include
+     * windows *anchored* at this boundary, so candidates aligned with
+     * the not-yet-covered remainder of the stream (the "gap" between
+     * replays) are discovered. Without this, a sub-period trace can
+     * lock the replayer out of ever seeing candidates at the phases
+     * it leaves uncovered — the long cuPyNumeric warmups of the
+     * paper's figure 9 are this effect.
+     */
+    void NoteReplayBoundary(std::uint64_t pos);
+
+    /** All jobs launched so far, in launch order. Jobs stay in the
+     * queue until TakeJob() removes them (ingestion). */
+    const std::deque<std::shared_ptr<AnalysisJob>>& Jobs() const
+    {
+        return jobs_;
+    }
+
+    /** Remove and return the oldest job (must exist). */
+    std::shared_ptr<AnalysisJob> TakeJob();
+
+    const FinderStats& Stats() const { return stats_; }
+
+  private:
+    void LaunchAnalysis(std::size_t slice_length, std::uint64_t now);
+
+    const ApopheniaConfig* config_;
+    support::Executor* executor_;
+    std::deque<rt::TokenHash> history_;  ///< sliding window, <= batchsize
+    std::uint64_t sample_counter_ = 0;   ///< k of the ruler schedule
+    std::deque<std::shared_ptr<AnalysisJob>> jobs_;
+    FinderStats stats_;
+    /** Latest replay boundary, and the anchored-window length that
+     * triggers the next anchored analysis (doubles each launch to
+     * preserve the O(n log n) total analysis budget). */
+    std::uint64_t anchor_ = 0;
+    std::uint64_t anchor_next_len_ = 0;
+};
+
+/**
+ * Run the configured repeat-mining algorithm over `slice` and convert
+ * the repeats into candidate traces: filter to >= 2 occurrences and
+ * min_trace_length, and chunk anything longer than max_trace_length.
+ * Exposed for testing and for the ablation benches.
+ */
+std::vector<CandidateTrace> MineSlice(
+    const std::vector<rt::TokenHash>& slice, const ApopheniaConfig& config);
+
+}  // namespace apo::core
+
+#endif  // APOPHENIA_CORE_FINDER_H

@@ -1,0 +1,140 @@
+#include "core/replication.h"
+
+#include <algorithm>
+
+namespace apo::core {
+
+ReplicatedFrontEnd::ReplicatedFrontEnd(ReplicationOptions options,
+                                       ApopheniaConfig config,
+                                       rt::RuntimeOptions runtime_options)
+    : options_(options), slack_(options.initial_slack)
+{
+    if (options_.nodes == 0) {
+        options_.nodes = 1;
+    }
+    nodes_.reserve(options_.nodes);
+    for (std::size_t n = 0; n < options_.nodes; ++n) {
+        auto node = std::make_unique<NodeState>(
+            runtime_options, options_.seed * 7919 + n);
+        // Inline executor keeps the mining computation deterministic;
+        // completion *timing* is simulated by the coordinator.
+        node->front_end =
+            std::make_unique<Apophenia>(node->runtime, config);
+        node->front_end->SetManualIngest(true);
+        nodes_.push_back(std::move(node));
+    }
+}
+
+void
+ReplicatedFrontEnd::ExecuteTask(const rt::TaskLaunch& launch)
+{
+    ++tasks_issued_;
+    for (auto& node : nodes_) {
+        node->front_end->ExecuteTask(launch);
+    }
+    ScheduleNewJobs();
+    IngestDueJobs();
+}
+
+void
+ReplicatedFrontEnd::ScheduleNewJobs()
+{
+    // All nodes launch identical jobs at identical stream positions
+    // (the mining schedule is a deterministic function of the
+    // stream), so node 0's queue is representative. New jobs are
+    // those beyond `jobs_seen_`.
+    const auto& reference = nodes_[0]->front_end->PendingJobs();
+    for (const auto& job : reference) {
+        if (job->id < jobs_seen_) {
+            continue;
+        }
+        jobs_seen_ = job->id + 1;
+        JobSchedule sched;
+        sched.job_id = job->id;
+        sched.agreed_at = job->issued_at + slack_;
+        // Each node's asynchronous analysis completes after a
+        // simulated, jittered number of further tasks; the job is
+        // globally ready only when the slowest node finishes.
+        sched.ready_at = 0;
+        for (auto& node : nodes_) {
+            const double lo =
+                options_.mean_latency_tasks * (1.0 - options_.jitter);
+            const double hi =
+                options_.mean_latency_tasks * (1.0 + options_.jitter);
+            const double latency = node->latency_rng.UniformReal(
+                std::max(0.0, lo), std::max(1.0, hi));
+            sched.ready_at =
+                std::max(sched.ready_at,
+                         job->issued_at +
+                             static_cast<std::uint64_t>(latency));
+        }
+        stats_.jobs_coordinated += 1;
+        if (sched.ready_at > sched.agreed_at) {
+            // Some node would stall at the agreed point: ingest when
+            // actually ready, and widen the slack for future jobs
+            // (the paper's adaptive count increase).
+            stats_.late_jobs += 1;
+            slack_ = std::max(slack_ * 2,
+                              sched.ready_at - sched.agreed_at + slack_);
+        }
+        schedule_.push_back(sched);
+    }
+    stats_.final_slack = slack_;
+}
+
+void
+ReplicatedFrontEnd::IngestDueJobs()
+{
+    // Ingest in launch order once both the agreed point and global
+    // readiness have passed — the same decision on every node.
+    while (!schedule_.empty()) {
+        const JobSchedule& next = schedule_.front();
+        const std::uint64_t due =
+            std::max(next.agreed_at, next.ready_at);
+        if (tasks_issued_ < due) {
+            break;
+        }
+        for (auto& node : nodes_) {
+            node->front_end->IngestOldestJob();
+        }
+        schedule_.erase(schedule_.begin());
+    }
+}
+
+void
+ReplicatedFrontEnd::Flush()
+{
+    // Drain every coordinated job, then flush the front-ends.
+    while (!schedule_.empty()) {
+        for (auto& node : nodes_) {
+            node->front_end->IngestOldestJob();
+        }
+        schedule_.erase(schedule_.begin());
+    }
+    for (auto& node : nodes_) {
+        node->front_end->Flush();
+    }
+}
+
+bool
+ReplicatedFrontEnd::StreamsIdentical() const
+{
+    const auto& reference = nodes_[0]->runtime.Log();
+    for (std::size_t n = 1; n < nodes_.size(); ++n) {
+        const auto& log = nodes_[n]->runtime.Log();
+        if (log.size() != reference.size()) {
+            return false;
+        }
+        for (std::size_t i = 0; i < log.size(); ++i) {
+            if (log[i].token != reference[i].token ||
+                log[i].mode != reference[i].mode ||
+                log[i].trace != reference[i].trace ||
+                log[i].dependences != reference[i].dependences) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace apo::core

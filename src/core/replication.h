@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Distributed (control-replicated) Apophenia (paper section 5.1).
+ *
+ * Under dynamic control replication the application runs on every
+ * node and each node hosts its own Apophenia instance; all instances
+ * must forward bit-identical call sequences to their local runtime
+ * shard. The only source of divergence is the completion timing of
+ * the asynchronous mining jobs. The coordinator here implements the
+ * paper's agreement scheme: for each job the nodes agree on a count
+ * of processed operations after which the job's results are ingested.
+ * If some node's job would not have completed by the agreed count
+ * (i.e., the other nodes would have had to stall), the agreed slack
+ * is increased for subsequent jobs; the system settles into a steady
+ * state where ingestion is deterministic and stall-free.
+ *
+ * Job completion times are simulated (per-node jitter from a seeded
+ * generator) because wall-clock timing would make tests flaky; the
+ * agreement protocol itself is exactly the paper's.
+ */
+#ifndef APOPHENIA_CORE_REPLICATION_H
+#define APOPHENIA_CORE_REPLICATION_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/apophenia.h"
+#include "core/config.h"
+#include "runtime/runtime.h"
+#include "support/rng.h"
+
+namespace apo::core {
+
+/** Tuning for the replication simulation. */
+struct ReplicationOptions {
+    std::size_t nodes = 2;
+    std::uint64_t seed = 1;
+    /** Mean simulated job latency, measured in observed tasks. */
+    double mean_latency_tasks = 200.0;
+    /** Relative jitter: latency is uniform in mean*(1 ± jitter). */
+    double jitter = 0.75;
+    /** Initial agreed slack (operations between job launch and its
+     * ingestion point). */
+    std::uint64_t initial_slack = 64;
+};
+
+/** Statistics of the coordination protocol. */
+struct CoordinationStats {
+    std::uint64_t jobs_coordinated = 0;
+    /** Jobs whose agreed point arrived before every node finished
+     * (the case that forces a slack increase). */
+    std::uint64_t late_jobs = 0;
+    std::uint64_t final_slack = 0;
+};
+
+/**
+ * N Apophenia instances over N runtime shards, fed the same stream,
+ * with deterministic, coordinated analysis ingestion.
+ */
+class ReplicatedFrontEnd {
+  public:
+    ReplicatedFrontEnd(ReplicationOptions options, ApopheniaConfig config,
+                       rt::RuntimeOptions runtime_options);
+
+    /** Issue one task on every node (control replication: the
+     * application issues the same stream everywhere). */
+    void ExecuteTask(const rt::TaskLaunch& launch);
+
+    /** End-of-stream on every node. */
+    void Flush();
+
+    std::size_t Nodes() const { return nodes_.size(); }
+    Apophenia& Node(std::size_t i) { return *nodes_[i]->front_end; }
+    const rt::Runtime& NodeRuntime(std::size_t i) const
+    {
+        return nodes_[i]->runtime;
+    }
+    const CoordinationStats& Coordination() const { return stats_; }
+
+    /**
+     * True iff all nodes issued identical call sequences to their
+     * runtimes: same tokens, same analysis modes, same trace ids at
+     * the same positions. This is the control-replication safety
+     * property.
+     */
+    bool StreamsIdentical() const;
+
+  private:
+    struct NodeState {
+        rt::Runtime runtime;
+        std::unique_ptr<Apophenia> front_end;
+        support::Rng latency_rng;
+
+        NodeState(const rt::RuntimeOptions& rt_options, std::uint64_t seed)
+            : runtime(rt_options), latency_rng(seed)
+        {
+        }
+    };
+
+    /** Per-job coordination record. */
+    struct JobSchedule {
+        std::uint64_t job_id = 0;
+        std::uint64_t agreed_at = 0;  ///< task count for ingestion
+        std::uint64_t ready_at = 0;   ///< max simulated completion
+    };
+
+    void ScheduleNewJobs();
+    void IngestDueJobs();
+
+    ReplicationOptions options_;
+    std::vector<std::unique_ptr<NodeState>> nodes_;
+    std::vector<JobSchedule> schedule_;  ///< FIFO of uningested jobs
+    std::uint64_t tasks_issued_ = 0;
+    std::uint64_t slack_ = 0;
+    std::uint64_t jobs_seen_ = 0;
+    CoordinationStats stats_;
+};
+
+}  // namespace apo::core
+
+#endif  // APOPHENIA_CORE_REPLICATION_H

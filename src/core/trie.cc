@@ -1,0 +1,43 @@
+#include "core/trie.h"
+
+namespace apo::core {
+
+CandidateStats&
+CandidateTrie::Insert(const std::vector<rt::TokenHash>& tokens,
+                      double occurrences, std::uint64_t now,
+                      double half_life)
+{
+    Node* node = &root_;
+    for (rt::TokenHash t : tokens) {
+        auto& child = node->children[t];
+        if (!child) {
+            child = std::make_unique<Node>();
+            child->depth = node->depth + 1;
+            ++num_nodes_;
+        }
+        node = child.get();
+    }
+    if (!node->candidate) {
+        node->candidate = std::make_unique<CandidateStats>();
+        node->candidate->id = next_id_++;
+        node->candidate->length = tokens.size();
+        ++num_candidates_;
+    }
+    // Refresh: decay the old count to `now`, then add the sightings.
+    CandidateStats& stats = *node->candidate;
+    stats.count = stats.Appearances(now, half_life) + occurrences;
+    stats.last_seen = now;
+    return stats;
+}
+
+const CandidateTrie::Node*
+CandidateTrie::Step(const Node* node, rt::TokenHash token) const
+{
+    if (node == nullptr) {
+        node = &root_;
+    }
+    const auto it = node->children.find(token);
+    return it == node->children.end() ? nullptr : it->second.get();
+}
+
+}  // namespace apo::core

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The candidate trie and trace scoring (paper section 4.3).
+ *
+ * Candidate traces produced by the asynchronous history mining are
+ * ingested into a trie keyed by token hash. As the application issues
+ * tasks, the replayer maintains a set of pointers into the trie — one
+ * per potential in-progress match — advancing each pointer by the new
+ * token or discarding it. A pointer reaching a node marked as a
+ * candidate has matched that candidate's full token sequence.
+ *
+ * Each candidate carries the statistics the scoring function uses:
+ * score = length × min(count, cap) with the count exponentially
+ * decayed by the number of tasks since the candidate last appeared,
+ * and a small multiplicative bonus once a candidate has been replayed.
+ */
+#ifndef APOPHENIA_CORE_TRIE_H
+#define APOPHENIA_CORE_TRIE_H
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "runtime/task.h"
+#include "runtime/trace.h"
+
+namespace apo::core {
+
+/** Statistics and identity of one candidate trace. */
+struct CandidateStats {
+    /** Stable identifier, assigned at first insertion. */
+    std::uint64_t id = 0;
+    /** Number of tokens in the candidate. */
+    std::size_t length = 0;
+    /** Occurrence count (decayed lazily; see Appearances()). */
+    double count = 0.0;
+    /** Task counter at the last appearance. */
+    std::uint64_t last_seen = 0;
+    /** Runtime trace id once recorded, kNoTrace before. */
+    rt::TraceId trace_id = rt::kNoTrace;
+    /** Number of times the replayer fired this candidate. */
+    std::size_t replays = 0;
+
+    /** The decayed appearance count as of task counter `now`. */
+    double Appearances(std::uint64_t now, double half_life) const
+    {
+        const double elapsed =
+            static_cast<double>(now - std::min(now, last_seen));
+        return count * std::exp2(-elapsed / half_life);
+    }
+};
+
+/** Prefix-tree of candidate traces keyed by token hash. */
+class CandidateTrie {
+  public:
+    struct Node {
+        std::unordered_map<rt::TokenHash, std::unique_ptr<Node>> children;
+        /** Set when a candidate ends at this node. */
+        std::unique_ptr<CandidateStats> candidate;
+        /** Depth = number of tokens from the root. */
+        std::size_t depth = 0;
+    };
+
+    /**
+     * Insert (or refresh) a candidate. An existing candidate's count
+     * is first decayed to `now` (with the given half life) and then
+     * increased by `occurrences`; a new candidate starts there.
+     * @return the candidate's stats node.
+     */
+    CandidateStats& Insert(const std::vector<rt::TokenHash>& tokens,
+                           double occurrences, std::uint64_t now,
+                           double half_life);
+
+    /** Child of `node` (or of the root if null) along `token`;
+     * nullptr if no candidate continues this way. */
+    const Node* Step(const Node* node, rt::TokenHash token) const;
+
+    /** Stats of the candidate ending at `node`, or nullptr. */
+    static CandidateStats* CandidateAt(const Node* node)
+    {
+        return node == nullptr ? nullptr : node->candidate.get();
+    }
+
+    std::size_t NumCandidates() const { return num_candidates_; }
+
+    /** Total trie nodes (memory accounting). */
+    std::size_t NumNodes() const { return num_nodes_; }
+
+    const Node* Root() const { return &root_; }
+
+  private:
+    Node root_;
+    std::size_t num_candidates_ = 0;
+    std::size_t num_nodes_ = 1;
+    std::uint64_t next_id_ = 1;
+};
+
+/** The paper's trace-selection scoring function. */
+class TraceScorer {
+  public:
+    explicit TraceScorer(const ApopheniaConfig& config) : config_(&config) {}
+
+    /** Score candidate `c` as of task counter `now`; higher is better. */
+    double Score(const CandidateStats& c, std::uint64_t now) const
+    {
+        const double appearances =
+            c.Appearances(now, config_->score_decay_half_life);
+        const double capped =
+            std::min(appearances, config_->score_count_cap);
+        double score = static_cast<double>(c.length) * capped;
+        if (c.replays > 0) {
+            score *= config_->score_replayed_bonus;
+        }
+        return score;
+    }
+
+  private:
+    const ApopheniaConfig* config_;
+};
+
+}  // namespace apo::core
+
+#endif  // APOPHENIA_CORE_TRIE_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The runtime cost model (paper section 3).
+ *
+ * The paper models the dependence analysis as costing α per task, α_m
+ * per task while a trace is being memoized (α_m slightly larger than
+ * α), α_r per task when replaying (α_r ≪ α), and a constant c per
+ * trace replay. The concrete defaults below are the constants the
+ * paper reports for Legion: ~1 ms per-task analysis untraced, ~100 µs
+ * replayed (section 1), 7 µs per task launch, +5 µs with Apophenia
+ * (section 6.3).
+ *
+ * All simulated results in bench/ derive from this one struct, so
+ * sensitivity studies are a matter of sweeping its fields.
+ */
+#ifndef APOPHENIA_RUNTIME_COST_MODEL_H
+#define APOPHENIA_RUNTIME_COST_MODEL_H
+
+namespace apo::rt {
+
+/** Cost constants, all in microseconds. */
+struct CostModel {
+    /** α: dependence analysis per task, single node. */
+    double analysis_us = 1000.0;
+    /** α_m: analysis per task while recording a trace. */
+    double memoize_us = 1250.0;
+    /** α_r: replaying the analysis of one traced task. */
+    double replay_us = 100.0;
+    /** c: constant cost of issuing one trace replay. */
+    double replay_constant_us = 150.0;
+    /** Application-phase cost of launching one task. */
+    double launch_us = 7.0;
+    /** Extra launch cost imposed by Apophenia's front-end analysis
+     * (hashing, trie traversal, buffer bookkeeping). */
+    double apophenia_launch_us = 5.0;
+    /** Growth of the per-task analysis cost with machine size: the
+     * analysis costs analysis_us * (1 + scale_factor * log2(nodes)).
+     * Models Legion's distributed coherence traffic. */
+    double analysis_scale_factor = 0.12;
+};
+
+}  // namespace apo::rt
+
+#endif  // APOPHENIA_RUNTIME_COST_MODEL_H

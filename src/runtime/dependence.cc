@@ -1,0 +1,222 @@
+#include "runtime/dependence.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace apo::rt {
+
+namespace {
+
+/** Collects edges for one launch with on-the-fly deduplication by
+ * (source, kind); a later-added true dependence on the same source
+ * upgrades an anti/output edge (the stronger ordering subsumes). */
+class EdgeCollector {
+  public:
+    EdgeCollector(std::size_t to, std::optional<std::size_t> external_after)
+        : to_(to), external_after_(external_after)
+    {
+    }
+
+    void Add(std::size_t from, DependenceKind kind)
+    {
+        assert(from <= to_);
+        if (from == to_) {
+            // Multiple requirements of one launch on the same field:
+            // an operation never depends on itself.
+            return;
+        }
+        if (external_after_ && from >= *external_after_) {
+            return;  // internal to a replayed trace: memoized already
+        }
+        for (Dependence& d : edges_) {
+            if (d.from == from) {
+                if (kind == DependenceKind::kTrue) {
+                    d.kind = kind;
+                }
+                return;
+            }
+        }
+        edges_.push_back(Dependence{from, to_, kind});
+    }
+
+    std::vector<Dependence> Take()
+    {
+        std::sort(edges_.begin(), edges_.end());
+        return std::move(edges_);
+    }
+
+  private:
+    std::size_t to_;
+    std::optional<std::size_t> external_after_;
+    std::vector<Dependence> edges_;
+};
+
+}  // namespace
+
+FieldState&
+DependenceAnalyzer::MutableState(RegionId region, FieldId field)
+{
+    const auto key = std::make_pair(region.value, field);
+    auto it = states_.find(key);
+    if (it == states_.end()) {
+        it = states_.emplace(key, FieldState{}).first;
+        if (forest_ != nullptr) {
+            by_root_[{forest_->RootOf(region).value, field}].push_back(
+                region);
+        }
+    }
+    return it->second;
+}
+
+const FieldState*
+DependenceAnalyzer::StateOf(RegionId region, FieldId field) const
+{
+    const auto it = states_.find({region.value, field});
+    return it == states_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/**
+ * Coalesce duplicate (region, field) requirements of one launch. A
+ * task holds one effective privilege per field: identical privileges
+ * merge trivially; any mixed combination (read+write, reduce+read,
+ * reductions with different operators) escalates to read-write, which
+ * serializes against everything — mirroring Legion's privilege
+ * coalescing rules.
+ */
+std::vector<RegionRequirement>
+CoalesceRequirements(const std::vector<RegionRequirement>& reqs)
+{
+    std::vector<RegionRequirement> merged;
+    merged.reserve(reqs.size());
+    for (const RegionRequirement& req : reqs) {
+        bool combined = false;
+        for (RegionRequirement& m : merged) {
+            if (m.region != req.region || m.field != req.field) {
+                continue;
+            }
+            if (m.privilege != req.privilege || m.redop != req.redop) {
+                m.privilege = Privilege::kReadWrite;
+                m.redop = 0;
+            }
+            combined = true;
+            break;
+        }
+        if (!combined) {
+            merged.push_back(req);
+        }
+    }
+    return merged;
+}
+
+}  // namespace
+
+std::vector<Dependence>
+DependenceAnalyzer::Analyze(std::size_t index, const TaskLaunch& launch,
+                            std::optional<std::size_t> external_only_after)
+{
+    EdgeCollector edges(index, external_only_after);
+    const std::vector<RegionRequirement> coalesced =
+        CoalesceRequirements(launch.requirements);
+
+    // Emit the ordering edges this requirement needs against one
+    // coherence state (its own region's, or an aliasing region's).
+    auto emit = [&edges](const FieldState& st,
+                         const RegionRequirement& req) {
+        switch (req.privilege) {
+          case Privilege::kReadOnly:
+            if (st.last_writer) {
+                edges.Add(*st.last_writer, DependenceKind::kTrue);
+            }
+            for (std::size_t r : st.reducers) {
+                edges.Add(r, DependenceKind::kTrue);
+            }
+            break;
+          case Privilege::kReadWrite:
+          case Privilege::kWriteDiscard:
+            if (st.last_writer) {
+                edges.Add(*st.last_writer,
+                          req.privilege == Privilege::kReadWrite
+                              ? DependenceKind::kTrue
+                              : DependenceKind::kOutput);
+            }
+            for (std::size_t r : st.readers) {
+                edges.Add(r, DependenceKind::kAnti);
+            }
+            for (std::size_t r : st.reducers) {
+                edges.Add(r, DependenceKind::kOutput);
+            }
+            break;
+          case Privilege::kReduce:
+            if (st.last_writer) {
+                edges.Add(*st.last_writer, DependenceKind::kTrue);
+            }
+            for (std::size_t r : st.readers) {
+                edges.Add(r, DependenceKind::kAnti);
+            }
+            if (!st.reducers.empty() && st.redop != req.redop) {
+                // Reductions with a different operator do not commute.
+                for (std::size_t r : st.reducers) {
+                    edges.Add(r, DependenceKind::kOutput);
+                }
+            }
+            for (std::size_t r : st.prev_reducers) {
+                edges.Add(r, DependenceKind::kOutput);
+            }
+            break;
+        }
+    };
+
+    for (const RegionRequirement& req : coalesced) {
+        // Edges against every aliasing region's state: the region
+        // itself plus, in a forest, its ancestors and descendants
+        // (Legion's parent/child interference).
+        if (forest_ != nullptr) {
+            const auto group_key = std::make_pair(
+                forest_->RootOf(req.region).value, req.field);
+            const auto git = by_root_.find(group_key);
+            if (git != by_root_.end()) {
+                for (RegionId other : git->second) {
+                    if (other == req.region ||
+                        !forest_->Aliases(other, req.region)) {
+                        continue;
+                    }
+                    emit(states_.at({other.value, req.field}), req);
+                }
+            }
+        }
+        FieldState& st = MutableState(req.region, req.field);
+        emit(st, req);
+
+        // State transition on the requirement's own region only;
+        // aliasing states keep their (now conservatively stale)
+        // entries, which later operations still order against.
+        switch (req.privilege) {
+          case Privilege::kReadOnly:
+            st.readers.push_back(index);
+            break;
+          case Privilege::kReadWrite:
+          case Privilege::kWriteDiscard:
+            st.last_writer = index;
+            st.readers.clear();
+            st.reducers.clear();
+            st.prev_reducers.clear();
+            break;
+          case Privilege::kReduce:
+            if (!st.reducers.empty() && st.redop != req.redop) {
+                // A different operator closes the open epoch; the
+                // closed epoch becomes the barrier every member of
+                // the new epoch serializes against.
+                st.prev_reducers = std::move(st.reducers);
+                st.reducers.clear();
+            }
+            st.redop = req.redop;
+            st.reducers.push_back(index);
+            break;
+        }
+    }
+    return edges.Take();
+}
+
+}  // namespace apo::rt

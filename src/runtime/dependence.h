@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The dynamic dependence analysis engine of the mini task runtime.
+ *
+ * For every (region, field) pair the analyzer tracks the most recent
+ * writer, the readers since that write, and the open reduction epoch.
+ * Each incoming task launch is given dependence edges on the earlier
+ * operations it conflicts with, which is exactly the work that tracing
+ * memoizes (paper sections 1-2). The per-task cost of this analysis is
+ * the α of the paper's cost model.
+ */
+#ifndef APOPHENIA_RUNTIME_DEPENDENCE_H
+#define APOPHENIA_RUNTIME_DEPENDENCE_H
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "runtime/region.h"
+#include "runtime/region_tree.h"
+#include "runtime/task.h"
+
+namespace apo::rt {
+
+/** Why one operation must wait for another. */
+enum class DependenceKind : std::uint8_t {
+    kTrue,    ///< read-after-write (data flows)
+    kAnti,    ///< write-after-read
+    kOutput,  ///< write-after-write (or reduce/write interactions)
+};
+
+/** A dependence edge: operation `to` must wait for operation `from`. */
+struct Dependence {
+    std::size_t from = 0;
+    std::size_t to = 0;
+    DependenceKind kind = DependenceKind::kTrue;
+
+    friend bool operator==(const Dependence&, const Dependence&) = default;
+    friend auto operator<=>(const Dependence&, const Dependence&) = default;
+};
+
+/**
+ * Per-(region, field) coherence state.
+ *
+ * The model: a write serializes against everything and clears the
+ * state; a read depends on the last writer and any open reducers;
+ * reductions with the same operator commute with each other but
+ * serialize against readers and writers; a reduction with a different
+ * operator closes the previous reduction epoch.
+ */
+struct FieldState {
+    std::optional<std::size_t> last_writer;
+    std::vector<std::size_t> readers;   ///< reads since the last write
+    std::vector<std::size_t> reducers;  ///< open reduction epoch
+    ReductionOpId redop = 0;            ///< operator of the open epoch
+    /** The previous (closed) reduction epoch. Every member of the open
+     * epoch must serialize against these; one level suffices because
+     * epoch members carry the ordering transitively. */
+    std::vector<std::size_t> prev_reducers;
+};
+
+/**
+ * The dependence analyzer. Feed it launches in program order via
+ * Analyze(); it returns the dependence edges for each launch and
+ * updates its coherence state.
+ */
+class DependenceAnalyzer {
+  public:
+    /** Attach the region forest. When set, requirements on a region
+     * also serialize against the coherence state of every *aliasing*
+     * region (ancestors and descendants in the tree) — the parent/
+     * child interference of Legion's region model. Null keeps the
+     * flat, forest-free behaviour. */
+    void SetForest(const RegionTreeForest* forest) { forest_ = forest; }
+
+    /**
+     * Analyze the launch as operation `index` (indices must be given
+     * in strictly increasing order).
+     *
+     * @param external_only_after if set, only edges whose source is
+     *   *before* this operation index are emitted. Trace replay uses
+     *   this to regenerate just the boundary (pre-trace) edges while
+     *   taking intra-trace edges from the memoized template.
+     * @return deduplicated edges sorted by source index.
+     */
+    std::vector<Dependence> Analyze(
+        std::size_t index, const TaskLaunch& launch,
+        std::optional<std::size_t> external_only_after = std::nullopt);
+
+    /** Read-only view of a field's coherence state (testing). */
+    const FieldState* StateOf(RegionId region, FieldId field) const;
+
+    /** Number of distinct (region, field) pairs ever touched. */
+    std::size_t TrackedFields() const { return states_.size(); }
+
+  private:
+    FieldState& MutableState(RegionId region, FieldId field);
+
+    const RegionTreeForest* forest_ = nullptr;
+    std::map<std::pair<std::uint64_t, FieldId>, FieldState> states_;
+    /** Alias index: (tree root, field) -> regions with live state. */
+    std::map<std::pair<std::uint64_t, FieldId>, std::vector<RegionId>>
+        by_root_;
+};
+
+}  // namespace apo::rt
+
+#endif  // APOPHENIA_RUNTIME_DEPENDENCE_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Error types raised by the mini task runtime.
+ */
+#ifndef APOPHENIA_RUNTIME_ERRORS_H
+#define APOPHENIA_RUNTIME_ERRORS_H
+
+#include <stdexcept>
+#include <string>
+
+namespace apo::rt {
+
+/** Misuse of the runtime interface (mismatched begin/end, nesting). */
+class RuntimeUsageError : public std::runtime_error {
+  public:
+    explicit RuntimeUsageError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * The sequence of tasks issued under a trace id differed from the
+ * recorded sequence — the failure mode manual annotations hit on
+ * programs like the paper's section 2 Jacobi example.
+ */
+class TraceMismatchError : public std::runtime_error {
+  public:
+    explicit TraceMismatchError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+}  // namespace apo::rt
+
+#endif  // APOPHENIA_RUNTIME_ERRORS_H

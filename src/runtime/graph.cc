@@ -1,0 +1,96 @@
+#include "runtime/graph.h"
+
+#include <algorithm>
+
+namespace apo::rt {
+
+bool
+Reaches(const std::vector<Operation>& log, std::size_t from,
+        std::size_t to)
+{
+    if (from >= to) {
+        return from == to;
+    }
+    // Dependences always point backwards, so a forward sweep with a
+    // reached-set suffices.
+    std::vector<bool> reached(to - from + 1, false);
+    reached[0] = true;
+    for (std::size_t i = from + 1; i <= to; ++i) {
+        for (const Dependence& d : log[i].dependences) {
+            if (d.from >= from && reached[d.from - from]) {
+                reached[i - from] = true;
+                break;
+            }
+        }
+    }
+    return reached[to - from];
+}
+
+std::size_t
+TransitiveReduction(std::vector<Operation>& log, std::size_t window)
+{
+    std::size_t removed = 0;
+    // Scratch: for each op, whether it can reach the current target
+    // through already-kept edges. Reused across ops via a version
+    // stamp to avoid O(n) clears.
+    std::vector<std::size_t> mark(log.size(), 0);
+    std::size_t version = 0;
+
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        auto& deps = log[i].dependences;
+        if (deps.size() < 2) {
+            continue;
+        }
+        // The latest-to-earliest sweep below requires source order.
+        std::sort(deps.begin(), deps.end());
+        const std::size_t low_bound =
+            window != 0 && i > window ? i - window : 0;
+        ++version;
+        // Process direct predecessors from latest to earliest: a later
+        // predecessor can imply an earlier one, never vice versa.
+        // `mark[p] == version` means p is reachable from some kept
+        // predecessor of i.
+        std::vector<Dependence> kept;
+        kept.reserve(deps.size());
+        std::vector<std::size_t> frontier;
+        for (std::size_t k = deps.size(); k-- > 0;) {
+            const Dependence d = deps[k];
+            if (mark[d.from] == version) {
+                ++removed;  // implied by a path through a kept pred
+                continue;
+            }
+            kept.push_back(d);
+            // Extend the reachable set with everything d.from reaches
+            // (within the window), using already-reduced edges.
+            frontier.clear();
+            frontier.push_back(d.from);
+            mark[d.from] = version;
+            while (!frontier.empty()) {
+                const std::size_t node = frontier.back();
+                frontier.pop_back();
+                for (const Dependence& e : log[node].dependences) {
+                    if (e.from < low_bound || mark[e.from] == version) {
+                        continue;
+                    }
+                    mark[e.from] = version;
+                    frontier.push_back(e.from);
+                }
+            }
+        }
+        std::sort(kept.begin(), kept.end());
+        deps = std::move(kept);
+    }
+    return removed;
+}
+
+std::size_t
+CountEdges(const std::vector<Operation>& log)
+{
+    std::size_t edges = 0;
+    for (const Operation& op : log) {
+        edges += op.dependences.size();
+    }
+    return edges;
+}
+
+}  // namespace apo::rt

@@ -1,0 +1,51 @@
+#include "runtime/report.h"
+
+#include <cstdio>
+
+namespace apo::rt {
+
+namespace {
+
+std::string
+Line(const char* label, std::size_t value)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%-22s %12zu\n", label, value);
+    return buf;
+}
+
+}  // namespace
+
+std::string
+FormatStats(const RuntimeStats& stats)
+{
+    std::string out;
+    out += Line("tasks total", stats.TotalTasks());
+    out += Line("  analyzed (alpha)", stats.tasks_analyzed);
+    out += Line("  recorded (alpha_m)", stats.tasks_recorded);
+    out += Line("  replayed (alpha_r)", stats.tasks_replayed);
+    out += Line("traces recorded", stats.traces_recorded);
+    out += Line("trace replays", stats.trace_replays);
+    out += Line("trace mismatches", stats.trace_mismatches);
+    out += Line("traces evicted", stats.traces_evicted);
+    char tail[96];
+    std::snprintf(tail, sizeof tail, "%-22s %11.1f%%\n",
+                  "replayed fraction", 100.0 * stats.ReplayedFraction());
+    out += tail;
+    std::snprintf(tail, sizeof tail, "%-22s %12.1f ms\n",
+                  "analysis time", stats.total_analysis_us / 1000.0);
+    out += tail;
+    return out;
+}
+
+std::string
+FormatTraceCache(const TraceCache& cache)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "%zu trace template(s) memoizing %zu task(s)\n",
+                  cache.Size(), cache.TotalTemplateTasks());
+    return buf;
+}
+
+}  // namespace apo::rt

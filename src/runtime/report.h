@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Human-readable execution reports.
+ *
+ * Formats a runtime's statistics — and, when available, Apophenia's —
+ * the way the examples and command-line tools print them, so output
+ * stays consistent and testable.
+ */
+#ifndef APOPHENIA_RUNTIME_REPORT_H
+#define APOPHENIA_RUNTIME_REPORT_H
+
+#include <string>
+
+#include "runtime/runtime.h"
+
+namespace apo::rt {
+
+/** Multi-line summary of a runtime's lifetime counters. */
+std::string FormatStats(const RuntimeStats& stats);
+
+/** One-line trace-cache summary (templates, tasks memoized). */
+std::string FormatTraceCache(const TraceCache& cache);
+
+}  // namespace apo::rt
+
+#endif  // APOPHENIA_RUNTIME_REPORT_H

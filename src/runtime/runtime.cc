@@ -1,0 +1,242 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace apo::rt {
+
+Runtime::Runtime(RuntimeOptions options) : options_(options)
+{
+    if (options_.nodes == 0) {
+        options_.nodes = 1;
+    }
+    analyzer_.SetForest(&forest_);
+}
+
+double
+Runtime::ScaledAnalysisUs() const
+{
+    const double nodes = static_cast<double>(options_.nodes);
+    return options_.costs.analysis_us *
+           (1.0 + options_.costs.analysis_scale_factor * std::log2(nodes));
+}
+
+void
+Runtime::ExecuteTask(const TaskLaunch& launch)
+{
+    const TokenHash token = HashLaunch(launch);
+    switch (mode_) {
+      case Mode::kIdle:
+        ExecuteUntraced(launch, token);
+        break;
+      case Mode::kRecording:
+        ExecuteRecording(launch, token);
+        break;
+      case Mode::kReplaying:
+        ExecuteReplaying(launch, token);
+        break;
+    }
+}
+
+void
+Runtime::ExecuteUntraced(const TaskLaunch& launch, TokenHash token)
+{
+    Operation op;
+    op.index = log_.size();
+    op.launch = launch;
+    op.token = token;
+    op.dependences = analyzer_.Analyze(op.index, launch);
+    op.mode = AnalysisMode::kAnalyzed;
+    op.analysis_cost_us = ScaledAnalysisUs();
+    stats_.tasks_analyzed += 1;
+    stats_.total_analysis_us += op.analysis_cost_us;
+    log_.push_back(std::move(op));
+}
+
+void
+Runtime::ExecuteRecording(const TaskLaunch& launch, TokenHash token)
+{
+    if (!launch.traceable) {
+        // An operation that cannot be memoized was issued inside a
+        // trace — the composition failure mode of section 1.
+        stats_.trace_mismatches += 1;
+        if (options_.mismatch_policy == MismatchPolicy::kThrow) {
+            throw TraceMismatchError(
+                "untraceable operation issued inside a trace recording");
+        }
+        // Fallback: abandon the recording entirely.
+        mode_ = Mode::kIdle;
+        abandoned_trace_ = open_trace_;
+        open_trace_ = kNoTrace;
+        recording_ = TraceTemplate{};
+        ExecuteUntraced(launch, token);
+        return;
+    }
+    Operation op;
+    op.index = log_.size();
+    op.launch = launch;
+    op.token = token;
+    op.dependences = analyzer_.Analyze(op.index, launch);
+    op.mode = AnalysisMode::kRecorded;
+    op.trace = open_trace_;
+    // Recording performs the full analysis plus memoization work.
+    const double scale =
+        options_.costs.memoize_us / options_.costs.analysis_us;
+    op.analysis_cost_us = ScaledAnalysisUs() * scale;
+    stats_.tasks_recorded += 1;
+    stats_.total_analysis_us += op.analysis_cost_us;
+
+    // Capture the launch and its intra-fragment edges in the template.
+    recording_.tokens.push_back(token);
+    recording_.launches.push_back(launch);
+    for (const Dependence& d : op.dependences) {
+        if (d.from >= trace_start_) {
+            recording_.internal_edges.push_back(Dependence{
+                d.from - trace_start_, d.to - trace_start_, d.kind});
+        }
+    }
+    log_.push_back(std::move(op));
+}
+
+void
+Runtime::ExecuteReplaying(const TaskLaunch& launch, TokenHash token)
+{
+    const TraceTemplate* t = cache_.Find(open_trace_);
+    if (!launch.traceable || replay_position_ >= t->Length() ||
+        t->tokens[replay_position_] != token) {
+        HandleMismatch(!launch.traceable
+                           ? "untraceable operation issued inside a trace"
+                           : replay_position_ >= t->Length()
+                                 ? "trace replay saw more tasks than "
+                                   "recorded"
+                                 : "trace replay saw an unexpected task",
+                       launch, token);
+        return;
+    }
+
+    Operation op;
+    op.index = log_.size();
+    op.launch = launch;
+    op.token = token;
+    op.mode = AnalysisMode::kReplayed;
+    op.trace = open_trace_;
+    // Boundary edges are regenerated against the current coherence
+    // state; intra-fragment edges come from the memoized template.
+    op.dependences =
+        analyzer_.Analyze(op.index, launch, /*external_only_after=*/
+                          trace_start_);
+    for (const Dependence& d : t->internal_edges) {
+        if (d.to == replay_position_) {
+            op.dependences.push_back(Dependence{
+                d.from + trace_start_, d.to + trace_start_, d.kind});
+        }
+    }
+    std::sort(op.dependences.begin(), op.dependences.end());
+    op.analysis_cost_us = options_.costs.replay_us;
+    if (replay_position_ == 0) {
+        op.replay_head = true;
+        op.analysis_cost_us += options_.costs.replay_constant_us;
+    }
+    stats_.tasks_replayed += 1;
+    stats_.total_analysis_us += op.analysis_cost_us;
+    log_.push_back(std::move(op));
+    ++replay_position_;
+}
+
+void
+Runtime::HandleMismatch(const std::string& reason, const TaskLaunch& launch,
+                        TokenHash token)
+{
+    stats_.trace_mismatches += 1;
+    if (options_.mismatch_policy == MismatchPolicy::kThrow) {
+        throw TraceMismatchError(reason + " (trace " +
+                                 std::to_string(open_trace_) + ")");
+    }
+    // Fallback: abandon the replay; this and subsequent tasks in the
+    // fragment run under full dependence analysis.
+    mode_ = Mode::kIdle;
+    const TraceId failed = open_trace_;
+    open_trace_ = kNoTrace;
+    ExecuteUntraced(launch, token);
+    // Remain "idle" until the application's EndTrace; tolerate it.
+    abandoned_trace_ = failed;
+}
+
+void
+Runtime::BeginTrace(TraceId id)
+{
+    if (id == kNoTrace) {
+        throw RuntimeUsageError("trace id 0 is reserved");
+    }
+    if (mode_ != Mode::kIdle) {
+        throw RuntimeUsageError("traces cannot nest");
+    }
+    open_trace_ = id;
+    trace_start_ = log_.size();
+    if (cache_.Contains(id)) {
+        mode_ = Mode::kReplaying;
+        replay_position_ = 0;
+    } else {
+        mode_ = Mode::kRecording;
+        recording_ = TraceTemplate{};
+        recording_.id = id;
+    }
+}
+
+void
+Runtime::EndTrace(TraceId id)
+{
+    if (mode_ == Mode::kIdle) {
+        if (abandoned_trace_ == id && id != kNoTrace) {
+            abandoned_trace_ = kNoTrace;  // fallback path: tolerated
+            return;
+        }
+        throw RuntimeUsageError("EndTrace without an open trace");
+    }
+    if (open_trace_ != id) {
+        throw RuntimeUsageError("EndTrace id does not match open trace");
+    }
+    if (mode_ == Mode::kRecording) {
+        stats_.traces_recorded += 1;
+        recording_.last_used = ++use_stamp_;
+        cache_.Insert(std::move(recording_));
+        recording_ = TraceTemplate{};
+        // Bound the template cache: evict the least recently used
+        // template (it will be re-recorded if it comes back).
+        if (options_.max_trace_templates != 0 &&
+            cache_.Size() > options_.max_trace_templates) {
+            if (cache_.EvictLeastRecentlyUsed() != kNoTrace) {
+                stats_.traces_evicted += 1;
+            }
+        }
+    } else {
+        TraceTemplate* t = cache_.FindMutable(open_trace_);
+        if (replay_position_ != t->Length()) {
+            HandleMismatchAtEnd();
+            return;
+        }
+        t->replay_count += 1;
+        t->last_used = ++use_stamp_;
+        stats_.trace_replays += 1;
+    }
+    mode_ = Mode::kIdle;
+    open_trace_ = kNoTrace;
+}
+
+void
+Runtime::HandleMismatchAtEnd()
+{
+    stats_.trace_mismatches += 1;
+    const TraceId failed = open_trace_;
+    mode_ = Mode::kIdle;
+    open_trace_ = kNoTrace;
+    if (options_.mismatch_policy == MismatchPolicy::kThrow) {
+        throw TraceMismatchError(
+            "trace replay ended before the recorded sequence completed "
+            "(trace " +
+            std::to_string(failed) + ")");
+    }
+}
+
+}  // namespace apo::rt

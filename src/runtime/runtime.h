@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The mini task runtime facade ("mini-Legion").
+ *
+ * Applications (or Apophenia, sitting in front) issue work through
+ * three calls: ExecuteTask, BeginTrace, EndTrace. The runtime performs
+ * dynamic dependence analysis on every launch — unless the launch is
+ * inside a known trace, in which case the memoized analysis is
+ * validated and replayed. Every operation is appended to an operation
+ * log carrying its dependence edges, analysis mode and charged cost;
+ * the discrete-event simulator (src/sim) executes that log on a
+ * cluster model, and the tests check its invariants directly.
+ */
+#ifndef APOPHENIA_RUNTIME_RUNTIME_H
+#define APOPHENIA_RUNTIME_RUNTIME_H
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "runtime/cost_model.h"
+#include "runtime/dependence.h"
+#include "runtime/errors.h"
+#include "runtime/region.h"
+#include "runtime/region_tree.h"
+#include "runtime/task.h"
+#include "runtime/trace.h"
+
+namespace apo::rt {
+
+/** How a logged operation's dependences were obtained. */
+enum class AnalysisMode : std::uint8_t {
+    kAnalyzed,  ///< full dynamic dependence analysis (cost α)
+    kRecorded,  ///< analyzed while memoizing a trace (cost α_m)
+    kReplayed,  ///< replayed from a trace template (cost α_r)
+};
+
+/** What to do when a trace replay sees an unexpected task. */
+enum class MismatchPolicy : std::uint8_t {
+    kThrow,     ///< raise TraceMismatchError (Legion's strict mode)
+    kFallback,  ///< abandon the replay; analyze the rest normally
+};
+
+/** One entry of the operation log. */
+struct Operation {
+    std::size_t index = 0;
+    TaskLaunch launch;
+    TokenHash token = 0;
+    /** Edges into earlier operations (deduplicated, sorted by source). */
+    std::vector<Dependence> dependences;
+    AnalysisMode mode = AnalysisMode::kAnalyzed;
+    TraceId trace = kNoTrace;
+    /** Analysis-stage cost charged for this operation (µs). */
+    double analysis_cost_us = 0.0;
+    /** True for the first operation of a trace replay (carries the
+     * per-replay constant c in analysis_cost_us). */
+    bool replay_head = false;
+};
+
+/** Aggregate counters over a runtime's lifetime. */
+struct RuntimeStats {
+    std::size_t tasks_analyzed = 0;
+    std::size_t tasks_recorded = 0;
+    std::size_t tasks_replayed = 0;
+    std::size_t traces_recorded = 0;
+    std::size_t trace_replays = 0;
+    std::size_t trace_mismatches = 0;
+    std::size_t traces_evicted = 0;
+    double total_analysis_us = 0.0;
+
+    std::size_t TotalTasks() const
+    {
+        return tasks_analyzed + tasks_recorded + tasks_replayed;
+    }
+    /** Fraction of tasks whose analysis was replayed from a trace. */
+    double ReplayedFraction() const
+    {
+        const std::size_t total = TotalTasks();
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(tasks_replayed) /
+                         static_cast<double>(total);
+    }
+};
+
+/** Runtime construction options. */
+struct RuntimeOptions {
+    CostModel costs;
+    MismatchPolicy mismatch_policy = MismatchPolicy::kThrow;
+    /** Number of nodes of the simulated machine this runtime instance
+     * represents; scales the per-task analysis cost. */
+    std::size_t nodes = 1;
+    /** Maximum trace templates kept memoized (0 = unlimited). When
+     * exceeded, the least recently replayed template is evicted; a
+     * later BeginTrace of its id re-records. Bounds the memory that
+     * long-running applications with many traces consume. */
+    std::size_t max_trace_templates = 0;
+};
+
+/**
+ * The runtime. See file comment. Not thread-safe: Legion's dependence
+ * analysis stage is a sequential pipeline stage per node, which is the
+ * very property that makes it a bottleneck worth tracing.
+ */
+class Runtime {
+  public:
+    explicit Runtime(RuntimeOptions options = {});
+
+    // -- Region management ------------------------------------------------
+
+    /** Allocate a region (fresh or reused id — see RegionAllocator). */
+    RegionId CreateRegion()
+    {
+        const RegionId r = allocator_.Allocate();
+        forest_.AddRoot(r);
+        return r;
+    }
+
+    /** Free a region; its id becomes eligible for reuse. Partitioned
+     * regions must be destroyed bottom-up. */
+    void DestroyRegion(RegionId r)
+    {
+        forest_.Remove(r);
+        allocator_.Free(r);
+    }
+
+    /** Partition a region into `count` disjoint subregions. Tasks on
+     * a subregion run independently of its siblings but serialize
+     * against conflicting accesses to any ancestor or descendant. */
+    std::vector<RegionId> PartitionRegion(RegionId parent,
+                                          std::size_t count)
+    {
+        return forest_.Partition(parent, count, allocator_);
+    }
+
+    const RegionTreeForest& Forest() const { return forest_; }
+
+    // -- Task and trace interface (what Apophenia intercepts) -------------
+
+    /** Issue one task launch. */
+    void ExecuteTask(const TaskLaunch& launch);
+
+    /**
+     * Begin a trace. An unknown id starts recording; a known id starts
+     * a replay of the memoized analysis.
+     */
+    void BeginTrace(TraceId id);
+
+    /** End the current trace (id must match the open trace). */
+    void EndTrace(TraceId id);
+
+    /** True if a template for `id` has been recorded. */
+    bool HasTrace(TraceId id) const { return cache_.Contains(id); }
+
+    // -- Introspection -----------------------------------------------------
+
+    const std::vector<Operation>& Log() const { return log_; }
+    const RuntimeStats& Stats() const { return stats_; }
+    const TraceCache& Traces() const { return cache_; }
+    const CostModel& Costs() const { return options_.costs; }
+    std::size_t Nodes() const { return options_.nodes; }
+
+    /** α adjusted for machine size (see CostModel::analysis_scale_factor). */
+    double ScaledAnalysisUs() const;
+
+  private:
+    enum class Mode { kIdle, kRecording, kReplaying };
+
+    void ExecuteUntraced(const TaskLaunch& launch, TokenHash token);
+    void ExecuteRecording(const TaskLaunch& launch, TokenHash token);
+    void ExecuteReplaying(const TaskLaunch& launch, TokenHash token);
+    void HandleMismatch(const std::string& reason, const TaskLaunch& launch,
+                        TokenHash token);
+    void HandleMismatchAtEnd();
+
+    RuntimeOptions options_;
+    RegionAllocator allocator_;
+    RegionTreeForest forest_;
+    DependenceAnalyzer analyzer_;
+    TraceCache cache_;
+    std::vector<Operation> log_;
+    RuntimeStats stats_;
+
+    Mode mode_ = Mode::kIdle;
+    TraceId open_trace_ = kNoTrace;
+    TraceId abandoned_trace_ = kNoTrace;  ///< fallback-mode bookkeeping
+    std::size_t trace_start_ = 0;      ///< log index of the fragment start
+    TraceTemplate recording_;          ///< template under construction
+    std::size_t replay_position_ = 0;  ///< next template offset to match
+    std::uint64_t use_stamp_ = 0;      ///< LRU clock for the trace cache
+};
+
+}  // namespace apo::rt
+
+#endif  // APOPHENIA_RUNTIME_RUNTIME_H

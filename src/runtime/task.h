@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Task launches and their hash tokens.
+ *
+ * Tasks are designated functions registered with the runtime; a launch
+ * names the task and lists its region requirements. Apophenia converts
+ * each launch into a 64-bit token capturing every aspect that affects
+ * the dependence analysis (paper section 4.1), turning the task stream
+ * into a string for the repeat-mining algorithms.
+ */
+#ifndef APOPHENIA_RUNTIME_TASK_H
+#define APOPHENIA_RUNTIME_TASK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/region.h"
+#include "support/hash.h"
+
+namespace apo::rt {
+
+/** Identifier of a registered task function. */
+using TaskId = std::uint64_t;
+
+/** Make a task id from a human-readable name. */
+inline TaskId TaskIdOf(std::string_view name)
+{
+    return support::Fnv1a(name);
+}
+
+/**
+ * A single task launch: the unit of work issued to the runtime.
+ *
+ * `execution_us` and `shard` do not affect the dependence analysis
+ * (and therefore are excluded from the token hash): they parameterize
+ * the discrete-event execution model only — which processor runs the
+ * task and for how long.
+ */
+struct TaskLaunch {
+    TaskId task = 0;
+    std::vector<RegionRequirement> requirements;
+
+    /** Simulated kernel duration in microseconds. */
+    double execution_us = 100.0;
+    /** Which processor (GPU) executes this task. */
+    std::uint32_t shard = 0;
+    /** The application blocks on this task's result (a future read,
+     * e.g. a training loop inspecting the loss): launches after it
+     * stall until it finishes. Does not affect the dependence
+     * analysis, so it is excluded from the token hash. */
+    bool blocking = false;
+    /** False for operations a practical tracing implementation cannot
+     * memoize (external hand-offs, I/O, attach/detach). Issuing one
+     * inside a trace is a runtime error — the paper's section 1
+     * reason composed programs defeat manual annotations. Apophenia
+     * assigns such operations unique tokens so they can never become
+     * part of a candidate trace. */
+    bool traceable = true;
+
+    friend bool operator==(const TaskLaunch& a, const TaskLaunch& b)
+    {
+        return a.task == b.task && a.requirements == b.requirements;
+    }
+};
+
+// Reserved task ids for non-task operations that still flow through
+// the dependence analysis (and are traceable like tasks, paper
+// section 4.1 "straightforward handling of traceable operations that
+// are not tasks").
+inline const TaskId kFillTaskId = TaskIdOf("__fill__");
+inline const TaskId kCopyTaskId = TaskIdOf("__copy__");
+
+/** A fill: overwrite one (region, field) with a constant. */
+inline TaskLaunch FillLaunch(RegionId region, FieldId field,
+                             std::uint32_t shard = 0,
+                             double execution_us = 10.0)
+{
+    TaskLaunch launch;
+    launch.task = kFillTaskId;
+    launch.requirements = {
+        {region, field, Privilege::kWriteDiscard, 0}};
+    launch.shard = shard;
+    launch.execution_us = execution_us;
+    return launch;
+}
+
+/** An explicit region-to-region copy. */
+inline TaskLaunch CopyLaunch(RegionId src, FieldId src_field,
+                             RegionId dst, FieldId dst_field,
+                             std::uint32_t shard = 0,
+                             double execution_us = 20.0)
+{
+    TaskLaunch launch;
+    launch.task = kCopyTaskId;
+    launch.requirements = {{src, src_field, Privilege::kReadOnly, 0},
+                           {dst, dst_field, Privilege::kWriteDiscard, 0}};
+    launch.shard = shard;
+    launch.execution_us = execution_us;
+    return launch;
+}
+
+/** The 64-bit token type trace identification operates on. */
+using TokenHash = std::uint64_t;
+
+/**
+ * Hash a launch into its trace-identification token. Two launches get
+ * equal tokens iff the dependence analysis treats them identically:
+ * same task id and same ordered region requirements (region, field,
+ * privilege, reduction op).
+ */
+inline TokenHash HashLaunch(const TaskLaunch& launch)
+{
+    using support::HashCombine;
+    TokenHash h = HashCombine(0x5eed, launch.task);
+    for (const RegionRequirement& req : launch.requirements) {
+        h = HashCombine(h, req.region.value);
+        h = HashCombine(h, req.field);
+        h = HashCombine(h, static_cast<std::uint64_t>(req.privilege));
+        h = HashCombine(h, req.redop);
+    }
+    return h;
+}
+
+}  // namespace apo::rt
+
+#endif  // APOPHENIA_RUNTIME_TASK_H

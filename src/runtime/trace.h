@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Trace templates and the trace cache — the memoization side of the
+ * runtime's tracing engine (Lee et al., "Dynamic tracing", which the
+ * paper builds on).
+ *
+ * A template captures everything needed to replay a recorded program
+ * fragment: the validation token sequence, the task launches, and the
+ * dependence edges *internal* to the fragment. Edges crossing the
+ * fragment boundary are regenerated against the current coherence
+ * state at replay time, so a replayed fragment composes correctly with
+ * whatever preceded it.
+ */
+#ifndef APOPHENIA_RUNTIME_TRACE_H
+#define APOPHENIA_RUNTIME_TRACE_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "runtime/dependence.h"
+#include "runtime/task.h"
+
+namespace apo::rt {
+
+/** Identifier the application (or Apophenia) assigns to a trace. */
+using TraceId = std::uint64_t;
+
+/** Sentinel for "not inside any trace". */
+inline constexpr TraceId kNoTrace = 0;
+
+/** A memoized program fragment. */
+struct TraceTemplate {
+    TraceId id = kNoTrace;
+    /** Per-launch validation tokens, in issue order. */
+    std::vector<TokenHash> tokens;
+    /** The recorded launches (replayed verbatim). */
+    std::vector<TaskLaunch> launches;
+    /** Dependence edges between operations of the fragment, expressed
+     * as offsets from the fragment start. */
+    std::vector<Dependence> internal_edges;
+    /** How many times this template has been replayed. */
+    std::size_t replay_count = 0;
+    /** Monotonic stamp of the last recording or replay (LRU). */
+    std::uint64_t last_used = 0;
+
+    std::size_t Length() const { return launches.size(); }
+};
+
+/** The set of recorded templates, keyed by trace id. */
+class TraceCache {
+  public:
+    bool Contains(TraceId id) const { return templates_.count(id) != 0; }
+
+    const TraceTemplate* Find(TraceId id) const
+    {
+        const auto it = templates_.find(id);
+        return it == templates_.end() ? nullptr : &it->second;
+    }
+
+    TraceTemplate* FindMutable(TraceId id)
+    {
+        const auto it = templates_.find(id);
+        return it == templates_.end() ? nullptr : &it->second;
+    }
+
+    void Insert(TraceTemplate t) { templates_[t.id] = std::move(t); }
+
+    /** Evict the least-recently-used template; returns its id, or
+     * kNoTrace if the cache is empty. */
+    TraceId EvictLeastRecentlyUsed()
+    {
+        TraceId victim = kNoTrace;
+        std::uint64_t oldest = ~std::uint64_t{0};
+        for (const auto& [id, t] : templates_) {
+            if (t.last_used < oldest) {
+                oldest = t.last_used;
+                victim = id;
+            }
+        }
+        if (victim != kNoTrace) {
+            templates_.erase(victim);
+        }
+        return victim;
+    }
+
+    std::size_t Size() const { return templates_.size(); }
+
+    /** Total tasks across all templates (memory accounting). */
+    std::size_t TotalTemplateTasks() const
+    {
+        std::size_t total = 0;
+        for (const auto& [id, t] : templates_) {
+            total += t.Length();
+        }
+        return total;
+    }
+
+  private:
+    std::map<TraceId, TraceTemplate> templates_;
+};
+
+}  // namespace apo::rt
+
+#endif  // APOPHENIA_RUNTIME_TRACE_H

@@ -1,0 +1,120 @@
+#include "sim/harness.h"
+
+#include <memory>
+
+#include "apps/sink.h"
+
+namespace apo::sim {
+
+namespace {
+
+/** Decorates a sink to count issued tasks (iteration boundaries are
+ * measured on the issued stream, which Apophenia forwards verbatim). */
+class CountingSink final : public apps::TaskSink {
+  public:
+    explicit CountingSink(apps::TaskSink& inner) : inner_(&inner) {}
+
+    rt::RegionId CreateRegion() override { return inner_->CreateRegion(); }
+    void DestroyRegion(rt::RegionId r) override
+    {
+        inner_->DestroyRegion(r);
+    }
+    void ExecuteTask(const rt::TaskLaunch& launch) override
+    {
+        ++count_;
+        inner_->ExecuteTask(launch);
+    }
+    void BeginTrace(rt::TraceId id) override { inner_->BeginTrace(id); }
+    void EndTrace(rt::TraceId id) override { inner_->EndTrace(id); }
+    void Flush() override { inner_->Flush(); }
+
+    std::size_t Count() const { return count_; }
+
+  private:
+    apps::TaskSink* inner_;
+    std::size_t count_ = 0;
+};
+
+}  // namespace
+
+std::string_view
+ModeName(TracingMode mode)
+{
+    switch (mode) {
+      case TracingMode::kUntraced:
+        return "untraced";
+      case TracingMode::kManual:
+        return "manual";
+      case TracingMode::kAuto:
+        return "auto";
+    }
+    return "?";
+}
+
+ExperimentResult
+RunExperiment(apps::Application& app, const ExperimentOptions& options)
+{
+    rt::RuntimeOptions runtime_options;
+    runtime_options.costs = options.costs;
+    runtime_options.nodes = options.machine.nodes;
+    rt::Runtime runtime(runtime_options);
+
+    std::unique_ptr<core::Apophenia> front_end;
+    std::unique_ptr<apps::TaskSink> sink;
+    switch (options.mode) {
+      case TracingMode::kUntraced:
+        sink = std::make_unique<apps::UntracedSink>(runtime);
+        break;
+      case TracingMode::kManual:
+        sink = std::make_unique<apps::RuntimeSink>(runtime);
+        break;
+      case TracingMode::kAuto:
+        front_end = std::make_unique<core::Apophenia>(
+            runtime, options.auto_config);
+        sink = std::make_unique<apps::AutoSink>(*front_end);
+        break;
+    }
+    CountingSink counting(*sink);
+
+    app.Setup(counting);
+    std::vector<std::size_t> boundaries;
+    boundaries.reserve(options.iterations);
+    const bool manual = options.mode == TracingMode::kManual;
+    for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+        app.Iteration(counting, iter, manual);
+        boundaries.push_back(counting.Count());
+    }
+    counting.Flush();
+
+    PipelineOptions pipeline_options;
+    pipeline_options.machine = options.machine;
+    pipeline_options.costs = options.costs;
+    pipeline_options.apophenia_front_end =
+        options.mode == TracingMode::kAuto;
+    pipeline_options.window = options.auto_config.window;
+    pipeline_options.inline_transitive_reduction =
+        options.auto_config.inline_transitive_reduction;
+    const PipelineResult sim = SimulatePipeline(runtime.Log(),
+                                                pipeline_options);
+
+    ExperimentResult result;
+    const std::vector<double> ends = IterationEndTimes(sim, boundaries);
+    result.iterations_per_second = SteadyThroughput(ends);
+    result.makespan_us = sim.makespan_us;
+    result.total_tasks = runtime.Log().size();
+    result.runtime_stats = runtime.Stats();
+    result.replayed_fraction = runtime.Stats().ReplayedFraction();
+    result.warmup_iterations =
+        WarmupIterations(runtime.Log(), boundaries);
+    if (front_end != nullptr) {
+        result.apophenia_stats = front_end->Stats();
+    }
+    if (options.keep_coverage_series) {
+        result.coverage_series = TracedCoverageSeries(
+            runtime.Log(), options.coverage_window,
+            options.coverage_stride);
+    }
+    return result;
+}
+
+}  // namespace apo::sim

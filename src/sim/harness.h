@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The experiment harness: run a workload skeleton in one of the
+ * paper's three configurations (untraced, manually traced, Apophenia)
+ * and measure simulated steady-state throughput — the quantity every
+ * weak/strong-scaling figure reports.
+ */
+#ifndef APOPHENIA_SIM_HARNESS_H
+#define APOPHENIA_SIM_HARNESS_H
+
+#include <string_view>
+#include <vector>
+
+#include "apps/app.h"
+#include "core/apophenia.h"
+#include "core/config.h"
+#include "runtime/runtime.h"
+#include "sim/metrics.h"
+#include "sim/pipeline.h"
+
+namespace apo::sim {
+
+/** The three configurations of the paper's evaluation. */
+enum class TracingMode {
+    kUntraced,  ///< plain dynamic dependence analysis
+    kManual,    ///< the application's own tbegin/tend annotations
+    kAuto,      ///< Apophenia
+};
+
+std::string_view ModeName(TracingMode mode);
+
+/** Experiment parameters. */
+struct ExperimentOptions {
+    TracingMode mode = TracingMode::kAuto;
+    std::size_t iterations = 60;
+    rt::CostModel costs;
+    core::ApopheniaConfig auto_config;  ///< used when mode == kAuto
+    apps::MachineConfig machine;
+    /** Record the figure-10 coverage series (costs memory). */
+    bool keep_coverage_series = false;
+    std::size_t coverage_window = 5000;
+    std::size_t coverage_stride = 250;
+};
+
+/** Everything a bench needs to print a figure row. */
+struct ExperimentResult {
+    double iterations_per_second = 0.0;
+    double makespan_us = 0.0;
+    std::size_t total_tasks = 0;
+    double replayed_fraction = 0.0;
+    std::size_t warmup_iterations = 0;
+    rt::RuntimeStats runtime_stats;
+    core::ApopheniaStats apophenia_stats;  ///< zeros unless kAuto
+    std::vector<std::pair<std::size_t, double>> coverage_series;
+};
+
+/** Run `app` for `options.iterations` main-loop iterations and
+ * simulate the resulting operation log on the machine model. */
+ExperimentResult RunExperiment(apps::Application& app,
+                               const ExperimentOptions& options);
+
+}  // namespace apo::sim
+
+#endif  // APOPHENIA_SIM_HARNESS_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Metrics over simulated executions: iteration timing, steady-state
+ * throughput, warmup detection (paper figure 9) and the traced-window
+ * coverage series (paper figure 10).
+ */
+#ifndef APOPHENIA_SIM_METRICS_H
+#define APOPHENIA_SIM_METRICS_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "runtime/runtime.h"
+#include "sim/pipeline.h"
+
+namespace apo::sim {
+
+/**
+ * Completion time of each iteration: the latest finish among the
+ * operations issued up to each boundary. `boundaries[i]` is the
+ * number of operations issued after iteration i completed.
+ */
+std::vector<double> IterationEndTimes(
+    const PipelineResult& result, const std::vector<std::size_t>& boundaries);
+
+/**
+ * Steady-state throughput in iterations/second measured over the last
+ * `measure` iterations (default: final quarter).
+ */
+double SteadyThroughput(const std::vector<double>& iteration_ends_us,
+                        std::size_t measure = 0);
+
+/**
+ * Iterations until a replaying steady state (figure 9): one past the
+ * last iteration whose fraction of traced (recorded or replayed)
+ * operations is below `threshold`. The mild default tolerates
+ * permanently recurring irregular work (convergence checks) without
+ * counting it as leaving the steady state. Returns the iteration
+ * count if no steady state was reached.
+ */
+std::size_t WarmupIterations(const std::vector<rt::Operation>& log,
+                             const std::vector<std::size_t>& boundaries,
+                             double threshold = 0.5);
+
+/**
+ * Figure 10's series: for operation indices stepped by `stride`, the
+ * percentage of the previous `window` operations that were traced.
+ */
+std::vector<std::pair<std::size_t, double>> TracedCoverageSeries(
+    const std::vector<rt::Operation>& log, std::size_t window,
+    std::size_t stride);
+
+}  // namespace apo::sim
+
+#endif  // APOPHENIA_SIM_METRICS_H

@@ -1,0 +1,140 @@
+#include "sim/pipeline.h"
+
+#include <algorithm>
+
+#include "runtime/graph.h"
+
+namespace apo::sim {
+
+PipelineResult
+SimulatePipeline(const std::vector<rt::Operation>& log,
+                 const PipelineOptions& options)
+{
+    if (options.inline_transitive_reduction) {
+        // Simulate on the transitively reduced graph, as Legion does
+        // with -lg:inline_transitive_reduction (same ordering, fewer
+        // event edges).
+        std::vector<rt::Operation> reduced = log;
+        rt::TransitiveReduction(reduced, /*window=*/options.window);
+        PipelineOptions inner = options;
+        inner.inline_transitive_reduction = false;
+        return SimulatePipeline(reduced, inner);
+    }
+    const apps::MachineConfig& machine = options.machine;
+    const rt::CostModel& costs = options.costs;
+    const double launch_us =
+        costs.launch_us +
+        (options.apophenia_front_end ? costs.apophenia_launch_us : 0.0);
+    const double cross_latency = machine.CrossNodeLatencyUs();
+
+    const std::size_t num_nodes = std::max<std::size_t>(machine.nodes, 1);
+    const std::size_t num_gpus =
+        std::max<std::size_t>(machine.GpuCount(), 1);
+    double app_time = 0.0;  // application phase clock
+    // Blocking futures (e.g. a training loop reading back the loss)
+    // stall the application thread until the producing task finishes;
+    // launches after the producer cannot happen before this gate.
+    double app_gate = 0.0;
+    std::vector<double> analysis_free(num_nodes, 0.0);
+    std::vector<double> gpu_free(num_gpus, 0.0);
+
+    PipelineResult result;
+    result.finish_us.assign(log.size(), 0.0);
+    std::vector<double> exec_start(log.size(), 0.0);
+
+    auto node_of = [&](const rt::Operation& op) {
+        return std::min<std::size_t>(machine.NodeOf(op.launch.shard),
+                                     num_nodes - 1);
+    };
+
+    // Schedule execution of op k given its analysis-ready time.
+    auto execute = [&](std::size_t k, double analysis_ready) {
+        const rt::Operation& op = log[k];
+        const std::size_t gpu =
+            std::min<std::size_t>(op.launch.shard, num_gpus - 1);
+        const std::size_t node = machine.NodeOf(op.launch.shard);
+        double ready = analysis_ready;
+        for (const rt::Dependence& d : op.dependences) {
+            double dep_done = result.finish_us[d.from];
+            if (machine.NodeOf(log[d.from].launch.shard) != node) {
+                dep_done += cross_latency;  // data crosses the network
+            }
+            ready = std::max(ready, dep_done);
+        }
+        exec_start[k] = std::max(ready, gpu_free[gpu]);
+        result.finish_us[k] = exec_start[k] + op.launch.execution_us;
+        gpu_free[gpu] = result.finish_us[k];
+        result.makespan_us =
+            std::max(result.makespan_us, result.finish_us[k]);
+    };
+
+    std::size_t i = 0;
+    while (i < log.size()) {
+        const rt::Operation& op = log[i];
+        if (op.mode == rt::AnalysisMode::kReplayed && op.replay_head) {
+            // A replayed fragment. Its extent: Apophenia issues
+            // fragments contiguously, and a new instance starts at the
+            // next replay_head.
+            std::size_t j = i + 1;
+            while (j < log.size() &&
+                   log[j].mode == rt::AnalysisMode::kReplayed &&
+                   log[j].trace == op.trace && !log[j].replay_head) {
+                ++j;
+            }
+            // (1) No speculation: the replay is issued only once the
+            // application has launched the entire fragment.
+            double arrival = 0.0;
+            std::vector<std::size_t> node_tasks(num_nodes, 0);
+            for (std::size_t k = i; k < j; ++k) {
+                app_time = std::max(app_time, app_gate) + launch_us;
+                arrival = app_time;
+                node_tasks[node_of(log[k])] += 1;
+            }
+            // (2) Each node replays its shard of the fragment as one
+            // block on its analysis resource; the fragment's tasks
+            // become executable only when their node's whole block has
+            // been instantiated. With small tasks and a pipeline that
+            // drains (blocking futures), this block release is what
+            // exposes long replays (figure 8).
+            std::vector<double> node_done(num_nodes, 0.0);
+            for (std::size_t n = 0; n < num_nodes; ++n) {
+                if (node_tasks[n] == 0) {
+                    continue;
+                }
+                const double start = std::max(analysis_free[n], arrival);
+                node_done[n] =
+                    start + costs.replay_constant_us +
+                    costs.replay_us * static_cast<double>(node_tasks[n]);
+                analysis_free[n] = node_done[n];
+            }
+            for (std::size_t k = i; k < j; ++k) {
+                execute(k, node_done[node_of(log[k])]);
+                if (log[k].launch.blocking) {
+                    app_gate = std::max(app_gate, result.finish_us[k]);
+                }
+            }
+            i = j;
+            continue;
+        }
+        // Analyzed or recorded operation: flows through the owning
+        // node's analysis resource one task at a time; the analysis
+        // pipeline runs ahead of execution freely (it needs no
+        // execution events, only region metadata) — up to the
+        // operation window (-lg:window), which bounds in-flight state.
+        app_time = std::max(app_time, app_gate) + launch_us;
+        const std::size_t n = node_of(op);
+        double start = std::max(analysis_free[n], app_time);
+        if (options.window != 0 && i >= options.window) {
+            start = std::max(start, result.finish_us[i - options.window]);
+        }
+        analysis_free[n] = start + op.analysis_cost_us;
+        execute(i, analysis_free[n]);
+        if (op.launch.blocking) {
+            app_gate = std::max(app_gate, result.finish_us[i]);
+        }
+        ++i;
+    }
+    return result;
+}
+
+}  // namespace apo::sim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Discrete-event simulator of the runtime's pipelined architecture
+ * (paper section 5.2): tasks flow through the application phase (the
+ * launch into Apophenia/the runtime), the analysis phase (dependence
+ * analysis, trace recording, or trace replay — one sequential
+ * resource per node, since the analysis is sharded under control
+ * replication), and the execution phase (one FIFO resource per GPU,
+ * ordered by the dependence graph, with cross-node dependences paying
+ * a communication latency).
+ *
+ * Replayed fragments occupy the analysis stage as a unit: Legion
+ * issues a trace replay as one operation, so the tasks of a replayed
+ * fragment only become eligible for execution when the whole replay
+ * has been processed (and, per the no-speculation decision, a replay
+ * is not issued until the application has launched the entire
+ * fragment). This is the mechanism behind figure 8's observation that
+ * very long traces expose latency once per-task execution shrinks.
+ *
+ * Wall-clock time everywhere in this simulator is *simulated* time,
+ * parameterized by the paper's published cost constants (CostModel).
+ */
+#ifndef APOPHENIA_SIM_PIPELINE_H
+#define APOPHENIA_SIM_PIPELINE_H
+
+#include <vector>
+
+#include "apps/app.h"
+#include "runtime/cost_model.h"
+#include "runtime/runtime.h"
+
+namespace apo::sim {
+
+/** Simulation parameters. */
+struct PipelineOptions {
+    apps::MachineConfig machine;
+    rt::CostModel costs;
+    /** Charge the Apophenia front-end's extra per-launch cost. */
+    bool apophenia_front_end = false;
+    /** Operation window (-lg:window): the analysis stage may run at
+     * most this many operations ahead of completed execution, bounding
+     * the runtime's in-flight state. The artifact uses 30000. 0
+     * disables the bound. */
+    std::size_t window = 30000;
+    /** Apply Legion's inline transitive reduction to the dependence
+     * graph before simulating (-lg:inline_transitive_reduction). */
+    bool inline_transitive_reduction = false;
+};
+
+/** Per-operation timing produced by the simulation. */
+struct PipelineResult {
+    /** Completion time (µs) of each operation's execution. */
+    std::vector<double> finish_us;
+    /** Time at which the last operation finished. */
+    double makespan_us = 0.0;
+};
+
+/** Simulate the execution of a runtime operation log. */
+PipelineResult SimulatePipeline(const std::vector<rt::Operation>& log,
+                                const PipelineOptions& options);
+
+}  // namespace apo::sim
+
+#endif  // APOPHENIA_SIM_PIPELINE_H

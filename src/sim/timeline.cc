@@ -1,0 +1,66 @@
+#include "sim/timeline.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace apo::sim {
+
+namespace {
+
+const char*
+ModeName(rt::AnalysisMode mode)
+{
+    switch (mode) {
+      case rt::AnalysisMode::kAnalyzed:
+        return "analyzed";
+      case rt::AnalysisMode::kRecorded:
+        return "recorded";
+      case rt::AnalysisMode::kReplayed:
+        return "replayed";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void
+WriteChromeTrace(const std::vector<rt::Operation>& log,
+                 const PipelineResult& result,
+                 const PipelineOptions& options, std::ostream& out)
+{
+    out << "[";
+    bool first = true;
+    for (std::size_t i = 0;
+         i < log.size() && i < result.finish_us.size(); ++i) {
+        const rt::Operation& op = log[i];
+        const double finish = result.finish_us[i];
+        const double start = finish - op.launch.execution_us;
+        if (!first) {
+            out << ",";
+        }
+        first = false;
+        // Duration event on the executing GPU's row; pid groups by
+        // node so Perfetto nests the machine naturally.
+        out << "\n{\"name\":\"op" << i << " t" << op.launch.task % 1000
+            << "\",\"cat\":\"" << ModeName(op.mode)
+            << "\",\"ph\":\"X\",\"ts\":" << start << ",\"dur\":"
+            << op.launch.execution_us << ",\"pid\":"
+            << options.machine.NodeOf(op.launch.shard) << ",\"tid\":"
+            << op.launch.shard << ",\"args\":{\"mode\":\""
+            << ModeName(op.mode) << "\",\"trace\":" << op.trace
+            << ",\"analysis_us\":" << op.analysis_cost_us << "}}";
+    }
+    out << "\n]\n";
+}
+
+std::string
+ChromeTraceJson(const std::vector<rt::Operation>& log,
+                const PipelineResult& result,
+                const PipelineOptions& options)
+{
+    std::ostringstream out;
+    WriteChromeTrace(log, result, options, out);
+    return out.str();
+}
+
+}  // namespace apo::sim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Timeline export: dump a simulated execution as a Chrome trace-event
+ * file (chrome://tracing, Perfetto) for visual inspection.
+ *
+ * One timeline row per GPU plus one per node analysis resource; each
+ * operation becomes a duration event annotated with its analysis mode
+ * and trace id. Useful for eyeballing the pipeline behaviour behind
+ * the figures: untraced analysis serialization, replay blocks, the
+ * FlexFlow drain.
+ */
+#ifndef APOPHENIA_SIM_TIMELINE_H
+#define APOPHENIA_SIM_TIMELINE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.h"
+#include "sim/pipeline.h"
+
+namespace apo::sim {
+
+/**
+ * Write the execution timeline as Chrome trace-event JSON.
+ *
+ * @param log     the runtime operation log that was simulated.
+ * @param result  the simulation of that log (same options!).
+ * @param options the pipeline options used for the simulation.
+ * @param out     destination stream.
+ */
+void WriteChromeTrace(const std::vector<rt::Operation>& log,
+                      const PipelineResult& result,
+                      const PipelineOptions& options, std::ostream& out);
+
+/** Convenience: render to a string (testing, small logs). */
+std::string ChromeTraceJson(const std::vector<rt::Operation>& log,
+                            const PipelineResult& result,
+                            const PipelineOptions& options);
+
+}  // namespace apo::sim
+
+#endif  // APOPHENIA_SIM_TIMELINE_H

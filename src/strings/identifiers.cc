@@ -1,0 +1,296 @@
+#include "strings/identifiers.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "support/intervals.h"
+
+namespace apo::strings {
+
+namespace {
+
+/** Accumulates occurrences per distinct substring content. */
+class RepeatCollector {
+  public:
+    void Add(const Sequence& tokens, std::size_t start)
+    {
+        auto [it, inserted] = index_.try_emplace(tokens, repeats_.size());
+        if (inserted) {
+            repeats_.push_back(Repeat{tokens, {}});
+        }
+        repeats_[it->second].starts.push_back(start);
+    }
+
+    std::vector<Repeat> Take(std::size_t min_occurrences)
+    {
+        std::vector<Repeat> out;
+        for (Repeat& r : repeats_) {
+            std::sort(r.starts.begin(), r.starts.end());
+            r.starts.erase(std::unique(r.starts.begin(), r.starts.end()),
+                           r.starts.end());
+            if (r.starts.size() >= min_occurrences) {
+                out.push_back(std::move(r));
+            }
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const Repeat& a, const Repeat& b) {
+                      return a.Length() > b.Length();
+                  });
+        return out;
+    }
+
+  private:
+    std::map<Sequence, std::size_t> index_;
+    std::vector<Repeat> repeats_;
+};
+
+}  // namespace
+
+std::vector<Repeat>
+FindTandemRepeats(const Sequence& s, std::size_t min_length)
+{
+    const std::size_t n = s.size();
+    min_length = std::max<std::size_t>(min_length, 1);
+
+    // A maximal tandem run of period d at position i spans
+    // [i, i + eq[i] + d) where eq[i] counts matches s[i+t] == s[i+d+t].
+    struct Run {
+        std::size_t start = 0;
+        std::size_t period = 0;
+        std::size_t copies = 0;
+        std::size_t TotalLength() const { return period * copies; }
+    };
+    std::vector<Run> runs;
+    std::vector<std::size_t> eq(n + 1, 0);
+    for (std::size_t d = min_length; d * 2 <= n; ++d) {
+        std::fill(eq.begin(), eq.end(), 0);
+        for (std::size_t i = n - d; i-- > 0;) {
+            eq[i] = s[i] == s[i + d] ? eq[i + 1] + 1 : 0;
+        }
+        for (std::size_t i = 0; i + 2 * d <= n; ++i) {
+            const bool maximal = i == 0 || eq[i - 1] == 0;
+            if (maximal && eq[i] >= d) {
+                runs.push_back(Run{i, d, eq[i] / d + 1});
+            }
+        }
+    }
+    // Prefer runs covering the most positions; select disjoint ones.
+    std::sort(runs.begin(), runs.end(), [](const Run& a, const Run& b) {
+        if (a.TotalLength() != b.TotalLength()) {
+            return a.TotalLength() > b.TotalLength();
+        }
+        return a.start < b.start;
+    });
+    support::IntervalSet chosen;
+    RepeatCollector collector;
+    for (const Run& run : runs) {
+        if (!chosen.InsertIfDisjoint(run.start,
+                                     run.start + run.TotalLength())) {
+            continue;
+        }
+        Sequence unit(s.begin() + run.start,
+                      s.begin() + run.start + run.period);
+        for (std::size_t k = 0; k < run.copies; ++k) {
+            collector.Add(unit, run.start + k * run.period);
+        }
+    }
+    return collector.Take(2);
+}
+
+std::vector<Repeat>
+FindRepeatsLzw(const Sequence& s, std::size_t min_length)
+{
+    // LZW parse: the dictionary maps (phrase id, next symbol) to a
+    // longer phrase id. Phrase 0 is the empty phrase.
+    struct Phrase {
+        std::size_t length = 0;
+        std::size_t sample_start = 0;  // one occurrence, for content
+        std::vector<std::size_t> starts;
+    };
+    std::vector<Phrase> phrases(1);
+    std::map<std::pair<std::size_t, Symbol>, std::size_t> transitions;
+
+    std::size_t current = 0;  // current phrase id
+    std::size_t phrase_start = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const auto key = std::make_pair(current, s[i]);
+        auto it = transitions.find(key);
+        if (it != transitions.end()) {
+            current = it->second;
+            continue;
+        }
+        // Emit the current phrase (if non-empty) and extend dictionary.
+        if (current != 0) {
+            phrases[current].starts.push_back(phrase_start);
+        }
+        const std::size_t extended = phrases.size();
+        phrases.push_back(
+            Phrase{phrases[current].length + 1, phrase_start, {}});
+        transitions.emplace(key, extended);
+        if (current == 0) {
+            // Single symbols enter the dictionary on first sight; the
+            // parse restarts at this symbol.
+            phrases[extended].sample_start = i;
+            current = extended;
+            phrase_start = i;
+        } else {
+            current = 0;
+            --i;  // reprocess this symbol as the start of a new phrase
+        }
+        if (current == 0) {
+            phrase_start = i + 1;
+        }
+    }
+    if (current != 0) {
+        phrases[current].starts.push_back(phrase_start);
+    }
+
+    RepeatCollector collector;
+    for (const Phrase& p : phrases) {
+        if (p.length < min_length || p.starts.size() < 2) {
+            continue;
+        }
+        Sequence tokens(s.begin() + p.starts.front(),
+                        s.begin() + p.starts.front() + p.length);
+        for (std::size_t start : p.starts) {
+            collector.Add(tokens, start);
+        }
+    }
+    return collector.Take(2);
+}
+
+std::vector<Repeat>
+FindRepeatsQuadratic(const Sequence& s, std::size_t min_length)
+{
+    const std::size_t n = s.size();
+    min_length = std::max<std::size_t>(min_length, 1);
+    if (n < 2 * min_length) {
+        return {};
+    }
+    const std::vector<std::size_t> sa = BuildSuffixArray(s);
+    const std::vector<std::size_t> lcp = ComputeLcp(s, sa);
+
+    support::IntervalSet claimed;
+    RepeatCollector collector;
+    // Each round re-scans the suffix array for the longest candidate
+    // pair that fits in unclaimed space: O(rounds * n).
+    for (;;) {
+        std::size_t best_len = 0, best_a = 0, best_b = 0;
+        for (std::size_t i = 0; i + 1 < n; ++i) {
+            std::size_t p = lcp[i];
+            if (p <= best_len || p < min_length) {
+                continue;
+            }
+            std::size_t s1 = sa[i], s2 = sa[i + 1];
+            if (s1 > s2) {
+                std::swap(s1, s2);
+            }
+            std::size_t len = std::min(p, s2 - s1);  // force disjoint
+            while (len >= min_length && len > best_len) {
+                if (!claimed.OverlapsAny(s1, s1 + len) &&
+                    !claimed.OverlapsAny(s2, s2 + len)) {
+                    best_len = len;
+                    best_a = s1;
+                    best_b = s2;
+                    break;
+                }
+                --len;  // shrink until it fits (quadratic behaviour)
+            }
+        }
+        if (best_len == 0) {
+            break;
+        }
+        claimed.InsertIfDisjoint(best_a, best_a + best_len);
+        claimed.InsertIfDisjoint(best_b, best_b + best_len);
+        Sequence tokens(s.begin() + best_a, s.begin() + best_a + best_len);
+        collector.Add(tokens, best_a);
+        collector.Add(tokens, best_b);
+    }
+    return collector.Take(2);
+}
+
+std::size_t
+OptimalCoverage(const Sequence& s, std::size_t min_length)
+{
+    const std::size_t n = s.size();
+    min_length = std::max<std::size_t>(min_length, 1);
+    if (n < 2 * min_length) {
+        return 0;
+    }
+    // match[i][j]: longest common prefix of the suffixes at i and j.
+    std::vector<std::vector<std::size_t>> match(
+        n + 1, std::vector<std::size_t>(n + 1, 0));
+    for (std::size_t i = n; i-- > 0;) {
+        for (std::size_t j = n; j-- > 0;) {
+            if (s[i] == s[j]) {
+                match[i][j] = match[i + 1][j + 1] + 1;
+            }
+        }
+    }
+    // best[j]: the longest length L such that the substring starting
+    // at j of length L has a second, disjoint occurrence somewhere.
+    std::vector<std::size_t> best(n, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t q = 0; q < n; ++q) {
+            if (q == j) {
+                continue;
+            }
+            const std::size_t gap = q > j ? q - j : j - q;
+            best[j] = std::max(best[j], std::min(match[j][q], gap));
+        }
+    }
+    // cover[i]: max positions covered within the prefix s[0..i).
+    std::vector<std::size_t> cover(n + 1, 0);
+    for (std::size_t i = 1; i <= n; ++i) {
+        cover[i] = cover[i - 1];
+        for (std::size_t j = 0; j + min_length <= i; ++j) {
+            const std::size_t len = i - j;
+            if (len <= best[j]) {
+                cover[i] = std::max(cover[i], cover[j] + len);
+            }
+        }
+    }
+    return cover[n];
+}
+
+std::size_t
+GreedyCoverageOf(const Sequence& s, const std::vector<Repeat>& traces)
+{
+    // Group traces by first token; try longest first at each position.
+    std::unordered_map<Symbol, std::vector<const Repeat*>> by_head;
+    for (const Repeat& t : traces) {
+        if (!t.tokens.empty()) {
+            by_head[t.tokens.front()].push_back(&t);
+        }
+    }
+    for (auto& [head, list] : by_head) {
+        std::sort(list.begin(), list.end(),
+                  [](const Repeat* a, const Repeat* b) {
+                      return a->Length() > b->Length();
+                  });
+    }
+    std::size_t covered = 0;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        std::size_t advance = 1;
+        const auto it = by_head.find(s[i]);
+        if (it != by_head.end()) {
+            for (const Repeat* t : it->second) {
+                const std::size_t len = t->Length();
+                if (i + len <= s.size() &&
+                    std::equal(t->tokens.begin(), t->tokens.end(),
+                               s.begin() + i)) {
+                    covered += len;
+                    advance = len;
+                    break;
+                }
+            }
+        }
+        i += advance;
+    }
+    return covered;
+}
+
+}  // namespace apo::strings

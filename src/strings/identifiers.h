@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Baseline trace-identification algorithms (paper section 4.2,
+ * "Existing Techniques") and test oracles.
+ *
+ * The paper motivates its repeat-mining algorithm by arguing that
+ * prior techniques are inadequate:
+ *  - tandem repeat analysis (Sisco et al. / Stoye-Gusfield) requires
+ *    contiguous repetition and misses loops interrupted by irregular
+ *    operations such as convergence checks;
+ *  - LZW-style incremental dictionaries grow candidates one token per
+ *    occurrence, needing a length-n repeat to appear ~n times;
+ *  - suffix-tree/naive extensions for non-overlapping repeats run in
+ *    quadratic time.
+ *
+ * These baselines are implemented here both to reproduce that ablation
+ * (bench/ablation_identifiers) and to serve as oracles for the main
+ * algorithm's unit tests. An exact dynamic-programming solver of the
+ * coverage optimization problem (paper section 3) is provided for tiny
+ * inputs.
+ */
+#ifndef APOPHENIA_STRINGS_IDENTIFIERS_H
+#define APOPHENIA_STRINGS_IDENTIFIERS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "strings/repeats.h"
+#include "strings/suffix_array.h"
+
+namespace apo::strings {
+
+/**
+ * Find tandem repeats: substrings alpha such that alpha^k (k >= 2)
+ * occurs contiguously in `s`. Returns the selected primitive unit and
+ * the starts of its contiguous copies. Quadratic-time reference
+ * implementation (the baseline's asymptotics are not the point of the
+ * ablation; its *coverage* on interrupted loops is).
+ */
+std::vector<Repeat> FindTandemRepeats(const Sequence& s,
+                                      std::size_t min_length);
+
+/**
+ * LZW-style repeat detection: parse `s` with an LZW dictionary and
+ * report phrases that were emitted at least twice. Candidates grow by
+ * one token per occurrence, so long repeats require many sightings —
+ * the weakness the paper calls out.
+ */
+std::vector<Repeat> FindRepeatsLzw(const Sequence& s,
+                                   std::size_t min_length);
+
+/**
+ * Quadratic greedy baseline: repeatedly extract the longest substring
+ * that still has two disjoint unclaimed occurrences. Close to optimal
+ * coverage but O(n^2)-ish; reference for output quality.
+ */
+std::vector<Repeat> FindRepeatsQuadratic(const Sequence& s,
+                                         std::size_t min_length);
+
+/**
+ * Exact maximum of the paper's coverage objective for small inputs
+ * (O(n^3) DP): the maximum number of positions of `s` coverable by
+ * pairwise-disjoint intervals, each of which is an occurrence of some
+ * substring of length >= min_length that occurs at least twice
+ * disjointly in `s`. Oracle for property tests.
+ */
+std::size_t OptimalCoverage(const Sequence& s, std::size_t min_length);
+
+/**
+ * Greedy matching of a *fixed* trace set against `s` (the function f
+ * of the paper's optimization problem): scan left to right, at each
+ * position matching the longest applicable trace. Returns covered
+ * position count.
+ */
+std::size_t GreedyCoverageOf(const Sequence& s,
+                             const std::vector<Repeat>& traces);
+
+}  // namespace apo::strings
+
+#endif  // APOPHENIA_STRINGS_IDENTIFIERS_H

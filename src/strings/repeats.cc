@@ -1,0 +1,195 @@
+#include "strings/repeats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "support/intervals.h"
+
+namespace apo::strings {
+
+namespace {
+
+/**
+ * O(1) range-minimum queries over the LCP array after O(n log n)
+ * sparse-table preprocessing. Used to compare candidate substrings
+ * lexicographically in constant time, keeping the candidate sort at
+ * O(n log n) overall.
+ */
+class LcpRmq {
+  public:
+    explicit LcpRmq(const std::vector<std::size_t>& lcp)
+    {
+        const std::size_t n = lcp.size();
+        if (n == 0) {
+            return;
+        }
+        const unsigned levels = std::bit_width(n);
+        table_.assign(levels, lcp);
+        for (unsigned j = 1; j < levels; ++j) {
+            const std::size_t span = std::size_t{1} << j;
+            for (std::size_t i = 0; i + span <= n; ++i) {
+                table_[j][i] = std::min(table_[j - 1][i],
+                                        table_[j - 1][i + span / 2]);
+            }
+        }
+    }
+
+    /** Minimum of lcp[lo..hi] inclusive; requires lo <= hi. */
+    std::size_t Min(std::size_t lo, std::size_t hi) const
+    {
+        const unsigned j = std::bit_width(hi - lo + 1) - 1;
+        return std::min(table_[j][lo],
+                        table_[j][hi + 1 - (std::size_t{1} << j)]);
+    }
+
+  private:
+    std::vector<std::vector<std::size_t>> table_;
+};
+
+/** A candidate occurrence: `length` tokens starting at `start`. */
+struct Candidate {
+    std::size_t length = 0;
+    std::size_t start = 0;
+};
+
+}  // namespace
+
+std::vector<Repeat>
+FindRepeats(const Sequence& s, const RepeatOptions& options)
+{
+    std::vector<Repeat> result;
+    const std::size_t n = s.size();
+    const std::size_t min_len = std::max<std::size_t>(options.min_length, 1);
+    if (n < 2 * min_len) {
+        return result;
+    }
+
+    const std::vector<std::size_t> sa =
+        BuildSuffixArray(s, options.suffix_algorithm);
+    const std::vector<std::size_t> lcp = ComputeLcp(s, sa);
+    std::vector<std::size_t> rank(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        rank[sa[i]] = i;
+    }
+    const LcpRmq rmq(lcp);
+
+    // Length of the common prefix of the suffixes at positions a and b.
+    auto common_prefix = [&](std::size_t a, std::size_t b) -> std::size_t {
+        if (a == b) {
+            return n - a;
+        }
+        const auto [lo, hi] = std::minmax(rank[a], rank[b]);
+        return rmq.Min(lo, hi - 1);
+    };
+
+    // Candidate generation: one pass over adjacent suffix-array pairs
+    // (paper Algorithm 2, lines 4-14).
+    std::vector<Candidate> candidates;
+    candidates.reserve(2 * n);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        const std::size_t p = lcp[i];
+        if (p < min_len) {
+            continue;
+        }
+        std::size_t s1 = sa[i], s2 = sa[i + 1];
+        if (s1 > s2) {
+            std::swap(s1, s2);  // the overlap case assumes s1 < s2
+        }
+        if (s1 + p <= s2) {
+            // The two occurrences of the shared prefix do not overlap.
+            candidates.push_back({p, s1});
+            candidates.push_back({p, s2});
+        } else {
+            // Overlapping occurrences: the shared prefix is periodic
+            // with period d = s2 - s1. Emit two adjacent, disjoint
+            // copies of the longest usable multiple of the period.
+            const std::size_t d = s2 - s1;
+            std::size_t l = (p + d) / 2;
+            l -= l % d;
+            if (l >= min_len) {
+                candidates.push_back({l, s1});
+                candidates.push_back({l, s1 + l});
+            }
+        }
+    }
+
+    // Sort by decreasing length, then by substring content, then by
+    // increasing start position. Content comparison is O(1) via the
+    // LCP range-minimum structure.
+    std::sort(candidates.begin(), candidates.end(),
+              [&](const Candidate& a, const Candidate& b) {
+                  if (a.length != b.length) {
+                      return a.length > b.length;
+                  }
+                  if (a.start != b.start) {
+                      const std::size_t cp =
+                          common_prefix(a.start, b.start);
+                      if (cp < a.length) {
+                          // Distinct content: order lexicographically,
+                          // which equals suffix-rank order here.
+                          return rank[a.start] < rank[b.start];
+                      }
+                  }
+                  return a.start < b.start;
+              });
+
+    // Greedy selection of non-overlapping occurrences (lines 16-20),
+    // grouping consecutive equal-content candidates so that each
+    // distinct substring is emitted once (the deduplication step).
+    support::IntervalSet chosen;
+    auto same_group = [&](const Candidate& a, const Candidate& b) {
+        return a.length == b.length &&
+               (a.start == b.start ||
+                common_prefix(a.start, b.start) >= a.length);
+    };
+    std::vector<std::size_t> group_starts;
+    const Candidate* group_head = nullptr;
+    auto flush_group = [&] {
+        if (group_head == nullptr ||
+            group_starts.size() < options.min_occurrences) {
+            group_starts.clear();
+            return;
+        }
+        std::sort(group_starts.begin(), group_starts.end());
+        group_starts.erase(
+            std::unique(group_starts.begin(), group_starts.end()),
+            group_starts.end());
+        Repeat r;
+        r.tokens.assign(s.begin() + group_head->start,
+                        s.begin() + group_head->start + group_head->length);
+        r.starts = std::move(group_starts);
+        result.push_back(std::move(r));
+        group_starts.clear();
+    };
+    for (const Candidate& c : candidates) {
+        if (group_head != nullptr && !same_group(*group_head, c)) {
+            flush_group();
+            group_head = nullptr;
+        }
+        if (chosen.InsertIfDisjoint(c.start, c.start + c.length)) {
+            if (group_head == nullptr) {
+                group_head = &c;
+            }
+            group_starts.push_back(c.start);
+        } else if (group_head == nullptr) {
+            // Track the group even if its first occurrence was blocked,
+            // so later occurrences of the same content group together.
+            group_head = &c;
+        }
+    }
+    flush_group();
+    return result;
+}
+
+std::size_t
+TotalCoverage(const std::vector<Repeat>& repeats)
+{
+    std::size_t total = 0;
+    for (const Repeat& r : repeats) {
+        total += r.Coverage();
+    }
+    return total;
+}
+
+}  // namespace apo::strings

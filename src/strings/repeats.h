@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Non-overlapping repeated substring mining (paper Algorithm 2,
+ * "quick_matching_of_substrings" in the artifact).
+ *
+ * Given the tokenized task history, find a set of repeated substrings
+ * together with non-overlapping occurrence positions that achieve high
+ * coverage of the buffer (paper section 3's optimization problem). The
+ * algorithm makes one pass over the suffix array to generate at most
+ * two candidate occurrences per adjacent suffix pair, sorts candidates
+ * by decreasing length (then by substring and start position), and
+ * greedily selects occurrences that do not overlap previously selected
+ * ones. Total complexity O(n log n).
+ */
+#ifndef APOPHENIA_STRINGS_REPEATS_H
+#define APOPHENIA_STRINGS_REPEATS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "strings/suffix_array.h"
+
+namespace apo::strings {
+
+/** A repeated substring and its selected non-overlapping occurrences. */
+struct Repeat {
+    /** The repeated token subsequence itself. */
+    Sequence tokens;
+    /** Start positions of the selected pairwise-disjoint occurrences,
+     * in increasing order. */
+    std::vector<std::size_t> starts;
+
+    std::size_t Length() const { return tokens.size(); }
+    /** Positions of the input covered by this repeat's occurrences. */
+    std::size_t Coverage() const { return tokens.size() * starts.size(); }
+};
+
+/** Options for FindRepeats. */
+struct RepeatOptions {
+    /** Minimum repeat length to emit (paper constraint 1: traces must
+     * be longer than a minimum length so the constant replay cost can
+     * be amortized). */
+    std::size_t min_length = 2;
+    /** Drop repeats whose selected occurrence count is below this
+     * (1 keeps everything; tracing candidates typically want >= 2). */
+    std::size_t min_occurrences = 1;
+    /** Suffix-array construction to use. */
+    SuffixAlgorithm suffix_algorithm = SuffixAlgorithm::kSais;
+};
+
+/**
+ * Find repeated substrings of `s` with high non-overlapping coverage.
+ *
+ * The returned repeats are deduplicated (each distinct substring
+ * appears once) and their selected occurrence sets are disjoint across
+ * *all* returned repeats, satisfying constraint 2 of the paper's
+ * optimization problem. Ordered by decreasing length, then by content.
+ */
+std::vector<Repeat> FindRepeats(const Sequence& s,
+                                const RepeatOptions& options = {});
+
+/** Sum of Coverage() over a repeat set (the paper's coverage(T, f)). */
+std::size_t TotalCoverage(const std::vector<Repeat>& repeats);
+
+}  // namespace apo::strings
+
+#endif  // APOPHENIA_STRINGS_REPEATS_H

@@ -1,0 +1,290 @@
+#include "strings/suffix_array.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace apo::strings {
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+/**
+ * SA-IS induced-sorting suffix array construction.
+ *
+ * `s` holds values in [0, alphabet), with s.back() == 0 the unique,
+ * smallest sentinel. `sa` is filled with the suffix array of `s`
+ * (including the sentinel suffix at sa[0]).
+ */
+void
+SaIs(const std::vector<std::uint32_t>& s, std::size_t alphabet,
+     std::vector<std::size_t>& sa)
+{
+    const std::size_t n = s.size();
+    sa.assign(n, kNone);
+    if (n == 0) {
+        return;
+    }
+    if (n == 1) {
+        sa[0] = 0;
+        return;
+    }
+
+    // Classify suffixes: S-type (true) or L-type (false).
+    std::vector<bool> is_s(n);
+    is_s[n - 1] = true;
+    for (std::size_t i = n - 1; i-- > 0;) {
+        is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+    }
+    auto is_lms = [&](std::size_t i) {
+        return i > 0 && is_s[i] && !is_s[i - 1];
+    };
+
+    // Bucket boundaries per symbol.
+    std::vector<std::size_t> counts(alphabet, 0);
+    for (std::uint32_t c : s) {
+        ++counts[c];
+    }
+    std::vector<std::size_t> bucket_heads(alphabet), bucket_tails(alphabet);
+    auto reset_buckets = [&] {
+        std::size_t sum = 0;
+        for (std::size_t c = 0; c < alphabet; ++c) {
+            bucket_heads[c] = sum;
+            sum += counts[c];
+            bucket_tails[c] = sum;
+        }
+    };
+
+    // Induce the full order from the (partially or fully) sorted LMS
+    // suffixes currently placed in `sa`.
+    auto induce = [&] {
+        reset_buckets();
+        // Left-to-right pass places L-type suffixes at bucket heads.
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t j = sa[i];
+            if (j != kNone && j > 0 && !is_s[j - 1]) {
+                sa[bucket_heads[s[j - 1]]++] = j - 1;
+            }
+        }
+        // Right-to-left pass places S-type suffixes at bucket tails.
+        reset_buckets();
+        for (std::size_t i = n; i-- > 0;) {
+            const std::size_t j = sa[i];
+            if (j != kNone && j > 0 && is_s[j - 1]) {
+                sa[--bucket_tails[s[j - 1]]] = j - 1;
+            }
+        }
+    };
+
+    // Step 1: place LMS suffixes in position order at bucket tails and
+    // induce to sort the LMS *substrings*.
+    reset_buckets();
+    std::vector<std::size_t> lms_positions;
+    lms_positions.reserve(n / 2 + 1);
+    for (std::size_t i = 1; i < n; ++i) {
+        if (is_lms(i)) {
+            lms_positions.push_back(i);
+        }
+    }
+    for (std::size_t i = lms_positions.size(); i-- > 0;) {
+        const std::size_t p = lms_positions[i];
+        sa[--bucket_tails[s[p]]] = p;
+    }
+    induce();
+
+    // Step 2: name LMS substrings in their sorted order.
+    std::vector<std::size_t> lms_sorted;
+    lms_sorted.reserve(lms_positions.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (sa[i] != kNone && is_lms(sa[i])) {
+            lms_sorted.push_back(sa[i]);
+        }
+    }
+    std::vector<std::size_t> name_of(n, kNone);
+    std::size_t num_names = 0;
+    std::size_t prev = kNone;
+    for (std::size_t p : lms_sorted) {
+        if (prev == kNone) {
+            name_of[p] = num_names++;
+        } else {
+            // Compare the LMS substrings starting at prev and p
+            // (inclusive of their terminating LMS position).
+            bool same = true;
+            for (std::size_t k = 0;; ++k) {
+                if (p + k >= n || prev + k >= n ||
+                    s[p + k] != s[prev + k]) {
+                    same = false;
+                    break;
+                }
+                const bool p_end = k > 0 && is_lms(p + k);
+                const bool q_end = k > 0 && is_lms(prev + k);
+                if (p_end != q_end) {
+                    same = false;
+                    break;
+                }
+                if (p_end) {
+                    break;  // both ended together with all symbols equal
+                }
+            }
+            if (!same) {
+                ++num_names;
+            }
+            name_of[p] = num_names - 1;
+        }
+        prev = p;
+    }
+
+    // Step 3: sort LMS suffixes, recursing if names are not yet unique.
+    std::vector<std::size_t> lms_order(lms_positions.size());
+    if (num_names == lms_positions.size()) {
+        for (std::size_t i = 0; i < lms_positions.size(); ++i) {
+            lms_order[name_of[lms_positions[i]]] = lms_positions[i];
+        }
+    } else {
+        std::vector<std::uint32_t> reduced(lms_positions.size());
+        for (std::size_t i = 0; i < lms_positions.size(); ++i) {
+            reduced[i] =
+                static_cast<std::uint32_t>(name_of[lms_positions[i]]);
+        }
+        std::vector<std::size_t> reduced_sa;
+        SaIs(reduced, num_names, reduced_sa);
+        for (std::size_t i = 0; i < reduced_sa.size(); ++i) {
+            lms_order[i] = lms_positions[reduced_sa[i]];
+        }
+    }
+
+    // Step 4: final induce from the fully sorted LMS suffixes.
+    std::fill(sa.begin(), sa.end(), kNone);
+    reset_buckets();
+    for (std::size_t i = lms_order.size(); i-- > 0;) {
+        const std::size_t p = lms_order[i];
+        sa[--bucket_tails[s[p]]] = p;
+    }
+    induce();
+}
+
+/** O(n log n) prefix-doubling construction with radix sorting. */
+std::vector<std::size_t>
+BuildDoubling(const std::vector<std::uint32_t>& s)
+{
+    const std::size_t n = s.size();
+    std::vector<std::size_t> sa(n), rank(n), tmp(n), counts;
+    std::iota(sa.begin(), sa.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        rank[i] = s[i];
+    }
+    // Radix sort `sa` by (rank[i], rank[i + k]) for doubling k.
+    for (std::size_t k = 1;; k <<= 1) {
+        auto key2 = [&](std::size_t i) {
+            return i + k < n ? rank[i + k] + 1 : 0;
+        };
+        // Stable counting sort by second key, then by first key.
+        const std::size_t buckets =
+            *std::max_element(rank.begin(), rank.end()) + 2;
+        counts.assign(buckets + 1, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            ++counts[key2(i) + 1];
+        }
+        std::partial_sum(counts.begin(), counts.end(), counts.begin());
+        std::vector<std::size_t> by_second(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            by_second[counts[key2(i)]++] = i;
+        }
+        counts.assign(buckets + 1, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            ++counts[rank[i] + 1];
+        }
+        std::partial_sum(counts.begin(), counts.end(), counts.begin());
+        for (std::size_t idx = 0; idx < n; ++idx) {
+            const std::size_t i = by_second[idx];
+            sa[counts[rank[i]]++] = i;
+        }
+        // Re-rank.
+        tmp[sa[0]] = 0;
+        std::size_t r = 0;
+        for (std::size_t i = 1; i < n; ++i) {
+            const std::size_t a = sa[i - 1], b = sa[i];
+            if (rank[a] != rank[b] || key2(a) != key2(b)) {
+                ++r;
+            }
+            tmp[b] = r;
+        }
+        rank.swap(tmp);
+        if (r + 1 == n) {
+            break;
+        }
+    }
+    return sa;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t>
+RankCompress(const Sequence& s)
+{
+    std::vector<Symbol> sorted(s);
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    std::vector<std::uint32_t> out(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const auto it =
+            std::lower_bound(sorted.begin(), sorted.end(), s[i]);
+        // +1 reserves rank 0 for the SA-IS sentinel.
+        out[i] = static_cast<std::uint32_t>(it - sorted.begin()) + 1;
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+BuildSuffixArray(const Sequence& s, SuffixAlgorithm algorithm)
+{
+    if (s.empty()) {
+        return {};
+    }
+    std::vector<std::uint32_t> compressed = RankCompress(s);
+    if (algorithm == SuffixAlgorithm::kPrefixDoubling) {
+        return BuildDoubling(compressed);
+    }
+    // SA-IS needs a unique smallest sentinel at the end.
+    compressed.push_back(0);
+    const std::size_t alphabet =
+        *std::max_element(compressed.begin(), compressed.end()) + 1;
+    std::vector<std::size_t> sa_with_sentinel;
+    SaIs(compressed, alphabet, sa_with_sentinel);
+    // Drop the sentinel suffix (always first).
+    assert(!sa_with_sentinel.empty() && sa_with_sentinel[0] == s.size());
+    return {sa_with_sentinel.begin() + 1, sa_with_sentinel.end()};
+}
+
+std::vector<std::size_t>
+ComputeLcp(const Sequence& s, const std::vector<std::size_t>& sa)
+{
+    const std::size_t n = s.size();
+    if (n <= 1) {
+        return {};
+    }
+    std::vector<std::size_t> inverse(n), lcp(n - 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        inverse[sa[i]] = i;
+    }
+    std::size_t h = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (inverse[i] + 1 == n) {
+            h = 0;
+            continue;
+        }
+        const std::size_t j = sa[inverse[i] + 1];
+        while (i + h < n && j + h < n && s[i + h] == s[j + h]) {
+            ++h;
+        }
+        lcp[inverse[i]] = h;
+        if (h > 0) {
+            --h;
+        }
+    }
+    return lcp;
+}
+
+}  // namespace apo::strings

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Suffix array and LCP array construction over token sequences.
+ *
+ * Apophenia reduces trace identification to string analysis over the
+ * stream of task hash tokens (paper section 4.1). The repeat-mining
+ * algorithm (paper Algorithm 2) is built on a suffix array plus a
+ * longest-common-prefix array. Two constructions are provided:
+ *
+ *  - prefix doubling, O(n log n), simple and dependable;
+ *  - SA-IS (induced sorting), O(n), matching the linear-time
+ *    construction the paper cites [Kasai et al. for LCP; linear SA
+ *    construction for the array itself].
+ *
+ * Both operate on sequences of 64-bit symbols (task hash tokens); the
+ * alphabet is rank-compressed internally.
+ */
+#ifndef APOPHENIA_STRINGS_SUFFIX_ARRAY_H
+#define APOPHENIA_STRINGS_SUFFIX_ARRAY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace apo::strings {
+
+/** A symbol in a token sequence (a task hash token). */
+using Symbol = std::uint64_t;
+
+/** A sequence of symbols: the tokenized task stream. */
+using Sequence = std::vector<Symbol>;
+
+/** Which suffix-array construction to use. */
+enum class SuffixAlgorithm {
+    kPrefixDoubling,  ///< O(n log n) doubling with sorting.
+    kSais,            ///< O(n) induced sorting (SA-IS).
+};
+
+/**
+ * Build the suffix array of `s`: a permutation sa of [0, |s|) such that
+ * the suffixes s[sa[0]..], s[sa[1]..], ... are in increasing
+ * lexicographic order. Empty input yields an empty array.
+ */
+std::vector<std::size_t> BuildSuffixArray(
+    const Sequence& s,
+    SuffixAlgorithm algorithm = SuffixAlgorithm::kSais);
+
+/**
+ * Kasai's linear-time LCP construction.
+ *
+ * @return lcp with lcp[i] = length of the longest common prefix of the
+ * suffixes starting at sa[i] and sa[i + 1], for i in [0, |s| - 1); the
+ * returned array has size max(|s|, 1) - 1... (empty input yields an
+ * empty array; size-1 input yields an empty array).
+ */
+std::vector<std::size_t> ComputeLcp(const Sequence& s,
+                                    const std::vector<std::size_t>& sa);
+
+/**
+ * Rank-compress a 64-bit symbol sequence to a dense alphabet
+ * [1, distinct] (0 is reserved for the SA-IS sentinel). Exposed for
+ * testing.
+ */
+std::vector<std::uint32_t> RankCompress(const Sequence& s);
+
+}  // namespace apo::strings
+
+#endif  // APOPHENIA_STRINGS_SUFFIX_ARRAY_H

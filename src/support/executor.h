@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Background execution of asynchronous analysis jobs.
+ *
+ * Apophenia mines its task-history buffer asynchronously so that the
+ * application is never stalled waiting for a string analysis (paper
+ * section 4.3: "Asynchronous analysis of task histories is important to
+ * avoid stalling the application"). In Legion these jobs run on the
+ * runtime's background worker threads; here they run on a small worker
+ * pool. An inline executor is provided for deterministic testing.
+ */
+#ifndef APOPHENIA_SUPPORT_EXECUTOR_H
+#define APOPHENIA_SUPPORT_EXECUTOR_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apo::support {
+
+/** Abstract job executor. */
+class Executor {
+  public:
+    virtual ~Executor() = default;
+
+    /** Schedule `job` for execution. */
+    virtual void Submit(std::function<void()> job) = 0;
+
+    /** Block until every submitted job has finished. */
+    virtual void Drain() = 0;
+};
+
+/**
+ * Runs each job synchronously at submission time. Deterministic; used
+ * by unit tests and by the control-replication determinism checks.
+ */
+class InlineExecutor final : public Executor {
+  public:
+    void Submit(std::function<void()> job) override { job(); }
+    void Drain() override {}
+};
+
+/**
+ * A fixed-size pool of background worker threads consuming a FIFO job
+ * queue. Models Legion's background worker threads that Apophenia's
+ * history-mining jobs execute on (paper section 6.3).
+ */
+class WorkerPool final : public Executor {
+  public:
+    explicit WorkerPool(std::size_t num_threads = 2);
+    ~WorkerPool() override;
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    void Submit(std::function<void()> job) override;
+    void Drain() override;
+
+    std::size_t NumThreads() const { return threads_.size(); }
+
+  private:
+    void WorkerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t in_flight_ = 0;
+    bool shutting_down_ = false;
+    std::vector<std::thread> threads_;
+};
+
+}  // namespace apo::support
+
+#endif  // APOPHENIA_SUPPORT_EXECUTOR_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Hashing utilities used to turn task launches into 64-bit tokens.
+ *
+ * Apophenia converts the application's task stream into a stream of
+ * hash tokens (paper section 4.1) so that trace identification becomes
+ * a string analysis problem. The hashes here are deterministic across
+ * runs and across simulated nodes, which the control-replication layer
+ * (section 5.1) relies on.
+ */
+#ifndef APOPHENIA_SUPPORT_HASH_H
+#define APOPHENIA_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace apo::support {
+
+/**
+ * The splitmix64 finalizer. A cheap, high-quality 64-bit mixer used as
+ * the basis for all token hashing.
+ */
+constexpr std::uint64_t SplitMix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Combine a new 64-bit value into an accumulated hash. Order-sensitive,
+ * so permuted region-requirement lists hash differently (as required:
+ * the dependence analysis is sensitive to argument order).
+ */
+constexpr std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t value)
+{
+    return SplitMix64(seed ^ (value + 0x9e3779b97f4a7c15ULL +
+                              (seed << 6) + (seed >> 2)));
+}
+
+/** FNV-1a over a byte string; used for hashing task names. */
+constexpr std::uint64_t Fnv1a(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+}  // namespace apo::support
+
+#endif  // APOPHENIA_SUPPORT_HASH_H

@@ -1,0 +1,55 @@
+#include "support/intervals.h"
+
+namespace apo::support {
+
+bool
+IntervalSet::OverlapsAny(std::size_t begin, std::size_t end) const
+{
+    if (end <= begin) {
+        return false;
+    }
+    // Candidate: the first stored interval whose begin is >= `begin`,
+    // and its predecessor. Only those two can overlap [begin, end).
+    auto it = by_begin_.lower_bound(begin);
+    if (it != by_begin_.end() && it->first < end) {
+        return true;
+    }
+    if (it != by_begin_.begin()) {
+        --it;
+        if (it->second > begin) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+IntervalSet::InsertIfDisjoint(std::size_t begin, std::size_t end)
+{
+    if (end <= begin || OverlapsAny(begin, end)) {
+        return false;
+    }
+    by_begin_.emplace(begin, end);
+    covered_ += end - begin;
+    return true;
+}
+
+std::vector<Interval>
+IntervalSet::ToVector() const
+{
+    std::vector<Interval> out;
+    out.reserve(by_begin_.size());
+    for (const auto& [b, e] : by_begin_) {
+        out.push_back(Interval{b, e});
+    }
+    return out;
+}
+
+void
+IntervalSet::Clear()
+{
+    by_begin_.clear();
+    covered_ = 0;
+}
+
+}  // namespace apo::support

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Disjoint half-open interval set over sequence positions.
+ *
+ * Used by the repeat-finding algorithm (paper Algorithm 2) to greedily
+ * select candidate occurrences that do not overlap previously selected
+ * ones, and by the trace-coverage metrics to measure how much of a task
+ * stream a matching function covers (paper section 3).
+ */
+#ifndef APOPHENIA_SUPPORT_INTERVALS_H
+#define APOPHENIA_SUPPORT_INTERVALS_H
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace apo::support {
+
+/** A half-open interval [begin, end) of positions in a sequence. */
+struct Interval {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t Length() const { return end - begin; }
+    bool Empty() const { return end <= begin; }
+
+    friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/** True iff the two half-open intervals share at least one position. */
+constexpr bool Overlaps(const Interval& a, const Interval& b)
+{
+    return a.begin < b.end && b.begin < a.end;
+}
+
+/**
+ * A set of pairwise-disjoint half-open intervals supporting
+ * O(log n) overlap queries and insertions.
+ */
+class IntervalSet {
+  public:
+    /** Returns true iff [begin, end) overlaps any stored interval. */
+    bool OverlapsAny(std::size_t begin, std::size_t end) const;
+    bool OverlapsAny(const Interval& i) const
+    {
+        return OverlapsAny(i.begin, i.end);
+    }
+
+    /**
+     * Insert [begin, end) if it is disjoint from all stored intervals.
+     * @return true if inserted, false if it overlapped (set unchanged).
+     */
+    bool InsertIfDisjoint(std::size_t begin, std::size_t end);
+    bool InsertIfDisjoint(const Interval& i)
+    {
+        return InsertIfDisjoint(i.begin, i.end);
+    }
+
+    /** Total number of positions covered by the set. */
+    std::size_t CoveredPositions() const { return covered_; }
+
+    /** Number of stored intervals. */
+    std::size_t Size() const { return by_begin_.size(); }
+
+    bool Empty() const { return by_begin_.empty(); }
+
+    /** All intervals in increasing position order. */
+    std::vector<Interval> ToVector() const;
+
+    void Clear();
+
+  private:
+    // Key: interval begin; value: interval end. Disjointness means the
+    // map order is also the position order.
+    std::map<std::size_t, std::size_t> by_begin_;
+    std::size_t covered_ = 0;
+};
+
+}  // namespace apo::support
+
+#endif  // APOPHENIA_SUPPORT_INTERVALS_H

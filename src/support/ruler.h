@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The ruler-function sampling schedule (paper section 4.4).
+ *
+ * Apophenia mines its task-history buffer at multiples of a scale
+ * factor m. At the k'th sampling point it analyzes the last
+ * m * 2^ruler(k) tokens, where ruler(k) is the 2-adic valuation of k
+ * (the exponent of the largest power of two dividing k). Small recent
+ * slices are analyzed often (responsiveness); the full buffer is
+ * analyzed rarely (quality / long traces); total work over a buffer of
+ * n tokens is O(n log n) slices summed, keeping the end-to-end analysis
+ * cost at O(n log^2 n).
+ */
+#ifndef APOPHENIA_SUPPORT_RULER_H
+#define APOPHENIA_SUPPORT_RULER_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace apo::support {
+
+/**
+ * The ruler function: number of times `k` is evenly divisible by two.
+ * Ruler(0) is defined as 0 for convenience (the sequence in the paper
+ * is 1-indexed).
+ */
+constexpr unsigned Ruler(std::uint64_t k)
+{
+    if (k == 0) {
+        return 0;
+    }
+    unsigned v = 0;
+    while ((k & 1) == 0) {
+        k >>= 1;
+        ++v;
+    }
+    return v;
+}
+
+/**
+ * Size of the buffer slice to analyze at the k'th sampling point
+ * (1-indexed), in tokens: scale * 2^Ruler(k), capped at `cap`.
+ *
+ * With scale = 1 and k = 1, 2, 3, 4, ... this yields the paper's
+ * sequence 1, 2, 1, 4, 1, 2, 1, 8, ... (figure 5).
+ */
+constexpr std::size_t RulerSampleLength(std::uint64_t k, std::size_t scale,
+                                        std::size_t cap)
+{
+    const unsigned v = Ruler(k);
+    // Guard the shift against overflow for adversarial k.
+    std::size_t len = scale;
+    for (unsigned i = 0; i < v; ++i) {
+        if (len >= cap) {
+            return cap;
+        }
+        len <<= 1;
+    }
+    return len < cap ? len : cap;
+}
+
+}  // namespace apo::support
+
+#endif  // APOPHENIA_SUPPORT_RULER_H

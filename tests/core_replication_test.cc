@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the control-replicated front-end (paper section 5.1): the
+ * agreement protocol must make every node issue a bit-identical call
+ * sequence to its runtime shard, regardless of per-node analysis
+ * completion jitter.
+ */
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/replication.h"
+#include "support/rng.h"
+
+namespace apo::core {
+namespace {
+
+ApopheniaConfig SmallConfig()
+{
+    ApopheniaConfig config;
+    config.min_trace_length = 5;
+    config.batchsize = 400;
+    config.multi_scale_factor = 50;
+    return config;
+}
+
+void DriveLoop(ReplicatedFrontEnd& fe, int iterations, int body)
+{
+    // All replicas share the same region naming because region ids are
+    // assigned deterministically per node.
+    std::vector<rt::RegionId> regions;
+    for (int i = 0; i < body; ++i) {
+        regions.push_back(fe.Node(0).CreateRegion());
+        for (std::size_t n = 1; n < fe.Nodes(); ++n) {
+            fe.Node(n).CreateRegion();
+        }
+    }
+    for (int iter = 0; iter < iterations; ++iter) {
+        for (int i = 0; i < body; ++i) {
+            fe.ExecuteTask(rt::TaskLaunch{
+                static_cast<rt::TaskId>(100 + i),
+                {{regions[i], 0, rt::Privilege::kReadOnly, 0},
+                 {regions[(i + 1) % body], 0, rt::Privilege::kReadWrite,
+                  0}}});
+        }
+    }
+    fe.Flush();
+}
+
+class ReplicationProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(ReplicationProperty, NodesIssueIdenticalStreams)
+{
+    const auto [nodes, seed] = GetParam();
+    ReplicationOptions options;
+    options.nodes = static_cast<std::size_t>(nodes);
+    options.seed = seed;
+    options.mean_latency_tasks = 120.0;
+    options.jitter = 0.9;  // adversarial: nodes finish far apart
+    ReplicatedFrontEnd fe(options, SmallConfig(), rt::RuntimeOptions{});
+    DriveLoop(fe, /*iterations=*/80, /*body=*/10);
+    EXPECT_TRUE(fe.StreamsIdentical());
+    // Tracing actually happened on every node.
+    for (std::size_t n = 0; n < fe.Nodes(); ++n) {
+        EXPECT_GT(fe.NodeRuntime(n).Stats().tasks_replayed, 0u)
+            << "node " << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReplicationProperty,
+    ::testing::Combine(::testing::Values(2, 3, 8),
+                       ::testing::Values<std::uint64_t>(1, 7, 42)));
+
+TEST(Replication, SlackAdaptsToSlowAnalyses)
+{
+    ReplicationOptions options;
+    options.nodes = 2;
+    options.seed = 5;
+    options.initial_slack = 1;        // far too tight
+    options.mean_latency_tasks = 300;  // analyses are slow
+    ReplicatedFrontEnd fe(options, SmallConfig(), rt::RuntimeOptions{});
+    DriveLoop(fe, 100, 10);
+    const auto& stats = fe.Coordination();
+    EXPECT_GT(stats.jobs_coordinated, 0u);
+    EXPECT_GT(stats.late_jobs, 0u);
+    EXPECT_GT(stats.final_slack, options.initial_slack);
+    EXPECT_TRUE(fe.StreamsIdentical());
+}
+
+TEST(Replication, GenerousSlackAvoidsLateJobs)
+{
+    ReplicationOptions options;
+    options.nodes = 2;
+    options.seed = 5;
+    options.initial_slack = 10000;  // comfortably above any latency
+    options.mean_latency_tasks = 50;
+    options.jitter = 0.5;
+    ReplicatedFrontEnd fe(options, SmallConfig(), rt::RuntimeOptions{});
+    DriveLoop(fe, 100, 10);
+    EXPECT_EQ(fe.Coordination().late_jobs, 0u);
+    EXPECT_TRUE(fe.StreamsIdentical());
+}
+
+TEST(Replication, SingleNodeDegeneratesGracefully)
+{
+    ReplicationOptions options;
+    options.nodes = 1;
+    ReplicatedFrontEnd fe(options, SmallConfig(), rt::RuntimeOptions{});
+    DriveLoop(fe, 50, 10);
+    EXPECT_TRUE(fe.StreamsIdentical());
+    EXPECT_GT(fe.NodeRuntime(0).Stats().tasks_replayed, 0u);
+}
+
+}  // namespace
+}  // namespace apo::core

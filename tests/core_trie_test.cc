@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the candidate trie, trace scoring, and the trace finder's
+ * sampling schedule and mining jobs.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/finder.h"
+#include "core/trie.h"
+#include "support/executor.h"
+
+namespace apo::core {
+namespace {
+
+std::vector<rt::TokenHash> Tokens(std::initializer_list<int> list)
+{
+    std::vector<rt::TokenHash> out;
+    for (int v : list) {
+        out.push_back(static_cast<rt::TokenHash>(v));
+    }
+    return out;
+}
+
+TEST(Trie, InsertAndStep)
+{
+    CandidateTrie trie;
+    trie.Insert(Tokens({1, 2, 3}), 2.0, 0, 1e9);
+    EXPECT_EQ(trie.NumCandidates(), 1u);
+    const auto* n1 = trie.Step(nullptr, 1);
+    ASSERT_NE(n1, nullptr);
+    EXPECT_EQ(CandidateTrie::CandidateAt(n1), nullptr);
+    const auto* n2 = trie.Step(n1, 2);
+    const auto* n3 = trie.Step(n2, 3);
+    ASSERT_NE(n3, nullptr);
+    const CandidateStats* stats = CandidateTrie::CandidateAt(n3);
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->length, 3u);
+    EXPECT_DOUBLE_EQ(stats->count, 2.0);
+    EXPECT_EQ(trie.Step(n3, 4), nullptr);
+    EXPECT_EQ(trie.Step(nullptr, 9), nullptr);
+}
+
+TEST(Trie, SharedPrefixesShareNodes)
+{
+    CandidateTrie trie;
+    trie.Insert(Tokens({1, 2, 3}), 1.0, 0, 1e9);
+    trie.Insert(Tokens({1, 2, 4}), 1.0, 0, 1e9);
+    trie.Insert(Tokens({1, 2}), 1.0, 0, 1e9);
+    EXPECT_EQ(trie.NumCandidates(), 3u);
+    // Root + nodes 1, 2, 3, 4 = 5 total.
+    EXPECT_EQ(trie.NumNodes(), 5u);
+    // {1,2} is a candidate at an interior node.
+    const auto* n = trie.Step(trie.Step(nullptr, 1), 2);
+    ASSERT_NE(CandidateTrie::CandidateAt(n), nullptr);
+    EXPECT_EQ(CandidateTrie::CandidateAt(n)->length, 2u);
+}
+
+TEST(Trie, ReinsertionAccumulatesCount)
+{
+    CandidateTrie trie;
+    auto& first = trie.Insert(Tokens({5, 6}), 2.0, 100, 1e9);
+    auto& second = trie.Insert(Tokens({5, 6}), 3.0, 200, 1e9);
+    EXPECT_EQ(&first, &second);
+    // Huge half-life: decay over 100 tasks is negligible.
+    EXPECT_NEAR(second.count, 5.0, 1e-6);
+    EXPECT_EQ(second.last_seen, 200u);
+    EXPECT_EQ(trie.NumCandidates(), 1u);
+}
+
+TEST(Trie, ReinsertionDecaysOldCount)
+{
+    CandidateTrie trie;
+    trie.Insert(Tokens({5, 6}), 8.0, 0, /*half_life=*/100);
+    // 100 tasks later the old count has halved.
+    auto& stats = trie.Insert(Tokens({5, 6}), 1.0, 100, 100);
+    EXPECT_DOUBLE_EQ(stats.count, 5.0);
+}
+
+TEST(Scorer, PrefersLongTraces)
+{
+    ApopheniaConfig config;
+    TraceScorer scorer(config);
+    CandidateStats short_trace{.id = 1, .length = 10, .count = 4,
+                               .last_seen = 0};
+    CandidateStats long_trace{.id = 2, .length = 100, .count = 4,
+                              .last_seen = 0};
+    EXPECT_GT(scorer.Score(long_trace, 0), scorer.Score(short_trace, 0));
+}
+
+TEST(Scorer, CountIsCapped)
+{
+    ApopheniaConfig config;
+    config.score_count_cap = 16.0;
+    TraceScorer scorer(config);
+    CandidateStats a{.id = 1, .length = 10, .count = 16, .last_seen = 0};
+    CandidateStats b{.id = 2, .length = 10, .count = 1000, .last_seen = 0};
+    EXPECT_DOUBLE_EQ(scorer.Score(a, 0), scorer.Score(b, 0));
+}
+
+TEST(Scorer, CountDecaysWithInactivity)
+{
+    ApopheniaConfig config;
+    config.score_decay_half_life = 1000.0;
+    TraceScorer scorer(config);
+    CandidateStats c{.id = 1, .length = 10, .count = 8, .last_seen = 0};
+    const double fresh = scorer.Score(c, 0);
+    const double stale = scorer.Score(c, 2000);  // two half-lives
+    EXPECT_DOUBLE_EQ(stale, fresh / 4.0);
+}
+
+TEST(Scorer, ReplayedTraceGetsBonus)
+{
+    ApopheniaConfig config;
+    TraceScorer scorer(config);
+    CandidateStats a{.id = 1, .length = 10, .count = 4, .last_seen = 0};
+    CandidateStats b = a;
+    b.replays = 1;
+    EXPECT_GT(scorer.Score(b, 0), scorer.Score(a, 0));
+    EXPECT_NEAR(scorer.Score(b, 0),
+                scorer.Score(a, 0) * config.score_replayed_bonus, 1e-9);
+}
+
+TEST(Finder, LaunchesJobsOnRulerSchedule)
+{
+    ApopheniaConfig config;
+    config.min_trace_length = 2;
+    config.multi_scale_factor = 10;
+    config.batchsize = 80;
+    support::InlineExecutor exec;
+    TraceFinder finder(config, exec);
+    // 80 tokens of a 4-periodic stream.
+    for (std::uint64_t i = 1; i <= 80; ++i) {
+        finder.Observe(i % 4, i);
+    }
+    // Sampling points at 10,20,...,80 with slice lengths
+    // 10,20,10,40,10,20,10,80.
+    EXPECT_EQ(finder.Stats().jobs_launched, 8u);
+    const std::vector<std::size_t> expected{10, 20, 10, 40, 10, 20, 10, 80};
+    ASSERT_EQ(finder.Jobs().size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(finder.Jobs()[i]->slice_length, expected[i]) << i;
+        EXPECT_TRUE(finder.Jobs()[i]->done.load());
+    }
+    EXPECT_EQ(finder.Stats().tokens_analyzed, 10u + 20 + 10 + 40 + 10 + 20 +
+                                                  10 + 80);
+}
+
+TEST(Finder, SliceIsCappedByBatchsize)
+{
+    ApopheniaConfig config;
+    config.min_trace_length = 2;
+    config.multi_scale_factor = 10;
+    config.batchsize = 40;  // window smaller than the stream
+    support::InlineExecutor exec;
+    TraceFinder finder(config, exec);
+    for (std::uint64_t i = 1; i <= 400; ++i) {
+        finder.Observe(i % 4, i);
+    }
+    for (const auto& job : finder.Jobs()) {
+        EXPECT_LE(job->slice_length, 40u);
+    }
+}
+
+TEST(Finder, BatchedModeAnalyzesOnlyFullBuffers)
+{
+    ApopheniaConfig config;
+    config.min_trace_length = 2;
+    config.identifier_algorithm = IdentifierAlgorithm::kBatched;
+    config.batchsize = 50;
+    support::InlineExecutor exec;
+    TraceFinder finder(config, exec);
+    for (std::uint64_t i = 1; i <= 149; ++i) {
+        finder.Observe(i % 4, i);
+    }
+    EXPECT_EQ(finder.Stats().jobs_launched, 2u);  // at 50 and 100
+    for (const auto& job : finder.Jobs()) {
+        EXPECT_EQ(job->slice_length, 50u);
+    }
+}
+
+TEST(Finder, TinySlicesAreSkipped)
+{
+    ApopheniaConfig config;
+    config.min_trace_length = 20;  // a 10-token slice can't repeat it
+    config.multi_scale_factor = 10;
+    config.batchsize = 80;
+    support::InlineExecutor exec;
+    TraceFinder finder(config, exec);
+    for (std::uint64_t i = 1; i <= 30; ++i) {
+        finder.Observe(i % 4, i);
+    }
+    // Slices of 10 and 20 are below 2*min_trace_length = 40: skipped.
+    EXPECT_EQ(finder.Stats().jobs_launched, 0u);
+}
+
+TEST(MineSlice, FindsLoopAndFiltersSingletons)
+{
+    ApopheniaConfig config;
+    config.min_trace_length = 3;
+    std::vector<rt::TokenHash> slice;
+    for (int i = 0; i < 60; ++i) {
+        slice.push_back(i % 6);
+    }
+    const auto candidates = MineSlice(slice, config);
+    ASSERT_FALSE(candidates.empty());
+    for (const auto& c : candidates) {
+        EXPECT_GE(c.tokens.size(), config.min_trace_length);
+        EXPECT_GE(c.occurrences, 2.0);
+    }
+}
+
+TEST(MineSlice, ChunksLongCandidatesToMaxLength)
+{
+    ApopheniaConfig config;
+    config.min_trace_length = 3;
+    config.max_trace_length = 10;
+    std::vector<rt::TokenHash> slice;
+    for (int rep = 0; rep < 2; ++rep) {
+        for (int i = 0; i < 25; ++i) {
+            slice.push_back(100 + i);  // 25-token body, twice
+        }
+    }
+    const auto candidates = MineSlice(slice, config);
+    ASSERT_FALSE(candidates.empty());
+    std::size_t total = 0;
+    for (const auto& c : candidates) {
+        EXPECT_LE(c.tokens.size(), 10u);
+        total += c.tokens.size();
+    }
+    // 25 = 10 + 10 + 5: all three chunks are viable (5 >= min 3).
+    EXPECT_EQ(total, 25u);
+}
+
+TEST(MineSlice, DropsChunkTailBelowMinLength)
+{
+    ApopheniaConfig config;
+    config.min_trace_length = 4;
+    config.max_trace_length = 8;
+    std::vector<rt::TokenHash> slice;
+    for (int rep = 0; rep < 2; ++rep) {
+        for (int i = 0; i < 11; ++i) {  // 11 = 8 + 3; tail 3 < min 4
+            slice.push_back(100 + i);
+        }
+    }
+    const auto candidates = MineSlice(slice, config);
+    std::size_t total = 0;
+    for (const auto& c : candidates) {
+        total += c.tokens.size();
+    }
+    EXPECT_EQ(total, 8u);
+}
+
+}  // namespace
+}  // namespace apo::core

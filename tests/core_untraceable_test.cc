@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Apophenia's handling of untraceable operations and the extended
+ * runtime flags: traces must form around (never across) operations
+ * that cannot be memoized, and the -lg:window /
+ * -lg:inline_transitive_reduction flags parse.
+ */
+#include <gtest/gtest.h>
+
+#include "core/apophenia.h"
+#include "core/config.h"
+#include "runtime/runtime.h"
+
+namespace apo::core {
+namespace {
+
+ApopheniaConfig SmallConfig()
+{
+    ApopheniaConfig config;
+    config.min_trace_length = 5;
+    config.batchsize = 500;
+    config.multi_scale_factor = 50;
+    return config;
+}
+
+/** A loop whose every iteration ends with an untraceable hand-off —
+ * the structure a manual annotation around the loop body cannot
+ * handle and Apophenia must trace around. */
+void DriveLoopWithHandoffs(Apophenia& fe, int iterations,
+                           std::size_t body, int handoff_every)
+{
+    std::vector<rt::RegionId> regions;
+    for (std::size_t i = 0; i < body; ++i) {
+        regions.push_back(fe.CreateRegion());
+    }
+    for (int it = 0; it < iterations; ++it) {
+        for (std::size_t i = 0; i < body; ++i) {
+            fe.ExecuteTask(rt::TaskLaunch{
+                100 + static_cast<rt::TaskId>(i),
+                {{regions[i], 0, rt::Privilege::kReadOnly, 0},
+                 {regions[(i + 1) % body], 0, rt::Privilege::kReadWrite,
+                  0}}});
+        }
+        if (handoff_every != 0 && it % handoff_every == handoff_every - 1) {
+            rt::TaskLaunch io{999,
+                              {{regions[0], 0, rt::Privilege::kReadWrite,
+                                0}}};
+            io.traceable = false;
+            fe.ExecuteTask(io);
+        }
+    }
+    fe.Flush();
+}
+
+TEST(Untraceable, ApopheniaNeverPutsThemInsideTraces)
+{
+    rt::Runtime runtime;  // strict: any attempt would throw
+    Apophenia fe(runtime, SmallConfig());
+    DriveLoopWithHandoffs(fe, 120, 10, 3);
+    // Tracing succeeded around the hand-offs...
+    EXPECT_GT(runtime.Stats().ReplayedFraction(), 0.5);
+    EXPECT_EQ(runtime.Stats().trace_mismatches, 0u);
+    // ...and every untraceable operation ran as plain analysis.
+    for (const auto& op : runtime.Log()) {
+        if (!op.launch.traceable) {
+            EXPECT_EQ(op.mode, rt::AnalysisMode::kAnalyzed);
+            EXPECT_EQ(op.trace, rt::kNoTrace);
+        }
+    }
+}
+
+TEST(Untraceable, FrequentHandoffsStillAllowPartialTracing)
+{
+    rt::Runtime runtime;
+    Apophenia fe(runtime, SmallConfig());
+    DriveLoopWithHandoffs(fe, 150, 12, 1);  // hand-off EVERY iteration
+    EXPECT_GT(runtime.Stats().ReplayedFraction(), 0.4);
+    EXPECT_EQ(runtime.Stats().trace_mismatches, 0u);
+}
+
+TEST(Untraceable, UniqueTokensNeverFormCandidates)
+{
+    // A stream of nothing but untraceable operations must find no
+    // traces at all (every token is unique).
+    rt::Runtime runtime;
+    Apophenia fe(runtime, SmallConfig());
+    const rt::RegionId r = fe.CreateRegion();
+    for (int i = 0; i < 300; ++i) {
+        rt::TaskLaunch io{1, {{r, 0, rt::Privilege::kReadOnly, 0}}};
+        io.traceable = false;
+        fe.ExecuteTask(io);
+    }
+    fe.Flush();
+    EXPECT_EQ(runtime.Stats().tasks_replayed, 0u);
+    EXPECT_EQ(fe.Trie().NumCandidates(), 0u);
+}
+
+TEST(Config, WindowAndReductionFlagsParse)
+{
+    std::vector<std::string> args{
+        "-lg:enable_automatic_tracing", "-lg:inline_transitive_reduction",
+        "-lg:window", "30000"};
+    const ApopheniaConfig config = ParseApopheniaFlags(args);
+    EXPECT_TRUE(config.enabled);
+    EXPECT_TRUE(config.inline_transitive_reduction);
+    EXPECT_EQ(config.window, 30000u);
+    EXPECT_TRUE(args.empty());
+}
+
+TEST(Config, DefaultWindowMatchesArtifact)
+{
+    const ApopheniaConfig config;
+    EXPECT_EQ(config.window, 30000u);
+    EXPECT_FALSE(config.inline_transitive_reduction);
+}
+
+}  // namespace
+}  // namespace apo::core

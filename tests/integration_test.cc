@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Cross-module integration properties over the whole stack
+ * (applications → Apophenia → runtime → simulator):
+ *
+ *  - end-to-end determinism: identical runs produce bit-identical
+ *    operation logs and simulated timings;
+ *  - semantic transparency: for every workload and tracing mode, the
+ *    dependence graph equals the untraced graph;
+ *  - replication over real applications;
+ *  - configuration robustness: every identifier/repeats-algorithm
+ *    combination produces a correct (if not always fast) stream.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/cfd.h"
+#include "apps/flexflow.h"
+#include "apps/htr.h"
+#include "apps/s3d.h"
+#include "apps/sink.h"
+#include "apps/torchswe.h"
+#include "core/replication.h"
+#include "sim/harness.h"
+
+namespace apo {
+namespace {
+
+apps::MachineConfig SmallMachine()
+{
+    apps::MachineConfig m;
+    m.nodes = 2;
+    m.gpus_per_node = 2;
+    return m;
+}
+
+core::ApopheniaConfig SmallConfig()
+{
+    core::ApopheniaConfig config;
+    config.min_trace_length = 10;
+    config.batchsize = 1500;
+    config.multi_scale_factor = 100;
+    return config;
+}
+
+template <typename App, typename Options>
+std::unique_ptr<rt::Runtime> RunAuto(Options options, std::size_t iters)
+{
+    auto runtime = std::make_unique<rt::Runtime>();
+    core::Apophenia fe(*runtime, SmallConfig());
+    apps::AutoSink sink(fe);
+    App app(options);
+    app.Setup(sink);
+    for (std::size_t i = 0; i < iters; ++i) {
+        app.Iteration(sink, i, false);
+    }
+    sink.Flush();
+    return runtime;
+}
+
+template <typename App, typename Options>
+std::unique_ptr<rt::Runtime> RunUntraced(Options options,
+                                         std::size_t iters)
+{
+    auto runtime = std::make_unique<rt::Runtime>();
+    apps::UntracedSink sink(*runtime);
+    App app(options);
+    app.Setup(sink);
+    for (std::size_t i = 0; i < iters; ++i) {
+        app.Iteration(sink, i, false);
+    }
+    return runtime;
+}
+
+template <typename App, typename Options>
+void ExpectGraphTransparency(Options options, std::size_t iters)
+{
+    const auto traced = RunAuto<App>(options, iters);
+    const auto untraced = RunUntraced<App>(options, iters);
+    ASSERT_EQ(traced->Log().size(), untraced->Log().size());
+    for (std::size_t i = 0; i < traced->Log().size(); ++i) {
+        ASSERT_EQ(traced->Log()[i].token, untraced->Log()[i].token)
+            << "op " << i;
+        ASSERT_EQ(traced->Log()[i].dependences,
+                  untraced->Log()[i].dependences)
+            << "op " << i;
+    }
+    EXPECT_GT(traced->Stats().tasks_replayed, 0u);
+}
+
+TEST(Integration, GraphTransparencyS3d)
+{
+    ExpectGraphTransparency<apps::S3dApplication>(
+        apps::S3dOptions{.machine = SmallMachine()}, 60);
+}
+
+TEST(Integration, GraphTransparencyHtr)
+{
+    ExpectGraphTransparency<apps::HtrApplication>(
+        apps::HtrOptions{.machine = SmallMachine()}, 50);
+}
+
+TEST(Integration, GraphTransparencyCfd)
+{
+    ExpectGraphTransparency<apps::CfdApplication>(
+        apps::CfdOptions{.machine = SmallMachine()}, 120);
+}
+
+TEST(Integration, GraphTransparencyTorchSwe)
+{
+    apps::TorchSweOptions options{.machine = SmallMachine()};
+    options.allocation_pool_budget = 150;
+    ExpectGraphTransparency<apps::TorchSweApplication>(options, 80);
+}
+
+TEST(Integration, GraphTransparencyFlexFlow)
+{
+    ExpectGraphTransparency<apps::FlexFlowApplication>(
+        apps::FlexFlowOptions{.machine = SmallMachine()}, 40);
+}
+
+TEST(Integration, EndToEndRunsAreDeterministic)
+{
+    auto a = RunAuto<apps::CfdApplication>(
+        apps::CfdOptions{.machine = SmallMachine()}, 100);
+    auto b = RunAuto<apps::CfdApplication>(
+        apps::CfdOptions{.machine = SmallMachine()}, 100);
+    ASSERT_EQ(a->Log().size(), b->Log().size());
+    for (std::size_t i = 0; i < a->Log().size(); ++i) {
+        ASSERT_EQ(a->Log()[i].token, b->Log()[i].token);
+        ASSERT_EQ(a->Log()[i].mode, b->Log()[i].mode);
+        ASSERT_EQ(a->Log()[i].trace, b->Log()[i].trace);
+    }
+    EXPECT_EQ(a->Stats().trace_replays, b->Stats().trace_replays);
+}
+
+TEST(Integration, SimulatedTimingIsDeterministic)
+{
+    auto run = [] {
+        apps::S3dOptions options;
+        options.machine = SmallMachine();
+        apps::S3dApplication app(options);
+        sim::ExperimentOptions experiment;
+        experiment.machine = options.machine;
+        experiment.iterations = 40;
+        experiment.mode = sim::TracingMode::kAuto;
+        experiment.auto_config = SmallConfig();
+        return sim::RunExperiment(app, experiment);
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_DOUBLE_EQ(a.iterations_per_second, b.iterations_per_second);
+    EXPECT_DOUBLE_EQ(a.makespan_us, b.makespan_us);
+}
+
+TEST(Integration, ReplicationOverRealApplication)
+{
+    // Control replication over the S3D skeleton, hand-offs included.
+    core::ReplicationOptions options;
+    options.nodes = 3;
+    options.seed = 11;
+    options.mean_latency_tasks = 150.0;
+    options.jitter = 0.8;
+    apps::S3dOptions app_options;
+    app_options.machine = SmallMachine();
+    // Control replication: the same program runs on every node, so
+    // capture its canonical launch stream once...
+    rt::Runtime staging;
+    apps::RuntimeSink staging_sink(staging);
+    apps::S3dApplication staging_app(app_options);
+    staging_app.Setup(staging_sink);
+    for (std::size_t i = 0; i < 50; ++i) {
+        staging_app.Iteration(staging_sink, i, false);
+    }
+    // ...then feed it through every replica in lockstep.
+    core::ReplicatedFrontEnd group(options, SmallConfig(),
+                                   rt::RuntimeOptions{});
+    for (const auto& op : staging.Log()) {
+        group.ExecuteTask(op.launch);
+    }
+    group.Flush();
+    EXPECT_TRUE(group.StreamsIdentical());
+    EXPECT_GT(group.NodeRuntime(0).Stats().tasks_replayed, 0u);
+}
+
+struct ConfigCase {
+    core::IdentifierAlgorithm identifier;
+    core::RepeatsAlgorithm repeats;
+};
+
+class ConfigMatrix : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(ConfigMatrix, EveryAlgorithmCombinationIsCorrect)
+{
+    // Alternative identifiers/algorithms may trace less, but the
+    // stream and graph must always be correct.
+    const auto [identifier, repeats] = GetParam();
+    core::ApopheniaConfig config = SmallConfig();
+    config.identifier_algorithm = identifier;
+    config.repeats_algorithm = repeats;
+
+    auto runtime = std::make_unique<rt::Runtime>();
+    core::Apophenia fe(*runtime, config);
+    apps::AutoSink sink(fe);
+    apps::S3dOptions options;
+    options.machine = SmallMachine();
+    apps::S3dApplication app(options);
+    app.Setup(sink);
+    for (std::size_t i = 0; i < 40; ++i) {
+        app.Iteration(sink, i, false);
+    }
+    sink.Flush();
+
+    const auto untraced = RunUntraced<apps::S3dApplication>(options, 40);
+    ASSERT_EQ(runtime->Log().size(), untraced->Log().size());
+    for (std::size_t i = 0; i < runtime->Log().size(); ++i) {
+        ASSERT_EQ(runtime->Log()[i].token, untraced->Log()[i].token);
+        ASSERT_EQ(runtime->Log()[i].dependences,
+                  untraced->Log()[i].dependences);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, ConfigMatrix,
+    ::testing::Values(
+        ConfigCase{core::IdentifierAlgorithm::kMultiScale,
+                   core::RepeatsAlgorithm::kQuickMatchingOfSubstrings},
+        ConfigCase{core::IdentifierAlgorithm::kBatched,
+                   core::RepeatsAlgorithm::kQuickMatchingOfSubstrings},
+        ConfigCase{core::IdentifierAlgorithm::kMultiScale,
+                   core::RepeatsAlgorithm::kTandem},
+        ConfigCase{core::IdentifierAlgorithm::kMultiScale,
+                   core::RepeatsAlgorithm::kLzw},
+        ConfigCase{core::IdentifierAlgorithm::kMultiScale,
+                   core::RepeatsAlgorithm::kQuadratic}));
+
+}  // namespace
+}  // namespace apo

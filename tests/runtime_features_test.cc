@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the runtime's extended operation set and resource bounds:
+ * fills and copies (traceable non-task operations, paper section 4.1),
+ * untraceable operations (the composition hazard of section 1), and
+ * trace-template cache eviction.
+ */
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.h"
+
+namespace apo::rt {
+namespace {
+
+TEST(FillCopy, FillBehavesAsAWriter)
+{
+    Runtime rt;
+    const RegionId r = rt.CreateRegion();
+    rt.ExecuteTask(FillLaunch(r, 0));
+    rt.ExecuteTask(TaskLaunch{1, {{r, 0, Privilege::kReadOnly, 0}}});
+    ASSERT_EQ(rt.Log()[1].dependences.size(), 1u);
+    EXPECT_EQ(rt.Log()[1].dependences[0].from, 0u);
+    EXPECT_EQ(rt.Log()[1].dependences[0].kind, DependenceKind::kTrue);
+}
+
+TEST(FillCopy, CopyConnectsSourceAndDestination)
+{
+    Runtime rt;
+    const RegionId a = rt.CreateRegion();
+    const RegionId b = rt.CreateRegion();
+    rt.ExecuteTask(FillLaunch(a, 0));
+    rt.ExecuteTask(CopyLaunch(a, 0, b, 0));
+    rt.ExecuteTask(TaskLaunch{1, {{b, 0, Privilege::kReadOnly, 0}}});
+    // Copy depends on the fill (reads a); the read depends on the copy.
+    ASSERT_EQ(rt.Log()[1].dependences.size(), 1u);
+    EXPECT_EQ(rt.Log()[1].dependences[0].from, 0u);
+    ASSERT_EQ(rt.Log()[2].dependences.size(), 1u);
+    EXPECT_EQ(rt.Log()[2].dependences[0].from, 1u);
+}
+
+TEST(FillCopy, FillsAndCopiesAreTraceable)
+{
+    // Non-task operations participate in traces like tasks do.
+    Runtime rt;
+    const RegionId a = rt.CreateRegion();
+    const RegionId b = rt.CreateRegion();
+    for (int i = 0; i < 3; ++i) {
+        rt.BeginTrace(1);
+        rt.ExecuteTask(FillLaunch(a, 0));
+        rt.ExecuteTask(CopyLaunch(a, 0, b, 0));
+        rt.ExecuteTask(TaskLaunch{1, {{b, 0, Privilege::kReadOnly, 0}}});
+        rt.EndTrace(1);
+    }
+    EXPECT_EQ(rt.Stats().trace_replays, 2u);
+    EXPECT_EQ(rt.Stats().tasks_replayed, 6u);
+}
+
+TEST(FillCopy, DistinctOperationsHashDifferently)
+{
+    const RegionId r{7};
+    EXPECT_NE(HashLaunch(FillLaunch(r, 0)),
+              HashLaunch(CopyLaunch(r, 0, r, 1)));
+    EXPECT_NE(HashLaunch(FillLaunch(r, 0)), HashLaunch(FillLaunch(r, 1)));
+}
+
+TEST(Untraceable, RecordingAnUntraceableOperationThrows)
+{
+    Runtime rt;
+    const RegionId r = rt.CreateRegion();
+    TaskLaunch io{1, {{r, 0, Privilege::kReadWrite, 0}}};
+    io.traceable = false;
+    rt.BeginTrace(1);
+    EXPECT_THROW(rt.ExecuteTask(io), TraceMismatchError);
+}
+
+TEST(Untraceable, ReplayingAnUntraceableOperationThrows)
+{
+    Runtime rt;
+    const RegionId r = rt.CreateRegion();
+    rt.BeginTrace(1);
+    rt.ExecuteTask(TaskLaunch{1, {{r, 0, Privilege::kReadOnly, 0}}});
+    rt.EndTrace(1);
+    rt.BeginTrace(1);
+    TaskLaunch io{1, {{r, 0, Privilege::kReadOnly, 0}}};
+    io.traceable = false;
+    EXPECT_THROW(rt.ExecuteTask(io), TraceMismatchError);
+}
+
+TEST(Untraceable, FallbackPolicyAbandonsTheRecording)
+{
+    Runtime rt(RuntimeOptions{.mismatch_policy = MismatchPolicy::kFallback});
+    const RegionId r = rt.CreateRegion();
+    TaskLaunch io{1, {{r, 0, Privilege::kReadWrite, 0}}};
+    io.traceable = false;
+    rt.BeginTrace(1);
+    rt.ExecuteTask(TaskLaunch{2, {{r, 0, Privilege::kReadOnly, 0}}});
+    rt.ExecuteTask(io);  // abandons the recording
+    rt.ExecuteTask(TaskLaunch{3, {{r, 0, Privilege::kReadOnly, 0}}});
+    rt.EndTrace(1);  // tolerated after the abandonment
+    EXPECT_EQ(rt.Stats().trace_mismatches, 1u);
+    EXPECT_FALSE(rt.HasTrace(1));  // nothing was memoized
+    // Dependences are still correct: op 2 (io write) orders the rest.
+    ASSERT_EQ(rt.Log()[2].dependences.size(), 1u);
+}
+
+TEST(Untraceable, OutsideTracesItIsJustAnOperation)
+{
+    Runtime rt;
+    const RegionId r = rt.CreateRegion();
+    TaskLaunch io{1, {{r, 0, Privilege::kReadWrite, 0}}};
+    io.traceable = false;
+    rt.ExecuteTask(io);
+    rt.ExecuteTask(TaskLaunch{2, {{r, 0, Privilege::kReadOnly, 0}}});
+    EXPECT_EQ(rt.Log()[1].dependences.size(), 1u);
+}
+
+TEST(Eviction, LeastRecentlyUsedTemplateIsEvicted)
+{
+    RuntimeOptions options;
+    options.max_trace_templates = 2;
+    Runtime rt(options);
+    const RegionId r = rt.CreateRegion();
+    auto record = [&](TraceId id) {
+        rt.BeginTrace(id);
+        rt.ExecuteTask(
+            TaskLaunch{id, {{r, 0, Privilege::kReadOnly, 0}}});
+        rt.EndTrace(id);
+    };
+    record(1);
+    record(2);
+    EXPECT_TRUE(rt.HasTrace(1));
+    EXPECT_TRUE(rt.HasTrace(2));
+    record(3);  // evicts trace 1 (least recently used)
+    EXPECT_FALSE(rt.HasTrace(1));
+    EXPECT_TRUE(rt.HasTrace(2));
+    EXPECT_TRUE(rt.HasTrace(3));
+    EXPECT_EQ(rt.Stats().traces_evicted, 1u);
+}
+
+TEST(Eviction, ReplayRefreshesRecency)
+{
+    RuntimeOptions options;
+    options.max_trace_templates = 2;
+    Runtime rt(options);
+    const RegionId r = rt.CreateRegion();
+    auto issue = [&](TraceId id) {
+        rt.BeginTrace(id);
+        rt.ExecuteTask(
+            TaskLaunch{id, {{r, 0, Privilege::kReadOnly, 0}}});
+        rt.EndTrace(id);
+    };
+    issue(1);
+    issue(2);
+    issue(1);  // replay: trace 1 becomes most recent
+    issue(3);  // must evict trace 2, not trace 1
+    EXPECT_TRUE(rt.HasTrace(1));
+    EXPECT_FALSE(rt.HasTrace(2));
+    EXPECT_TRUE(rt.HasTrace(3));
+}
+
+TEST(Eviction, EvictedTraceReRecordsTransparently)
+{
+    RuntimeOptions options;
+    options.max_trace_templates = 1;
+    Runtime rt(options);
+    const RegionId r = rt.CreateRegion();
+    auto issue = [&](TraceId id) {
+        rt.BeginTrace(id);
+        rt.ExecuteTask(
+            TaskLaunch{id, {{r, 0, Privilege::kReadOnly, 0}}});
+        rt.EndTrace(id);
+    };
+    issue(1);
+    issue(2);  // evicts 1
+    issue(1);  // records 1 again — no error, costs α_m again
+    EXPECT_EQ(rt.Stats().traces_recorded, 3u);
+    EXPECT_EQ(rt.Stats().trace_replays, 0u);
+    issue(1);  // now replays
+    EXPECT_EQ(rt.Stats().trace_replays, 1u);
+}
+
+TEST(Eviction, UnlimitedByDefault)
+{
+    Runtime rt;
+    const RegionId r = rt.CreateRegion();
+    for (TraceId id = 1; id <= 50; ++id) {
+        rt.BeginTrace(id);
+        rt.ExecuteTask(
+            TaskLaunch{id, {{r, 0, Privilege::kReadOnly, 0}}});
+        rt.EndTrace(id);
+    }
+    EXPECT_EQ(rt.Traces().Size(), 50u);
+    EXPECT_EQ(rt.Stats().traces_evicted, 0u);
+}
+
+}  // namespace
+}  // namespace apo::rt

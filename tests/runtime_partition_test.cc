@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the region tree: partitions, aliasing, and the parent/
+ * child interference rules of the dependence analysis. Ends with the
+ * combination that motivates the whole feature: tracing a stream that
+ * mixes per-subregion tasks with whole-region (parent) operations.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/apophenia.h"
+#include "runtime/runtime.h"
+
+namespace apo::rt {
+namespace {
+
+std::set<std::size_t> Sources(const Operation& op)
+{
+    std::set<std::size_t> out;
+    for (const Dependence& d : op.dependences) {
+        out.insert(d.from);
+    }
+    return out;
+}
+
+TEST(RegionTree, PartitionCreatesDistinctSubregions)
+{
+    Runtime rt;
+    const RegionId parent = rt.CreateRegion();
+    const auto subs = rt.PartitionRegion(parent, 4);
+    ASSERT_EQ(subs.size(), 4u);
+    std::set<std::uint64_t> ids{parent.value};
+    for (const RegionId s : subs) {
+        EXPECT_TRUE(ids.insert(s.value).second);
+        EXPECT_EQ(rt.Forest().ParentOf(s), parent);
+        EXPECT_EQ(rt.Forest().RootOf(s), parent);
+        EXPECT_EQ(rt.Forest().DepthOf(s), 1u);
+    }
+}
+
+TEST(RegionTree, AliasingRules)
+{
+    Runtime rt;
+    const RegionId a = rt.CreateRegion();
+    const RegionId b = rt.CreateRegion();
+    const auto subs = rt.PartitionRegion(a, 2);
+    const auto grand = rt.PartitionRegion(subs[0], 2);
+    const auto& forest = rt.Forest();
+    // Self and ancestor/descendant alias.
+    EXPECT_TRUE(forest.Aliases(a, a));
+    EXPECT_TRUE(forest.Aliases(a, subs[0]));
+    EXPECT_TRUE(forest.Aliases(subs[1], a));
+    EXPECT_TRUE(forest.Aliases(a, grand[1]));
+    EXPECT_TRUE(forest.Aliases(grand[0], subs[0]));
+    // Disjoint siblings and cousins do not.
+    EXPECT_FALSE(forest.Aliases(subs[0], subs[1]));
+    EXPECT_FALSE(forest.Aliases(grand[0], grand[1]));
+    EXPECT_FALSE(forest.Aliases(grand[0], subs[1]));
+    // Different trees never alias.
+    EXPECT_FALSE(forest.Aliases(a, b));
+    EXPECT_FALSE(forest.Aliases(grand[0], b));
+}
+
+TEST(RegionTree, RemoveRequiresLeaf)
+{
+    Runtime rt;
+    const RegionId parent = rt.CreateRegion();
+    const auto subs = rt.PartitionRegion(parent, 2);
+    EXPECT_THROW(rt.DestroyRegion(parent), RuntimeUsageError);
+    rt.DestroyRegion(subs[0]);
+    rt.DestroyRegion(subs[1]);
+    rt.DestroyRegion(parent);  // now a leaf
+    EXPECT_FALSE(rt.Forest().Contains(parent));
+}
+
+TEST(RegionTree, PartitionOfZeroThrows)
+{
+    Runtime rt;
+    const RegionId parent = rt.CreateRegion();
+    EXPECT_THROW(rt.PartitionRegion(parent, 0), RuntimeUsageError);
+}
+
+TEST(PartitionAnalysis, SiblingsRunIndependently)
+{
+    Runtime rt;
+    const RegionId parent = rt.CreateRegion();
+    const auto subs = rt.PartitionRegion(parent, 2);
+    rt.ExecuteTask(
+        TaskLaunch{1, {{subs[0], 0, Privilege::kReadWrite, 0}}});
+    rt.ExecuteTask(
+        TaskLaunch{2, {{subs[1], 0, Privilege::kReadWrite, 0}}});
+    EXPECT_TRUE(rt.Log()[1].dependences.empty());
+}
+
+TEST(PartitionAnalysis, ChildWriteOrdersAgainstParentWrite)
+{
+    Runtime rt;
+    const RegionId parent = rt.CreateRegion();
+    const auto subs = rt.PartitionRegion(parent, 2);
+    rt.ExecuteTask(
+        TaskLaunch{1, {{parent, 0, Privilege::kReadWrite, 0}}});
+    rt.ExecuteTask(
+        TaskLaunch{2, {{subs[0], 0, Privilege::kReadWrite, 0}}});
+    EXPECT_EQ(Sources(rt.Log()[1]), (std::set<std::size_t>{0}));
+}
+
+TEST(PartitionAnalysis, ParentReadSeesChildWrites)
+{
+    Runtime rt;
+    const RegionId parent = rt.CreateRegion();
+    const auto subs = rt.PartitionRegion(parent, 3);
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+        rt.ExecuteTask(TaskLaunch{
+            static_cast<TaskId>(1 + i),
+            {{subs[i], 0, Privilege::kWriteDiscard, 0}}});
+    }
+    rt.ExecuteTask(
+        TaskLaunch{9, {{parent, 0, Privilege::kReadOnly, 0}}});
+    EXPECT_EQ(Sources(rt.Log()[3]), (std::set<std::size_t>{0, 1, 2}));
+}
+
+TEST(PartitionAnalysis, ParentWriteFencesChildReaders)
+{
+    Runtime rt;
+    const RegionId parent = rt.CreateRegion();
+    const auto subs = rt.PartitionRegion(parent, 2);
+    rt.ExecuteTask(
+        TaskLaunch{1, {{subs[0], 0, Privilege::kReadOnly, 0}}});
+    rt.ExecuteTask(
+        TaskLaunch{2, {{subs[1], 0, Privilege::kReadOnly, 0}}});
+    rt.ExecuteTask(
+        TaskLaunch{3, {{parent, 0, Privilege::kWriteDiscard, 0}}});
+    EXPECT_EQ(Sources(rt.Log()[2]), (std::set<std::size_t>{0, 1}));
+}
+
+TEST(PartitionAnalysis, GrandchildOrdersAgainstGrandparent)
+{
+    Runtime rt;
+    const RegionId root = rt.CreateRegion();
+    const auto mid = rt.PartitionRegion(root, 2);
+    const auto leaf = rt.PartitionRegion(mid[0], 2);
+    rt.ExecuteTask(TaskLaunch{1, {{root, 0, Privilege::kReadWrite, 0}}});
+    rt.ExecuteTask(
+        TaskLaunch{2, {{leaf[1], 0, Privilege::kReadOnly, 0}}});
+    EXPECT_EQ(Sources(rt.Log()[1]), (std::set<std::size_t>{0}));
+}
+
+TEST(PartitionAnalysis, FieldsRemainIndependentAcrossTheTree)
+{
+    Runtime rt;
+    const RegionId parent = rt.CreateRegion();
+    const auto subs = rt.PartitionRegion(parent, 2);
+    rt.ExecuteTask(
+        TaskLaunch{1, {{parent, 0, Privilege::kReadWrite, 0}}});
+    rt.ExecuteTask(
+        TaskLaunch{2, {{subs[0], 1, Privilege::kReadWrite, 0}}});
+    EXPECT_TRUE(rt.Log()[1].dependences.empty());
+}
+
+TEST(PartitionAnalysis, TracedPartitionStreamMatchesFreshAnalysis)
+{
+    // The payoff: a stencil over subregions with a periodic parent-
+    // level boundary task, traced automatically, must produce the
+    // same dependence graph as the untraced run.
+    auto run = [](bool traced) {
+        auto runtime = std::make_unique<Runtime>();
+        core::ApopheniaConfig config;
+        config.min_trace_length = 5;
+        config.batchsize = 500;
+        config.multi_scale_factor = 50;
+        config.enabled = traced;
+        core::Apophenia fe(*runtime, config);
+        const RegionId grid = fe.CreateRegion();
+        const auto shards = fe.PartitionRegion(grid, 4);
+        for (int iter = 0; iter < 80; ++iter) {
+            for (std::uint32_t g = 0; g < 4; ++g) {
+                TaskLaunch stencil{100 + g};
+                stencil.shard = g;
+                stencil.requirements.push_back(
+                    {shards[g], 0, Privilege::kReadWrite, 0});
+                if (g > 0) {
+                    stencil.requirements.push_back(
+                        {shards[g - 1], 0, Privilege::kReadOnly, 0});
+                }
+                fe.ExecuteTask(stencil);
+            }
+            // Whole-grid boundary conditions at the parent level.
+            fe.ExecuteTask(TaskLaunch{
+                200, {{grid, 0, Privilege::kReadWrite, 0}}});
+        }
+        fe.Flush();
+        return runtime;
+    };
+    const auto traced = run(true);
+    const auto fresh = run(false);
+    ASSERT_EQ(traced->Log().size(), fresh->Log().size());
+    for (std::size_t i = 0; i < traced->Log().size(); ++i) {
+        ASSERT_EQ(traced->Log()[i].token, fresh->Log()[i].token);
+        ASSERT_EQ(traced->Log()[i].dependences, fresh->Log()[i].dependences)
+            << "op " << i;
+    }
+    EXPECT_GT(traced->Stats().tasks_replayed, 200u);
+}
+
+}  // namespace
+}  // namespace apo::rt

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Tests for the execution report formatting.
+ */
+#include <gtest/gtest.h>
+
+#include "runtime/report.h"
+
+namespace apo::rt {
+namespace {
+
+TEST(Report, FormatsAllCounters)
+{
+    Runtime rt;
+    const RegionId r = rt.CreateRegion();
+    for (int i = 0; i < 3; ++i) {
+        rt.BeginTrace(1);
+        rt.ExecuteTask(TaskLaunch{1, {{r, 0, Privilege::kReadOnly, 0}}});
+        rt.EndTrace(1);
+    }
+    rt.ExecuteTask(TaskLaunch{2, {{r, 0, Privilege::kReadOnly, 0}}});
+    const std::string report = FormatStats(rt.Stats());
+    EXPECT_NE(report.find("tasks total"), std::string::npos);
+    EXPECT_NE(report.find("4"), std::string::npos);
+    EXPECT_NE(report.find("replayed fraction"), std::string::npos);
+    EXPECT_NE(report.find("trace replays"), std::string::npos);
+    // Cache summary mentions the single one-task template.
+    EXPECT_EQ(FormatTraceCache(rt.Traces()),
+              "1 trace template(s) memoizing 1 task(s)\n");
+}
+
+TEST(Report, EmptyRuntime)
+{
+    Runtime rt;
+    const std::string report = FormatStats(rt.Stats());
+    EXPECT_NE(report.find("tasks total"), std::string::npos);
+    EXPECT_NE(report.find("0.0%"), std::string::npos);
+    EXPECT_EQ(FormatTraceCache(rt.Traces()),
+              "0 trace template(s) memoizing 0 task(s)\n");
+}
+
+}  // namespace
+}  // namespace apo::rt

@@ -1,0 +1,539 @@
+/**
+ * @file
+ * Tests for the mini task runtime: the dependence analyzer's coherence
+ * model, the region allocator's reuse policy, and the tracing engine's
+ * record/validate/replay contract.
+ *
+ * The central integration property: a stream executed with trace
+ * replays must produce exactly the same dependence graph as the same
+ * stream executed under full dynamic analysis.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "runtime/runtime.h"
+#include "support/rng.h"
+
+namespace apo::rt {
+namespace {
+
+TaskLaunch Read(RegionId r, TaskId id = 1)
+{
+    return TaskLaunch{id, {{r, 0, Privilege::kReadOnly, 0}}};
+}
+
+TaskLaunch Write(RegionId r, TaskId id = 2)
+{
+    return TaskLaunch{id, {{r, 0, Privilege::kReadWrite, 0}}};
+}
+
+TaskLaunch Reduce(RegionId r, ReductionOpId op, TaskId id = 3)
+{
+    return TaskLaunch{id, {{r, 0, Privilege::kReduce, op}}};
+}
+
+std::set<std::size_t> Sources(const Operation& op)
+{
+    std::set<std::size_t> out;
+    for (const Dependence& d : op.dependences) {
+        out.insert(d.from);
+    }
+    return out;
+}
+
+/** True iff a dependence path from op `from` to op `to` exists. */
+bool Reaches(const std::vector<Operation>& log, std::size_t from,
+             std::size_t to)
+{
+    std::vector<bool> reached(log.size(), false);
+    reached[from] = true;
+    for (std::size_t i = from + 1; i <= to; ++i) {
+        for (const Dependence& d : log[i].dependences) {
+            if (reached[d.from]) {
+                reached[i] = true;
+                break;
+            }
+        }
+    }
+    return reached[to];
+}
+
+TEST(DependenceAnalyzer, ReadAfterWrite)
+{
+    Runtime rt;
+    const RegionId r = rt.CreateRegion();
+    rt.ExecuteTask(Write(r));
+    rt.ExecuteTask(Read(r));
+    ASSERT_EQ(rt.Log().size(), 2u);
+    EXPECT_TRUE(rt.Log()[0].dependences.empty());
+    ASSERT_EQ(rt.Log()[1].dependences.size(), 1u);
+    EXPECT_EQ(rt.Log()[1].dependences[0].from, 0u);
+    EXPECT_EQ(rt.Log()[1].dependences[0].kind, DependenceKind::kTrue);
+}
+
+TEST(DependenceAnalyzer, ParallelReadsDoNotDepend)
+{
+    Runtime rt;
+    const RegionId r = rt.CreateRegion();
+    rt.ExecuteTask(Write(r));
+    rt.ExecuteTask(Read(r));
+    rt.ExecuteTask(Read(r));
+    // Both reads depend only on the write, not on each other.
+    EXPECT_EQ(Sources(rt.Log()[1]), (std::set<std::size_t>{0}));
+    EXPECT_EQ(Sources(rt.Log()[2]), (std::set<std::size_t>{0}));
+}
+
+TEST(DependenceAnalyzer, WriteAfterReadsIsAnti)
+{
+    Runtime rt;
+    const RegionId r = rt.CreateRegion();
+    rt.ExecuteTask(Write(r));
+    rt.ExecuteTask(Read(r));
+    rt.ExecuteTask(Read(r));
+    rt.ExecuteTask(Write(r));
+    const Operation& w2 = rt.Log()[3];
+    EXPECT_EQ(Sources(w2), (std::set<std::size_t>{0, 1, 2}));
+    for (const Dependence& d : w2.dependences) {
+        if (d.from != 0) {
+            EXPECT_EQ(d.kind, DependenceKind::kAnti);
+        }
+    }
+}
+
+TEST(DependenceAnalyzer, WriteDiscardStillOrdersButIsOutput)
+{
+    Runtime rt;
+    const RegionId r = rt.CreateRegion();
+    rt.ExecuteTask(Write(r));
+    TaskLaunch discard{5, {{r, 0, Privilege::kWriteDiscard, 0}}};
+    rt.ExecuteTask(discard);
+    ASSERT_EQ(rt.Log()[1].dependences.size(), 1u);
+    EXPECT_EQ(rt.Log()[1].dependences[0].kind, DependenceKind::kOutput);
+}
+
+TEST(DependenceAnalyzer, SameOpReductionsCommute)
+{
+    Runtime rt;
+    const RegionId r = rt.CreateRegion();
+    rt.ExecuteTask(Write(r));
+    rt.ExecuteTask(Reduce(r, /*op=*/7));
+    rt.ExecuteTask(Reduce(r, /*op=*/7));
+    // Second reduction depends on the writer but not the first
+    // reduction (they commute).
+    EXPECT_EQ(Sources(rt.Log()[2]), (std::set<std::size_t>{0}));
+    // A subsequent read waits for both reductions.
+    rt.ExecuteTask(Read(r));
+    EXPECT_EQ(Sources(rt.Log()[3]), (std::set<std::size_t>{0, 1, 2}));
+}
+
+TEST(DependenceAnalyzer, DifferentOpReductionsSerialize)
+{
+    Runtime rt;
+    const RegionId r = rt.CreateRegion();
+    rt.ExecuteTask(Reduce(r, 7));
+    rt.ExecuteTask(Reduce(r, 8));
+    EXPECT_EQ(Sources(rt.Log()[1]), (std::set<std::size_t>{0}));
+}
+
+TEST(DependenceAnalyzer, MultiRequirementEdgesAreDeduplicated)
+{
+    Runtime rt;
+    const RegionId a = rt.CreateRegion();
+    const RegionId b = rt.CreateRegion();
+    TaskLaunch w{9,
+                 {{a, 0, Privilege::kReadWrite, 0},
+                  {b, 0, Privilege::kReadWrite, 0}}};
+    rt.ExecuteTask(w);
+    TaskLaunch rw{10,
+                  {{a, 0, Privilege::kReadOnly, 0},
+                   {b, 0, Privilege::kReadWrite, 0}}};
+    rt.ExecuteTask(rw);
+    // One edge to op 0, not two; true dependence wins the upgrade.
+    ASSERT_EQ(rt.Log()[1].dependences.size(), 1u);
+    EXPECT_EQ(rt.Log()[1].dependences[0].kind, DependenceKind::kTrue);
+}
+
+TEST(DependenceAnalyzer, DistinctFieldsAreIndependent)
+{
+    Runtime rt;
+    const RegionId r = rt.CreateRegion();
+    TaskLaunch w0{1, {{r, 0, Privilege::kReadWrite, 0}}};
+    TaskLaunch w1{2, {{r, 1, Privilege::kReadWrite, 0}}};
+    rt.ExecuteTask(w0);
+    rt.ExecuteTask(w1);
+    EXPECT_TRUE(rt.Log()[1].dependences.empty());
+}
+
+TEST(DependenceAnalyzer, SerializabilityOnRandomStreams)
+{
+    // Property: any two operations that conflict on some field must be
+    // connected by a dependence path.
+    support::Rng rng(2024);
+    Runtime rt;
+    std::vector<RegionId> regions;
+    for (int i = 0; i < 4; ++i) {
+        regions.push_back(rt.CreateRegion());
+    }
+    for (int i = 0; i < 120; ++i) {
+        TaskLaunch t{rng.UniformInt(1, 5)};
+        const int nreqs = static_cast<int>(rng.UniformInt(1, 2));
+        for (int q = 0; q < nreqs; ++q) {
+            RegionRequirement req;
+            req.region = regions[rng.UniformInt(0, regions.size() - 1)];
+            const auto p = rng.UniformInt(0, 3);
+            req.privilege = static_cast<Privilege>(p);
+            req.redop = req.privilege == Privilege::kReduce
+                            ? static_cast<ReductionOpId>(
+                                  rng.UniformInt(1, 2))
+                            : 0;
+            t.requirements.push_back(req);
+        }
+        rt.ExecuteTask(t);
+    }
+    const auto& log = rt.Log();
+    auto conflicts = [](const Operation& a, const Operation& b) {
+        for (const auto& x : a.launch.requirements) {
+            for (const auto& y : b.launch.requirements) {
+                if (x.region != y.region || x.field != y.field) {
+                    continue;
+                }
+                if (!IsMutating(x.privilege) && !IsMutating(y.privilege)) {
+                    continue;  // two reads never conflict
+                }
+                if (x.privilege == Privilege::kReduce &&
+                    y.privilege == Privilege::kReduce &&
+                    x.redop == y.redop) {
+                    continue;  // commuting reductions
+                }
+                return true;
+            }
+        }
+        return false;
+    };
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        for (std::size_t j = i + 1; j < log.size(); ++j) {
+            if (conflicts(log[i], log[j])) {
+                ASSERT_TRUE(Reaches(log, i, j))
+                    << "ops " << i << " and " << j
+                    << " conflict but are unordered";
+            }
+        }
+    }
+}
+
+TEST(RegionAllocator, ReusesMostRecentlyFreedId)
+{
+    Runtime rt;
+    const RegionId a = rt.CreateRegion();
+    const RegionId b = rt.CreateRegion();
+    rt.DestroyRegion(b);
+    rt.DestroyRegion(a);
+    EXPECT_EQ(rt.CreateRegion(), a);
+    EXPECT_EQ(rt.CreateRegion(), b);
+    EXPECT_NE(rt.CreateRegion(), a);
+}
+
+TEST(Tracing, RecordThenReplayCountsAndCosts)
+{
+    Runtime rt;
+    const RegionId r = rt.CreateRegion();
+    for (int iter = 0; iter < 3; ++iter) {
+        rt.BeginTrace(1);
+        rt.ExecuteTask(Write(r));
+        rt.ExecuteTask(Read(r));
+        rt.EndTrace(1);
+    }
+    EXPECT_EQ(rt.Stats().traces_recorded, 1u);
+    EXPECT_EQ(rt.Stats().trace_replays, 2u);
+    EXPECT_EQ(rt.Stats().tasks_recorded, 2u);
+    EXPECT_EQ(rt.Stats().tasks_replayed, 4u);
+    // Replayed tasks are charged α_r (plus c on the head), far less
+    // than the full analysis α.
+    const Operation& head = rt.Log()[2];
+    EXPECT_TRUE(head.replay_head);
+    EXPECT_DOUBLE_EQ(head.analysis_cost_us,
+                     rt.Costs().replay_us + rt.Costs().replay_constant_us);
+    const Operation& body = rt.Log()[3];
+    EXPECT_DOUBLE_EQ(body.analysis_cost_us, rt.Costs().replay_us);
+    EXPECT_LT(body.analysis_cost_us, rt.Costs().analysis_us);
+}
+
+/** Drive `issue` against a traced and an untraced runtime and compare
+ * the dependence graphs operation by operation. */
+template <typename IssueFn>
+void ExpectReplayMatchesFreshAnalysis(IssueFn issue)
+{
+    Runtime traced, fresh;
+    issue(traced, /*use_traces=*/true);
+    issue(fresh, /*use_traces=*/false);
+    ASSERT_EQ(traced.Log().size(), fresh.Log().size());
+    for (std::size_t i = 0; i < traced.Log().size(); ++i) {
+        EXPECT_EQ(traced.Log()[i].token, fresh.Log()[i].token) << "op " << i;
+        EXPECT_EQ(traced.Log()[i].dependences, fresh.Log()[i].dependences)
+            << "dependence divergence at op " << i;
+    }
+    EXPECT_GT(traced.Stats().tasks_replayed, 0u);
+}
+
+TEST(Tracing, ReplayedGraphEqualsFreshAnalysisSimpleLoop)
+{
+    ExpectReplayMatchesFreshAnalysis([](Runtime& rt, bool use_traces) {
+        const RegionId a = rt.CreateRegion();
+        const RegionId b = rt.CreateRegion();
+        for (int iter = 0; iter < 5; ++iter) {
+            if (use_traces) {
+                rt.BeginTrace(1);
+            }
+            rt.ExecuteTask(TaskLaunch{
+                1,
+                {{a, 0, Privilege::kReadOnly, 0},
+                 {b, 0, Privilege::kReadWrite, 0}}});
+            rt.ExecuteTask(TaskLaunch{
+                2,
+                {{b, 0, Privilege::kReadOnly, 0},
+                 {a, 0, Privilege::kReadWrite, 0}}});
+            if (use_traces) {
+                rt.EndTrace(1);
+            }
+        }
+    });
+}
+
+TEST(Tracing, ReplayedGraphEqualsFreshAnalysisWithBoundaryWork)
+{
+    // Untraced operations interleave with trace replays, so boundary
+    // (cross-fragment) edges must be regenerated correctly each time.
+    ExpectReplayMatchesFreshAnalysis([](Runtime& rt, bool use_traces) {
+        const RegionId a = rt.CreateRegion();
+        const RegionId b = rt.CreateRegion();
+        const RegionId c = rt.CreateRegion();
+        for (int iter = 0; iter < 6; ++iter) {
+            // Irregular untraced op touching the traced data.
+            if (iter % 2 == 0) {
+                rt.ExecuteTask(TaskLaunch{
+                    9,
+                    {{a, 0, Privilege::kReadWrite, 0},
+                     {c, 0, Privilege::kReadWrite, 0}}});
+            }
+            if (use_traces) {
+                rt.BeginTrace(2);
+            }
+            rt.ExecuteTask(TaskLaunch{
+                1,
+                {{a, 0, Privilege::kReadOnly, 0},
+                 {b, 0, Privilege::kReduce, 3}}});
+            rt.ExecuteTask(TaskLaunch{
+                2,
+                {{a, 0, Privilege::kReadOnly, 0},
+                 {b, 0, Privilege::kReduce, 3}}});
+            rt.ExecuteTask(TaskLaunch{
+                3,
+                {{b, 0, Privilege::kReadOnly, 0},
+                 {a, 0, Privilege::kReadWrite, 0}}});
+            if (use_traces) {
+                rt.EndTrace(2);
+            }
+        }
+    });
+}
+
+TEST(Tracing, ReplayedGraphEqualsFreshAnalysisRandomized)
+{
+    // Randomized fragment bodies (fixed per trace id) replayed in
+    // random interleavings with untraced noise.
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        ExpectReplayMatchesFreshAnalysis(
+            [seed](Runtime& rt, bool use_traces) {
+                support::Rng rng(seed);
+                std::vector<RegionId> regions;
+                for (int i = 0; i < 3; ++i) {
+                    regions.push_back(rt.CreateRegion());
+                }
+                auto random_task = [&](support::Rng& gen) {
+                    TaskLaunch t{gen.UniformInt(1, 4)};
+                    RegionRequirement req;
+                    req.region =
+                        regions[gen.UniformInt(0, regions.size() - 1)];
+                    req.privilege =
+                        static_cast<Privilege>(gen.UniformInt(0, 2));
+                    t.requirements.push_back(req);
+                    return t;
+                };
+                // A fixed body for the trace, derived from the seed.
+                support::Rng body_rng(seed * 977);
+                std::vector<TaskLaunch> body;
+                for (int i = 0; i < 4; ++i) {
+                    body.push_back(random_task(body_rng));
+                }
+                for (int iter = 0; iter < 10; ++iter) {
+                    if (rng.Bernoulli(0.4)) {
+                        rt.ExecuteTask(random_task(rng));
+                    }
+                    if (use_traces) {
+                        rt.BeginTrace(7);
+                    }
+                    for (const TaskLaunch& t : body) {
+                        rt.ExecuteTask(t);
+                    }
+                    if (use_traces) {
+                        rt.EndTrace(7);
+                    }
+                }
+            });
+    }
+}
+
+TEST(Tracing, MismatchThrowsUnderStrictPolicy)
+{
+    Runtime rt;
+    const RegionId a = rt.CreateRegion();
+    const RegionId b = rt.CreateRegion();
+    rt.BeginTrace(1);
+    rt.ExecuteTask(Read(a));
+    rt.EndTrace(1);
+    rt.BeginTrace(1);
+    EXPECT_THROW(rt.ExecuteTask(Read(b)), TraceMismatchError);
+}
+
+TEST(Tracing, ShortReplayThrowsAtEnd)
+{
+    Runtime rt;
+    const RegionId a = rt.CreateRegion();
+    rt.BeginTrace(1);
+    rt.ExecuteTask(Read(a));
+    rt.ExecuteTask(Read(a));
+    rt.EndTrace(1);
+    rt.BeginTrace(1);
+    rt.ExecuteTask(Read(a));
+    EXPECT_THROW(rt.EndTrace(1), TraceMismatchError);
+}
+
+TEST(Tracing, FallbackPolicyAnalyzesInsteadOfThrowing)
+{
+    Runtime rt(RuntimeOptions{.mismatch_policy = MismatchPolicy::kFallback});
+    const RegionId a = rt.CreateRegion();
+    const RegionId b = rt.CreateRegion();
+    rt.BeginTrace(1);
+    rt.ExecuteTask(Write(a));
+    rt.EndTrace(1);
+    rt.BeginTrace(1);
+    rt.ExecuteTask(Write(b));  // deviates: falls back to analysis
+    rt.ExecuteTask(Read(b));
+    rt.EndTrace(1);
+    EXPECT_EQ(rt.Stats().trace_mismatches, 1u);
+    EXPECT_EQ(rt.Stats().tasks_analyzed, 2u);
+    // The dependence graph is still correct.
+    ASSERT_EQ(rt.Log().back().dependences.size(), 1u);
+    EXPECT_EQ(rt.Log().back().dependences[0].from, 1u);
+}
+
+TEST(Tracing, UsageErrors)
+{
+    Runtime rt;
+    EXPECT_THROW(rt.BeginTrace(kNoTrace), RuntimeUsageError);
+    EXPECT_THROW(rt.EndTrace(1), RuntimeUsageError);
+    rt.BeginTrace(1);
+    EXPECT_THROW(rt.BeginTrace(2), RuntimeUsageError);
+    EXPECT_THROW(rt.EndTrace(2), RuntimeUsageError);
+}
+
+TEST(Tracing, AnalysisCostScalesWithNodeCount)
+{
+    Runtime one(RuntimeOptions{.nodes = 1});
+    Runtime many(RuntimeOptions{.nodes = 16});
+    EXPECT_GT(many.ScaledAnalysisUs(), one.ScaledAnalysisUs());
+    EXPECT_DOUBLE_EQ(one.ScaledAnalysisUs(), one.Costs().analysis_us);
+}
+
+TEST(Tokens, HashCapturesAnalysisRelevantStateOnly)
+{
+    const RegionId a{1}, b{2};
+    TaskLaunch t1{1, {{a, 0, Privilege::kReadOnly, 0}}};
+    TaskLaunch t2 = t1;
+    t2.execution_us = 999.0;  // execution hints don't affect analysis
+    t2.shard = 3;
+    EXPECT_EQ(HashLaunch(t1), HashLaunch(t2));
+    TaskLaunch t3 = t1;
+    t3.requirements[0].region = b;
+    EXPECT_NE(HashLaunch(t1), HashLaunch(t3));
+    TaskLaunch t4 = t1;
+    t4.requirements[0].privilege = Privilege::kReadWrite;
+    EXPECT_NE(HashLaunch(t1), HashLaunch(t4));
+    TaskLaunch t5 = t1;
+    t5.task = 2;
+    EXPECT_NE(HashLaunch(t1), HashLaunch(t5));
+}
+
+/** The paper's section 2 example: a cuPyNumeric-style Jacobi loop
+ * whose loop-carried variable rebinds to a fresh region each
+ * iteration, making the task stream 2-periodic rather than
+ * 1-periodic. */
+void IssueJacobiIteration(Runtime& rt, RegionId R, RegionId b, RegionId d,
+                          RegionId& x)
+{
+    // t1 = DOT(R, x); allocate result region.
+    const RegionId t1 = rt.CreateRegion();
+    rt.ExecuteTask(TaskLaunch{TaskIdOf("DOT"),
+                              {{R, 0, Privilege::kReadOnly, 0},
+                               {x, 0, Privilege::kReadOnly, 0},
+                               {t1, 0, Privilege::kWriteDiscard, 0}}});
+    // t2 = SUB(b, t1).
+    const RegionId t2 = rt.CreateRegion();
+    rt.ExecuteTask(TaskLaunch{TaskIdOf("SUB"),
+                              {{b, 0, Privilege::kReadOnly, 0},
+                               {t1, 0, Privilege::kReadOnly, 0},
+                               {t2, 0, Privilege::kWriteDiscard, 0}}});
+    // t1 dies after SUB; cuPyNumeric-style eager collection frees it
+    // immediately, making its id available for the next allocation.
+    rt.DestroyRegion(t1);
+    // x' = DIV(t2, d); the old x dies and is immediately reusable.
+    const RegionId x_new = rt.CreateRegion();
+    rt.ExecuteTask(TaskLaunch{TaskIdOf("DIV"),
+                              {{t2, 0, Privilege::kReadOnly, 0},
+                               {d, 0, Privilege::kReadOnly, 0},
+                               {x_new, 0, Privilege::kWriteDiscard, 0}}});
+    rt.DestroyRegion(t2);
+    rt.DestroyRegion(x);
+    x = x_new;
+}
+
+TEST(JacobiExample, NaiveOneIterationTraceIsInvalid)
+{
+    Runtime rt;
+    const RegionId R = rt.CreateRegion();
+    const RegionId b = rt.CreateRegion();
+    const RegionId d = rt.CreateRegion();
+    RegionId x = rt.CreateRegion();
+    // Warm up one iteration so the allocator reaches its steady state.
+    IssueJacobiIteration(rt, R, b, d, x);
+    // Annotating one loop iteration records iteration i...
+    rt.BeginTrace(1);
+    IssueJacobiIteration(rt, R, b, d, x);
+    rt.EndTrace(1);
+    // ...but iteration i+1 issues different region arguments.
+    rt.BeginTrace(1);
+    EXPECT_THROW(IssueJacobiIteration(rt, R, b, d, x), TraceMismatchError);
+}
+
+TEST(JacobiExample, TwoIterationTraceIsValid)
+{
+    Runtime rt;
+    const RegionId R = rt.CreateRegion();
+    const RegionId b = rt.CreateRegion();
+    const RegionId d = rt.CreateRegion();
+    RegionId x = rt.CreateRegion();
+    IssueJacobiIteration(rt, R, b, d, x);  // warm up
+    for (int pair = 0; pair < 4; ++pair) {
+        rt.BeginTrace(1);
+        IssueJacobiIteration(rt, R, b, d, x);
+        IssueJacobiIteration(rt, R, b, d, x);
+        rt.EndTrace(1);
+    }
+    EXPECT_EQ(rt.Stats().traces_recorded, 1u);
+    EXPECT_EQ(rt.Stats().trace_replays, 3u);
+}
+
+}  // namespace
+}  // namespace apo::rt

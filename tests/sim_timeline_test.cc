@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tests for the Chrome trace-event timeline export.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/timeline.h"
+
+namespace apo::sim {
+namespace {
+
+TEST(Timeline, EmptyLogProducesEmptyArray)
+{
+    PipelineResult result;
+    PipelineOptions options;
+    EXPECT_EQ(ChromeTraceJson({}, result, options), "[\n]\n");
+}
+
+TEST(Timeline, EventsCarryModeTraceAndTiming)
+{
+    rt::Runtime runtime;
+    const rt::RegionId r = runtime.CreateRegion();
+    for (int i = 0; i < 3; ++i) {
+        runtime.BeginTrace(1);
+        runtime.ExecuteTask(rt::TaskLaunch{
+            7, {{r, 0, rt::Privilege::kReadWrite, 0}}, 500.0, 1});
+        runtime.EndTrace(1);
+    }
+    PipelineOptions options;
+    options.machine.nodes = 1;
+    options.machine.gpus_per_node = 2;
+    const PipelineResult result =
+        SimulatePipeline(runtime.Log(), options);
+    const std::string json =
+        ChromeTraceJson(runtime.Log(), result, options);
+    EXPECT_NE(json.find("\"cat\":\"recorded\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"replayed\""), std::string::npos);
+    EXPECT_NE(json.find("\"trace\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":500"), std::string::npos);
+    // Valid JSON array (crude but effective checks).
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json[json.size() - 2], ']');
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+}  // namespace
+}  // namespace apo::sim

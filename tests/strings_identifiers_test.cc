@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the baseline identifiers (tandem repeats, LZW, quadratic
+ * greedy) and the coverage oracles. Also reproduces, as assertions,
+ * the paper's section 4.2 claim that tandem-repeat analysis fails on
+ * loops interrupted by irregular operations while Algorithm 2 does not.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "strings/identifiers.h"
+#include "strings/repeats.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace apo::strings {
+namespace {
+
+using apo::test::PeriodicSeq;
+using apo::test::RandomSeq;
+using apo::test::Seq;
+using apo::test::Str;
+
+TEST(TandemRepeats, FindsContiguousRepetition)
+{
+    const auto repeats = FindTandemRepeats(Seq("abababab"), 2);
+    ASSERT_FALSE(repeats.empty());
+    EXPECT_EQ(Str(repeats.front().tokens), "ab");
+    EXPECT_EQ(repeats.front().starts.size(), 4u);
+}
+
+TEST(TandemRepeats, IgnoresSeparatedRepeats)
+{
+    // "ab" repeats but never contiguously: no tandem repeat exists.
+    EXPECT_TRUE(FindTandemRepeats(Seq("abxabyabz"), 2).empty());
+}
+
+TEST(TandemRepeats, RespectsMinLength)
+{
+    const auto repeats = FindTandemRepeats(Seq("aaaa"), 2);
+    for (const auto& r : repeats) {
+        EXPECT_GE(r.Length(), 2u);
+    }
+}
+
+TEST(TandemRepeats, Section42FailureCase)
+{
+    // A repetitive main loop with a convergence check between
+    // iterations: tandem analysis finds (at best) fragments, while
+    // Algorithm 2 recovers nearly all coverage. This is the paper's
+    // stated reason for relaxing tandem repeats.
+    const Sequence s = PeriodicSeq(440, 10, 11);  // noise every body
+    const auto tandem = FindTandemRepeats(s, 5);
+    const auto ours = FindRepeats(s, {.min_length = 5});
+    const std::size_t tandem_cov = TotalCoverage(tandem);
+    const std::size_t ours_cov = TotalCoverage(ours);
+    EXPECT_LT(tandem_cov, s.size() / 4)
+        << "tandem analysis should fail on interrupted loops";
+    EXPECT_GE(ours_cov, s.size() * 3 / 4)
+        << "Algorithm 2 should still find the loop";
+}
+
+TEST(Lzw, FindsRepeatedPhrasesEventually)
+{
+    // LZW grows phrases one token per sighting; a short loop repeated
+    // many times is eventually detected.
+    const Sequence s = PeriodicSeq(300, 3);
+    const auto repeats = FindRepeatsLzw(s, 2);
+    EXPECT_FALSE(repeats.empty());
+}
+
+TEST(Lzw, NeedsManySightingsForLongRepeats)
+{
+    // A 64-token body repeated 3 times: LZW cannot have built a
+    // phrase anywhere near the body length yet (the paper's argument
+    // for not using LZW-style detection).
+    const Sequence s = PeriodicSeq(192, 64);
+    const auto lzw = FindRepeatsLzw(s, 2);
+    std::size_t longest = 0;
+    for (const auto& r : lzw) {
+        longest = std::max(longest, r.Length());
+    }
+    EXPECT_LT(longest, 64u);
+    // Algorithm 2 finds the full body from two sightings.
+    const auto ours = FindRepeats(s, {.min_length = 2});
+    std::size_t ours_longest = 0;
+    for (const auto& r : ours) {
+        ours_longest = std::max(ours_longest, r.Length());
+    }
+    EXPECT_GE(ours_longest, 64u);
+}
+
+TEST(Lzw, OccurrencesAreGenuine)
+{
+    support::Rng rng(17);
+    const Sequence s = RandomSeq(rng, 400, 2);
+    for (const auto& r : FindRepeatsLzw(s, 2)) {
+        for (std::size_t start : r.starts) {
+            ASSERT_LE(start + r.Length(), s.size());
+            EXPECT_TRUE(std::equal(r.tokens.begin(), r.tokens.end(),
+                                   s.begin() + start));
+        }
+    }
+}
+
+TEST(QuadraticGreedy, MatchesMainAlgorithmOnSimpleLoop)
+{
+    const Sequence s = PeriodicSeq(60, 6);
+    const auto quad = FindRepeatsQuadratic(s, 2);
+    ASSERT_FALSE(quad.empty());
+    EXPECT_GE(quad.front().Length(), 6u);
+}
+
+TEST(QuadraticGreedy, OccurrencesAreGenuineAndDisjoint)
+{
+    support::Rng rng(23);
+    const Sequence s = RandomSeq(rng, 300, 2);
+    const auto quad = FindRepeatsQuadratic(s, 3);
+    std::set<std::size_t> used;
+    for (const auto& r : quad) {
+        for (std::size_t start : r.starts) {
+            EXPECT_TRUE(std::equal(r.tokens.begin(), r.tokens.end(),
+                                   s.begin() + start));
+            for (std::size_t k = 0; k < r.Length(); ++k) {
+                EXPECT_TRUE(used.insert(start + k).second);
+            }
+        }
+    }
+}
+
+TEST(OptimalCoverage, KnownSmallCases)
+{
+    // "abab": cover both "ab" occurrences => 4.
+    EXPECT_EQ(OptimalCoverage(Seq("abab"), 2), 4u);
+    // "abcab": only "ab" repeats disjointly => 4 of 5.
+    EXPECT_EQ(OptimalCoverage(Seq("abcab"), 2), 4u);
+    // all-distinct: nothing repeats.
+    EXPECT_EQ(OptimalCoverage(Seq("abcdef"), 2), 0u);
+    // min length above any repeat: zero.
+    EXPECT_EQ(OptimalCoverage(Seq("abab"), 3), 0u);
+    // "aaaa": split into two "aa" => full coverage.
+    EXPECT_EQ(OptimalCoverage(Seq("aaaa"), 2), 4u);
+}
+
+TEST(GreedyCoverage, MatchesHandComputedExample)
+{
+    // Figure 2's flavor: stream T1 T2 T3 repeated; trace set {T1T2T3}.
+    const Sequence s = Seq("abcabcabab");
+    const std::vector<Repeat> traces{Repeat{Seq("abc"), {}},
+                                     Repeat{Seq("ab"), {}}};
+    // Greedy longest-first: abc abc ab ab => covers all 10.
+    EXPECT_EQ(GreedyCoverageOf(s, traces), 10u);
+    const std::vector<Repeat> only_long{Repeat{Seq("abc"), {}}};
+    EXPECT_EQ(GreedyCoverageOf(s, only_long), 6u);
+}
+
+TEST(GreedyCoverage, EmptyTraceSetCoversNothing)
+{
+    EXPECT_EQ(GreedyCoverageOf(Seq("abcabc"), {}), 0u);
+}
+
+TEST(CoverageComparison, MainAlgorithmBeatsBaselinesOnRealisticStream)
+{
+    // An iterative application with a 12-task body, occasional
+    // convergence checks, run for many iterations.
+    const Sequence s = PeriodicSeq(1200, 12, 49);
+    const std::size_t ours = TotalCoverage(FindRepeats(s, {.min_length = 6}));
+    const std::size_t tandem = TotalCoverage(FindTandemRepeats(s, 6));
+    const std::size_t lzw = TotalCoverage(FindRepeatsLzw(s, 6));
+    EXPECT_GT(ours, tandem);
+    EXPECT_GT(ours, lzw);
+    EXPECT_GE(ours, s.size() * 3 / 4);
+}
+
+}  // namespace
+}  // namespace apo::strings
