@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + tests, an ASan+UBSan pass of the whole
+# suite, and the finder launch-path perf record (BENCH_micro_repeats.json,
+# committed so successive PRs keep a tokens/sec trajectory).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc)"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== sanitizers: ASan + UBSan build + ctest =="
+cmake -B build-asan -S . -DAPO_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== perf record: finder launch path =="
+if [ -x build/micro_repeats ]; then
+    ./build/micro_repeats --json=BENCH_micro_repeats.json
+else
+    # Google Benchmark not installed: the target is skipped by CMake.
+    echo "micro_repeats not built; skipping perf record"
+fi
+
+echo "CI OK"

@@ -1,7 +1,6 @@
 #include "core/apophenia.h"
 
 #include <algorithm>
-#include <thread>
 
 namespace apo::core {
 
@@ -9,8 +8,10 @@ Apophenia::Apophenia(rt::Runtime& runtime, ApopheniaConfig config,
                      support::Executor* executor)
     : runtime_(&runtime),
       config_(config),
-      finder_(config_, executor != nullptr ? *executor : default_executor_),
-      scorer_(config_)
+      executor_(executor != nullptr ? executor : &default_executor_),
+      finder_(config_, *executor_),
+      scorer_(config_),
+      ingest_mode_(config_.ingest_mode)
 {
 }
 
@@ -32,13 +33,7 @@ Apophenia::ExecuteTask(const rt::TaskLaunch& launch)
     ++counter_;
     stats_.tasks_observed += 1;
     finder_.Observe(token, counter_);
-    if (!manual_ingest_) {
-        while (!finder_.Jobs().empty() &&
-               finder_.Jobs().front()->done.load(
-                   std::memory_order_acquire)) {
-            IngestOldestJob();
-        }
-    }
+    IngestReadyJobs();
     pending_.push_back(launch);
     stats_.pending_high_water =
         std::max(stats_.pending_high_water, pending_.size());
@@ -47,22 +42,46 @@ Apophenia::ExecuteTask(const rt::TaskLaunch& launch)
 }
 
 void
+Apophenia::IngestReadyJobs()
+{
+    switch (ingest_mode_) {
+      case IngestMode::kManual:
+        return;
+      case IngestMode::kEagerDrain:
+        // Deterministic under any executor: wait for everything in
+        // flight, then ingest it all, exactly as InlineExecutor would
+        // have at this stream position.
+        if (finder_.PendingJobCount() > 0) {
+            executor_->Drain();
+        }
+        break;
+      case IngestMode::kOnCompletion:
+        // Event-driven: deliver any buffered completions, then ingest
+        // the completed prefix of the launch-order queue.
+        executor_->Pump();
+        break;
+    }
+    while (finder_.OldestJobDone()) {
+        IngestOldestJob();
+    }
+}
+
+void
 Apophenia::AdvancePointers(rt::TokenHash token)
 {
     const std::uint64_t index = counter_ - 1;  // this task's absolute index
-    std::vector<ActivePointer> next;
-    next.reserve(active_.size() + 1);
+    active_scratch_.clear();
     for (const ActivePointer& p : active_) {
         if (const auto* child = trie_.Step(p.node, token)) {
-            next.push_back(ActivePointer{child, p.start});
+            active_scratch_.push_back(ActivePointer{child, p.start});
         }
     }
     if (const auto* child = trie_.Step(nullptr, token)) {
-        next.push_back(ActivePointer{child, index});
+        active_scratch_.push_back(ActivePointer{child, index});
     }
-    active_ = std::move(next);
+    std::swap(active_, active_scratch_);
 
-    std::vector<CompletedMatch> completed;
+    completed_scratch_.clear();
     for (const ActivePointer& p : active_) {
         if (CandidateStats* c = CandidateTrie::CandidateAt(p.node)) {
             // A live appearance: refresh the decayed count.
@@ -70,14 +89,15 @@ Apophenia::AdvancePointers(rt::TokenHash token)
                                       config_.score_decay_half_life) +
                        1.0;
             c->last_seen = counter_;
-            completed.push_back(CompletedMatch{c, p.start, index + 1});
+            completed_scratch_.push_back(
+                CompletedMatch{c, p.start, index + 1});
         }
     }
-    ConsiderCompleted(std::move(completed));
+    ConsiderCompleted(completed_scratch_);
 }
 
 void
-Apophenia::ConsiderCompleted(std::vector<CompletedMatch> completed)
+Apophenia::ConsiderCompleted(const std::vector<CompletedMatch>& completed)
 {
     for (const CompletedMatch& m : completed) {
         if (held_.empty() || m.start >= held_.back().end) {
@@ -112,7 +132,7 @@ Apophenia::MaybeFire()
         const CompletedMatch front = held_.front();
         bool blocked = false;
         for (const ActivePointer& p : active_) {
-            if (p.start <= front.start && !p.node->children.empty()) {
+            if (p.start <= front.start && p.node->HasChildren()) {
                 blocked = true;
                 break;
             }
@@ -214,18 +234,14 @@ Apophenia::Flush()
 void
 Apophenia::IngestOldestJob()
 {
-    auto job = finder_.TakeJob();
-    // Callers normally only ingest complete jobs; wait defensively so
-    // the contract is safe under any executor.
-    while (!job->done.load(std::memory_order_acquire)) {
-        std::this_thread::yield();
-    }
-    for (const CandidateTrace& c : job->results) {
+    const AnalysisJob& job = finder_.WaitOldestJob();
+    for (const CandidateTrace& c : job.results) {
         trie_.Insert(c.tokens, c.occurrences, counter_,
                      config_.score_decay_half_life);
     }
     stats_.jobs_ingested += 1;
-    stats_.candidates_ingested += job->results.size();
+    stats_.candidates_ingested += job.results.size();
+    finder_.ReleaseOldestJob();
 }
 
 }  // namespace apo::core

@@ -20,8 +20,9 @@
  *    scored by length × capped, decayed appearance count, with a bias
  *    toward already-replayed traces.
  *  - Deterministic ingestion (section 5.1): analysis results are
- *    ingested at task-stream positions only; the replicated front-end
- *    (replication.h) coordinates those positions across nodes.
+ *    ingested at task-stream positions only, in launch order; the
+ *    IngestMode (config.h) picks those positions, and the replicated
+ *    front-end (replication.h) coordinates them across nodes.
  */
 #ifndef APOPHENIA_CORE_APOPHENIA_H
 #define APOPHENIA_CORE_APOPHENIA_H
@@ -92,19 +93,30 @@ class Apophenia {
 
     // -- Analysis-ingestion control (replication support) -------------------
 
-    /** In manual mode, completed mining jobs are ingested only via
-     * IngestOldestJob(); the replicated front-end uses this to align
-     * ingestion across nodes (paper section 5.1). */
-    void SetManualIngest(bool manual) { manual_ingest_ = manual; }
+    /** Override the configured ingestion mode (see IngestMode); the
+     * replicated front-end switches its nodes to kManual. */
+    void SetIngestMode(IngestMode mode) { ingest_mode_ = mode; }
+    IngestMode GetIngestMode() const { return ingest_mode_; }
 
-    /** Launched-but-not-ingested jobs, oldest first. */
-    const std::deque<std::shared_ptr<AnalysisJob>>& PendingJobs() const
+    /** Launched-but-not-ingested mining jobs. */
+    std::size_t PendingJobCount() const
     {
-        return finder_.Jobs();
+        return finder_.PendingJobCount();
     }
 
-    /** Ingest the oldest pending job's candidates into the trie. The
-     * job must exist and be complete. */
+    /** True iff a job is pending and the oldest one has completed. */
+    bool OldestJobDone() const { return finder_.OldestJobDone(); }
+
+    /** Visit pending jobs with id >= `first_id`, oldest first. */
+    void VisitPendingJobs(
+        std::uint64_t first_id,
+        const std::function<void(const PendingJobInfo&)>& visit) const
+    {
+        finder_.VisitPendingJobs(first_id, visit);
+    }
+
+    /** Ingest the oldest pending job's candidates into the trie,
+     * waiting for its completion if necessary. The job must exist. */
     void IngestOldestJob();
 
     // -- Introspection -------------------------------------------------------
@@ -131,8 +143,9 @@ class Apophenia {
         std::uint64_t end = 0;  ///< exclusive absolute index
     };
 
+    void IngestReadyJobs();
     void AdvancePointers(rt::TokenHash token);
-    void ConsiderCompleted(std::vector<CompletedMatch> completed);
+    void ConsiderCompleted(const std::vector<CompletedMatch>& completed);
     void MaybeFire();
     void Fire(const CompletedMatch& match);
     void FlushPrefixBelow(std::uint64_t keep_from);
@@ -140,15 +153,20 @@ class Apophenia {
     rt::Runtime* runtime_;
     ApopheniaConfig config_;
     support::InlineExecutor default_executor_;
+    support::Executor* executor_;
     TraceFinder finder_;
     CandidateTrie trie_;
     TraceScorer scorer_;
 
-    bool manual_ingest_ = false;
+    IngestMode ingest_mode_;
     std::uint64_t counter_ = 0;  ///< tasks observed (absolute index + 1)
     std::deque<rt::TaskLaunch> pending_;
     std::uint64_t pending_base_ = 0;  ///< absolute index of pending_[0]
     std::vector<ActivePointer> active_;
+    /** Scratch buffers reused every token so the match-advance step
+     * allocates nothing in steady state. */
+    std::vector<ActivePointer> active_scratch_;
+    std::vector<CompletedMatch> completed_scratch_;
     /** Completed, pairwise-disjoint matches awaiting replay, in
      * stream order. The front is fired once no still-growing match
      * could supersede it. */

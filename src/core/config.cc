@@ -63,6 +63,22 @@ ParseApopheniaFlags(std::vector<std::string>& args)
                 throw std::invalid_argument(
                     a + ": unknown identifier algorithm '" + v + "'");
             }
+        } else if (a == "-lg:auto_trace:ingest_mode") {
+            const std::string v = value_of(i, a);
+            if (v == "on-completion") {
+                config.ingest_mode = IngestMode::kOnCompletion;
+            } else if (v == "eager-drain") {
+                config.ingest_mode = IngestMode::kEagerDrain;
+            } else if (v == "manual") {
+                config.ingest_mode = IngestMode::kManual;
+            } else {
+                throw std::invalid_argument(
+                    a + ": unknown ingest mode '" + v + "'");
+            }
+        } else if (a == "-lg:auto_trace:history_block_size") {
+            config.history_block_size = ParseCount(a, value_of(i, a));
+        } else if (a == "-lg:auto_trace:copy_slices_at_launch") {
+            config.copy_slices_at_launch = true;
         } else if (a == "-lg:window") {
             config.window = ParseCount(a, value_of(i, a));
         } else if (a == "-lg:inline_transitive_reduction") {
@@ -98,6 +114,9 @@ ParseApopheniaFlags(std::vector<std::string>& args)
     if (config.batchsize == 0 || config.multi_scale_factor == 0) {
         throw std::invalid_argument(
             "batchsize and multi_scale_factor must be positive");
+    }
+    if (config.history_block_size == 0) {
+        throw std::invalid_argument("history_block_size must be positive");
     }
     return config;
 }

@@ -11,6 +11,12 @@
  *   -lg:auto_trace:identifier_algorithm <multi-scale|batched>
  *   -lg:auto_trace:repeats_algorithm <quick_matching_of_substrings|...>
  *
+ * plus flags of this reproduction's asynchronous pipeline:
+ *
+ *   -lg:auto_trace:ingest_mode <on-completion|eager-drain|manual>
+ *   -lg:auto_trace:history_block_size <N>
+ *   -lg:auto_trace:copy_slices_at_launch
+ *
  * The paper's experiments all run with one configuration (batchsize
  * 5000, multi-scale factor 250/500, min length 25); only FlexFlow
  * sweeps max_trace_length (figure 8).
@@ -32,6 +38,26 @@ enum class IdentifierAlgorithm {
     /** Analyze the whole buffer only when it fills (the non-adaptive
      * strawman the paper argues against). */
     kBatched,
+};
+
+/** When completed mining jobs are ingested into the candidate trie.
+ * Ingestion is always in launch order; the mode picks the stream
+ * positions at which it happens. */
+enum class IngestMode {
+    /** Ingest a job as soon as its completion has been observed — the
+     * throughput mode. Positions depend on completion timing, which is
+     * nondeterministic under a concurrent executor (and deterministic
+     * under InlineExecutor, where jobs complete at launch). */
+    kOnCompletion,
+    /** Drain the executor whenever jobs are pending and ingest
+     * everything, at every token. Deterministic under *any* executor:
+     * ingestion positions equal InlineExecutor's. Used to cross-check
+     * pooled runs against inline runs. */
+    kEagerDrain,
+    /** Ingest only via Apophenia::IngestOldestJob(); the replicated
+     * front-end uses this to align ingestion positions across nodes
+     * (paper section 5.1). */
+    kManual,
 };
 
 /** Which repeat-mining algorithm the finder runs (section 4.2). */
@@ -69,6 +95,17 @@ struct ApopheniaConfig {
         IdentifierAlgorithm::kMultiScale;
     RepeatsAlgorithm repeats_algorithm =
         RepeatsAlgorithm::kQuickMatchingOfSubstrings;
+    IngestMode ingest_mode = IngestMode::kOnCompletion;
+
+    /** Block size of the shared history ring: mining jobs reference
+     * whole blocks instead of copying tokens, so launching a job costs
+     * O(slice / block size) on the application thread. */
+    std::size_t history_block_size = 512;
+
+    /** Ablation/benchmark switch: materialize each job's slice on the
+     * application thread at launch (the pre-zero-copy behaviour)
+     * instead of handing the worker a block snapshot. */
+    bool copy_slices_at_launch = false;
 
     // -- Trace selection scoring (paper section 4.3) ----------------------
 

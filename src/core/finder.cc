@@ -1,6 +1,8 @@
 #include "core/finder.h"
 
 #include <algorithm>
+#include <thread>
+#include <utility>
 
 #include "strings/identifiers.h"
 #include "strings/repeats.h"
@@ -92,22 +94,27 @@ MineSlice(const std::vector<rt::TokenHash>& slice,
 
 TraceFinder::TraceFinder(const ApopheniaConfig& config,
                          support::Executor& executor)
-    : config_(&config), executor_(&executor)
+    : config_(&config),
+      executor_(&executor),
+      history_(config.batchsize, config.history_block_size)
 {
+}
+
+TraceFinder::~TraceFinder()
+{
+    // Workers hold raw pointers into inflight_; none may survive us.
+    executor_->Drain();
 }
 
 void
 TraceFinder::Observe(rt::TokenHash token, std::uint64_t now)
 {
-    history_.push_back(token);
-    if (history_.size() > config_->batchsize) {
-        history_.pop_front();
-    }
+    history_.Append(token);
     stats_.tokens_observed += 1;
 
     if (config_->identifier_algorithm == IdentifierAlgorithm::kBatched) {
         if (stats_.tokens_observed % config_->batchsize == 0) {
-            LaunchAnalysis(history_.size(), now);
+            LaunchAnalysis(history_.Size(), now);
         }
         return;
     }
@@ -118,7 +125,7 @@ TraceFinder::Observe(rt::TokenHash token, std::uint64_t now)
         const std::size_t len = support::RulerSampleLength(
             sample_counter_, config_->multi_scale_factor,
             config_->batchsize);
-        LaunchAnalysis(std::min(len, history_.size()), now);
+        LaunchAnalysis(std::min(len, history_.Size()), now);
         // Replay-anchored window: align a slice with the end of the
         // last replay so gap-phase candidates are found (see
         // NoteReplayBoundary). Lengths double per launch.
@@ -128,7 +135,7 @@ TraceFinder::Observe(rt::TokenHash token, std::uint64_t now)
                 std::min<std::uint64_t>(stats_.tokens_observed - anchor_,
                                         config_->batchsize);
             LaunchAnalysis(std::min<std::size_t>(anchored_len,
-                                                 history_.size()),
+                                                 history_.Size()),
                            now);
             anchor_next_len_ = anchored_len * 2;
         }
@@ -145,36 +152,92 @@ TraceFinder::NoteReplayBoundary(std::uint64_t pos)
     anchor_next_len_ = 2 * config_->min_trace_length;
 }
 
+AnalysisJob*
+TraceFinder::AcquireJob()
+{
+    if (!free_jobs_.empty()) {
+        std::unique_ptr<AnalysisJob> job = std::move(free_jobs_.back());
+        free_jobs_.pop_back();
+        stats_.jobs_recycled += 1;
+        inflight_.push_back(std::move(job));
+    } else {
+        inflight_.push_back(std::make_unique<AnalysisJob>());
+    }
+    return inflight_.back().get();
+}
+
 void
 TraceFinder::LaunchAnalysis(std::size_t slice_length, std::uint64_t now)
 {
     if (slice_length < 2 * config_->min_trace_length) {
         return;  // cannot contain two occurrences of any viable trace
     }
-    auto job = std::make_shared<AnalysisJob>();
+    AnalysisJob* job = AcquireJob();
     job->id = stats_.jobs_launched++;
     job->issued_at = now;
     job->slice_length = slice_length;
+    job->done.store(false, std::memory_order_relaxed);
     stats_.tokens_analyzed += slice_length;
 
-    // Copy the slice so the worker needs no access to live state.
-    std::vector<rt::TokenHash> slice(history_.end() - slice_length,
-                                     history_.end());
-    jobs_.push_back(job);
+    // Zero-copy hand-off: the job references the history blocks; the
+    // worker materializes them off the application's critical path.
+    // The copy_slices_at_launch ablation restores the seed behaviour
+    // of copying the O(slice) tokens here, on the application thread.
+    history_.SnapshotLastN(slice_length, job->snapshot);
+    if (config_->copy_slices_at_launch) {
+        job->snapshot.CopyTo(job->slice);
+        job->snapshot.Clear();
+    }
+
     const ApopheniaConfig* config = config_;
-    executor_->Submit([job, config, slice = std::move(slice)]() mutable {
-        job->results = MineSlice(slice, *config);
-        job->done.store(true, std::memory_order_release);
-    });
+    executor_->Submit(
+        [job, config] {
+            if (!job->snapshot.Empty()) {
+                job->snapshot.CopyTo(job->slice);
+            }
+            job->results = MineSlice(job->slice, *config);
+        },
+        [job] { job->done.store(true, std::memory_order_release); });
 }
 
-std::shared_ptr<AnalysisJob>
-TraceFinder::TakeJob()
+void
+TraceFinder::VisitPendingJobs(
+    std::uint64_t first_id,
+    const std::function<void(const PendingJobInfo&)>& visit) const
 {
-    auto job = jobs_.front();
-    jobs_.pop_front();
-    stats_.candidates_produced += job->results.size();
+    for (const auto& job : inflight_) {
+        if (job->id < first_id) {
+            continue;
+        }
+        visit(PendingJobInfo{
+            job->id, job->issued_at, job->slice_length,
+            job->done.load(std::memory_order_acquire)});
+    }
+}
+
+const AnalysisJob&
+TraceFinder::WaitOldestJob()
+{
+    AnalysisJob& job = *inflight_.front();
+    // Pump so deferred executors (PooledExecutor) can deliver the
+    // completion on this thread; with an eager executor this spins
+    // until the worker signals.
+    while (!job.done.load(std::memory_order_acquire)) {
+        executor_->Pump();
+        std::this_thread::yield();
+    }
     return job;
+}
+
+void
+TraceFinder::ReleaseOldestJob()
+{
+    std::unique_ptr<AnalysisJob> job = std::move(inflight_.front());
+    inflight_.pop_front();
+    stats_.candidates_produced += job->results.size();
+    job->snapshot.Clear();
+    job->results.clear();
+    free_jobs_.push_back(std::move(job));
 }
 
 }  // namespace apo::core

@@ -3,7 +3,7 @@
  * The trace finder (paper sections 4.2 and 4.4).
  *
  * The finder accumulates the hash-token stream into a sliding history
- * buffer of `batchsize` tokens and launches asynchronous mining jobs
+ * window of `batchsize` tokens and launches asynchronous mining jobs
  * over slices of it. Slice sizes follow the ruler-function schedule:
  * at the k'th sampling point (every `multi_scale_factor` tasks) the
  * last multi_scale_factor * 2^ruler(k) tokens are analyzed, so short
@@ -11,6 +11,15 @@
  * periodically for long traces. Each job runs the configured repeat
  * mining algorithm (Algorithm 2 by default) and emits candidate
  * traces, chunked to the configured maximum trace length.
+ *
+ * Launching a job is zero-copy: the history lives in shared
+ * append-only blocks (history.h) and a job holds a refcounted
+ * HistorySnapshot of its slice, materializing it on the worker thread.
+ * Jobs are recycled through a free pool, and completion is signalled
+ * through the executor's per-job completion callback rather than by
+ * the caller polling job state. Ingestion remains strictly in launch
+ * order — the deterministic stream-position ingestion contract the
+ * control-replicated front-end (replication.h) depends on.
  */
 #ifndef APOPHENIA_CORE_FINDER_H
 #define APOPHENIA_CORE_FINDER_H
@@ -18,10 +27,12 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "core/config.h"
+#include "core/history.h"
 #include "runtime/task.h"
 #include "support/executor.h"
 
@@ -34,7 +45,9 @@ struct CandidateTrace {
     double occurrences = 0.0;
 };
 
-/** One asynchronous history-mining job. */
+/** One asynchronous history-mining job. Owned and recycled by the
+ * finder; workers receive a raw pointer valid until the job is
+ * released (the finder drains its executor before destruction). */
 struct AnalysisJob {
     /** Stable id (launch order). */
     std::uint64_t id = 0;
@@ -42,9 +55,24 @@ struct AnalysisJob {
     std::uint64_t issued_at = 0;
     /** Number of tokens analyzed. */
     std::size_t slice_length = 0;
-    /** Set (release) by the worker when `results` is complete. */
-    std::atomic<bool> done{false};
+    /** Zero-copy view of the analyzed slice (empty if the slice was
+     * materialized at launch; see
+     * ApopheniaConfig::copy_slices_at_launch). */
+    HistorySnapshot snapshot;
+    /** Worker-side materialization buffer, reused across jobs. */
+    std::vector<rt::TokenHash> slice;
     std::vector<CandidateTrace> results;
+    /** Completion flag, set (release) by the executor's completion
+     * callback once `results` is published. */
+    std::atomic<bool> done{false};
+};
+
+/** Introspection record for one launched-but-not-ingested job. */
+struct PendingJobInfo {
+    std::uint64_t id = 0;
+    std::uint64_t issued_at = 0;
+    std::size_t slice_length = 0;
+    bool done = false;
 };
 
 /** Finder statistics. */
@@ -53,12 +81,20 @@ struct FinderStats {
     std::uint64_t jobs_launched = 0;
     std::uint64_t tokens_analyzed = 0;
     std::uint64_t candidates_produced = 0;
+    /** Jobs recycled from the free pool (vs freshly allocated). */
+    std::uint64_t jobs_recycled = 0;
 };
 
 /** See file comment. */
 class TraceFinder {
   public:
     TraceFinder(const ApopheniaConfig& config, support::Executor& executor);
+
+    /** Waits for in-flight jobs: no worker may outlive the jobs. */
+    ~TraceFinder();
+
+    TraceFinder(const TraceFinder&) = delete;
+    TraceFinder& operator=(const TraceFinder&) = delete;
 
     /** Record one token; launches mining jobs per the sampling
      * schedule. `now` is the global task counter. */
@@ -76,26 +112,47 @@ class TraceFinder {
      */
     void NoteReplayBoundary(std::uint64_t pos);
 
-    /** All jobs launched so far, in launch order. Jobs stay in the
-     * queue until TakeJob() removes them (ingestion). */
-    const std::deque<std::shared_ptr<AnalysisJob>>& Jobs() const
+    // -- Job introspection and ingestion (launch order) ---------------------
+
+    /** Launched-but-not-ingested jobs. */
+    std::size_t PendingJobCount() const { return inflight_.size(); }
+
+    /** True iff a job is pending and the oldest one has completed. */
+    bool OldestJobDone() const
     {
-        return jobs_;
+        return !inflight_.empty() &&
+               inflight_.front()->done.load(std::memory_order_acquire);
     }
 
-    /** Remove and return the oldest job (must exist). */
-    std::shared_ptr<AnalysisJob> TakeJob();
+    /** Visit pending jobs with id >= `first_id`, oldest first. */
+    void VisitPendingJobs(
+        std::uint64_t first_id,
+        const std::function<void(const PendingJobInfo&)>& visit) const;
+
+    /** Block until the oldest pending job (which must exist) has
+     * completed, pumping the executor as needed, and return it. The
+     * reference stays valid until ReleaseOldestJob(). */
+    const AnalysisJob& WaitOldestJob();
+
+    /** Recycle the oldest pending job after its results have been
+     * consumed. Must follow WaitOldestJob(). */
+    void ReleaseOldestJob();
 
     const FinderStats& Stats() const { return stats_; }
 
   private:
     void LaunchAnalysis(std::size_t slice_length, std::uint64_t now);
+    AnalysisJob* AcquireJob();
 
     const ApopheniaConfig* config_;
     support::Executor* executor_;
-    std::deque<rt::TokenHash> history_;  ///< sliding window, <= batchsize
-    std::uint64_t sample_counter_ = 0;   ///< k of the ruler schedule
-    std::deque<std::shared_ptr<AnalysisJob>> jobs_;
+    HistoryRing history_;  ///< sliding window, <= batchsize tokens
+    std::uint64_t sample_counter_ = 0;  ///< k of the ruler schedule
+    /** Launch-order FIFO of jobs awaiting ingestion. */
+    std::deque<std::unique_ptr<AnalysisJob>> inflight_;
+    /** Recycled job storage (snapshot spans, slice and result
+     * buffers keep their capacity). */
+    std::vector<std::unique_ptr<AnalysisJob>> free_jobs_;
     FinderStats stats_;
     /** Latest replay boundary, and the anchored-window length that
      * triggers the next anchored analysis (doubles each launch to

@@ -20,7 +20,7 @@ ReplicatedFrontEnd::ReplicatedFrontEnd(ReplicationOptions options,
         // completion *timing* is simulated by the coordinator.
         node->front_end =
             std::make_unique<Apophenia>(node->runtime, config);
-        node->front_end->SetManualIngest(true);
+        node->front_end->SetIngestMode(IngestMode::kManual);
         nodes_.push_back(std::move(node));
     }
 }
@@ -43,42 +43,40 @@ ReplicatedFrontEnd::ScheduleNewJobs()
     // (the mining schedule is a deterministic function of the
     // stream), so node 0's queue is representative. New jobs are
     // those beyond `jobs_seen_`.
-    const auto& reference = nodes_[0]->front_end->PendingJobs();
-    for (const auto& job : reference) {
-        if (job->id < jobs_seen_) {
-            continue;
-        }
-        jobs_seen_ = job->id + 1;
-        JobSchedule sched;
-        sched.job_id = job->id;
-        sched.agreed_at = job->issued_at + slack_;
-        // Each node's asynchronous analysis completes after a
-        // simulated, jittered number of further tasks; the job is
-        // globally ready only when the slowest node finishes.
-        sched.ready_at = 0;
-        for (auto& node : nodes_) {
-            const double lo =
-                options_.mean_latency_tasks * (1.0 - options_.jitter);
-            const double hi =
-                options_.mean_latency_tasks * (1.0 + options_.jitter);
-            const double latency = node->latency_rng.UniformReal(
-                std::max(0.0, lo), std::max(1.0, hi));
-            sched.ready_at =
-                std::max(sched.ready_at,
-                         job->issued_at +
-                             static_cast<std::uint64_t>(latency));
-        }
-        stats_.jobs_coordinated += 1;
-        if (sched.ready_at > sched.agreed_at) {
-            // Some node would stall at the agreed point: ingest when
-            // actually ready, and widen the slack for future jobs
-            // (the paper's adaptive count increase).
-            stats_.late_jobs += 1;
-            slack_ = std::max(slack_ * 2,
-                              sched.ready_at - sched.agreed_at + slack_);
-        }
-        schedule_.push_back(sched);
-    }
+    nodes_[0]->front_end->VisitPendingJobs(
+        jobs_seen_, [&](const PendingJobInfo& job) {
+            jobs_seen_ = job.id + 1;
+            JobSchedule sched;
+            sched.job_id = job.id;
+            sched.agreed_at = job.issued_at + slack_;
+            // Each node's asynchronous analysis completes after a
+            // simulated, jittered number of further tasks; the job is
+            // globally ready only when the slowest node finishes.
+            sched.ready_at = 0;
+            for (auto& node : nodes_) {
+                const double lo =
+                    options_.mean_latency_tasks * (1.0 - options_.jitter);
+                const double hi =
+                    options_.mean_latency_tasks * (1.0 + options_.jitter);
+                const double latency = node->latency_rng.UniformReal(
+                    std::max(0.0, lo), std::max(1.0, hi));
+                sched.ready_at =
+                    std::max(sched.ready_at,
+                             job.issued_at +
+                                 static_cast<std::uint64_t>(latency));
+            }
+            stats_.jobs_coordinated += 1;
+            if (sched.ready_at > sched.agreed_at) {
+                // Some node would stall at the agreed point: ingest
+                // when actually ready, and widen the slack for future
+                // jobs (the paper's adaptive count increase).
+                stats_.late_jobs += 1;
+                slack_ = std::max(
+                    slack_ * 2,
+                    sched.ready_at - sched.agreed_at + slack_);
+            }
+            schedule_.push_back(sched);
+        });
     stats_.final_slack = slack_;
 }
 

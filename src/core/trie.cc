@@ -2,20 +2,28 @@
 
 namespace apo::core {
 
+CandidateTrie::CandidateTrie()
+{
+    nodes_.emplace_back();  // the root, id 0
+}
+
 CandidateStats&
 CandidateTrie::Insert(const std::vector<rt::TokenHash>& tokens,
                       double occurrences, std::uint64_t now,
                       double half_life)
 {
-    Node* node = &root_;
+    Node* node = &nodes_.front();
     for (rt::TokenHash t : tokens) {
-        auto& child = node->children[t];
-        if (!child) {
-            child = std::make_unique<Node>();
-            child->depth = node->depth + 1;
-            ++num_nodes_;
+        const auto [it, inserted] =
+            edges_.try_emplace(EdgeKey{node->id, t},
+                               static_cast<std::uint32_t>(nodes_.size()));
+        if (inserted) {
+            Node& child = nodes_.emplace_back();
+            child.id = it->second;
+            child.depth = node->depth + 1;
+            node->num_children += 1;
         }
-        node = child.get();
+        node = &nodes_[it->second];
     }
     if (!node->candidate) {
         node->candidate = std::make_unique<CandidateStats>();
@@ -33,11 +41,9 @@ CandidateTrie::Insert(const std::vector<rt::TokenHash>& tokens,
 const CandidateTrie::Node*
 CandidateTrie::Step(const Node* node, rt::TokenHash token) const
 {
-    if (node == nullptr) {
-        node = &root_;
-    }
-    const auto it = node->children.find(token);
-    return it == node->children.end() ? nullptr : it->second.get();
+    const std::uint32_t parent = node == nullptr ? 0 : node->id;
+    const auto it = edges_.find(EdgeKey{parent, token});
+    return it == edges_.end() ? nullptr : &nodes_[it->second];
 }
 
 }  // namespace apo::core

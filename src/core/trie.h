@@ -9,6 +9,13 @@
  * token or discarding it. A pointer reaching a node marked as a
  * candidate has matched that candidate's full token sequence.
  *
+ * The trie is stored flat: nodes live in a pooled deque (stable
+ * addresses, no per-node allocation beyond candidate stats) and all
+ * edges live in a single (parent id, token) -> child index hash map.
+ * Advancing a match pointer is one probe of that flat index — there is
+ * no per-node child container to allocate or chase, which keeps the
+ * per-token replayer step allocation-free.
+ *
  * Each candidate carries the statistics the scoring function uses:
  * score = length × min(count, cap) with the count exponentially
  * decayed by the number of tasks since the candidate last appeared,
@@ -19,6 +26,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +34,7 @@
 #include "core/config.h"
 #include "runtime/task.h"
 #include "runtime/trace.h"
+#include "support/hash.h"
 
 namespace apo::core {
 
@@ -57,12 +66,19 @@ struct CandidateStats {
 class CandidateTrie {
   public:
     struct Node {
-        std::unordered_map<rt::TokenHash, std::unique_ptr<Node>> children;
         /** Set when a candidate ends at this node. */
         std::unique_ptr<CandidateStats> candidate;
         /** Depth = number of tokens from the root. */
         std::size_t depth = 0;
+        /** Index of this node in the pool (key of the edge index). */
+        std::uint32_t id = 0;
+        /** Outgoing-edge count; a leaf cannot extend any match. */
+        std::uint32_t num_children = 0;
+
+        bool HasChildren() const { return num_children != 0; }
     };
+
+    CandidateTrie();
 
     /**
      * Insert (or refresh) a candidate. An existing candidate's count
@@ -87,14 +103,32 @@ class CandidateTrie {
     std::size_t NumCandidates() const { return num_candidates_; }
 
     /** Total trie nodes (memory accounting). */
-    std::size_t NumNodes() const { return num_nodes_; }
+    std::size_t NumNodes() const { return nodes_.size(); }
 
-    const Node* Root() const { return &root_; }
+    const Node* Root() const { return &nodes_.front(); }
 
   private:
-    Node root_;
+    /** One edge of the flat child index. */
+    struct EdgeKey {
+        std::uint32_t parent = 0;
+        rt::TokenHash token = 0;
+
+        bool operator==(const EdgeKey&) const = default;
+    };
+    struct EdgeKeyHash {
+        std::size_t operator()(const EdgeKey& k) const
+        {
+            return static_cast<std::size_t>(
+                support::HashCombine(support::SplitMix64(k.parent),
+                                     k.token));
+        }
+    };
+
+    /** Node pool; deque keeps addresses stable across growth. */
+    std::deque<Node> nodes_;
+    /** The flat child index: (parent id, token) -> child id. */
+    std::unordered_map<EdgeKey, std::uint32_t, EdgeKeyHash> edges_;
     std::size_t num_candidates_ = 0;
-    std::size_t num_nodes_ = 1;
     std::uint64_t next_id_ = 1;
 };
 

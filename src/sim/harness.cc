@@ -59,6 +59,7 @@ RunExperiment(apps::Application& app, const ExperimentOptions& options)
     runtime_options.nodes = options.machine.nodes;
     rt::Runtime runtime(runtime_options);
 
+    std::unique_ptr<support::PooledExecutor> pool;
     std::unique_ptr<core::Apophenia> front_end;
     std::unique_ptr<apps::TaskSink> sink;
     switch (options.mode) {
@@ -69,8 +70,12 @@ RunExperiment(apps::Application& app, const ExperimentOptions& options)
         sink = std::make_unique<apps::RuntimeSink>(runtime);
         break;
       case TracingMode::kAuto:
+        if (options.executor_mode == ExecutorMode::kPooled) {
+            pool = std::make_unique<support::PooledExecutor>(
+                options.pool_threads);
+        }
         front_end = std::make_unique<core::Apophenia>(
-            runtime, options.auto_config);
+            runtime, options.auto_config, pool.get());
         sink = std::make_unique<apps::AutoSink>(*front_end);
         break;
     }

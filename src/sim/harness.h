@@ -29,12 +29,28 @@ enum class TracingMode {
 
 std::string_view ModeName(TracingMode mode);
 
+/** Which executor runs Apophenia's mining jobs in a kAuto experiment. */
+enum class ExecutorMode {
+    /** Jobs run synchronously at launch: deterministic, the
+     * configuration every figure is reported with. */
+    kInline,
+    /** Jobs run on a PooledExecutor (background threads, completions
+     * delivered at deterministic pump points): the throughput
+     * configuration. Replay decisions may differ from kInline when
+     * auto_config.ingest_mode is kOnCompletion (completion timing
+     * moves ingestion positions); with kEagerDrain they are identical
+     * and the two configurations cross-check each other. */
+    kPooled,
+};
+
 /** Experiment parameters. */
 struct ExperimentOptions {
     TracingMode mode = TracingMode::kAuto;
     std::size_t iterations = 60;
     rt::CostModel costs;
     core::ApopheniaConfig auto_config;  ///< used when mode == kAuto
+    ExecutorMode executor_mode = ExecutorMode::kInline;
+    std::size_t pool_threads = 2;  ///< used when kPooled
     apps::MachineConfig machine;
     /** Record the figure-10 coverage series (costs memory). */
     bool keep_coverage_series = false;

@@ -4,7 +4,8 @@
 
 namespace apo::support {
 
-WorkerPool::WorkerPool(std::size_t num_threads)
+WorkerPool::WorkerPool(std::size_t num_threads, std::size_t max_queue)
+    : max_queue_(max_queue)
 {
     if (num_threads == 0) {
         num_threads = 1;
@@ -18,10 +19,16 @@ WorkerPool::WorkerPool(std::size_t num_threads)
 WorkerPool::~WorkerPool()
 {
     {
-        std::lock_guard lock(mutex_);
+        std::unique_lock lock(mutex_);
         shutting_down_ = true;
+        work_available_.notify_all();
+        // Release backpressured submitters, then wait until they have
+        // left Submit: the mutex and condition variables must not be
+        // destroyed under a thread still blocked on them.
+        space_available_.notify_all();
+        space_available_.wait(lock,
+                              [this] { return waiting_submitters_ == 0; });
     }
-    work_available_.notify_all();
     for (auto& t : threads_) {
         t.join();
     }
@@ -31,7 +38,24 @@ void
 WorkerPool::Submit(std::function<void()> job)
 {
     {
-        std::lock_guard lock(mutex_);
+        std::unique_lock lock(mutex_);
+        if (max_queue_ != 0) {
+            ++waiting_submitters_;
+            space_available_.wait(lock, [this] {
+                return shutting_down_ || queue_.size() < max_queue_;
+            });
+            --waiting_submitters_;
+            idle_.notify_all();  // Drain also waits on submitters
+            if (shutting_down_) {
+                // Unblock the destructor, and run the job here: the
+                // workers may already have observed an empty queue and
+                // exited, so enqueueing could silently drop it.
+                space_available_.notify_all();
+                lock.unlock();
+                job();
+                return;
+            }
+        }
         queue_.push_back(std::move(job));
     }
     work_available_.notify_one();
@@ -41,7 +65,12 @@ void
 WorkerPool::Drain()
 {
     std::unique_lock lock(mutex_);
-    idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    // A backpressure-blocked submitter counts as submitted work: its
+    // job must run before Drain may return.
+    idle_.wait(lock, [this] {
+        return queue_.empty() && in_flight_ == 0 &&
+               waiting_submitters_ == 0;
+    });
 }
 
 void
@@ -60,6 +89,7 @@ WorkerPool::WorkerLoop()
             queue_.pop_front();
             ++in_flight_;
         }
+        space_available_.notify_one();
         job();
         {
             std::lock_guard lock(mutex_);
@@ -67,6 +97,71 @@ WorkerPool::WorkerLoop()
         }
         idle_.notify_all();
     }
+}
+
+PooledExecutor::PooledExecutor(std::size_t num_threads, std::size_t max_queue)
+    : pool_(num_threads, max_queue)
+{
+}
+
+PooledExecutor::~PooledExecutor()
+{
+    // Jobs may still be running; wait for them and deliver the
+    // remaining callbacks so no completion is silently dropped.
+    Drain();
+}
+
+void
+PooledExecutor::Submit(std::function<void()> job)
+{
+    Submit(std::move(job), [] {});
+}
+
+void
+PooledExecutor::Submit(std::function<void()> job,
+                       std::function<void()> on_complete)
+{
+    Ticket* ticket = nullptr;
+    {
+        std::lock_guard lock(mutex_);
+        tickets_.push_back(Ticket{std::move(on_complete), false});
+        // Stable address: tickets are popped only by the owner thread,
+        // and a ticket is popped only after the worker marked it done
+        // (i.e., after the worker's last access).
+        ticket = &tickets_.back();
+    }
+    pool_.Submit([this, ticket, job = std::move(job)] {
+        job();
+        std::lock_guard lock(mutex_);
+        ticket->done = true;
+    });
+}
+
+std::vector<std::function<void()>>
+PooledExecutor::TakeReadyPrefix()
+{
+    std::vector<std::function<void()>> ready;
+    std::lock_guard lock(mutex_);
+    while (!tickets_.empty() && tickets_.front().done) {
+        ready.push_back(std::move(tickets_.front().on_complete));
+        tickets_.pop_front();
+    }
+    return ready;
+}
+
+void
+PooledExecutor::Pump()
+{
+    for (auto& callback : TakeReadyPrefix()) {
+        callback();
+    }
+}
+
+void
+PooledExecutor::Drain()
+{
+    pool_.Drain();
+    Pump();
 }
 
 }  // namespace apo::support

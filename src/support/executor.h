@@ -8,6 +8,18 @@
  * avoid stalling the application"). In Legion these jobs run on the
  * runtime's background worker threads; here they run on a small worker
  * pool. An inline executor is provided for deterministic testing.
+ *
+ * Completion is event-driven rather than polled: every job may carry a
+ * completion callback. Where and when the callback runs is the
+ * executor's defining property:
+ *  - InlineExecutor: immediately after the job, on the calling thread.
+ *  - WorkerPool: on the worker thread that ran the job (callers that
+ *    share state with the callback must synchronize).
+ *  - PooledExecutor: never concurrently — callbacks are buffered and
+ *    delivered in submission order on the owner's thread, at Pump()
+ *    and Drain() points. After Drain() returns, every submitted job's
+ *    callback has run: completion observation is deterministic at
+ *    drain points even though execution is concurrent.
  */
 #ifndef APOPHENIA_SUPPORT_EXECUTOR_H
 #define APOPHENIA_SUPPORT_EXECUTOR_H
@@ -18,6 +30,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace apo::support {
@@ -30,7 +43,24 @@ class Executor {
     /** Schedule `job` for execution. */
     virtual void Submit(std::function<void()> job) = 0;
 
-    /** Block until every submitted job has finished. */
+    /** Schedule `job`; run `on_complete` once it has finished. See the
+     * file comment for where each executor runs the callback. */
+    virtual void Submit(std::function<void()> job,
+                        std::function<void()> on_complete)
+    {
+        Submit([job = std::move(job),
+                on_complete = std::move(on_complete)]() mutable {
+            job();
+            on_complete();
+        });
+    }
+
+    /** Deliver any buffered completion callbacks (see PooledExecutor);
+     * a no-op for executors that deliver completions eagerly. */
+    virtual void Pump() {}
+
+    /** Block until every submitted job has finished and, for deferred
+     * executors, every completion callback has been delivered. */
     virtual void Drain() = 0;
 };
 
@@ -40,6 +70,7 @@ class Executor {
  */
 class InlineExecutor final : public Executor {
   public:
+    using Executor::Submit;
     void Submit(std::function<void()> job) override { job(); }
     void Drain() override {}
 };
@@ -48,19 +79,36 @@ class InlineExecutor final : public Executor {
  * A fixed-size pool of background worker threads consuming a FIFO job
  * queue. Models Legion's background worker threads that Apophenia's
  * history-mining jobs execute on (paper section 6.3).
+ *
+ * Submission is optionally bounded: with `max_queue > 0`, Submit()
+ * blocks while `max_queue` jobs are already waiting, providing
+ * backpressure so a producer outrunning the pool cannot hoard memory.
+ * A submitter blocked when the pool shuts down is released and runs
+ * its job on its own thread, so no accepted job is ever dropped.
  */
 class WorkerPool final : public Executor {
   public:
-    explicit WorkerPool(std::size_t num_threads = 2);
+    explicit WorkerPool(std::size_t num_threads = 2,
+                        std::size_t max_queue = 0);
     ~WorkerPool() override;
 
     WorkerPool(const WorkerPool&) = delete;
     WorkerPool& operator=(const WorkerPool&) = delete;
 
+    using Executor::Submit;
     void Submit(std::function<void()> job) override;
     void Drain() override;
 
     std::size_t NumThreads() const { return threads_.size(); }
+    std::size_t MaxQueue() const { return max_queue_; }
+
+    /** Submitters currently blocked on backpressure (tests use this
+     * to synchronize with a Submit they expect to block). */
+    std::size_t BlockedSubmitters()
+    {
+        std::lock_guard lock(mutex_);
+        return waiting_submitters_;
+    }
 
   private:
     void WorkerLoop();
@@ -68,10 +116,63 @@ class WorkerPool final : public Executor {
     std::mutex mutex_;
     std::condition_variable work_available_;
     std::condition_variable idle_;
+    std::condition_variable space_available_;
     std::deque<std::function<void()>> queue_;
     std::size_t in_flight_ = 0;
+    std::size_t max_queue_ = 0;  ///< 0 = unbounded
+    /** Submitters blocked on backpressure; the destructor waits for
+     * them to leave before tearing down the synchronization state. */
+    std::size_t waiting_submitters_ = 0;
     bool shutting_down_ = false;
     std::vector<std::thread> threads_;
+};
+
+/**
+ * A worker pool with deterministic completion delivery. Jobs execute
+ * concurrently on an internal WorkerPool, but completion callbacks are
+ * buffered and delivered on the owner's thread, always in submission
+ * order: Pump() delivers callbacks for the longest prefix of submitted
+ * jobs that have all finished; Drain() waits for everything and then
+ * delivers every remaining callback. Because callbacks never run
+ * concurrently with the owner, owner-side completion bookkeeping needs
+ * no locking — this is what makes the pool usable outside tests.
+ */
+class PooledExecutor final : public Executor {
+  public:
+    explicit PooledExecutor(std::size_t num_threads = 2,
+                            std::size_t max_queue = 0);
+    ~PooledExecutor() override;
+
+    PooledExecutor(const PooledExecutor&) = delete;
+    PooledExecutor& operator=(const PooledExecutor&) = delete;
+
+    void Submit(std::function<void()> job) override;
+    void Submit(std::function<void()> job,
+                std::function<void()> on_complete) override;
+
+    /** Deliver completion callbacks for the longest all-done prefix of
+     * submitted jobs, in submission order, on this thread. */
+    void Pump() override;
+
+    /** Wait for all jobs, then deliver every pending callback (in
+     * submission order, on this thread). */
+    void Drain() override;
+
+    std::size_t NumThreads() const { return pool_.NumThreads(); }
+
+  private:
+    /** One submitted job's completion record. */
+    struct Ticket {
+        std::function<void()> on_complete;
+        bool done = false;
+    };
+
+    /** Pop the longest done prefix under the lock; return callbacks. */
+    std::vector<std::function<void()>> TakeReadyPrefix();
+
+    WorkerPool pool_;
+    std::mutex mutex_;
+    std::deque<Ticket> tickets_;
 };
 
 }  // namespace apo::support

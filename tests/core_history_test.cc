@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the shared-block history ring and its zero-copy snapshots:
+ * window semantics, span structure, block sharing between overlapping
+ * snapshots, and block survival past eviction.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/history.h"
+
+namespace apo::core {
+namespace {
+
+std::vector<rt::TokenHash> Materialize(const HistorySnapshot& snapshot)
+{
+    std::vector<rt::TokenHash> out;
+    snapshot.CopyTo(out);
+    return out;
+}
+
+TEST(HistoryRing, WindowTracksLastCapacityTokens)
+{
+    HistoryRing ring(/*capacity=*/10, /*block_size=*/4);
+    for (rt::TokenHash t = 0; t < 7; ++t) {
+        ring.Append(t);
+    }
+    EXPECT_EQ(ring.Size(), 7u);
+    for (rt::TokenHash t = 7; t < 100; ++t) {
+        ring.Append(t);
+    }
+    EXPECT_EQ(ring.Size(), 10u);
+    // Blocks are evicted wholesale: never more than needed to cover
+    // the window plus one partial block's slack.
+    EXPECT_LE(ring.NumBlocks(), 10 / 4 + 2u);
+}
+
+TEST(HistoryRing, SnapshotMaterializesTheSuffix)
+{
+    HistoryRing ring(100, /*block_size=*/8);
+    for (rt::TokenHash t = 0; t < 30; ++t) {
+        ring.Append(t);
+    }
+    HistorySnapshot snapshot;
+    ring.SnapshotLastN(13, snapshot);
+    EXPECT_EQ(snapshot.Size(), 13u);
+    const auto tokens = Materialize(snapshot);
+    ASSERT_EQ(tokens.size(), 13u);
+    for (std::size_t i = 0; i < 13; ++i) {
+        EXPECT_EQ(tokens[i], 30 - 13 + i) << i;
+    }
+    // 13 tokens over 8-sized blocks span exactly 2 or 3 blocks.
+    EXPECT_GE(snapshot.NumSpans(), 2u);
+    EXPECT_LE(snapshot.NumSpans(), 3u);
+}
+
+TEST(HistoryRing, SnapshotIsZeroCopyAndShared)
+{
+    HistoryRing ring(1000, /*block_size=*/16);
+    for (rt::TokenHash t = 0; t < 64; ++t) {
+        ring.Append(t);
+    }
+    HistorySnapshot a, b;
+    ring.SnapshotLastN(48, a);
+    ring.SnapshotLastN(32, b);
+    // Overlapping snapshots reference the same immutable blocks: the
+    // data pointers for the shared suffix ranges alias.
+    const auto a_tokens = Materialize(a);
+    const auto b_tokens = Materialize(b);
+    EXPECT_EQ(std::vector<rt::TokenHash>(a_tokens.end() - 32,
+                                         a_tokens.end()),
+              b_tokens);
+    EXPECT_EQ(a.NumSpans(), 3u);  // 48 tokens = 3 full 16-blocks
+    EXPECT_EQ(b.NumSpans(), 2u);
+}
+
+TEST(HistoryRing, SnapshotSurvivesEviction)
+{
+    HistoryRing ring(/*capacity=*/32, /*block_size=*/8);
+    for (rt::TokenHash t = 0; t < 32; ++t) {
+        ring.Append(t);
+    }
+    HistorySnapshot snapshot;
+    ring.SnapshotLastN(32, snapshot);
+    // Push the window far past the snapshotted tokens.
+    for (rt::TokenHash t = 32; t < 500; ++t) {
+        ring.Append(t);
+    }
+    // The snapshot still reads the original tokens: evicted blocks are
+    // kept alive by the snapshot's references.
+    const auto tokens = Materialize(snapshot);
+    ASSERT_EQ(tokens.size(), 32u);
+    for (std::size_t i = 0; i < 32; ++i) {
+        EXPECT_EQ(tokens[i], i) << i;
+    }
+}
+
+TEST(HistoryRing, AppendAfterSnapshotDoesNotDisturbIt)
+{
+    HistoryRing ring(100, /*block_size=*/8);
+    for (rt::TokenHash t = 0; t < 12; ++t) {
+        ring.Append(t);
+    }
+    HistorySnapshot snapshot;
+    ring.SnapshotLastN(12, snapshot);
+    // Later appends fill the same tail block the snapshot references;
+    // the snapshot's extent must not grow with them.
+    for (rt::TokenHash t = 100; t < 110; ++t) {
+        ring.Append(t);
+    }
+    const auto tokens = Materialize(snapshot);
+    ASSERT_EQ(tokens.size(), 12u);
+    for (std::size_t i = 0; i < 12; ++i) {
+        EXPECT_EQ(tokens[i], i) << i;
+    }
+}
+
+TEST(HistorySnapshot, ClearReleasesBlocks)
+{
+    HistoryRing ring(64, 8);
+    for (rt::TokenHash t = 0; t < 64; ++t) {
+        ring.Append(t);
+    }
+    HistorySnapshot snapshot;
+    ring.SnapshotLastN(64, snapshot);
+    EXPECT_FALSE(snapshot.Empty());
+    snapshot.Clear();
+    EXPECT_TRUE(snapshot.Empty());
+    EXPECT_EQ(snapshot.NumSpans(), 0u);
+}
+
+}  // namespace
+}  // namespace apo::core

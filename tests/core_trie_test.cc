@@ -138,10 +138,15 @@ TEST(Finder, LaunchesJobsOnRulerSchedule)
     // 10,20,10,40,10,20,10,80.
     EXPECT_EQ(finder.Stats().jobs_launched, 8u);
     const std::vector<std::size_t> expected{10, 20, 10, 40, 10, 20, 10, 80};
-    ASSERT_EQ(finder.Jobs().size(), 8u);
+    ASSERT_EQ(finder.PendingJobCount(), 8u);
+    std::vector<PendingJobInfo> jobs;
+    finder.VisitPendingJobs(
+        0, [&](const PendingJobInfo& info) { jobs.push_back(info); });
+    ASSERT_EQ(jobs.size(), 8u);
     for (std::size_t i = 0; i < 8; ++i) {
-        EXPECT_EQ(finder.Jobs()[i]->slice_length, expected[i]) << i;
-        EXPECT_TRUE(finder.Jobs()[i]->done.load());
+        EXPECT_EQ(jobs[i].id, i);
+        EXPECT_EQ(jobs[i].slice_length, expected[i]) << i;
+        EXPECT_TRUE(jobs[i].done);
     }
     EXPECT_EQ(finder.Stats().tokens_analyzed, 10u + 20 + 10 + 40 + 10 + 20 +
                                                   10 + 80);
@@ -158,9 +163,9 @@ TEST(Finder, SliceIsCappedByBatchsize)
     for (std::uint64_t i = 1; i <= 400; ++i) {
         finder.Observe(i % 4, i);
     }
-    for (const auto& job : finder.Jobs()) {
-        EXPECT_LE(job->slice_length, 40u);
-    }
+    finder.VisitPendingJobs(0, [](const PendingJobInfo& job) {
+        EXPECT_LE(job.slice_length, 40u);
+    });
 }
 
 TEST(Finder, BatchedModeAnalyzesOnlyFullBuffers)
@@ -175,9 +180,9 @@ TEST(Finder, BatchedModeAnalyzesOnlyFullBuffers)
         finder.Observe(i % 4, i);
     }
     EXPECT_EQ(finder.Stats().jobs_launched, 2u);  // at 50 and 100
-    for (const auto& job : finder.Jobs()) {
-        EXPECT_EQ(job->slice_length, 50u);
-    }
+    finder.VisitPendingJobs(0, [](const PendingJobInfo& job) {
+        EXPECT_EQ(job.slice_length, 50u);
+    });
 }
 
 TEST(Finder, TinySlicesAreSkipped)

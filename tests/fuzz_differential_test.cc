@@ -23,6 +23,7 @@
 
 #include "core/apophenia.h"
 #include "runtime/runtime.h"
+#include "support/executor.h"
 #include "support/rng.h"
 
 namespace apo {
@@ -196,6 +197,95 @@ TEST_P(DifferentialFuzz, TracedEqualsUntraced)
         if (!op.launch.traceable) {
             ASSERT_EQ(op.trace, rt::kNoTrace);
         }
+    }
+}
+
+TEST_P(DifferentialFuzz, PooledEagerDrainMatchesInlineDecisions)
+{
+    // The zero-copy pipeline's determinism contract: with eager-drain
+    // ingestion, a pooled executor (jobs actually mined on background
+    // worker threads) must reproduce the InlineExecutor's replay
+    // decisions exactly — same analysis modes, same trace ids, at the
+    // same stream positions.
+    const FuzzCase fuzz = GetParam();
+    core::ApopheniaConfig config;
+    config.min_trace_length = fuzz.min_trace_length;
+    config.max_trace_length = fuzz.max_trace_length;
+    config.batchsize = fuzz.batchsize;
+    config.multi_scale_factor =
+        std::max<std::size_t>(fuzz.batchsize / 16, 8);
+
+    rt::Runtime inline_rt;
+    core::Apophenia inline_fe(inline_rt, config);
+    RandomProgram(fuzz.seed).Run(inline_fe);
+    inline_fe.Flush();
+
+    core::ApopheniaConfig pooled_config = config;
+    pooled_config.ingest_mode = core::IngestMode::kEagerDrain;
+    rt::Runtime pooled_rt;
+    support::PooledExecutor pool(3);
+    core::Apophenia pooled_fe(pooled_rt, pooled_config, &pool);
+    RandomProgram(fuzz.seed).Run(pooled_fe);
+    pooled_fe.Flush();
+
+    ASSERT_EQ(pooled_rt.Log().size(), inline_rt.Log().size());
+    for (std::size_t i = 0; i < pooled_rt.Log().size(); ++i) {
+        ASSERT_EQ(pooled_rt.Log()[i].token, inline_rt.Log()[i].token)
+            << "stream diverged at op " << i << " (seed " << fuzz.seed
+            << ")";
+        ASSERT_EQ(pooled_rt.Log()[i].mode, inline_rt.Log()[i].mode)
+            << "analysis mode diverged at op " << i << " (seed "
+            << fuzz.seed << ")";
+        ASSERT_EQ(pooled_rt.Log()[i].trace, inline_rt.Log()[i].trace)
+            << "trace decision diverged at op " << i << " (seed "
+            << fuzz.seed << ")";
+        ASSERT_EQ(pooled_rt.Log()[i].dependences,
+                  inline_rt.Log()[i].dependences)
+            << "graph diverged at op " << i << " (seed " << fuzz.seed
+            << ")";
+    }
+    EXPECT_EQ(pooled_fe.Stats().traces_fired,
+              inline_fe.Stats().traces_fired);
+    EXPECT_EQ(pooled_fe.Stats().jobs_ingested,
+              inline_fe.Stats().jobs_ingested);
+}
+
+TEST(DifferentialFuzzPooled, OnCompletionIngestionIsStillSafe)
+{
+    // Throughput mode: with on-completion ingestion, *when* candidates
+    // arrive depends on worker timing, so replay decisions are free to
+    // differ from inline — but the forwarded stream and the dependence
+    // graph must still match the untraced program exactly.
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        core::ApopheniaConfig config;
+        config.min_trace_length = 5;
+        config.max_trace_length = 5000;
+        config.batchsize = 800;
+        config.multi_scale_factor = 50;
+
+        rt::Runtime traced_rt;
+        support::WorkerPool pool(3);
+        {
+            core::Apophenia fe(traced_rt, config, &pool);
+            RandomProgram(seed).Run(fe);
+            fe.Flush();
+        }
+
+        rt::Runtime bare_rt;
+        BareTarget bare(bare_rt);
+        RandomProgram(seed).Run(bare);
+
+        ASSERT_EQ(traced_rt.Log().size(), bare_rt.Log().size());
+        for (std::size_t i = 0; i < traced_rt.Log().size(); ++i) {
+            ASSERT_EQ(traced_rt.Log()[i].token, bare_rt.Log()[i].token)
+                << "stream diverged at op " << i << " (seed " << seed
+                << ")";
+            ASSERT_EQ(traced_rt.Log()[i].dependences,
+                      bare_rt.Log()[i].dependences)
+                << "graph diverged at op " << i << " (seed " << seed
+                << ")";
+        }
+        EXPECT_EQ(traced_rt.Stats().trace_mismatches, 0u);
     }
 }
 

@@ -147,6 +147,43 @@ TEST(Executor, InlineExecutorRunsSynchronously)
     EXPECT_EQ(value, 42);
 }
 
+TEST(Executor, InlineExecutorRunsCompletionAfterJob)
+{
+    InlineExecutor exec;
+    std::vector<int> order;
+    exec.Submit([&] { order.push_back(1); }, [&] { order.push_back(2); });
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Executor, WorkerPoolRunsCompletionCallbacks)
+{
+    WorkerPool pool(2);
+    std::atomic<int> jobs{0};
+    std::atomic<int> completions{0};
+    for (int i = 0; i < 50; ++i) {
+        pool.Submit([&] { jobs.fetch_add(1); },
+                    [&] { completions.fetch_add(1); });
+    }
+    pool.Drain();
+    EXPECT_EQ(jobs.load(), 50);
+    EXPECT_EQ(completions.load(), 50);
+}
+
+TEST(Executor, PooledExecutorDefersCompletionsToPump)
+{
+    PooledExecutor exec(2);
+    std::atomic<bool> job_ran{false};
+    bool completed = false;  // only ever touched on this thread
+    exec.Submit([&] { job_ran.store(true); }, [&] { completed = true; });
+    // The job finishes on a worker, but the completion waits for us.
+    while (!job_ran.load()) {
+        std::this_thread::yield();
+    }
+    EXPECT_FALSE(completed);
+    exec.Drain();
+    EXPECT_TRUE(completed);
+}
+
 TEST(Executor, WorkerPoolRunsAllJobs)
 {
     WorkerPool pool(4);
