@@ -15,7 +15,7 @@
  */
 #include <cstdio>
 
-#include "apps/sink.h"
+#include "api/frontend.h"
 #include "apps/torchswe.h"
 #include "core/apophenia.h"
 #include "runtime/runtime.h"
@@ -34,17 +34,16 @@ double Run(bool anchored, bool speculative)
     config.speculative_period_completion = speculative;
     rt::Runtime runtime;
     core::Apophenia fe(runtime, config);
-    apps::AutoSink sink(fe);
     apps::TorchSweOptions options;
     options.machine.nodes = 2;
     options.machine.gpus_per_node = 2;
     options.allocation_pool_budget = 100;  // short pool warmup
     apps::TorchSweApplication app(options);
-    app.Setup(sink);
+    app.Setup(fe);
     for (int i = 0; i < 200; ++i) {
-        app.Iteration(sink, i, false);
+        app.Iteration(fe, i, false);
     }
-    sink.Flush();
+    fe.Flush();
     return runtime.Stats().ReplayedFraction();
 }
 

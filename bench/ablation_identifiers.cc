@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "apps/cfd.h"
-#include "apps/sink.h"
+#include "api/frontend.h"
 #include "core/config.h"
 #include "core/finder.h"
 #include "strings/identifiers.h"
@@ -61,14 +61,14 @@ strings::Sequence FewSightingsLongBody(std::size_t body, std::size_t reps)
 strings::Sequence CfdSlice(std::size_t iterations)
 {
     rt::Runtime runtime;
-    apps::RuntimeSink sink(runtime);
+    api::DirectFrontend fe(runtime);
     apps::CfdOptions options;
     options.machine.nodes = 1;
     options.machine.gpus_per_node = 4;
     apps::CfdApplication app(options);
-    app.Setup(sink);
+    app.Setup(fe);
     for (std::size_t i = 0; i < iterations; ++i) {
-        app.Iteration(sink, i, false);
+        app.Iteration(fe, i, false);
     }
     strings::Sequence s;
     for (const auto& op : runtime.Log()) {

@@ -14,7 +14,7 @@
  */
 #include <cstdio>
 
-#include "apps/sink.h"
+#include "api/frontend.h"
 #include "core/apophenia.h"
 #include "runtime/runtime.h"
 
@@ -32,21 +32,20 @@ Outcome Run(const core::ApopheniaConfig& config, std::size_t body,
 {
     rt::Runtime runtime;
     core::Apophenia fe(runtime, config);
-    apps::AutoSink sink(fe);
     std::vector<rt::RegionId> regions;
     for (std::size_t i = 0; i < body; ++i) {
-        regions.push_back(sink.CreateRegion());
+        regions.push_back(fe.CreateRegion());
     }
     for (std::size_t it = 0; it < iterations; ++it) {
         for (std::size_t i = 0; i < body; ++i) {
-            sink.ExecuteTask(rt::TaskLaunch{
+            fe.ExecuteTask(rt::TaskLaunch{
                 100 + static_cast<rt::TaskId>(i),
                 {{regions[i], 0, rt::Privilege::kReadOnly, 0},
                  {regions[(i + 1) % body], 0, rt::Privilege::kReadWrite,
                   0}}});
         }
     }
-    sink.Flush();
+    fe.Flush();
     Outcome out;
     out.replayed_fraction = runtime.Stats().ReplayedFraction();
     out.warmup_tasks = runtime.Log().size();

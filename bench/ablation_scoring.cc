@@ -23,7 +23,7 @@
  */
 #include <cstdio>
 
-#include "apps/sink.h"
+#include "api/frontend.h"
 #include "core/apophenia.h"
 #include "runtime/runtime.h"
 
@@ -40,11 +40,11 @@ core::ApopheniaConfig BaseConfig()
     return config;
 }
 
-void IssueLoop(apps::AutoSink& sink, std::vector<rt::RegionId>& regions,
+void IssueLoop(core::Apophenia& fe, std::vector<rt::RegionId>& regions,
                rt::TaskId base, std::size_t body)
 {
     for (std::size_t i = 0; i < body; ++i) {
-        sink.ExecuteTask(rt::TaskLaunch{
+        fe.ExecuteTask(rt::TaskLaunch{
             base + static_cast<rt::TaskId>(i),
             {{regions[i % regions.size()], 0, rt::Privilege::kReadOnly, 0},
              {regions[(i + 1) % regions.size()], 0,
@@ -60,20 +60,19 @@ std::size_t SwitchLatency(double count_cap)
     config.score_count_cap = count_cap;
     rt::Runtime runtime;
     core::Apophenia fe(runtime, config);
-    apps::AutoSink sink(fe);
     std::vector<rt::RegionId> regions;
     for (int i = 0; i < 80; ++i) {
-        regions.push_back(sink.CreateRegion());
+        regions.push_back(fe.CreateRegion());
     }
     for (int it = 0; it < 150; ++it) {  // phase A: 40-task body
-        IssueLoop(sink, regions, 100, 40);
+        IssueLoop(fe, regions, 100, 40);
     }
     const std::size_t phase_b_start = runtime.Log().size();
     for (int it = 0; it < 400; ++it) {  // phase B: 80-task body,
-        IssueLoop(sink, regions, 100, 40);  // same 40-task prefix
-        IssueLoop(sink, regions, 500, 40);
+        IssueLoop(fe, regions, 100, 40);  // same 40-task prefix
+        IssueLoop(fe, regions, 500, 40);
     }
-    sink.Flush();
+    fe.Flush();
     // First replay belonging to a trace at least 80 tasks long.
     for (std::size_t i = phase_b_start; i < runtime.Log().size(); ++i) {
         const auto& op = runtime.Log()[i];
@@ -95,18 +94,17 @@ double SteadyStability(double half_life)
     config.score_decay_half_life = half_life;
     rt::Runtime runtime;
     core::Apophenia fe(runtime, config);
-    apps::AutoSink sink(fe);
     std::vector<rt::RegionId> regions;
     for (int i = 0; i < 60; ++i) {
-        regions.push_back(sink.CreateRegion());
+        regions.push_back(fe.CreateRegion());
     }
     for (int it = 0; it < 600; ++it) {
-        IssueLoop(sink, regions, 100, 40);
+        IssueLoop(fe, regions, 100, 40);
         if (it % 23 == 22) {
-            IssueLoop(sink, regions, 9000, 30);  // rare interloper
+            IssueLoop(fe, regions, 9000, 30);  // rare interloper
         }
     }
-    sink.Flush();
+    fe.Flush();
     const auto& log = runtime.Log();
     std::size_t replayed = 0;
     const std::size_t tail_start = log.size() / 2;

@@ -16,7 +16,7 @@
 #include <benchmark/benchmark.h>
 
 #include "apps/s3d.h"
-#include "apps/sink.h"
+#include "api/frontend.h"
 #include "core/apophenia.h"
 #include "runtime/runtime.h"
 
@@ -36,13 +36,13 @@ apps::MachineConfig BenchMachine()
 std::vector<rt::TaskLaunch> MakeStream(std::size_t iterations)
 {
     rt::Runtime staging;
-    apps::RuntimeSink sink(staging);
+    api::DirectFrontend fe(staging);
     apps::S3dOptions options;
     options.machine = BenchMachine();
     apps::S3dApplication app(options);
-    app.Setup(sink);
+    app.Setup(fe);
     for (std::size_t i = 0; i < iterations; ++i) {
-        app.Iteration(sink, i, false);
+        app.Iteration(fe, i, false);
     }
     std::vector<rt::TaskLaunch> launches;
     launches.reserve(staging.Log().size());

@@ -39,7 +39,8 @@ main()
         // Per-subregion stencil sweep: siblings are disjoint, so these
         // run in parallel; each reads its left neighbour.
         for (std::uint32_t g = 0; g < kShards; ++g) {
-            rt::TaskLaunch stencil{rt::TaskIdOf("stencil")};
+            rt::TaskLaunch stencil;
+            stencil.task = rt::TaskIdOf("stencil");
             stencil.shard = g;
             stencil.execution_us = 800.0;
             stencil.requirements.push_back(

@@ -3,15 +3,52 @@
  * Quickstart: automatic tracing in five minutes.
  *
  * Build a runtime, put Apophenia in front of it, issue an iterative
- * task stream, and watch the dependence analysis get memoized without
- * a single annotation.
+ * task stream through the one api::Frontend surface, and watch the
+ * dependence analysis get memoized without a single annotation.
+ *
+ * The application below is written against api::Frontend only — swap
+ * `apophenia` for an api::UntracedFrontend (or a multi-node
+ * core::ReplicatedFrontEnd) and it runs unchanged in the paper's
+ * other evaluation modes.
  *
  *   $ ./examples/quickstart
  */
 #include <cstdio>
 
+#include "api/launch.h"
 #include "core/apophenia.h"
 #include "runtime/runtime.h"
+
+namespace {
+
+/** The application: a 4-point pipeline. Tasks declare region
+ * requirements; the runtime works out the parallelism. Launches are
+ * assembled in a reusable builder — the issue loop allocates
+ * nothing. */
+void
+PipelineIteration(apo::api::Frontend& frontend,
+                  apo::api::LaunchBuilder& builder, apo::rt::RegionId a,
+                  apo::rt::RegionId b, apo::rt::RegionId c)
+{
+    using apo::rt::Privilege;
+    builder.Start("produce")
+        .Add({a, 0, Privilege::kReadWrite, 0})
+        .LaunchOn(frontend);
+    builder.Start("stage1")
+        .Add({a, 0, Privilege::kReadOnly, 0})
+        .Add({b, 0, Privilege::kWriteDiscard, 0})
+        .LaunchOn(frontend);
+    builder.Start("stage2")
+        .Add({b, 0, Privilege::kReadOnly, 0})
+        .Add({c, 0, Privilege::kWriteDiscard, 0})
+        .LaunchOn(frontend);
+    builder.Start("fold")
+        .Add({c, 0, Privilege::kReadOnly, 0})
+        .Add({a, 0, Privilege::kReduce, 1})
+        .LaunchOn(frontend);
+}
+
+}  // namespace
 
 int
 main()
@@ -23,38 +60,25 @@ main()
     //    costs ~100µs per task.
     rt::Runtime runtime;
 
-    // 2. Apophenia sits in front. Applications call ExecuteTask here
-    //    instead of on the runtime; everything else is automatic.
+    // 2. Apophenia sits in front, behind the api::Frontend issue
+    //    surface. Applications call ExecuteTask here instead of on
+    //    the runtime; everything else is automatic.
     core::ApopheniaConfig config;
     config.min_trace_length = 5;    // don't memoize tiny fragments
     config.batchsize = 1000;        // task-history buffer to mine
     config.multi_scale_factor = 50; // sampling granularity
     core::Apophenia apophenia(runtime, config);
+    api::Frontend& frontend = apophenia;
 
-    // 3. An application: a 4-point pipeline iterated 200 times. Tasks
-    //    declare region requirements; the runtime works out the
-    //    parallelism.
-    const rt::RegionId a = apophenia.CreateRegion();
-    const rt::RegionId b = apophenia.CreateRegion();
-    const rt::RegionId c = apophenia.CreateRegion();
+    // 3. Run the pipeline 200 times.
+    const rt::RegionId a = frontend.CreateRegion();
+    const rt::RegionId b = frontend.CreateRegion();
+    const rt::RegionId c = frontend.CreateRegion();
+    api::LaunchBuilder builder;
     for (int iter = 0; iter < 200; ++iter) {
-        apophenia.ExecuteTask(
-            rt::TaskLaunch{rt::TaskIdOf("produce"),
-                           {{a, 0, rt::Privilege::kReadWrite, 0}}});
-        apophenia.ExecuteTask(
-            rt::TaskLaunch{rt::TaskIdOf("stage1"),
-                           {{a, 0, rt::Privilege::kReadOnly, 0},
-                            {b, 0, rt::Privilege::kWriteDiscard, 0}}});
-        apophenia.ExecuteTask(
-            rt::TaskLaunch{rt::TaskIdOf("stage2"),
-                           {{b, 0, rt::Privilege::kReadOnly, 0},
-                            {c, 0, rt::Privilege::kWriteDiscard, 0}}});
-        apophenia.ExecuteTask(
-            rt::TaskLaunch{rt::TaskIdOf("fold"),
-                           {{c, 0, rt::Privilege::kReadOnly, 0},
-                            {a, 0, rt::Privilege::kReduce, 1}}});
+        PipelineIteration(frontend, builder, a, b, c);
     }
-    apophenia.Flush();  // end of program: drain buffered work
+    frontend.Flush();  // end of program: drain buffered work
 
     // 4. What happened?
     const rt::RuntimeStats& stats = runtime.Stats();

@@ -1,0 +1,8 @@
+#include "api/frontend.h"
+
+namespace apo::api {
+
+// Out-of-line key function: one vtable anchor for the whole layer.
+Frontend::~Frontend() = default;
+
+}  // namespace apo::api

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The one issue surface applications are written against.
+ *
+ * The paper's whole pitch is that the application-facing interface
+ * never changes: tracing is slotted in *behind* ExecuteTask. This
+ * layer makes that literal. A Frontend is where an application sends
+ * its region and task operations; the same application code runs in
+ * every evaluation mode by swapping the implementation:
+ *
+ *  - DirectFrontend:   straight to the runtime; the application's own
+ *                      tbegin/tend annotations are honored (the
+ *                      paper's hand-traced ports);
+ *  - UntracedFrontend: straight to the runtime with annotations
+ *                      stripped — every task is analyzed;
+ *  - core::Apophenia:  automatic tracing; annotations are ignored (a
+ *                      real port would simply not have them) and
+ *                      Apophenia inserts its own trace markers;
+ *  - core::ReplicatedFrontEnd: N Apophenia instances over N runtime
+ *                      shards with coordinated analysis ingestion
+ *                      (paper section 5.1).
+ *
+ * The issue path is non-virtual (NVI): the public ExecuteTask /
+ * BeginTrace / EndTrace / Flush update the uniform FrontendStats and
+ * dispatch to the protected Do* hooks, so every implementation counts
+ * the same things the same way — including annotations it *drops*,
+ * which the adapter sinks this layer replaces used to discard
+ * silently.
+ */
+#ifndef APOPHENIA_API_FRONTEND_H
+#define APOPHENIA_API_FRONTEND_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+namespace apo::api {
+
+/** Counters every Frontend keeps uniformly (NVI, see file comment). */
+struct FrontendStats {
+    /** Launches issued through ExecuteTask (either overload). */
+    std::uint64_t tasks_executed = 0;
+    /** Begin/EndTrace annotations forwarded to the runtime. */
+    std::uint64_t annotations_honored = 0;
+    /** Begin/EndTrace annotations this front end dropped. */
+    std::uint64_t annotations_ignored = 0;
+    /** End-of-stream synchronizations. */
+    std::uint64_t flushes = 0;
+};
+
+/** Where an application sends its region and task operations. */
+class Frontend {
+  public:
+    virtual ~Frontend();
+
+    Frontend() = default;
+    Frontend(const Frontend&) = delete;
+    Frontend& operator=(const Frontend&) = delete;
+
+    /** Implementation name for reports and experiment logs. */
+    virtual std::string_view Name() const = 0;
+
+    // -- Region management -------------------------------------------------
+
+    virtual rt::RegionId CreateRegion() = 0;
+    virtual void DestroyRegion(rt::RegionId r) = 0;
+    virtual std::vector<rt::RegionId> PartitionRegion(rt::RegionId parent,
+                                                      std::size_t count) = 0;
+
+    // -- The issue path ----------------------------------------------------
+
+    /** Issue one launch. The view's token was hashed at the API
+     * boundary; the requirements stay in the caller's arena for the
+     * duration of the call (see rt::TaskLaunchView). */
+    void ExecuteTask(const rt::TaskLaunchView& launch)
+    {
+        stats_.tasks_executed += 1;
+        DoExecuteTask(launch);
+    }
+
+    /** Convenience for owned launches; hashes here. */
+    void ExecuteTask(const rt::TaskLaunch& launch)
+    {
+        ExecuteTask(rt::TaskLaunchView::Of(launch));
+    }
+
+    /** Manual trace annotations. Implementations that do their own
+     * tracing (or none) drop them — counted, never silent. */
+    void BeginTrace(rt::TraceId id)
+    {
+        if (DoBeginTrace(id)) {
+            stats_.annotations_honored += 1;
+        } else {
+            stats_.annotations_ignored += 1;
+        }
+    }
+
+    void EndTrace(rt::TraceId id)
+    {
+        if (DoEndTrace(id)) {
+            stats_.annotations_honored += 1;
+        } else {
+            stats_.annotations_ignored += 1;
+        }
+    }
+
+    /** End-of-program (or synchronization-point) drain. */
+    void Flush()
+    {
+        stats_.flushes += 1;
+        DoFlush();
+    }
+
+    /** Uniform issue-side statistics, identical across
+     * implementations. */
+    const FrontendStats& Stats() const { return stats_; }
+
+  protected:
+    /** @return true iff the annotation was forwarded (honored). */
+    virtual bool DoBeginTrace(rt::TraceId id) = 0;
+    /** @return true iff the annotation was forwarded (honored). */
+    virtual bool DoEndTrace(rt::TraceId id) = 0;
+    virtual void DoExecuteTask(const rt::TaskLaunchView& launch) = 0;
+    virtual void DoFlush() = 0;
+
+  private:
+    FrontendStats stats_;
+};
+
+/** Shared pass-through of the two runtime-backed wrappers: regions
+ * and launches go straight to the runtime; only the annotation policy
+ * differs. */
+class RuntimeFrontend : public Frontend {
+  public:
+    rt::RegionId CreateRegion() override { return runtime_->CreateRegion(); }
+    void DestroyRegion(rt::RegionId r) override
+    {
+        runtime_->DestroyRegion(r);
+    }
+    std::vector<rt::RegionId> PartitionRegion(rt::RegionId parent,
+                                              std::size_t count) override
+    {
+        return runtime_->PartitionRegion(parent, count);
+    }
+
+  protected:
+    explicit RuntimeFrontend(rt::Runtime& runtime) : runtime_(&runtime) {}
+
+    void DoExecuteTask(const rt::TaskLaunchView& launch) override
+    {
+        runtime_->ExecuteTask(launch);
+    }
+    void DoFlush() override {}
+
+    rt::Runtime& Target() { return *runtime_; }
+
+  private:
+    rt::Runtime* runtime_;
+};
+
+/** Direct runtime access: manual annotations are honored. */
+class DirectFrontend final : public RuntimeFrontend {
+  public:
+    explicit DirectFrontend(rt::Runtime& runtime) : RuntimeFrontend(runtime)
+    {
+    }
+
+    std::string_view Name() const override { return "direct"; }
+
+  protected:
+    bool DoBeginTrace(rt::TraceId id) override
+    {
+        Target().BeginTrace(id);
+        return true;
+    }
+    bool DoEndTrace(rt::TraceId id) override
+    {
+        Target().EndTrace(id);
+        return true;
+    }
+};
+
+/** Direct runtime access with annotations stripped. */
+class UntracedFrontend final : public RuntimeFrontend {
+  public:
+    explicit UntracedFrontend(rt::Runtime& runtime)
+        : RuntimeFrontend(runtime)
+    {
+    }
+
+    std::string_view Name() const override { return "untraced"; }
+
+  protected:
+    bool DoBeginTrace(rt::TraceId) override { return false; }
+    bool DoEndTrace(rt::TraceId) override { return false; }
+};
+
+}  // namespace apo::api
+
+#endif  // APOPHENIA_API_FRONTEND_H

@@ -9,6 +9,13 @@
  * periodicities, irregular interruptions, dynamic region allocation —
  * that drive Apophenia's trace identification, with execution times
  * standing in for the real kernels.
+ *
+ * Applications are written against the one api::Frontend issue
+ * surface; the harness swaps the implementation (direct runtime,
+ * untraced, Apophenia, replicated) without touching application
+ * logic. Launches are assembled in the application's reusable
+ * api::LaunchBuilder, so the steady-state issue loop allocates
+ * nothing.
  */
 #ifndef APOPHENIA_APPS_APP_H
 #define APOPHENIA_APPS_APP_H
@@ -16,7 +23,8 @@
 #include <cstddef>
 #include <string_view>
 
-#include "apps/sink.h"
+#include "api/frontend.h"
+#include "api/launch.h"
 
 namespace apo::apps {
 
@@ -52,7 +60,7 @@ class Application {
     virtual std::string_view Name() const = 0;
 
     /** Create the long-lived regions. Called once before iterating. */
-    virtual void Setup(TaskSink& sink) = 0;
+    virtual void Setup(api::Frontend& frontend) = 0;
 
     /**
      * Issue one main-loop iteration's task stream.
@@ -60,13 +68,17 @@ class Application {
      *   tbegin/tend annotations the way the paper's hand-traced ports
      *   do (only meaningful for apps that support it).
      */
-    virtual void Iteration(TaskSink& sink, std::size_t iter,
+    virtual void Iteration(api::Frontend& frontend, std::size_t iter,
                            bool manual_tracing) = 0;
 
     /** Whether a hand-traced port of this application exists. The
      * cuPyNumeric applications (CFD, TorchSWE) have none — that is
      * the paper's point. */
     virtual bool SupportsManualTracing() const { return false; }
+
+  protected:
+    /** Reusable launch arena for the workload's issue loops. */
+    api::LaunchBuilder builder_;
 };
 
 }  // namespace apo::apps

@@ -15,10 +15,8 @@
 #define APOPHENIA_APPS_ARRAY_H
 
 #include <cstdint>
-#include <string_view>
-#include <vector>
 
-#include "apps/sink.h"
+#include "api/frontend.h"
 #include "runtime/task.h"
 
 namespace apo::apps {
@@ -27,7 +25,10 @@ namespace apo::apps {
 class DistArray {
   public:
     DistArray() = default;
-    explicit DistArray(TaskSink& sink) : region_(sink.CreateRegion()) {}
+    explicit DistArray(api::Frontend& frontend)
+        : region_(frontend.CreateRegion())
+    {
+    }
 
     rt::RegionId Region() const { return region_; }
     bool Valid() const { return region_.value != 0; }
@@ -50,39 +51,16 @@ class DistArray {
         return {region_, shard, rt::Privilege::kReduce, op};
     }
 
-    void Destroy(TaskSink& sink)
+    void Destroy(api::Frontend& frontend)
     {
         if (Valid()) {
-            sink.DestroyRegion(region_);
+            frontend.DestroyRegion(region_);
             region_ = rt::RegionId{};
         }
     }
 
   private:
     rt::RegionId region_;
-};
-
-/** Small convenience builder for task launches. */
-class TaskBuilder {
-  public:
-    TaskBuilder(std::string_view name, std::uint32_t shard,
-                double execution_us)
-    {
-        launch_.task = rt::TaskIdOf(name);
-        launch_.shard = shard;
-        launch_.execution_us = execution_us;
-    }
-
-    TaskBuilder& Add(const rt::RegionRequirement& req)
-    {
-        launch_.requirements.push_back(req);
-        return *this;
-    }
-
-    void LaunchOn(TaskSink& sink) { sink.ExecuteTask(launch_); }
-
-  private:
-    rt::TaskLaunch launch_;
 };
 
 }  // namespace apo::apps

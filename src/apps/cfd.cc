@@ -21,43 +21,43 @@ CfdApplication::KernelUs() const
 }
 
 void
-CfdApplication::Setup(TaskSink& sink)
+CfdApplication::Setup(api::Frontend& fe)
 {
-    u_ = DistArray(sink);
-    v_ = DistArray(sink);
-    p_ = DistArray(sink);
+    u_ = DistArray(fe);
+    v_ = DistArray(fe);
+    p_ = DistArray(fe);
 }
 
 DistArray
-CfdApplication::PointwiseOp(TaskSink& sink, std::string_view name,
+CfdApplication::PointwiseOp(api::Frontend& fe, std::string_view name,
                             const DistArray& a, const DistArray& b,
                             double exec_scale)
 {
     const std::uint32_t gpus =
         static_cast<std::uint32_t>(options_.machine.GpuCount());
-    DistArray out(sink);  // cuPyNumeric: every result is a fresh array
+    DistArray out(fe);  // cuPyNumeric: every result is a fresh array
     for (std::uint32_t g = 0; g < gpus; ++g) {
-        TaskBuilder task(name, g, KernelUs() * exec_scale);
+        auto& task = builder_.Start(name, g, KernelUs() * exec_scale);
         task.Add(a.Read(g));
         if (b.Valid()) {
             task.Add(b.Read(g));
         }
         task.Add(out.Write(g));
-        task.LaunchOn(sink);
+        task.LaunchOn(fe);
     }
     return out;
 }
 
 DistArray
-CfdApplication::StencilOp(TaskSink& sink, std::string_view name,
+CfdApplication::StencilOp(api::Frontend& fe, std::string_view name,
                           const DistArray& a, const DistArray& b,
                           double exec_scale)
 {
     const std::uint32_t gpus =
         static_cast<std::uint32_t>(options_.machine.GpuCount());
-    DistArray out(sink);
+    DistArray out(fe);
     for (std::uint32_t g = 0; g < gpus; ++g) {
-        TaskBuilder task(name, g, KernelUs() * exec_scale);
+        auto& task = builder_.Start(name, g, KernelUs() * exec_scale);
         task.Add(a.Read(g));
         if (g > 0) {
             task.Add(a.Read(g - 1));
@@ -69,13 +69,13 @@ CfdApplication::StencilOp(TaskSink& sink, std::string_view name,
             task.Add(b.Read(g));
         }
         task.Add(out.Write(g));
-        task.LaunchOn(sink);
+        task.LaunchOn(fe);
     }
     return out;
 }
 
 void
-CfdApplication::ResidualCheck(TaskSink& sink, std::size_t iter)
+CfdApplication::ResidualCheck(api::Frontend& fe, std::size_t iter)
 {
     const std::uint32_t gpus =
         static_cast<std::uint32_t>(options_.machine.GpuCount());
@@ -84,21 +84,21 @@ CfdApplication::ResidualCheck(TaskSink& sink, std::size_t iter)
     // structure that defeats tandem-repeat analysis (section 4.2).
     const std::string name =
         "cfd_residual_" + std::to_string(iter / options_.check_interval);
-    DistArray norm(sink);
+    DistArray norm(fe);
     for (std::uint32_t g = 0; g < gpus; ++g) {
-        TaskBuilder(name, g, KernelUs() * 0.3)
+        builder_.Start(name, g, KernelUs() * 0.3)
             .Add(u_.Read(g))
             .Add(norm.Reduce(g, /*op=*/1))
-            .LaunchOn(sink);
+            .LaunchOn(fe);
     }
-    TaskBuilder check("cfd_check", 0, KernelUs() * 0.1);
+    auto& check = builder_.Start("cfd_check", 0, KernelUs() * 0.1);
     check.Add(norm.Read(0));
-    check.LaunchOn(sink);
-    norm.Destroy(sink);
+    check.LaunchOn(fe);
+    norm.Destroy(fe);
 }
 
 void
-CfdApplication::Iteration(TaskSink& sink, std::size_t iter,
+CfdApplication::Iteration(api::Frontend& fe, std::size_t iter,
                           bool manual_tracing)
 {
     (void)manual_tracing;  // no hand-traced CFD exists (section 6.1)
@@ -106,36 +106,36 @@ CfdApplication::Iteration(TaskSink& sink, std::size_t iter,
         static_cast<std::uint32_t>(options_.machine.GpuCount());
 
     // b = build_up_b(u, v): stencil of the velocity field.
-    DistArray b = StencilOp(sink, "cfd_build_b", u_, v_, 0.8);
+    DistArray b = StencilOp(fe, "cfd_build_b", u_, v_, 0.8);
     // Pressure Poisson sub-iterations: p' = pressure(p, b).
     for (std::size_t s = 0; s < options_.pressure_iters; ++s) {
-        DistArray p_new = StencilOp(sink, "cfd_pressure", p_, b, 1.0);
-        p_.Destroy(sink);
+        DistArray p_new = StencilOp(fe, "cfd_pressure", p_, b, 1.0);
+        p_.Destroy(fe);
         p_ = p_new;
     }
-    b.Destroy(sink);
+    b.Destroy(fe);
     // Velocity updates read the new pressure.
-    DistArray u_new = StencilOp(sink, "cfd_vel_u", u_, p_, 1.0);
-    DistArray v_new = StencilOp(sink, "cfd_vel_v", v_, p_, 1.0);
-    u_.Destroy(sink);
-    v_.Destroy(sink);
+    DistArray u_new = StencilOp(fe, "cfd_vel_u", u_, p_, 1.0);
+    DistArray v_new = StencilOp(fe, "cfd_vel_v", v_, p_, 1.0);
+    u_.Destroy(fe);
+    v_.Destroy(fe);
     u_ = u_new;
     v_ = v_new;
     // Boundary conditions + halo settlement: a collective whose cost
     // grows with the participant count; on small problems this is the
     // latency the paper says cannot be hidden at scale.
-    TaskBuilder bc("cfd_boundary", 0,
+    auto& bc = builder_.Start("cfd_boundary", 0,
                    options_.collective_per_gpu_us *
                        static_cast<double>(gpus));
     for (std::uint32_t g = 0; g < gpus; ++g) {
         bc.Add(u_.ReadWrite(g));
         bc.Add(v_.ReadWrite(g));
     }
-    bc.LaunchOn(sink);
+    bc.LaunchOn(fe);
 
     if (options_.check_interval != 0 &&
         iter % options_.check_interval == options_.check_interval - 1) {
-        ResidualCheck(sink, iter);
+        ResidualCheck(fe, iter);
     }
 }
 

@@ -48,23 +48,23 @@ class CfdApplication final : public Application {
     std::string_view Name() const override { return "CFD"; }
     bool SupportsManualTracing() const override { return false; }
 
-    void Setup(TaskSink& sink) override;
-    void Iteration(TaskSink& sink, std::size_t iter,
+    void Setup(api::Frontend& fe) override;
+    void Iteration(api::Frontend& fe, std::size_t iter,
                    bool manual_tracing) override;
 
     double KernelUs() const;
 
   private:
     /** Elementwise array operation producing a fresh array. */
-    DistArray PointwiseOp(TaskSink& sink, std::string_view name,
+    DistArray PointwiseOp(api::Frontend& fe, std::string_view name,
                           const DistArray& a, const DistArray& b,
                           double exec_scale);
     /** Stencil operation (reads neighbour shards) producing a fresh
      * array. */
-    DistArray StencilOp(TaskSink& sink, std::string_view name,
+    DistArray StencilOp(api::Frontend& fe, std::string_view name,
                         const DistArray& a, const DistArray& b,
                         double exec_scale);
-    void ResidualCheck(TaskSink& sink, std::size_t iter);
+    void ResidualCheck(api::Frontend& fe, std::size_t iter);
 
     CfdOptions options_;
     DistArray u_;  ///< x velocity

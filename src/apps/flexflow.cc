@@ -29,21 +29,21 @@ FlexFlowApplication::LayerExecUs() const
 }
 
 void
-FlexFlowApplication::Setup(TaskSink& sink)
+FlexFlowApplication::Setup(api::Frontend& fe)
 {
     weights_.clear();
     gradients_.clear();
     activations_.clear();
     for (std::size_t l = 0; l < options_.layers; ++l) {
-        weights_.emplace_back(sink);
-        gradients_.emplace_back(sink);
-        activations_.emplace_back(sink);
+        weights_.emplace_back(fe);
+        gradients_.emplace_back(fe);
+        activations_.emplace_back(fe);
     }
-    input_ = DistArray(sink);
+    input_ = DistArray(fe);
 }
 
 void
-FlexFlowApplication::Iteration(TaskSink& sink, std::size_t iter,
+FlexFlowApplication::Iteration(api::Frontend& fe, std::size_t iter,
                                bool manual_tracing)
 {
     (void)iter;
@@ -55,9 +55,9 @@ FlexFlowApplication::Iteration(TaskSink& sink, std::size_t iter,
     // Batch loading stays outside the manual trace (I/O cannot be
     // memoized).
     for (std::uint32_t g = 0; g < gpus; ++g) {
-        TaskBuilder("ff_load_batch", g, exec * 0.05)
+        builder_.Start("ff_load_batch", g, exec * 0.05)
             .Add(input_.Write(g))
-            .LaunchOn(sink);
+            .LaunchOn(fe);
     }
 
     // Forward pass: layer l reads weights (replicated: field 0) and
@@ -67,11 +67,11 @@ FlexFlowApplication::Iteration(TaskSink& sink, std::size_t iter,
             const std::string name = "ff_forward_" + std::to_string(l);
             const DistArray& prev = l == 0 ? input_ : activations_[l - 1];
             for (std::uint32_t g = 0; g < gpus; ++g) {
-                TaskBuilder(name, g, exec)
+                builder_.Start(name, g, exec)
                     .Add(weights_[l].Read(0))
                     .Add(prev.Read(g))
                     .Add(activations_[l].Write(g))
-                    .LaunchOn(sink);
+                    .LaunchOn(fe);
             }
         }
     };
@@ -81,11 +81,11 @@ FlexFlowApplication::Iteration(TaskSink& sink, std::size_t iter,
         for (std::size_t l = hi; l-- > lo;) {
             const std::string name = "ff_backward_" + std::to_string(l);
             for (std::uint32_t g = 0; g < gpus; ++g) {
-                TaskBuilder(name, g, exec * 1.6)
+                builder_.Start(name, g, exec * 1.6)
                     .Add(activations_[l].Read(g))
                     .Add(weights_[l].Read(0))
                     .Add(gradients_[l].Reduce(0, /*op=*/1))
-                    .LaunchOn(sink);
+                    .LaunchOn(fe);
             }
         }
     };
@@ -93,21 +93,21 @@ FlexFlowApplication::Iteration(TaskSink& sink, std::size_t iter,
     // gradient; its cost models the all-reduce fan-in.
     auto updates = [&] {
         for (std::size_t l = 0; l < layers; ++l) {
-            TaskBuilder("ff_update", static_cast<std::uint32_t>(l % gpus),
+            builder_.Start("ff_update", static_cast<std::uint32_t>(l % gpus),
                         exec * 0.2 + options_.allreduce_per_gpu_us *
                                          static_cast<double>(gpus))
                 .Add(gradients_[l].ReadWrite(0))
                 .Add(weights_[l].ReadWrite(0))
-                .LaunchOn(sink);
+                .LaunchOn(fe);
         }
     };
     auto segment = [&](rt::TraceId id, auto&& body) {
         if (manual_tracing) {
-            sink.BeginTrace(id);
+            fe.BeginTrace(id);
         }
         body();
         if (manual_tracing) {
-            sink.EndTrace(id);
+            fe.EndTrace(id);
         }
     };
     const std::size_t third = std::max<std::size_t>(layers / 3, 1);
@@ -127,13 +127,10 @@ FlexFlowApplication::Iteration(TaskSink& sink, std::size_t iter,
     // stopping, logging): a blocking future read that drains the
     // pipeline — the reason replay latency is exposed under strong
     // scaling (figure 8).
-    rt::TaskLaunch loss;
-    loss.task = rt::TaskIdOf("ff_loss");
-    loss.shard = 0;
-    loss.execution_us = exec * 0.05;
-    loss.blocking = true;
-    loss.requirements.push_back(activations_[layers - 1].Read(0));
-    sink.ExecuteTask(loss);
+    builder_.Start("ff_loss", 0, exec * 0.05)
+        .Blocking()
+        .Add(activations_[layers - 1].Read(0))
+        .LaunchOn(fe);
 }
 
 }  // namespace apo::apps

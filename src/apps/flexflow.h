@@ -46,8 +46,8 @@ class FlexFlowApplication final : public Application {
     std::string_view Name() const override { return "FlexFlow"; }
     bool SupportsManualTracing() const override { return true; }
 
-    void Setup(TaskSink& sink) override;
-    void Iteration(TaskSink& sink, std::size_t iter,
+    void Setup(api::Frontend& fe) override;
+    void Iteration(api::Frontend& fe, std::size_t iter,
                    bool manual_tracing) override;
 
     /** Per-layer kernel time at the current GPU count. */

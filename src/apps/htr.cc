@@ -27,17 +27,17 @@ HtrApplication::KernelUs() const
 }
 
 void
-HtrApplication::Setup(TaskSink& sink)
+HtrApplication::Setup(api::Frontend& fe)
 {
-    conserved_ = DistArray(sink);
-    primitive_ = DistArray(sink);
-    fluxes_ = DistArray(sink);
-    sources_ = DistArray(sink);
-    stats_ = DistArray(sink);
+    conserved_ = DistArray(fe);
+    primitive_ = DistArray(fe);
+    fluxes_ = DistArray(fe);
+    sources_ = DistArray(fe);
+    stats_ = DistArray(fe);
 }
 
 void
-HtrApplication::Stage(TaskSink& sink, std::size_t stage)
+HtrApplication::Stage(api::Frontend& fe, std::size_t stage)
 {
     const std::uint32_t gpus =
         static_cast<std::uint32_t>(options_.machine.GpuCount());
@@ -46,17 +46,17 @@ HtrApplication::Stage(TaskSink& sink, std::size_t stage)
     // conservative update. Kernel identities differ per slot so the
     // token stream distinguishes them (as distinct task ids do).
     for (std::uint32_t g = 0; g < gpus; ++g) {
-        TaskBuilder("htr_primitives", g, exec * 0.3)
+        builder_.Start("htr_primitives", g, exec * 0.3)
             .Add(conserved_.Read(g))
             .Add(primitive_.Write(g))
-            .LaunchOn(sink);
+            .LaunchOn(fe);
     }
     for (std::size_t k = 0; k < options_.kernels_per_stage; ++k) {
         const std::string name =
             "htr_kernel_" + std::to_string(stage) + "_" + std::to_string(k);
         const bool stencil = k % 2 == 0;  // alternating stencil kernels
         for (std::uint32_t g = 0; g < gpus; ++g) {
-            TaskBuilder kernel(name, g, exec);
+            auto& kernel = builder_.Start(name, g, exec);
             kernel.Add(primitive_.Read(g));
             if (stencil && g > 0) {
                 kernel.Add(primitive_.Read(g - 1));
@@ -66,49 +66,49 @@ HtrApplication::Stage(TaskSink& sink, std::size_t stage)
             }
             kernel.Add(k % 3 == 2 ? sources_.ReadWrite(g)
                                   : fluxes_.ReadWrite(g));
-            kernel.LaunchOn(sink);
+            kernel.LaunchOn(fe);
         }
     }
     for (std::uint32_t g = 0; g < gpus; ++g) {
-        TaskBuilder("htr_update", g, exec * 0.5)
+        builder_.Start("htr_update", g, exec * 0.5)
             .Add(fluxes_.Read(g))
             .Add(sources_.Read(g))
             .Add(conserved_.ReadWrite(g))
-            .LaunchOn(sink);
+            .LaunchOn(fe);
     }
 }
 
 void
-HtrApplication::Statistics(TaskSink& sink)
+HtrApplication::Statistics(api::Frontend& fe)
 {
     const std::uint32_t gpus =
         static_cast<std::uint32_t>(options_.machine.GpuCount());
     for (std::uint32_t g = 0; g < gpus; ++g) {
-        TaskBuilder("htr_average", g, KernelUs() * 0.2)
+        builder_.Start("htr_average", g, KernelUs() * 0.2)
             .Add(conserved_.Read(g))
             .Add(stats_.Reduce(g, /*op=*/1))
-            .LaunchOn(sink);
+            .LaunchOn(fe);
     }
 }
 
 void
-HtrApplication::Iteration(TaskSink& sink, std::size_t iter,
+HtrApplication::Iteration(api::Frontend& fe, std::size_t iter,
                           bool manual_tracing)
 {
     if (manual_tracing) {
-        sink.BeginTrace(kHtrManualTrace);
+        fe.BeginTrace(kHtrManualTrace);
     }
     for (std::size_t s = 0; s < options_.stages; ++s) {
-        Stage(sink, s);
+        Stage(fe, s);
     }
     if (manual_tracing) {
-        sink.EndTrace(kHtrManualTrace);
+        fe.EndTrace(kHtrManualTrace);
     }
     // Time-averaged statistics interrupt the loop irregularly; the
     // manual port leaves them untraced.
     if (options_.stats_interval != 0 &&
         iter % options_.stats_interval == options_.stats_interval - 1) {
-        Statistics(sink);
+        Statistics(fe);
     }
 }
 

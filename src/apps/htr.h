@@ -40,15 +40,15 @@ class HtrApplication final : public Application {
     std::string_view Name() const override { return "HTR"; }
     bool SupportsManualTracing() const override { return true; }
 
-    void Setup(TaskSink& sink) override;
-    void Iteration(TaskSink& sink, std::size_t iter,
+    void Setup(api::Frontend& fe) override;
+    void Iteration(api::Frontend& fe, std::size_t iter,
                    bool manual_tracing) override;
 
     double KernelUs() const;
 
   private:
-    void Stage(TaskSink& sink, std::size_t stage);
-    void Statistics(TaskSink& sink);
+    void Stage(api::Frontend& fe, std::size_t stage);
+    void Statistics(api::Frontend& fe);
 
     HtrOptions options_;
     DistArray conserved_;  ///< flow state

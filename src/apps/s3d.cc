@@ -26,24 +26,24 @@ S3dApplication::KernelUs() const
 }
 
 void
-S3dApplication::Setup(TaskSink& sink)
+S3dApplication::Setup(api::Frontend& fe)
 {
-    state_ = DistArray(sink);
-    halo_ = DistArray(sink);
-    chem_ = DistArray(sink);
-    rhs_ = DistArray(sink);
-    fortran_ = DistArray(sink);
+    state_ = DistArray(fe);
+    halo_ = DistArray(fe);
+    chem_ = DistArray(fe);
+    rhs_ = DistArray(fe);
+    fortran_ = DistArray(fe);
 }
 
 void
-S3dApplication::RkStage(TaskSink& sink)
+S3dApplication::RkStage(api::Frontend& fe)
 {
     const std::uint32_t gpus =
         static_cast<std::uint32_t>(options_.machine.GpuCount());
     const double exec = KernelUs();
     for (std::uint32_t g = 0; g < gpus; ++g) {
         // Ghost-zone exchange: read own and neighbour state slices.
-        TaskBuilder exchange("s3d_exchange", g, exec * 0.2);
+        auto& exchange = builder_.Start("s3d_exchange", g, exec * 0.2);
         exchange.Add(state_.Read(g));
         if (g > 0) {
             exchange.Add(state_.Read(g - 1));
@@ -52,76 +52,76 @@ S3dApplication::RkStage(TaskSink& sink)
             exchange.Add(state_.Read(g + 1));
         }
         exchange.Add(halo_.Write(g));
-        exchange.LaunchOn(sink);
+        exchange.LaunchOn(fe);
     }
     for (std::uint32_t g = 0; g < gpus; ++g) {
-        TaskBuilder("s3d_chemistry", g, exec)
+        builder_.Start("s3d_chemistry", g, exec)
             .Add(state_.Read(g))
             .Add(chem_.Write(g))
-            .LaunchOn(sink);
+            .LaunchOn(fe);
     }
     for (std::uint32_t g = 0; g < gpus; ++g) {
-        TaskBuilder("s3d_diffusion", g, exec * 0.8)
+        builder_.Start("s3d_diffusion", g, exec * 0.8)
             .Add(halo_.Read(g))
             .Add(chem_.Read(g))
             .Add(rhs_.Write(g))
-            .LaunchOn(sink);
+            .LaunchOn(fe);
     }
     for (std::uint32_t g = 0; g < gpus; ++g) {
-        TaskBuilder("s3d_update", g, exec * 0.4)
+        builder_.Start("s3d_update", g, exec * 0.4)
             .Add(rhs_.Read(g))
             .Add(state_.ReadWrite(g))
-            .LaunchOn(sink);
+            .LaunchOn(fe);
     }
 }
 
 void
-S3dApplication::Handoff(TaskSink& sink)
+S3dApplication::Handoff(api::Frontend& fe)
 {
     const std::uint32_t gpus =
         static_cast<std::uint32_t>(options_.machine.GpuCount());
     // Stage the state into the buffer the Fortran driver reads.
     for (std::uint32_t g = 0; g < gpus; ++g) {
-        TaskBuilder("s3d_to_fortran", g, KernelUs() * 0.15)
+        builder_.Start("s3d_to_fortran", g, KernelUs() * 0.15)
             .Add(state_.Read(g))
             .Add(fortran_.Write(g))
-            .LaunchOn(sink);
+            .LaunchOn(fe);
     }
     // The MPI driver runs as one serial operation over the buffer.
-    TaskBuilder driver("s3d_mpi_driver", 0,
+    auto& driver = builder_.Start("s3d_mpi_driver", 0,
                        KernelUs() * 0.1 *
                            static_cast<double>(options_.machine.nodes));
     for (std::uint32_t g = 0; g < gpus; ++g) {
         driver.Add(fortran_.ReadWrite(g));
     }
-    driver.LaunchOn(sink);
+    driver.LaunchOn(fe);
     // The driver's results feed back into the state.
     for (std::uint32_t g = 0; g < gpus; ++g) {
-        TaskBuilder("s3d_from_fortran", g, KernelUs() * 0.15)
+        builder_.Start("s3d_from_fortran", g, KernelUs() * 0.15)
             .Add(fortran_.Read(g))
             .Add(state_.ReadWrite(g))
-            .LaunchOn(sink);
+            .LaunchOn(fe);
     }
 }
 
 void
-S3dApplication::Iteration(TaskSink& sink, std::size_t iter,
+S3dApplication::Iteration(api::Frontend& fe, std::size_t iter,
                           bool manual_tracing)
 {
     // The hand-off interoperates with non-Legion code and cannot be
     // traced; the manual port keeps it outside the annotation (the
     // "relatively complicated logic" of section 6.1).
     if (NeedsHandoff(iter)) {
-        Handoff(sink);
+        Handoff(fe);
     }
     if (manual_tracing) {
-        sink.BeginTrace(kS3dManualTrace);
+        fe.BeginTrace(kS3dManualTrace);
     }
     for (std::size_t s = 0; s < options_.rk_stages; ++s) {
-        RkStage(sink);
+        RkStage(fe);
     }
     if (manual_tracing) {
-        sink.EndTrace(kS3dManualTrace);
+        fe.EndTrace(kS3dManualTrace);
     }
 }
 

@@ -46,8 +46,8 @@ class S3dApplication final : public Application {
     std::string_view Name() const override { return "S3D"; }
     bool SupportsManualTracing() const override { return true; }
 
-    void Setup(TaskSink& sink) override;
-    void Iteration(TaskSink& sink, std::size_t iter,
+    void Setup(api::Frontend& fe) override;
+    void Iteration(api::Frontend& fe, std::size_t iter,
                    bool manual_tracing) override;
 
     /** Whether iteration `iter` requires a Fortran+MPI hand-off. */
@@ -59,8 +59,8 @@ class S3dApplication final : public Application {
     double KernelUs() const;
 
   private:
-    void RkStage(TaskSink& sink);
-    void Handoff(TaskSink& sink);
+    void RkStage(api::Frontend& fe);
+    void Handoff(api::Frontend& fe);
 
     S3dOptions options_;
     DistArray state_;    ///< conserved variables U

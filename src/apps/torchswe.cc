@@ -24,7 +24,7 @@ TorchSweApplication::KernelUs() const
 }
 
 DistArray
-TorchSweApplication::Alloc(TaskSink& sink)
+TorchSweApplication::Alloc(api::Frontend& fe)
 {
     if (regions_created_ >= options_.allocation_pool_budget &&
         !pool_.empty()) {
@@ -33,7 +33,7 @@ TorchSweApplication::Alloc(TaskSink& sink)
         return recycled;
     }
     ++regions_created_;
-    return DistArray(sink);
+    return DistArray(fe);
 }
 
 void
@@ -43,16 +43,16 @@ TorchSweApplication::Release(DistArray dead)
 }
 
 void
-TorchSweApplication::Setup(TaskSink& sink)
+TorchSweApplication::Setup(api::Frontend& fe)
 {
     state_.clear();
     for (std::size_t f = 0; f < options_.fields; ++f) {
-        state_.emplace_back(sink);
+        state_.emplace_back(fe);
     }
 }
 
 void
-TorchSweApplication::Iteration(TaskSink& sink, std::size_t iter,
+TorchSweApplication::Iteration(api::Frontend& fe, std::size_t iter,
                                bool manual_tracing)
 {
     (void)iter;
@@ -70,9 +70,9 @@ TorchSweApplication::Iteration(TaskSink& sink, std::size_t iter,
             const std::string name =
                 "swe_op_" + std::to_string(f) + "_" + std::to_string(op);
             const bool stencil = op % 2 == 0;
-            DistArray out = Alloc(sink);
+            DistArray out = Alloc(fe);
             for (std::uint32_t g = 0; g < gpus; ++g) {
-                TaskBuilder task(name, g, exec);
+                auto& task = builder_.Start(name, g, exec);
                 task.Add(current.Read(g));
                 if (stencil && g > 0) {
                     task.Add(current.Read(g - 1));
@@ -85,7 +85,7 @@ TorchSweApplication::Iteration(TaskSink& sink, std::size_t iter,
                     task.Add(state_[0].Read(g));
                 }
                 task.Add(out.Write(g));
-                task.LaunchOn(sink);
+                task.LaunchOn(fe);
             }
             Release(current);
             current = out;
@@ -95,18 +95,18 @@ TorchSweApplication::Iteration(TaskSink& sink, std::size_t iter,
 
     // Global CFL condition: reduce the admissible timestep across all
     // shards; its cost grows with participant count.
-    DistArray dt = Alloc(sink);
+    DistArray dt = Alloc(fe);
     for (std::uint32_t g = 0; g < gpus; ++g) {
-        TaskBuilder("swe_cfl", g, exec * 0.2)
+        builder_.Start("swe_cfl", g, exec * 0.2)
             .Add(state_[0].Read(g))
             .Add(dt.Reduce(g, /*op=*/2))
-            .LaunchOn(sink);
+            .LaunchOn(fe);
     }
-    TaskBuilder step("swe_step", 0,
+    auto& step = builder_.Start("swe_step", 0,
                      options_.collective_per_gpu_us *
                          static_cast<double>(gpus));
     step.Add(dt.Read(0));
-    step.LaunchOn(sink);
+    step.LaunchOn(fe);
     Release(dt);
 }
 

@@ -60,8 +60,8 @@ class TorchSweApplication final : public Application {
     std::string_view Name() const override { return "TorchSWE"; }
     bool SupportsManualTracing() const override { return false; }
 
-    void Setup(TaskSink& sink) override;
-    void Iteration(TaskSink& sink, std::size_t iter,
+    void Setup(api::Frontend& fe) override;
+    void Iteration(api::Frontend& fe, std::size_t iter,
                    bool manual_tracing) override;
 
     double KernelUs() const;
@@ -69,7 +69,7 @@ class TorchSweApplication final : public Application {
   private:
     /** Pool-aware allocation: fresh regions until the budget, then
      * LIFO reuse of released ones. */
-    DistArray Alloc(TaskSink& sink);
+    DistArray Alloc(api::Frontend& fe);
     void Release(DistArray dead);
 
     TorchSweOptions options_;

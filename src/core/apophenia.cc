@@ -16,29 +16,70 @@ Apophenia::Apophenia(rt::Runtime& runtime, ApopheniaConfig config,
 }
 
 void
-Apophenia::ExecuteTask(const rt::TaskLaunch& launch)
+Apophenia::DoExecuteTask(const rt::TaskLaunchView& launch)
 {
     if (!config_.enabled) {
         runtime_->ExecuteTask(launch);
         return;
     }
-    // Untraceable operations get a unique token per occurrence, so
-    // they can never appear inside a repeated fragment: no candidate
-    // will contain them, matches break across them, and the pending
-    // prefix flushing forwards them promptly.
-    const rt::TokenHash token =
+    // The launch's dependence-analysis token was hashed at the API
+    // boundary and rides on the view. Untraceable operations get a
+    // unique *mining* token per occurrence, so they can never appear
+    // inside a repeated fragment: no candidate will contain them,
+    // matches break across them, and the pending prefix flushing
+    // forwards them promptly. The unique token is a finder-side
+    // fiction only — the runtime still logs the real one.
+    const rt::TokenHash mining_token =
         launch.traceable
-            ? rt::HashLaunch(launch)
+            ? launch.token
             : support::SplitMix64(~counter_ ^ 0xfeedface12345678ULL);
     ++counter_;
     stats_.tasks_observed += 1;
-    finder_.Observe(token, counter_);
+    finder_.Observe(mining_token, counter_);
     IngestReadyJobs();
-    pending_.push_back(launch);
+    AdvancePointers(mining_token);
+    if (active_.empty() && held_.empty() && !config_.buffer_all_launches) {
+        // Fast path: no still-growing match and no queued replay can
+        // cover this launch, so it is forwarded straight off the
+        // caller's arena — no materialization, no allocation. Any
+        // leftover pending tasks (matches that just died) go first to
+        // preserve stream order.
+        FlushPrefixBelow(counter_ - 1);
+        runtime_->ExecuteTask(launch);
+        pending_base_ = counter_;
+        stats_.tasks_forwarded_untraced += 1;
+        return;
+    }
+    Buffer(launch);
     stats_.pending_high_water =
         std::max(stats_.pending_high_water, pending_.size());
-    AdvancePointers(token);
     MaybeFire();
+}
+
+void
+Apophenia::Buffer(const rt::TaskLaunchView& launch)
+{
+    PendingTask task;
+    if (!pending_pool_.empty()) {
+        task = std::move(pending_pool_.back());
+        pending_pool_.pop_back();
+    }
+    launch.MaterializeInto(task.launch);
+    task.token = launch.token;
+    pending_.push_back(std::move(task));
+    stats_.launches_buffered += 1;
+}
+
+/** Forward the oldest buffered launch untraced and recycle its
+ * storage. */
+void
+Apophenia::ForwardFront()
+{
+    PendingTask& front = pending_.front();
+    runtime_->ExecuteTask(
+        rt::TaskLaunchView::Of(front.launch, front.token));
+    pending_pool_.push_back(std::move(front));
+    pending_.pop_front();
 }
 
 void
@@ -183,7 +224,10 @@ Apophenia::Fire(const CompletedMatch& match)
     const bool recording = !runtime_->HasTrace(stats->trace_id);
     runtime_->BeginTrace(stats->trace_id);
     for (std::uint64_t i = match.start; i < match.end; ++i) {
-        runtime_->ExecuteTask(pending_.front());
+        PendingTask& front = pending_.front();
+        runtime_->ExecuteTask(
+            rt::TaskLaunchView::Of(front.launch, front.token));
+        pending_pool_.push_back(std::move(front));
         pending_.pop_front();
     }
     pending_base_ = match.end;
@@ -209,15 +253,14 @@ void
 Apophenia::FlushPrefixBelow(std::uint64_t keep_from)
 {
     while (pending_base_ < keep_from && !pending_.empty()) {
-        runtime_->ExecuteTask(pending_.front());
-        pending_.pop_front();
+        ForwardFront();
         pending_base_ += 1;
         stats_.tasks_forwarded_untraced += 1;
     }
 }
 
 void
-Apophenia::Flush()
+Apophenia::DoFlush()
 {
     if (!config_.enabled) {
         return;

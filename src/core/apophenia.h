@@ -3,19 +3,25 @@
  * The Apophenia front-end: automatic tracing for the task runtime.
  *
  * Apophenia sits between the application and the runtime (paper
- * figure 3 / algorithm 1). Applications call ExecuteTask() here
- * instead of on the runtime; Apophenia hashes each launch into a
- * token, feeds the token stream to the trace finder's asynchronous
- * mining jobs, matches the stream against the candidate trie, and
- * forwards a — possibly different — sequence of calls to the runtime:
- * untraced tasks, plus BeginTrace/tasks/EndTrace groups for fragments
- * it decided to memoize or replay.
+ * figure 3 / algorithm 1) and implements the api::Frontend issue
+ * surface. Applications call ExecuteTask() here instead of on the
+ * runtime; Apophenia takes each launch's token (hashed once at the
+ * API boundary and carried with the launch view), feeds the token
+ * stream to the trace finder's asynchronous mining jobs, matches the
+ * stream against the candidate trie, and forwards a — possibly
+ * different — sequence of calls to the runtime: untraced tasks, plus
+ * BeginTrace/tasks/EndTrace groups for fragments it decided to
+ * memoize or replay.
  *
  * Design points carried over from the paper:
  *  - No speculation (section 5.2): a candidate's tasks are buffered
  *    until the whole candidate has arrived, then issued as a trace;
  *    tasks that can no longer be part of any candidate are forwarded
- *    immediately so the runtime pipeline stays busy.
+ *    immediately so the runtime pipeline stays busy. Forwarding is
+ *    zero-copy: a launch is materialized off its caller-owned arena
+ *    into the (pooled) pending buffer only when some still-growing
+ *    match could actually hold it — the steady-state untraced forward
+ *    path allocates nothing.
  *  - Exploration/exploitation (section 4.3): completed candidates are
  *    scored by length × capped, decayed appearance count, with a bias
  *    toward already-replayed traces.
@@ -29,10 +35,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "api/frontend.h"
 #include "core/config.h"
 #include "core/finder.h"
 #include "core/trie.h"
@@ -52,11 +60,14 @@ struct ApopheniaStats {
     std::uint64_t jobs_ingested = 0;
     std::uint64_t candidates_ingested = 0;
     std::uint64_t forced_flushes = 0;   ///< pending-bound overflows
+    /** Launches copied off the caller's arena into the pending
+     * buffer (zero while no candidate match is in progress). */
+    std::uint64_t launches_buffered = 0;
     std::size_t pending_high_water = 0;
 };
 
 /** See file comment. */
-class Apophenia {
+class Apophenia final : public api::Frontend {
   public:
     /**
      * @param runtime the runtime to forward calls into.
@@ -68,28 +79,19 @@ class Apophenia {
     Apophenia(rt::Runtime& runtime, ApopheniaConfig config,
               support::Executor* executor = nullptr);
 
-    // -- Region pass-through ----------------------------------------------
+    // -- api::Frontend: regions (pass-through) ------------------------------
 
-    rt::RegionId CreateRegion() { return runtime_->CreateRegion(); }
-    void DestroyRegion(rt::RegionId r) { runtime_->DestroyRegion(r); }
+    std::string_view Name() const override { return "apophenia"; }
+    rt::RegionId CreateRegion() override { return runtime_->CreateRegion(); }
+    void DestroyRegion(rt::RegionId r) override
+    {
+        runtime_->DestroyRegion(r);
+    }
     std::vector<rt::RegionId> PartitionRegion(rt::RegionId parent,
-                                              std::size_t count)
+                                              std::size_t count) override
     {
         return runtime_->PartitionRegion(parent, count);
     }
-
-    // -- The intercepted interface ------------------------------------------
-
-    /** Issue a task through the front-end (paper algorithm 1,
-     * ExecuteTask). */
-    void ExecuteTask(const rt::TaskLaunch& launch);
-
-    /**
-     * End-of-stream: fire any profitable completed candidate, then
-     * forward all still-buffered tasks untraced. Call once when the
-     * application finishes (or at a synchronization point).
-     */
-    void Flush();
 
     // -- Analysis-ingestion control (replication support) -------------------
 
@@ -128,7 +130,35 @@ class Apophenia {
     const ApopheniaConfig& Config() const { return config_; }
     std::size_t PendingTasks() const { return pending_.size(); }
 
+  protected:
+    // -- api::Frontend: the intercepted issue path --------------------------
+
+    /** Issue a task through the front-end (paper algorithm 1,
+     * ExecuteTask). */
+    void DoExecuteTask(const rt::TaskLaunchView& launch) override;
+
+    /** Apophenia inserts its own trace markers; the application's are
+     * dropped — counted in the uniform FrontendStats by the NVI
+     * base (annotations_ignored). */
+    bool DoBeginTrace(rt::TraceId) override { return false; }
+    bool DoEndTrace(rt::TraceId) override { return false; }
+
+    /**
+     * End-of-stream: fire any profitable completed candidate, then
+     * forward all still-buffered tasks untraced. Called once when the
+     * application finishes (or at a synchronization point).
+     */
+    void DoFlush() override;
+
   private:
+    /** A buffered launch: materialized off the caller's arena, with
+     * the boundary-computed token carried along so forwarding never
+     * re-hashes. Pooled — see pending_pool_. */
+    struct PendingTask {
+        rt::TaskLaunch launch;
+        rt::TokenHash token = 0;
+    };
+
     /** An in-progress match: a trie position whose path equals the
      * pending-task suffix starting at absolute index `start`. */
     struct ActivePointer {
@@ -146,6 +176,8 @@ class Apophenia {
     void IngestReadyJobs();
     void AdvancePointers(rt::TokenHash token);
     void ConsiderCompleted(const std::vector<CompletedMatch>& completed);
+    void Buffer(const rt::TaskLaunchView& launch);
+    void ForwardFront();
     void MaybeFire();
     void Fire(const CompletedMatch& match);
     void FlushPrefixBelow(std::uint64_t keep_from);
@@ -160,7 +192,10 @@ class Apophenia {
 
     IngestMode ingest_mode_;
     std::uint64_t counter_ = 0;  ///< tasks observed (absolute index + 1)
-    std::deque<rt::TaskLaunch> pending_;
+    std::deque<PendingTask> pending_;
+    /** Recycled PendingTask storage: requirement vectors keep their
+     * capacity, so buffering is allocation-free in steady state. */
+    std::vector<PendingTask> pending_pool_;
     std::uint64_t pending_base_ = 0;  ///< absolute index of pending_[0]
     std::vector<ActivePointer> active_;
     /** Scratch buffers reused every token so the match-advance step

@@ -79,6 +79,8 @@ ParseApopheniaFlags(std::vector<std::string>& args)
             config.history_block_size = ParseCount(a, value_of(i, a));
         } else if (a == "-lg:auto_trace:copy_slices_at_launch") {
             config.copy_slices_at_launch = true;
+        } else if (a == "-lg:auto_trace:buffer_all_launches") {
+            config.buffer_all_launches = true;
         } else if (a == "-lg:window") {
             config.window = ParseCount(a, value_of(i, a));
         } else if (a == "-lg:inline_transitive_reduction") {

@@ -16,6 +16,7 @@
  *   -lg:auto_trace:ingest_mode <on-completion|eager-drain|manual>
  *   -lg:auto_trace:history_block_size <N>
  *   -lg:auto_trace:copy_slices_at_launch
+ *   -lg:auto_trace:buffer_all_launches
  *
  * The paper's experiments all run with one configuration (batchsize
  * 5000, multi-scale factor 250/500, min length 25); only FlexFlow
@@ -106,6 +107,12 @@ struct ApopheniaConfig {
      * application thread at launch (the pre-zero-copy behaviour)
      * instead of handing the worker a block snapshot. */
     bool copy_slices_at_launch = false;
+
+    /** Ablation/benchmark switch: stage *every* launch through the
+     * pending buffer (the pre-launch-view behaviour — one requirement
+     * vector copy per launch) instead of forwarding unmatched
+     * launches straight off the caller's arena. */
+    bool buffer_all_launches = false;
 
     // -- Trace selection scoring (paper section 4.3) ----------------------
 

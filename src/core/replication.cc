@@ -26,7 +26,7 @@ ReplicatedFrontEnd::ReplicatedFrontEnd(ReplicationOptions options,
 }
 
 void
-ReplicatedFrontEnd::ExecuteTask(const rt::TaskLaunch& launch)
+ReplicatedFrontEnd::DoExecuteTask(const rt::TaskLaunchView& launch)
 {
     ++tasks_issued_;
     for (auto& node : nodes_) {
@@ -34,6 +34,44 @@ ReplicatedFrontEnd::ExecuteTask(const rt::TaskLaunch& launch)
     }
     ScheduleNewJobs();
     IngestDueJobs();
+}
+
+rt::RegionId
+ReplicatedFrontEnd::CreateRegion()
+{
+    const rt::RegionId region = nodes_[0]->front_end->CreateRegion();
+    for (std::size_t n = 1; n < nodes_.size(); ++n) {
+        if (nodes_[n]->front_end->CreateRegion() != region) {
+            throw rt::RuntimeUsageError(
+                "replicated region allocators diverged on CreateRegion "
+                "(a node was driven outside the replicated front end)");
+        }
+    }
+    return region;
+}
+
+void
+ReplicatedFrontEnd::DestroyRegion(rt::RegionId r)
+{
+    for (auto& node : nodes_) {
+        node->front_end->DestroyRegion(r);
+    }
+}
+
+std::vector<rt::RegionId>
+ReplicatedFrontEnd::PartitionRegion(rt::RegionId parent, std::size_t count)
+{
+    std::vector<rt::RegionId> subregions =
+        nodes_[0]->front_end->PartitionRegion(parent, count);
+    for (std::size_t n = 1; n < nodes_.size(); ++n) {
+        if (nodes_[n]->front_end->PartitionRegion(parent, count) !=
+            subregions) {
+            throw rt::RuntimeUsageError(
+                "replicated region allocators diverged on PartitionRegion "
+                "(a node was driven outside the replicated front end)");
+        }
+    }
+    return subregions;
 }
 
 void
@@ -100,7 +138,7 @@ ReplicatedFrontEnd::IngestDueJobs()
 }
 
 void
-ReplicatedFrontEnd::Flush()
+ReplicatedFrontEnd::DoFlush()
 {
     // Drain every coordinated job, then flush the front-ends.
     while (!schedule_.empty()) {

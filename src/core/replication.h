@@ -14,6 +14,12 @@
  * is increased for subsequent jobs; the system settles into a steady
  * state where ingestion is deterministic and stall-free.
  *
+ * The replicated front end is itself an api::Frontend: the
+ * application (or the experiment harness) drives one issue surface
+ * and the coordinator broadcasts every call — region management
+ * included — to all N nodes, checking that the deterministic
+ * per-node region allocators stay in lockstep.
+ *
  * Job completion times are simulated (per-node jitter from a seeded
  * generator) because wall-clock timing would make tests flaky; the
  * agreement protocol itself is exactly the paper's.
@@ -25,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/frontend.h"
 #include "core/apophenia.h"
 #include "core/config.h"
 #include "runtime/runtime.h"
@@ -58,17 +65,23 @@ struct CoordinationStats {
  * N Apophenia instances over N runtime shards, fed the same stream,
  * with deterministic, coordinated analysis ingestion.
  */
-class ReplicatedFrontEnd {
+class ReplicatedFrontEnd final : public api::Frontend {
   public:
     ReplicatedFrontEnd(ReplicationOptions options, ApopheniaConfig config,
                        rt::RuntimeOptions runtime_options);
 
-    /** Issue one task on every node (control replication: the
-     * application issues the same stream everywhere). */
-    void ExecuteTask(const rt::TaskLaunch& launch);
+    // -- api::Frontend: broadcast region management -------------------------
 
-    /** End-of-stream on every node. */
-    void Flush();
+    std::string_view Name() const override { return "replicated"; }
+
+    /** Create the region on every node; the deterministic per-node
+     * allocators must agree on the id (throws
+     * rt::RuntimeUsageError if they have diverged — i.e., a node was
+     * driven outside this front end). */
+    rt::RegionId CreateRegion() override;
+    void DestroyRegion(rt::RegionId r) override;
+    std::vector<rt::RegionId> PartitionRegion(rt::RegionId parent,
+                                              std::size_t count) override;
 
     std::size_t Nodes() const { return nodes_.size(); }
     Apophenia& Node(std::size_t i) { return *nodes_[i]->front_end; }
@@ -85,6 +98,19 @@ class ReplicatedFrontEnd {
      * property.
      */
     bool StreamsIdentical() const;
+
+  protected:
+    /** Issue one task on every node (control replication: the
+     * application issues the same stream everywhere). */
+    void DoExecuteTask(const rt::TaskLaunchView& launch) override;
+
+    /** A control-replicated port runs without manual annotations;
+     * any that remain are dropped (and counted) on every node. */
+    bool DoBeginTrace(rt::TraceId) override { return false; }
+    bool DoEndTrace(rt::TraceId) override { return false; }
+
+    /** End-of-stream on every node. */
+    void DoFlush() override;
 
   private:
     struct NodeState {

@@ -86,7 +86,7 @@ namespace {
  * coalescing rules.
  */
 std::vector<RegionRequirement>
-CoalesceRequirements(const std::vector<RegionRequirement>& reqs)
+CoalesceRequirements(std::span<const RegionRequirement> reqs)
 {
     std::vector<RegionRequirement> merged;
     merged.reserve(reqs.size());
@@ -113,12 +113,12 @@ CoalesceRequirements(const std::vector<RegionRequirement>& reqs)
 }  // namespace
 
 std::vector<Dependence>
-DependenceAnalyzer::Analyze(std::size_t index, const TaskLaunch& launch,
+DependenceAnalyzer::Analyze(std::size_t index, const TaskLaunchView& launch,
                             std::optional<std::size_t> external_only_after)
 {
     EdgeCollector edges(index, external_only_after);
     const std::vector<RegionRequirement> coalesced =
-        CoalesceRequirements(launch.requirements);
+        CoalesceRequirements(launch.Requirements());
 
     // Emit the ordering edges this requirement needs against one
     // coherence state (its own region's, or an aliasing region's).

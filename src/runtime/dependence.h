@@ -85,7 +85,7 @@ class DependenceAnalyzer {
      * @return deduplicated edges sorted by source index.
      */
     std::vector<Dependence> Analyze(
-        std::size_t index, const TaskLaunch& launch,
+        std::size_t index, const TaskLaunchView& launch,
         std::optional<std::size_t> external_only_after = std::nullopt);
 
     /** Read-only view of a field's coherence state (testing). */

@@ -23,29 +23,28 @@ Runtime::ScaledAnalysisUs() const
 }
 
 void
-Runtime::ExecuteTask(const TaskLaunch& launch)
+Runtime::ExecuteTask(const TaskLaunchView& launch)
 {
-    const TokenHash token = HashLaunch(launch);
     switch (mode_) {
       case Mode::kIdle:
-        ExecuteUntraced(launch, token);
+        ExecuteUntraced(launch);
         break;
       case Mode::kRecording:
-        ExecuteRecording(launch, token);
+        ExecuteRecording(launch);
         break;
       case Mode::kReplaying:
-        ExecuteReplaying(launch, token);
+        ExecuteReplaying(launch);
         break;
     }
 }
 
 void
-Runtime::ExecuteUntraced(const TaskLaunch& launch, TokenHash token)
+Runtime::ExecuteUntraced(const TaskLaunchView& launch)
 {
     Operation op;
     op.index = log_.size();
-    op.launch = launch;
-    op.token = token;
+    launch.MaterializeInto(op.launch);
+    op.token = launch.token;
     op.dependences = analyzer_.Analyze(op.index, launch);
     op.mode = AnalysisMode::kAnalyzed;
     op.analysis_cost_us = ScaledAnalysisUs();
@@ -55,7 +54,7 @@ Runtime::ExecuteUntraced(const TaskLaunch& launch, TokenHash token)
 }
 
 void
-Runtime::ExecuteRecording(const TaskLaunch& launch, TokenHash token)
+Runtime::ExecuteRecording(const TaskLaunchView& launch)
 {
     if (!launch.traceable) {
         // An operation that cannot be memoized was issued inside a
@@ -70,13 +69,13 @@ Runtime::ExecuteRecording(const TaskLaunch& launch, TokenHash token)
         abandoned_trace_ = open_trace_;
         open_trace_ = kNoTrace;
         recording_ = TraceTemplate{};
-        ExecuteUntraced(launch, token);
+        ExecuteUntraced(launch);
         return;
     }
     Operation op;
     op.index = log_.size();
-    op.launch = launch;
-    op.token = token;
+    launch.MaterializeInto(op.launch);
+    op.token = launch.token;
     op.dependences = analyzer_.Analyze(op.index, launch);
     op.mode = AnalysisMode::kRecorded;
     op.trace = open_trace_;
@@ -88,8 +87,8 @@ Runtime::ExecuteRecording(const TaskLaunch& launch, TokenHash token)
     stats_.total_analysis_us += op.analysis_cost_us;
 
     // Capture the launch and its intra-fragment edges in the template.
-    recording_.tokens.push_back(token);
-    recording_.launches.push_back(launch);
+    recording_.tokens.push_back(op.token);
+    recording_.launches.push_back(op.launch);
     for (const Dependence& d : op.dependences) {
         if (d.from >= trace_start_) {
             recording_.internal_edges.push_back(Dependence{
@@ -100,25 +99,25 @@ Runtime::ExecuteRecording(const TaskLaunch& launch, TokenHash token)
 }
 
 void
-Runtime::ExecuteReplaying(const TaskLaunch& launch, TokenHash token)
+Runtime::ExecuteReplaying(const TaskLaunchView& launch)
 {
     const TraceTemplate* t = cache_.Find(open_trace_);
     if (!launch.traceable || replay_position_ >= t->Length() ||
-        t->tokens[replay_position_] != token) {
+        t->tokens[replay_position_] != launch.token) {
         HandleMismatch(!launch.traceable
                            ? "untraceable operation issued inside a trace"
                            : replay_position_ >= t->Length()
                                  ? "trace replay saw more tasks than "
                                    "recorded"
                                  : "trace replay saw an unexpected task",
-                       launch, token);
+                       launch);
         return;
     }
 
     Operation op;
     op.index = log_.size();
-    op.launch = launch;
-    op.token = token;
+    launch.MaterializeInto(op.launch);
+    op.token = launch.token;
     op.mode = AnalysisMode::kReplayed;
     op.trace = open_trace_;
     // Boundary edges are regenerated against the current coherence
@@ -145,8 +144,8 @@ Runtime::ExecuteReplaying(const TaskLaunch& launch, TokenHash token)
 }
 
 void
-Runtime::HandleMismatch(const std::string& reason, const TaskLaunch& launch,
-                        TokenHash token)
+Runtime::HandleMismatch(const std::string& reason,
+                        const TaskLaunchView& launch)
 {
     stats_.trace_mismatches += 1;
     if (options_.mismatch_policy == MismatchPolicy::kThrow) {
@@ -158,7 +157,7 @@ Runtime::HandleMismatch(const std::string& reason, const TaskLaunch& launch,
     mode_ = Mode::kIdle;
     const TraceId failed = open_trace_;
     open_trace_ = kNoTrace;
-    ExecuteUntraced(launch, token);
+    ExecuteUntraced(launch);
     // Remain "idle" until the application's EndTrace; tolerate it.
     abandoned_trace_ = failed;
 }

@@ -137,8 +137,19 @@ class Runtime {
 
     // -- Task and trace interface (what Apophenia intercepts) -------------
 
-    /** Issue one task launch. */
-    void ExecuteTask(const TaskLaunch& launch);
+    /**
+     * Issue one task launch. The view is the primary entry point: the
+     * token was hashed once at the API boundary and the requirements
+     * stay in caller-owned storage until the operation log records
+     * them.
+     */
+    void ExecuteTask(const TaskLaunchView& launch);
+
+    /** Convenience for owned launches; hashes here. */
+    void ExecuteTask(const TaskLaunch& launch)
+    {
+        ExecuteTask(TaskLaunchView::Of(launch));
+    }
 
     /**
      * Begin a trace. An unknown id starts recording; a known id starts
@@ -166,11 +177,11 @@ class Runtime {
   private:
     enum class Mode { kIdle, kRecording, kReplaying };
 
-    void ExecuteUntraced(const TaskLaunch& launch, TokenHash token);
-    void ExecuteRecording(const TaskLaunch& launch, TokenHash token);
-    void ExecuteReplaying(const TaskLaunch& launch, TokenHash token);
-    void HandleMismatch(const std::string& reason, const TaskLaunch& launch,
-                        TokenHash token);
+    void ExecuteUntraced(const TaskLaunchView& launch);
+    void ExecuteRecording(const TaskLaunchView& launch);
+    void ExecuteReplaying(const TaskLaunchView& launch);
+    void HandleMismatch(const std::string& reason,
+                        const TaskLaunchView& launch);
     void HandleMismatchAtEnd();
 
     RuntimeOptions options_;

@@ -11,7 +11,10 @@
 #ifndef APOPHENIA_RUNTIME_TASK_H
 #define APOPHENIA_RUNTIME_TASK_H
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -103,6 +106,26 @@ inline TaskLaunch CopyLaunch(RegionId src, FieldId src_field,
 /** The 64-bit token type trace identification operates on. */
 using TokenHash = std::uint64_t;
 
+/** Seed of a launch token: the task id folded into the hash chain.
+ * The launch token is built incrementally — seed, then one
+ * HashRequirement step per region requirement in order — so the API
+ * boundary (api::LaunchBuilder) can compute it while the launch is
+ * being assembled instead of re-walking the requirements. */
+inline TokenHash HashTaskId(TaskId task)
+{
+    return support::HashCombine(0x5eed, task);
+}
+
+/** Fold one region requirement into a launch token. */
+inline TokenHash HashRequirement(TokenHash h, const RegionRequirement& req)
+{
+    using support::HashCombine;
+    h = HashCombine(h, req.region.value);
+    h = HashCombine(h, req.field);
+    h = HashCombine(h, static_cast<std::uint64_t>(req.privilege));
+    return HashCombine(h, req.redop);
+}
+
 /**
  * Hash a launch into its trace-identification token. Two launches get
  * equal tokens iff the dependence analysis treats them identically:
@@ -111,16 +134,97 @@ using TokenHash = std::uint64_t;
  */
 inline TokenHash HashLaunch(const TaskLaunch& launch)
 {
-    using support::HashCombine;
-    TokenHash h = HashCombine(0x5eed, launch.task);
+    TokenHash h = HashTaskId(launch.task);
     for (const RegionRequirement& req : launch.requirements) {
-        h = HashCombine(h, req.region.value);
-        h = HashCombine(h, req.field);
-        h = HashCombine(h, static_cast<std::uint64_t>(req.privilege));
-        h = HashCombine(h, req.redop);
+        h = HashRequirement(h, req);
     }
     return h;
 }
+
+/**
+ * A non-owning view of a task launch: the unit the issue path passes
+ * around. The requirements live in caller-owned storage (typically an
+ * api::LaunchBuilder arena, or a materialized TaskLaunch), and the
+ * token hash is computed once — at the API boundary — and carried
+ * with the view, so neither the front-end nor the runtime re-hashes
+ * or copies the requirement vector per launch. A view is valid only
+ * as long as the storage behind it; consumers that buffer a launch
+ * must Materialize() it.
+ */
+struct TaskLaunchView {
+    TaskId task = 0;
+    const RegionRequirement* requirements = nullptr;
+    std::size_t requirement_count = 0;
+    /** Simulated kernel duration in microseconds. */
+    double execution_us = 100.0;
+    /** Which processor (GPU) executes this launch. */
+    std::uint32_t shard = 0;
+    /** See TaskLaunch::blocking. */
+    bool blocking = false;
+    /** See TaskLaunch::traceable. */
+    bool traceable = true;
+    /** HashLaunch of the viewed launch, precomputed at the boundary. */
+    TokenHash token = 0;
+
+    std::span<const RegionRequirement> Requirements() const
+    {
+        return {requirements, requirement_count};
+    }
+
+    /** Copy the viewed launch into owned storage, reusing `out`'s
+     * requirement capacity (the buffering pools rely on this). */
+    void MaterializeInto(TaskLaunch& out) const
+    {
+        out.task = task;
+        out.requirements.assign(requirements,
+                                requirements + requirement_count);
+        out.execution_us = execution_us;
+        out.shard = shard;
+        out.blocking = blocking;
+        out.traceable = traceable;
+    }
+
+    /** Copy the viewed launch into a fresh TaskLaunch. */
+    TaskLaunch Materialize() const
+    {
+        TaskLaunch out;
+        MaterializeInto(out);
+        return out;
+    }
+
+    /** View an owned launch whose token is already known. */
+    static TaskLaunchView Of(const TaskLaunch& launch, TokenHash token)
+    {
+        TaskLaunchView view;
+        view.task = launch.task;
+        view.requirements = launch.requirements.data();
+        view.requirement_count = launch.requirements.size();
+        view.execution_us = launch.execution_us;
+        view.shard = launch.shard;
+        view.blocking = launch.blocking;
+        view.traceable = launch.traceable;
+        view.token = token;
+        return view;
+    }
+
+    /** View an owned launch, hashing it here (the one place the old
+     * vector-carrying API pays its hash). */
+    static TaskLaunchView Of(const TaskLaunch& launch)
+    {
+        return Of(launch, HashLaunch(launch));
+    }
+
+    /** Dependence-analysis identity, mirroring TaskLaunch::operator==:
+     * same task and same ordered requirements. */
+    friend bool operator==(const TaskLaunchView& a, const TaskLaunchView& b)
+    {
+        return a.task == b.task &&
+               std::equal(a.requirements,
+                          a.requirements + a.requirement_count,
+                          b.requirements,
+                          b.requirements + b.requirement_count);
+    }
+};
 
 }  // namespace apo::rt
 

@@ -1,41 +1,9 @@
 #include "sim/harness.h"
 
 #include <memory>
-
-#include "apps/sink.h"
+#include <stdexcept>
 
 namespace apo::sim {
-
-namespace {
-
-/** Decorates a sink to count issued tasks (iteration boundaries are
- * measured on the issued stream, which Apophenia forwards verbatim). */
-class CountingSink final : public apps::TaskSink {
-  public:
-    explicit CountingSink(apps::TaskSink& inner) : inner_(&inner) {}
-
-    rt::RegionId CreateRegion() override { return inner_->CreateRegion(); }
-    void DestroyRegion(rt::RegionId r) override
-    {
-        inner_->DestroyRegion(r);
-    }
-    void ExecuteTask(const rt::TaskLaunch& launch) override
-    {
-        ++count_;
-        inner_->ExecuteTask(launch);
-    }
-    void BeginTrace(rt::TraceId id) override { inner_->BeginTrace(id); }
-    void EndTrace(rt::TraceId id) override { inner_->EndTrace(id); }
-    void Flush() override { inner_->Flush(); }
-
-    std::size_t Count() const { return count_; }
-
-  private:
-    apps::TaskSink* inner_;
-    std::size_t count_ = 0;
-};
-
-}  // namespace
 
 std::string_view
 ModeName(TracingMode mode)
@@ -51,46 +19,98 @@ ModeName(TracingMode mode)
     return "?";
 }
 
-ExperimentResult
-RunExperiment(apps::Application& app, const ExperimentOptions& options)
+namespace {
+
+/** The harness-owned front end plus everything behind it. */
+struct FrontendStack {
+    std::unique_ptr<rt::Runtime> runtime;  ///< single-runtime modes
+    std::unique_ptr<support::PooledExecutor> pool;
+    std::unique_ptr<core::Apophenia> apophenia;
+    std::unique_ptr<core::ReplicatedFrontEnd> replicated;
+    std::unique_ptr<api::Frontend> wrapper;  ///< direct/untraced
+    api::Frontend* front = nullptr;
+
+    /** The runtime whose operation log the simulator executes (node 0
+     * under replication: StreamsIdentical makes it representative). */
+    const rt::Runtime& ObservedRuntime() const
+    {
+        return replicated != nullptr ? replicated->NodeRuntime(0)
+                                     : *runtime;
+    }
+};
+
+FrontendStack
+BuildFrontend(const ExperimentOptions& options)
 {
+    FrontendStack stack;
     rt::RuntimeOptions runtime_options;
     runtime_options.costs = options.costs;
     runtime_options.nodes = options.machine.nodes;
-    rt::Runtime runtime(runtime_options);
 
-    std::unique_ptr<support::PooledExecutor> pool;
-    std::unique_ptr<core::Apophenia> front_end;
-    std::unique_ptr<apps::TaskSink> sink;
+    if (options.replicas > 1) {
+        if (options.mode == TracingMode::kManual) {
+            throw std::invalid_argument(
+                "RunExperiment: manual tracing is incompatible with "
+                "control replication (the replicated front end drops "
+                "annotations)");
+        }
+        core::ReplicationOptions replication = options.replication;
+        replication.nodes = options.replicas;
+        core::ApopheniaConfig config = options.auto_config;
+        config.enabled = options.mode == TracingMode::kAuto;
+        stack.replicated = std::make_unique<core::ReplicatedFrontEnd>(
+            replication, config, runtime_options);
+        stack.front = stack.replicated.get();
+        return stack;
+    }
+
+    stack.runtime = std::make_unique<rt::Runtime>(runtime_options);
     switch (options.mode) {
       case TracingMode::kUntraced:
-        sink = std::make_unique<apps::UntracedSink>(runtime);
+        stack.wrapper =
+            std::make_unique<api::UntracedFrontend>(*stack.runtime);
+        stack.front = stack.wrapper.get();
         break;
       case TracingMode::kManual:
-        sink = std::make_unique<apps::RuntimeSink>(runtime);
+        stack.wrapper =
+            std::make_unique<api::DirectFrontend>(*stack.runtime);
+        stack.front = stack.wrapper.get();
         break;
       case TracingMode::kAuto:
         if (options.executor_mode == ExecutorMode::kPooled) {
-            pool = std::make_unique<support::PooledExecutor>(
+            stack.pool = std::make_unique<support::PooledExecutor>(
                 options.pool_threads);
         }
-        front_end = std::make_unique<core::Apophenia>(
-            runtime, options.auto_config, pool.get());
-        sink = std::make_unique<apps::AutoSink>(*front_end);
+        stack.apophenia = std::make_unique<core::Apophenia>(
+            *stack.runtime, options.auto_config, stack.pool.get());
+        stack.front = stack.apophenia.get();
         break;
     }
-    CountingSink counting(*sink);
+    return stack;
+}
 
-    app.Setup(counting);
+}  // namespace
+
+ExperimentResult
+RunExperiment(apps::Application& app, const ExperimentOptions& options)
+{
+    FrontendStack stack = BuildFrontend(options);
+    api::Frontend& front = *stack.front;
+
+    // Iteration boundaries are measured on the issued stream (the
+    // uniform frontend counter), which Apophenia forwards verbatim.
+    app.Setup(front);
     std::vector<std::size_t> boundaries;
     boundaries.reserve(options.iterations);
     const bool manual = options.mode == TracingMode::kManual;
     for (std::size_t iter = 0; iter < options.iterations; ++iter) {
-        app.Iteration(counting, iter, manual);
-        boundaries.push_back(counting.Count());
+        app.Iteration(front, iter, manual);
+        boundaries.push_back(
+            static_cast<std::size_t>(front.Stats().tasks_executed));
     }
-    counting.Flush();
+    front.Flush();
 
+    const rt::Runtime& runtime = stack.ObservedRuntime();
     PipelineOptions pipeline_options;
     pipeline_options.machine = options.machine;
     pipeline_options.costs = options.costs;
@@ -111,8 +131,13 @@ RunExperiment(apps::Application& app, const ExperimentOptions& options)
     result.replayed_fraction = runtime.Stats().ReplayedFraction();
     result.warmup_iterations =
         WarmupIterations(runtime.Log(), boundaries);
-    if (front_end != nullptr) {
-        result.apophenia_stats = front_end->Stats();
+    result.frontend_stats = front.Stats();
+    if (stack.apophenia != nullptr) {
+        result.apophenia_stats = stack.apophenia->Stats();
+    } else if (stack.replicated != nullptr) {
+        result.apophenia_stats = stack.replicated->Node(0).Stats();
+        result.streams_identical = stack.replicated->StreamsIdentical();
+        result.coordination = stack.replicated->Coordination();
     }
     if (options.keep_coverage_series) {
         result.coverage_series = TracedCoverageSeries(

@@ -4,6 +4,12 @@
  * paper's three configurations (untraced, manually traced, Apophenia)
  * and measure simulated steady-state throughput — the quantity every
  * weak/strong-scaling figure reports.
+ *
+ * The application is always driven through the one api::Frontend
+ * issue surface; the harness picks the implementation from the
+ * options. Control replication (paper section 5.1) is an orthogonal
+ * axis: any workload can run on an N-node ReplicatedFrontEnd, and the
+ * result carries the StreamsIdentical() safety check.
  */
 #ifndef APOPHENIA_SIM_HARNESS_H
 #define APOPHENIA_SIM_HARNESS_H
@@ -11,9 +17,11 @@
 #include <string_view>
 #include <vector>
 
+#include "api/frontend.h"
 #include "apps/app.h"
 #include "core/apophenia.h"
 #include "core/config.h"
+#include "core/replication.h"
 #include "runtime/runtime.h"
 #include "sim/metrics.h"
 #include "sim/pipeline.h"
@@ -52,6 +60,17 @@ struct ExperimentOptions {
     ExecutorMode executor_mode = ExecutorMode::kInline;
     std::size_t pool_threads = 2;  ///< used when kPooled
     apps::MachineConfig machine;
+    /** Control replication: number of replicated front-end nodes.
+     * 1 runs a single front end. >1 drives the application through a
+     * core::ReplicatedFrontEnd (kAuto traces on every node; kUntraced
+     * runs the nodes with tracing disabled; kManual is rejected —
+     * the replicated front end drops annotations). Replicated mining
+     * always uses the deterministic inline executor; completion
+     * *timing* is what `replication` simulates. */
+    std::size_t replicas = 1;
+    /** Coordination tuning when replicas > 1 (`nodes` is overridden
+     * by `replicas`). */
+    core::ReplicationOptions replication;
     /** Record the figure-10 coverage series (costs memory). */
     bool keep_coverage_series = false;
     std::size_t coverage_window = 5000;
@@ -65,8 +84,14 @@ struct ExperimentResult {
     std::size_t total_tasks = 0;
     double replayed_fraction = 0.0;
     std::size_t warmup_iterations = 0;
-    rt::RuntimeStats runtime_stats;
+    rt::RuntimeStats runtime_stats;        ///< node 0 when replicated
     core::ApopheniaStats apophenia_stats;  ///< zeros unless kAuto
+    /** Uniform issue-surface counters of the driven front end. */
+    api::FrontendStats frontend_stats;
+    /** Control-replication safety: all nodes issued bit-identical
+     * streams (trivially true when replicas == 1). */
+    bool streams_identical = true;
+    core::CoordinationStats coordination;  ///< zeros unless replicated
     std::vector<std::pair<std::size_t, double>> coverage_series;
 };
 

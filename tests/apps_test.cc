@@ -13,7 +13,7 @@
 #include "apps/flexflow.h"
 #include "apps/htr.h"
 #include "apps/s3d.h"
-#include "apps/sink.h"
+#include "api/frontend.h"
 #include "apps/torchswe.h"
 #include "core/apophenia.h"
 
@@ -33,7 +33,7 @@ std::vector<rt::TokenHash> TokenStream(Application& app,
                                        bool manual = false)
 {
     rt::Runtime runtime;
-    RuntimeSink sink(runtime);
+    api::DirectFrontend sink(runtime);
     app.Setup(sink);
     for (std::size_t i = 0; i < iterations; ++i) {
         app.Iteration(sink, i, manual);
@@ -85,7 +85,7 @@ TEST(S3d, ManualAnnotationsAreValidUnderStrictReplay)
     // across hand-off boundary changes (iteration 10's regime switch).
     S3dApplication app(S3dOptions{.machine = SmallMachine()});
     rt::Runtime runtime;  // strict mismatch policy
-    RuntimeSink sink(runtime);
+    api::DirectFrontend sink(runtime);
     app.Setup(sink);
     for (std::size_t i = 0; i < 40; ++i) {
         ASSERT_NO_THROW(app.Iteration(sink, i, /*manual=*/true));
@@ -99,7 +99,7 @@ TEST(Htr, ManualAnnotationsAreValidUnderStrictReplay)
 {
     HtrApplication app(HtrOptions{.machine = SmallMachine()});
     rt::Runtime runtime;
-    RuntimeSink sink(runtime);
+    api::DirectFrontend sink(runtime);
     app.Setup(sink);
     for (std::size_t i = 0; i < 30; ++i) {
         ASSERT_NO_THROW(app.Iteration(sink, i, true));
@@ -112,7 +112,7 @@ TEST(FlexFlow, ManualAnnotationsAreValidUnderStrictReplay)
 {
     FlexFlowApplication app(FlexFlowOptions{.machine = SmallMachine()});
     rt::Runtime runtime;
-    RuntimeSink sink(runtime);
+    api::DirectFrontend sink(runtime);
     app.Setup(sink);
     for (std::size_t i = 0; i < 20; ++i) {
         ASSERT_NO_THROW(app.Iteration(sink, i, true));
@@ -139,7 +139,7 @@ std::size_t StreamPeriod(Application& app, std::size_t iterations,
                          std::size_t max_period)
 {
     rt::Runtime runtime;
-    RuntimeSink sink(runtime);
+    api::DirectFrontend sink(runtime);
     app.Setup(sink);
     std::vector<std::size_t> boundaries{0};
     for (std::size_t i = 0; i < iterations; ++i) {
@@ -198,7 +198,7 @@ TEST(TorchSwe, PoolGrowthDelaysRepetition)
     options.allocation_pool_budget = 1000;
     TorchSweApplication app(options);
     rt::Runtime runtime;
-    RuntimeSink sink(runtime);
+    api::DirectFrontend sink(runtime);
     app.Setup(sink);
     std::vector<std::size_t> boundaries{0};
     for (std::size_t i = 0; i < 40; ++i) {
@@ -228,7 +228,7 @@ TEST(TorchSwe, TracesExceed2000TasksAt64Gpus)
     options.machine.gpus_per_node = 8;
     TorchSweApplication app(options);
     rt::Runtime runtime;
-    RuntimeSink sink(runtime);
+    api::DirectFrontend sink(runtime);
     app.Setup(sink);
     const std::size_t before = runtime.Log().size();
     app.Iteration(sink, 0, false);
@@ -244,7 +244,7 @@ double AutoReplayFraction(Options options, std::size_t iterations)
     config.batchsize = 2000;
     config.multi_scale_factor = 100;
     core::Apophenia fe(runtime, config);
-    AutoSink sink(fe);
+    api::Frontend& sink = fe;
     App app(options);
     app.Setup(sink);
     for (std::size_t i = 0; i < iterations; ++i) {
@@ -286,7 +286,7 @@ TEST(TorchSwe, WarmupGrowsWithAllocationPoolBudget)
         config.batchsize = 2000;
         config.multi_scale_factor = 100;
         core::Apophenia fe(runtime, config);
-        AutoSink sink(fe);
+        api::Frontend& sink = fe;
         TorchSweOptions options{.machine = SmallMachine()};
         options.allocation_pool_budget = budget;
         TorchSweApplication app(options);

@@ -63,15 +63,14 @@ TEST(Config, DisabledWithoutEnableFlag)
 
 TEST(Config, AlgorithmNames)
 {
-    for (const auto& [name, expected] :
-         std::vector<std::pair<std::string, RepeatsAlgorithm>>{
-             {"quick_matching_of_substrings",
-              RepeatsAlgorithm::kQuickMatchingOfSubstrings},
-             {"tandem", RepeatsAlgorithm::kTandem},
-             {"lzw", RepeatsAlgorithm::kLzw},
-             {"quadratic", RepeatsAlgorithm::kQuadratic}}) {
-        auto args = Args({"-lg:auto_trace:repeats_algorithm"});
-        args.push_back(name);
+    const std::pair<const char*, RepeatsAlgorithm> cases[] = {
+        {"quick_matching_of_substrings",
+         RepeatsAlgorithm::kQuickMatchingOfSubstrings},
+        {"tandem", RepeatsAlgorithm::kTandem},
+        {"lzw", RepeatsAlgorithm::kLzw},
+        {"quadratic", RepeatsAlgorithm::kQuadratic}};
+    for (const auto& [name, expected] : cases) {
+        auto args = Args({"-lg:auto_trace:repeats_algorithm", name});
         EXPECT_EQ(ParseApopheniaFlags(args).repeats_algorithm, expected);
     }
     auto args = Args({"-lg:auto_trace:identifier_algorithm", "batched"});

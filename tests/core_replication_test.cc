@@ -26,14 +26,11 @@ ApopheniaConfig SmallConfig()
 
 void DriveLoop(ReplicatedFrontEnd& fe, int iterations, int body)
 {
-    // All replicas share the same region naming because region ids are
-    // assigned deterministically per node.
+    // Region management broadcasts to every node; the deterministic
+    // per-node allocators must agree on the id.
     std::vector<rt::RegionId> regions;
     for (int i = 0; i < body; ++i) {
-        regions.push_back(fe.Node(0).CreateRegion());
-        for (std::size_t n = 1; n < fe.Nodes(); ++n) {
-            fe.Node(n).CreateRegion();
-        }
+        regions.push_back(fe.CreateRegion());
     }
     for (int iter = 0; iter < iterations; ++iter) {
         for (int i = 0; i < body; ++i) {

@@ -95,7 +95,8 @@ class RandomProgram {
         const std::vector<rt::RegionId>& shards, rt::RegionId grid,
         int phase)
     {
-        rt::TaskLaunch t{rng.UniformInt(1, 30) + 1000ull * phase};
+        rt::TaskLaunch t;
+        t.task = rng.UniformInt(1, 30) + 1000ull * phase;
         const int reqs = static_cast<int>(rng.UniformInt(1, 3));
         for (int q = 0; q < reqs; ++q) {
             rt::RegionRequirement req;

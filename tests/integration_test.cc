@@ -19,7 +19,7 @@
 #include "apps/flexflow.h"
 #include "apps/htr.h"
 #include "apps/s3d.h"
-#include "apps/sink.h"
+#include "api/frontend.h"
 #include "apps/torchswe.h"
 #include "core/replication.h"
 #include "sim/harness.h"
@@ -49,7 +49,7 @@ std::unique_ptr<rt::Runtime> RunAuto(Options options, std::size_t iters)
 {
     auto runtime = std::make_unique<rt::Runtime>();
     core::Apophenia fe(*runtime, SmallConfig());
-    apps::AutoSink sink(fe);
+    api::Frontend& sink = fe;
     App app(options);
     app.Setup(sink);
     for (std::size_t i = 0; i < iters; ++i) {
@@ -64,7 +64,7 @@ std::unique_ptr<rt::Runtime> RunUntraced(Options options,
                                          std::size_t iters)
 {
     auto runtime = std::make_unique<rt::Runtime>();
-    apps::UntracedSink sink(*runtime);
+    api::UntracedFrontend sink(*runtime);
     App app(options);
     app.Setup(sink);
     for (std::size_t i = 0; i < iters; ++i) {
@@ -167,7 +167,7 @@ TEST(Integration, ReplicationOverRealApplication)
     // Control replication: the same program runs on every node, so
     // capture its canonical launch stream once...
     rt::Runtime staging;
-    apps::RuntimeSink staging_sink(staging);
+    api::DirectFrontend staging_sink(staging);
     apps::S3dApplication staging_app(app_options);
     staging_app.Setup(staging_sink);
     for (std::size_t i = 0; i < 50; ++i) {
@@ -202,7 +202,7 @@ TEST_P(ConfigMatrix, EveryAlgorithmCombinationIsCorrect)
 
     auto runtime = std::make_unique<rt::Runtime>();
     core::Apophenia fe(*runtime, config);
-    apps::AutoSink sink(fe);
+    api::Frontend& sink = fe;
     apps::S3dOptions options;
     options.machine = SmallMachine();
     apps::S3dApplication app(options);

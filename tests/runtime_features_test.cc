@@ -88,7 +88,9 @@ TEST(Untraceable, ReplayingAnUntraceableOperationThrows)
 
 TEST(Untraceable, FallbackPolicyAbandonsTheRecording)
 {
-    Runtime rt(RuntimeOptions{.mismatch_policy = MismatchPolicy::kFallback});
+    RuntimeOptions options;
+    options.mismatch_policy = MismatchPolicy::kFallback;
+    Runtime rt(options);
     const RegionId r = rt.CreateRegion();
     TaskLaunch io{1, {{r, 0, Privilege::kReadWrite, 0}}};
     io.traceable = false;

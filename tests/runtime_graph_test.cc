@@ -108,7 +108,8 @@ TEST(Graph, ReductionPreservesClosureOnRandomStreams)
             regions.push_back(rt.CreateRegion());
         }
         for (int i = 0; i < 80; ++i) {
-            TaskLaunch t{rng.UniformInt(1, 4)};
+            TaskLaunch t;
+            t.task = rng.UniformInt(1, 4);
             const int reqs = static_cast<int>(rng.UniformInt(1, 2));
             for (int q = 0; q < reqs; ++q) {
                 t.requirements.push_back(RegionRequirement{

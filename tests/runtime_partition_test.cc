@@ -175,7 +175,8 @@ TEST(PartitionAnalysis, TracedPartitionStreamMatchesFreshAnalysis)
         const auto shards = fe.PartitionRegion(grid, 4);
         for (int iter = 0; iter < 80; ++iter) {
             for (std::uint32_t g = 0; g < 4; ++g) {
-                TaskLaunch stencil{100 + g};
+                TaskLaunch stencil;
+                stencil.task = 100 + g;
                 stencil.shard = g;
                 stencil.requirements.push_back(
                     {shards[g], 0, Privilege::kReadWrite, 0});

@@ -177,7 +177,8 @@ TEST(DependenceAnalyzer, SerializabilityOnRandomStreams)
         regions.push_back(rt.CreateRegion());
     }
     for (int i = 0; i < 120; ++i) {
-        TaskLaunch t{rng.UniformInt(1, 5)};
+        TaskLaunch t;
+        t.task = rng.UniformInt(1, 5);
         const int nreqs = static_cast<int>(rng.UniformInt(1, 2));
         for (int q = 0; q < nreqs; ++q) {
             RegionRequirement req;
@@ -352,7 +353,8 @@ TEST(Tracing, ReplayedGraphEqualsFreshAnalysisRandomized)
                     regions.push_back(rt.CreateRegion());
                 }
                 auto random_task = [&](support::Rng& gen) {
-                    TaskLaunch t{gen.UniformInt(1, 4)};
+                    TaskLaunch t;
+                    t.task = gen.UniformInt(1, 4);
                     RegionRequirement req;
                     req.region =
                         regions[gen.UniformInt(0, regions.size() - 1)];
@@ -412,7 +414,9 @@ TEST(Tracing, ShortReplayThrowsAtEnd)
 
 TEST(Tracing, FallbackPolicyAnalyzesInsteadOfThrowing)
 {
-    Runtime rt(RuntimeOptions{.mismatch_policy = MismatchPolicy::kFallback});
+    RuntimeOptions options;
+    options.mismatch_policy = MismatchPolicy::kFallback;
+    Runtime rt(options);
     const RegionId a = rt.CreateRegion();
     const RegionId b = rt.CreateRegion();
     rt.BeginTrace(1);
@@ -441,8 +445,12 @@ TEST(Tracing, UsageErrors)
 
 TEST(Tracing, AnalysisCostScalesWithNodeCount)
 {
-    Runtime one(RuntimeOptions{.nodes = 1});
-    Runtime many(RuntimeOptions{.nodes = 16});
+    RuntimeOptions one_node;
+    one_node.nodes = 1;
+    RuntimeOptions many_nodes;
+    many_nodes.nodes = 16;
+    Runtime one(one_node);
+    Runtime many(many_nodes);
     EXPECT_GT(many.ScaledAnalysisUs(), one.ScaledAnalysisUs());
     EXPECT_DOUBLE_EQ(one.ScaledAnalysisUs(), one.Costs().analysis_us);
 }

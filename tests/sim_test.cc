@@ -330,7 +330,10 @@ TEST(Harness, PooledOnCompletionModeStillTraces)
 
     ExperimentOptions options;
     options.machine = app_options.machine;
-    options.iterations = 100;
+    // Enough iterations that the pool keeps up with the (now
+    // allocation-free, noticeably faster) issue path: ingestion
+    // timing decides *where* tracing engages, not *whether*.
+    options.iterations = 300;
     options.mode = TracingMode::kAuto;
     options.executor_mode = ExecutorMode::kPooled;
     options.pool_threads = 3;
