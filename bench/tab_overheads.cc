@@ -47,7 +47,7 @@ std::vector<rt::TaskLaunch> MakeStream(std::size_t iterations)
     std::vector<rt::TaskLaunch> launches;
     launches.reserve(staging.Log().size());
     for (const auto& op : staging.Log()) {
-        launches.push_back(op.launch);
+        launches.push_back(op.launch.Materialize());
     }
     return launches;
 }

@@ -82,7 +82,7 @@ main()
 
     // And the graph is untouched by Legion's transitive reduction
     // semantics: closure-preserving edge pruning.
-    std::vector<rt::Operation> reduced = runtime.Log();
+    rt::OperationLog reduced = runtime.Log().Clone();
     const std::size_t removed = rt::TransitiveReduction(reduced, 5000);
     std::printf("transitive reduction removed %zu of %zu edges\n",
                 removed, rt::CountEdges(runtime.Log()));

@@ -155,17 +155,18 @@ ReplicatedFrontEnd::DoFlush()
 bool
 ReplicatedFrontEnd::StreamsIdentical() const
 {
-    const auto& reference = nodes_[0]->runtime.Log();
+    const rt::OperationLog& reference = nodes_[0]->runtime.Log();
     for (std::size_t n = 1; n < nodes_.size(); ++n) {
-        const auto& log = nodes_[n]->runtime.Log();
+        const rt::OperationLog& log = nodes_[n]->runtime.Log();
         if (log.size() != reference.size()) {
             return false;
         }
         for (std::size_t i = 0; i < log.size(); ++i) {
-            if (log[i].token != reference[i].token ||
-                log[i].mode != reference[i].mode ||
-                log[i].trace != reference[i].trace ||
-                log[i].dependences != reference[i].dependences) {
+            const rt::OpView a = log[i];
+            const rt::OpView b = reference[i];
+            if (a.token != b.token || a.mode != b.mode ||
+                a.trace != b.trace ||
+                !(a.dependences == b.dependences)) {
                 return false;
             }
         }

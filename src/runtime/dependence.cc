@@ -9,11 +9,15 @@ namespace {
 
 /** Collects edges for one launch with on-the-fly deduplication by
  * (source, kind); a later-added true dependence on the same source
- * upgrades an anti/output edge (the stronger ordering subsumes). */
+ * upgrades an anti/output edge (the stronger ordering subsumes). The
+ * edges land in a caller-owned (reused) vector, appended after
+ * whatever it already holds. */
 class EdgeCollector {
   public:
-    EdgeCollector(std::size_t to, std::optional<std::size_t> external_after)
-        : to_(to), external_after_(external_after)
+    EdgeCollector(std::size_t to, std::optional<std::size_t> external_after,
+                  std::vector<Dependence>& out)
+        : to_(to), external_after_(external_after), out_(out),
+          base_(out.size())
     {
     }
 
@@ -28,27 +32,28 @@ class EdgeCollector {
         if (external_after_ && from >= *external_after_) {
             return;  // internal to a replayed trace: memoized already
         }
-        for (Dependence& d : edges_) {
-            if (d.from == from) {
+        for (std::size_t k = base_; k < out_.size(); ++k) {
+            if (out_[k].from == from) {
                 if (kind == DependenceKind::kTrue) {
-                    d.kind = kind;
+                    out_[k].kind = kind;
                 }
                 return;
             }
         }
-        edges_.push_back(Dependence{from, to_, kind});
+        out_.push_back(Dependence{from, to_, kind});
     }
 
-    std::vector<Dependence> Take()
+    void Finish()
     {
-        std::sort(edges_.begin(), edges_.end());
-        return std::move(edges_);
+        std::sort(out_.begin() + static_cast<std::ptrdiff_t>(base_),
+                  out_.end());
     }
 
   private:
     std::size_t to_;
     std::optional<std::size_t> external_after_;
-    std::vector<Dependence> edges_;
+    std::vector<Dependence>& out_;
+    std::size_t base_;
 };
 
 }  // namespace
@@ -78,18 +83,19 @@ DependenceAnalyzer::StateOf(RegionId region, FieldId field) const
 namespace {
 
 /**
- * Coalesce duplicate (region, field) requirements of one launch. A
- * task holds one effective privilege per field: identical privileges
- * merge trivially; any mixed combination (read+write, reduce+read,
+ * Coalesce duplicate (region, field) requirements of one launch into
+ * `merged` (cleared first; a reused scratch vector). A task holds one
+ * effective privilege per field: identical privileges merge
+ * trivially; any mixed combination (read+write, reduce+read,
  * reductions with different operators) escalates to read-write, which
  * serializes against everything — mirroring Legion's privilege
  * coalescing rules.
  */
-std::vector<RegionRequirement>
-CoalesceRequirements(std::span<const RegionRequirement> reqs)
+void
+CoalesceRequirements(std::span<const RegionRequirement> reqs,
+                     std::vector<RegionRequirement>& merged)
 {
-    std::vector<RegionRequirement> merged;
-    merged.reserve(reqs.size());
+    merged.clear();
     for (const RegionRequirement& req : reqs) {
         bool combined = false;
         for (RegionRequirement& m : merged) {
@@ -107,18 +113,19 @@ CoalesceRequirements(std::span<const RegionRequirement> reqs)
             merged.push_back(req);
         }
     }
-    return merged;
 }
 
 }  // namespace
 
-std::vector<Dependence>
-DependenceAnalyzer::Analyze(std::size_t index, const TaskLaunchView& launch,
-                            std::optional<std::size_t> external_only_after)
+void
+DependenceAnalyzer::AnalyzeInto(std::size_t index,
+                                const TaskLaunchView& launch,
+                                std::vector<Dependence>& out,
+                                std::optional<std::size_t> external_only_after)
 {
-    EdgeCollector edges(index, external_only_after);
-    const std::vector<RegionRequirement> coalesced =
-        CoalesceRequirements(launch.Requirements());
+    EdgeCollector edges(index, external_only_after, out);
+    CoalesceRequirements(launch.Requirements(), coalesce_scratch_);
+    const std::vector<RegionRequirement>& coalesced = coalesce_scratch_;
 
     // Emit the ordering edges this requirement needs against one
     // coherence state (its own region's, or an aliasing region's).
@@ -207,8 +214,9 @@ DependenceAnalyzer::Analyze(std::size_t index, const TaskLaunchView& launch,
             if (!st.reducers.empty() && st.redop != req.redop) {
                 // A different operator closes the open epoch; the
                 // closed epoch becomes the barrier every member of
-                // the new epoch serializes against.
-                st.prev_reducers = std::move(st.reducers);
+                // the new epoch serializes against. Swap (not move)
+                // so both vectors keep their capacity.
+                std::swap(st.prev_reducers, st.reducers);
                 st.reducers.clear();
             }
             st.redop = req.redop;
@@ -216,7 +224,7 @@ DependenceAnalyzer::Analyze(std::size_t index, const TaskLaunchView& launch,
             break;
         }
     }
-    return edges.Take();
+    edges.Finish();
 }
 
 }  // namespace apo::rt

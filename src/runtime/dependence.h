@@ -12,9 +12,11 @@
 #ifndef APOPHENIA_RUNTIME_DEPENDENCE_H
 #define APOPHENIA_RUNTIME_DEPENDENCE_H
 
+#include <algorithm>
 #include <cstddef>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "runtime/region.h"
@@ -38,6 +40,32 @@ struct Dependence {
 
     friend bool operator==(const Dependence&, const Dependence&) = default;
     friend auto operator<=>(const Dependence&, const Dependence&) = default;
+};
+
+/** An edge span into a shared arena (the operation log's edge column,
+ * a trace template's internal-edge table), element-comparable so
+ * consumers that used to compare owned vectors keep working. */
+struct DependenceSpan : std::span<const Dependence> {
+    using std::span<const Dependence>::span;
+    DependenceSpan(std::span<const Dependence> s)
+        : std::span<const Dependence>(s)
+    {
+    }
+
+    friend bool operator==(const DependenceSpan& a, const DependenceSpan& b)
+    {
+        return std::equal(a.begin(), a.end(), b.begin(), b.end());
+    }
+    friend bool operator==(const DependenceSpan& a,
+                           const std::vector<Dependence>& b)
+    {
+        return std::equal(a.begin(), a.end(), b.begin(), b.end());
+    }
+    friend bool operator==(const std::vector<Dependence>& a,
+                           const DependenceSpan& b)
+    {
+        return b == a;
+    }
 };
 
 /**
@@ -76,16 +104,19 @@ class DependenceAnalyzer {
 
     /**
      * Analyze the launch as operation `index` (indices must be given
-     * in strictly increasing order).
+     * in strictly increasing order), appending the deduplicated edges
+     * — sorted by source index — to `out`. The caller owns (and
+     * typically reuses) `out`, so the steady-state analysis allocates
+     * nothing.
      *
      * @param external_only_after if set, only edges whose source is
      *   *before* this operation index are emitted. Trace replay uses
      *   this to regenerate just the boundary (pre-trace) edges while
      *   taking intra-trace edges from the memoized template.
-     * @return deduplicated edges sorted by source index.
      */
-    std::vector<Dependence> Analyze(
+    void AnalyzeInto(
         std::size_t index, const TaskLaunchView& launch,
+        std::vector<Dependence>& out,
         std::optional<std::size_t> external_only_after = std::nullopt);
 
     /** Read-only view of a field's coherence state (testing). */
@@ -96,6 +127,10 @@ class DependenceAnalyzer {
 
   private:
     FieldState& MutableState(RegionId region, FieldId field);
+
+    /** Scratch for per-launch privilege coalescing; reused so the
+     * steady-state analysis allocates nothing. */
+    std::vector<RegionRequirement> coalesce_scratch_;
 
     const RegionTreeForest* forest_ = nullptr;
     std::map<std::pair<std::uint64_t, FieldId>, FieldState> states_;

@@ -1,12 +1,12 @@
 #include "runtime/graph.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace apo::rt {
 
 bool
-Reaches(const std::vector<Operation>& log, std::size_t from,
-        std::size_t to)
+Reaches(const OperationLog& log, std::size_t from, std::size_t to)
 {
     if (from >= to) {
         return from == to;
@@ -27,7 +27,7 @@ Reaches(const std::vector<Operation>& log, std::size_t from,
 }
 
 std::size_t
-TransitiveReduction(std::vector<Operation>& log, std::size_t window)
+TransitiveReduction(OperationLog& log, std::size_t window)
 {
     std::size_t removed = 0;
     // Scratch: for each op, whether it can reach the current target
@@ -37,7 +37,7 @@ TransitiveReduction(std::vector<Operation>& log, std::size_t window)
     std::size_t version = 0;
 
     for (std::size_t i = 0; i < log.size(); ++i) {
-        auto& deps = log[i].dependences;
+        std::span<Dependence> deps = log.MutableDependences(i);
         if (deps.size() < 2) {
             continue;
         }
@@ -78,16 +78,17 @@ TransitiveReduction(std::vector<Operation>& log, std::size_t window)
             }
         }
         std::sort(kept.begin(), kept.end());
-        deps = std::move(kept);
+        std::copy(kept.begin(), kept.end(), deps.begin());
+        log.ShrinkDependences(i, kept.size());
     }
     return removed;
 }
 
 std::size_t
-CountEdges(const std::vector<Operation>& log)
+CountEdges(const OperationLog& log)
 {
     std::size_t edges = 0;
-    for (const Operation& op : log) {
+    for (const auto& op : log) {
         edges += op.dependences.size();
     }
     return edges;

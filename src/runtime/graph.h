@@ -7,16 +7,16 @@
  * that are implied by paths through other edges; the paper's artifact
  * enables it in every experiment. Fewer edges mean less event
  * plumbing in the real runtime; here the reduction is provided as a
- * log transformation with the standard guarantee: the transitive
- * closure (i.e., the set of ordered pairs) is unchanged.
+ * log transformation — edges are pruned in place within each
+ * operation's arena span — with the standard guarantee: the
+ * transitive closure (i.e., the set of ordered pairs) is unchanged.
  */
 #ifndef APOPHENIA_RUNTIME_GRAPH_H
 #define APOPHENIA_RUNTIME_GRAPH_H
 
 #include <cstddef>
-#include <vector>
 
-#include "runtime/runtime.h"
+#include "runtime/oplog.h"
 
 namespace apo::rt {
 
@@ -24,8 +24,7 @@ namespace apo::rt {
  * True iff a dependence path exists from operation `from` to the
  * later operation `to` in the log.
  */
-bool Reaches(const std::vector<Operation>& log, std::size_t from,
-             std::size_t to);
+bool Reaches(const OperationLog& log, std::size_t from, std::size_t to);
 
 /**
  * Remove dependence edges implied transitively by other edges,
@@ -38,11 +37,10 @@ bool Reaches(const std::vector<Operation>& log, std::size_t from,
  *   scoped to the operations still in flight.
  * @return the number of edges removed.
  */
-std::size_t TransitiveReduction(std::vector<Operation>& log,
-                                std::size_t window = 0);
+std::size_t TransitiveReduction(OperationLog& log, std::size_t window = 0);
 
 /** Total dependence edges in the log (before/after comparisons). */
-std::size_t CountEdges(const std::vector<Operation>& log);
+std::size_t CountEdges(const OperationLog& log);
 
 }  // namespace apo::rt
 

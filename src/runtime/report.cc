@@ -48,4 +48,17 @@ FormatTraceCache(const TraceCache& cache)
     return buf;
 }
 
+std::string
+FormatOperationLog(const OperationLog& log)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "%zu op(s) logged, %zu retired; %.1f KiB resident "
+                  "(peak %.1f KiB)\n",
+                  log.size(), log.RetiredCount(),
+                  static_cast<double>(log.ResidentBytes()) / 1024.0,
+                  static_cast<double>(log.PeakResidentBytes()) / 1024.0);
+    return buf;
+}
+
 }  // namespace apo::rt

@@ -21,6 +21,10 @@ std::string FormatStats(const RuntimeStats& stats);
 /** One-line trace-cache summary (templates, tasks memoized). */
 std::string FormatTraceCache(const TraceCache& cache);
 
+/** One-line operation-log summary: ops appended/retired and resident
+ * vs peak arena memory (the streaming-retire headline numbers). */
+std::string FormatOperationLog(const OperationLog& log);
+
 }  // namespace apo::rt
 
 #endif  // APOPHENIA_RUNTIME_REPORT_H

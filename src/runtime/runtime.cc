@@ -1,12 +1,14 @@
 #include "runtime/runtime.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <string>
 
 namespace apo::rt {
 
-Runtime::Runtime(RuntimeOptions options) : options_(options)
+Runtime::Runtime(RuntimeOptions options)
+    : options_(options), log_(options.log_config)
 {
     if (options_.nodes == 0) {
         options_.nodes = 1;
@@ -41,16 +43,15 @@ Runtime::ExecuteTask(const TaskLaunchView& launch)
 void
 Runtime::ExecuteUntraced(const TaskLaunchView& launch)
 {
-    Operation op;
-    op.index = log_.size();
-    launch.MaterializeInto(op.launch);
-    op.token = launch.token;
-    op.dependences = analyzer_.Analyze(op.index, launch);
-    op.mode = AnalysisMode::kAnalyzed;
-    op.analysis_cost_us = ScaledAnalysisUs();
+    const std::size_t index = log_.size();
+    dep_scratch_.clear();
+    analyzer_.AnalyzeInto(index, launch, dep_scratch_);
+    const double cost = ScaledAnalysisUs();
     stats_.tasks_analyzed += 1;
-    stats_.total_analysis_us += op.analysis_cost_us;
-    log_.push_back(std::move(op));
+    stats_.total_analysis_us += cost;
+    log_.Append(launch, AnalysisMode::kAnalyzed, kNoTrace, cost,
+                /*replay_head=*/false, dep_scratch_);
+    log_.SetRetireBound(RetireBound());
 }
 
 void
@@ -72,30 +73,29 @@ Runtime::ExecuteRecording(const TaskLaunchView& launch)
         ExecuteUntraced(launch);
         return;
     }
-    Operation op;
-    op.index = log_.size();
-    launch.MaterializeInto(op.launch);
-    op.token = launch.token;
-    op.dependences = analyzer_.Analyze(op.index, launch);
-    op.mode = AnalysisMode::kRecorded;
-    op.trace = open_trace_;
+    const std::size_t index = log_.size();
+    dep_scratch_.clear();
+    analyzer_.AnalyzeInto(index, launch, dep_scratch_);
     // Recording performs the full analysis plus memoization work.
     const double scale =
         options_.costs.memoize_us / options_.costs.analysis_us;
-    op.analysis_cost_us = ScaledAnalysisUs() * scale;
+    const double cost = ScaledAnalysisUs() * scale;
     stats_.tasks_recorded += 1;
-    stats_.total_analysis_us += op.analysis_cost_us;
+    stats_.total_analysis_us += cost;
 
-    // Capture the launch and its intra-fragment edges in the template.
-    recording_.tokens.push_back(op.token);
-    recording_.launches.push_back(op.launch);
-    for (const Dependence& d : op.dependences) {
+    // Capture the launch token and its intra-fragment edges in the
+    // template (CSR spans — no per-op edge vectors).
+    recording_.AddOp(launch.token);
+    for (const Dependence& d : dep_scratch_) {
         if (d.from >= trace_start_) {
-            recording_.internal_edges.push_back(Dependence{
+            recording_.AddInternalEdge(Dependence{
                 d.from - trace_start_, d.to - trace_start_, d.kind});
         }
     }
-    log_.push_back(std::move(op));
+    recording_.SealOp();
+    log_.Append(launch, AnalysisMode::kRecorded, open_trace_, cost,
+                /*replay_head=*/false, dep_scratch_);
+    log_.SetRetireBound(RetireBound());
 }
 
 void
@@ -114,33 +114,59 @@ Runtime::ExecuteReplaying(const TaskLaunchView& launch)
         return;
     }
 
-    Operation op;
-    op.index = log_.size();
-    launch.MaterializeInto(op.launch);
-    op.token = launch.token;
-    op.mode = AnalysisMode::kReplayed;
-    op.trace = open_trace_;
+    const std::size_t index = log_.size();
     // Boundary edges are regenerated against the current coherence
-    // state; intra-fragment edges come from the memoized template.
-    op.dependences =
-        analyzer_.Analyze(op.index, launch, /*external_only_after=*/
-                          trace_start_);
-    for (const Dependence& d : t->internal_edges) {
-        if (d.to == replay_position_) {
-            op.dependences.push_back(Dependence{
-                d.from + trace_start_, d.to + trace_start_, d.kind});
-        }
+    // state; intra-fragment edges come from the memoized template's
+    // edge span for this position. The boundary edges all point before
+    // trace_start_ and the rebased internal edges all point at or
+    // after it, and both halves arrive sorted by source, so the
+    // concatenation is already in canonical (sorted, deduplicated)
+    // order.
+    dep_scratch_.clear();
+    analyzer_.AnalyzeInto(index, launch, dep_scratch_,
+                          /*external_only_after=*/trace_start_);
+    for (const Dependence& d : t->EdgesOf(replay_position_)) {
+        assert(d.to + trace_start_ == index);
+        dep_scratch_.push_back(Dependence{d.from + trace_start_,
+                                          d.to + trace_start_, d.kind});
     }
-    std::sort(op.dependences.begin(), op.dependences.end());
-    op.analysis_cost_us = options_.costs.replay_us;
-    if (replay_position_ == 0) {
-        op.replay_head = true;
-        op.analysis_cost_us += options_.costs.replay_constant_us;
+    assert(std::is_sorted(dep_scratch_.begin(), dep_scratch_.end()));
+    double cost = options_.costs.replay_us;
+    const bool replay_head = replay_position_ == 0;
+    if (replay_head) {
+        cost += options_.costs.replay_constant_us;
     }
     stats_.tasks_replayed += 1;
-    stats_.total_analysis_us += op.analysis_cost_us;
-    log_.push_back(std::move(op));
+    stats_.total_analysis_us += cost;
+    log_.Append(launch, AnalysisMode::kReplayed, open_trace_, cost,
+                replay_head, dep_scratch_);
+    log_.SetRetireBound(RetireBound());
     ++replay_position_;
+}
+
+/**
+ * Fallback-policy rewind: the fragment's already-replayed prefix
+ * [trace_start_, log end) is converted to plain analyzed accounting —
+ * the abandoned replay never completed, so a no-speculation runtime
+ * would have analyzed those operations. Their edges are untouched: a
+ * replayed operation's edges equal what fresh analysis produces for
+ * the identical token stream (the differential tests pin this down),
+ * so only mode, trace tag and charged cost change. The streaming log
+ * keeps an open fragment resident (retire bound = trace_start_), so
+ * the rows are still writable here.
+ */
+void
+Runtime::RewindReplayedFragment()
+{
+    const double analyzed_cost = ScaledAnalysisUs();
+    for (std::size_t i = trace_start_; i < log_.size(); ++i) {
+        stats_.total_analysis_us +=
+            analyzed_cost - log_[i].analysis_cost_us;
+        stats_.tasks_replayed -= 1;
+        stats_.tasks_analyzed += 1;
+        stats_.tasks_rewound += 1;
+        log_.RewriteAsAnalyzed(i, analyzed_cost);
+    }
 }
 
 void
@@ -152,8 +178,10 @@ Runtime::HandleMismatch(const std::string& reason,
         throw TraceMismatchError(reason + " (trace " +
                                  std::to_string(open_trace_) + ")");
     }
-    // Fallback: abandon the replay; this and subsequent tasks in the
-    // fragment run under full dependence analysis.
+    // Fallback: abandon the replay — rewind the replayed prefix to
+    // analyzed accounting; this and subsequent tasks in the fragment
+    // run under full dependence analysis.
+    RewindReplayedFragment();
     mode_ = Mode::kIdle;
     const TraceId failed = open_trace_;
     open_trace_ = kNoTrace;
@@ -198,7 +226,6 @@ Runtime::EndTrace(TraceId id)
     }
     if (mode_ == Mode::kRecording) {
         stats_.traces_recorded += 1;
-        recording_.last_used = ++use_stamp_;
         cache_.Insert(std::move(recording_));
         recording_ = TraceTemplate{};
         // Bound the template cache: evict the least recently used
@@ -216,11 +243,12 @@ Runtime::EndTrace(TraceId id)
             return;
         }
         t->replay_count += 1;
-        t->last_used = ++use_stamp_;
+        cache_.Touch(open_trace_);
         stats_.trace_replays += 1;
     }
     mode_ = Mode::kIdle;
     open_trace_ = kNoTrace;
+    log_.SetRetireBound(RetireBound());
 }
 
 void
@@ -228,14 +256,20 @@ Runtime::HandleMismatchAtEnd()
 {
     stats_.trace_mismatches += 1;
     const TraceId failed = open_trace_;
-    mode_ = Mode::kIdle;
-    open_trace_ = kNoTrace;
     if (options_.mismatch_policy == MismatchPolicy::kThrow) {
+        mode_ = Mode::kIdle;
+        open_trace_ = kNoTrace;
         throw TraceMismatchError(
             "trace replay ended before the recorded sequence completed "
             "(trace " +
             std::to_string(failed) + ")");
     }
+    // Fallback: the short replay is abandoned; rewind its prefix to
+    // analyzed accounting.
+    RewindReplayedFragment();
+    mode_ = Mode::kIdle;
+    open_trace_ = kNoTrace;
+    log_.SetRetireBound(RetireBound());
 }
 
 }  // namespace apo::rt

@@ -6,10 +6,13 @@
  * three calls: ExecuteTask, BeginTrace, EndTrace. The runtime performs
  * dynamic dependence analysis on every launch — unless the launch is
  * inside a known trace, in which case the memoized analysis is
- * validated and replayed. Every operation is appended to an operation
- * log carrying its dependence edges, analysis mode and charged cost;
- * the discrete-event simulator (src/sim) executes that log on a
- * cluster model, and the tests check its invariants directly.
+ * validated and replayed. Every operation is appended to the columnar
+ * OperationLog (runtime/oplog.h) carrying its dependence edges,
+ * analysis mode and charged cost; the discrete-event simulator
+ * (src/sim) executes that log on a cluster model — wholesale after
+ * the run in retained mode, or incrementally through the log's
+ * streaming-retire consumer for streams larger than memory — and the
+ * tests check its invariants directly.
  */
 #ifndef APOPHENIA_RUNTIME_RUNTIME_H
 #define APOPHENIA_RUNTIME_RUNTIME_H
@@ -21,6 +24,7 @@
 #include "runtime/cost_model.h"
 #include "runtime/dependence.h"
 #include "runtime/errors.h"
+#include "runtime/oplog.h"
 #include "runtime/region.h"
 #include "runtime/region_tree.h"
 #include "runtime/task.h"
@@ -28,33 +32,10 @@
 
 namespace apo::rt {
 
-/** How a logged operation's dependences were obtained. */
-enum class AnalysisMode : std::uint8_t {
-    kAnalyzed,  ///< full dynamic dependence analysis (cost α)
-    kRecorded,  ///< analyzed while memoizing a trace (cost α_m)
-    kReplayed,  ///< replayed from a trace template (cost α_r)
-};
-
 /** What to do when a trace replay sees an unexpected task. */
 enum class MismatchPolicy : std::uint8_t {
     kThrow,     ///< raise TraceMismatchError (Legion's strict mode)
     kFallback,  ///< abandon the replay; analyze the rest normally
-};
-
-/** One entry of the operation log. */
-struct Operation {
-    std::size_t index = 0;
-    TaskLaunch launch;
-    TokenHash token = 0;
-    /** Edges into earlier operations (deduplicated, sorted by source). */
-    std::vector<Dependence> dependences;
-    AnalysisMode mode = AnalysisMode::kAnalyzed;
-    TraceId trace = kNoTrace;
-    /** Analysis-stage cost charged for this operation (µs). */
-    double analysis_cost_us = 0.0;
-    /** True for the first operation of a trace replay (carries the
-     * per-replay constant c in analysis_cost_us). */
-    bool replay_head = false;
 };
 
 /** Aggregate counters over a runtime's lifetime. */
@@ -66,6 +47,9 @@ struct RuntimeStats {
     std::size_t trace_replays = 0;
     std::size_t trace_mismatches = 0;
     std::size_t traces_evicted = 0;
+    /** Replayed operations rewound to analyzed accounting when a
+     * fallback-policy mismatch abandoned their fragment mid-replay. */
+    std::size_t tasks_rewound = 0;
     double total_analysis_us = 0.0;
 
     std::size_t TotalTasks() const
@@ -95,6 +79,8 @@ struct RuntimeOptions {
      * later BeginTrace of its id re-records. Bounds the memory that
      * long-running applications with many traces consume. */
     std::size_t max_trace_templates = 0;
+    /** Operation-log block granularity (see OperationLog::Config). */
+    OperationLog::Config log_config;
 };
 
 /**
@@ -141,7 +127,7 @@ class Runtime {
      * Issue one task launch. The view is the primary entry point: the
      * token was hashed once at the API boundary and the requirements
      * stay in caller-owned storage until the operation log records
-     * them.
+     * them into its arena.
      */
     void ExecuteTask(const TaskLaunchView& launch);
 
@@ -163,9 +149,39 @@ class Runtime {
     /** True if a template for `id` has been recorded. */
     bool HasTrace(TraceId id) const { return cache_.Contains(id); }
 
+    // -- Streaming-retire control ------------------------------------------
+
+    /**
+     * Switch the operation log to streaming-retire mode (must be
+     * called before the first launch): `consumer` receives every
+     * completed operation exactly once, in log order, and the log
+     * recycles its blocks so resident memory stays bounded regardless
+     * of stream length. Operations of an open trace fragment are held
+     * back until the fragment completes (a fallback-policy mismatch
+     * may still rewind them).
+     */
+    void EnableLogStreaming(OperationLog::Consumer consumer)
+    {
+        log_.EnableStreaming(std::move(consumer));
+    }
+
+    /** Drain every completed operation to the streaming consumer (end
+     * of stream; no-op in retained mode). */
+    void DrainLogStream() { log_.SetRetireBound(RetireBound()); }
+
+    /** Pre-stock the retained log's block free lists so the next
+     * `ops` launches (with the given total requirement/edge counts)
+     * append without allocating (see OperationLog::Reserve; streaming
+     * mode reaches the same state by recycling). */
+    void ReserveLog(std::size_t ops, std::size_t requirement_slots,
+                    std::size_t dependence_slots)
+    {
+        log_.Reserve(ops, requirement_slots, dependence_slots);
+    }
+
     // -- Introspection -----------------------------------------------------
 
-    const std::vector<Operation>& Log() const { return log_; }
+    const OperationLog& Log() const { return log_; }
     const RuntimeStats& Stats() const { return stats_; }
     const TraceCache& Traces() const { return cache_; }
     const CostModel& Costs() const { return options_.costs; }
@@ -183,14 +199,24 @@ class Runtime {
     void HandleMismatch(const std::string& reason,
                         const TaskLaunchView& launch);
     void HandleMismatchAtEnd();
+    void RewindReplayedFragment();
+    std::size_t RetireBound() const
+    {
+        return mode_ == Mode::kIdle ? log_.size() : trace_start_;
+    }
 
     RuntimeOptions options_;
     RegionAllocator allocator_;
     RegionTreeForest forest_;
     DependenceAnalyzer analyzer_;
     TraceCache cache_;
-    std::vector<Operation> log_;
+    OperationLog log_;
     RuntimeStats stats_;
+
+    /** Per-launch edge scratch: AnalyzeInto fills it, the log append
+     * copies it into the edge arena. Capacity persists, so the
+     * steady-state issue path allocates nothing. */
+    std::vector<Dependence> dep_scratch_;
 
     Mode mode_ = Mode::kIdle;
     TraceId open_trace_ = kNoTrace;
@@ -198,7 +224,6 @@ class Runtime {
     std::size_t trace_start_ = 0;      ///< log index of the fragment start
     TraceTemplate recording_;          ///< template under construction
     std::size_t replay_position_ = 0;  ///< next template offset to match
-    std::uint64_t use_stamp_ = 0;      ///< LRU clock for the trace cache
 };
 
 }  // namespace apo::rt

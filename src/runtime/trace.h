@@ -5,17 +5,21 @@
  * paper builds on).
  *
  * A template captures everything needed to replay a recorded program
- * fragment: the validation token sequence, the task launches, and the
- * dependence edges *internal* to the fragment. Edges crossing the
- * fragment boundary are regenerated against the current coherence
- * state at replay time, so a replayed fragment composes correctly with
- * whatever preceded it.
+ * fragment: the validation token sequence and the dependence edges
+ * *internal* to the fragment, stored as one shared edge table with a
+ * per-operation (offset, count) span (CSR layout) — replaying
+ * position p copies exactly EdgesOf(p) instead of scanning the whole
+ * edge list, and recording never copies per-op edge vectors. Edges
+ * crossing the fragment boundary are regenerated against the current
+ * coherence state at replay time, so a replayed fragment composes
+ * correctly with whatever preceded it.
  */
 #ifndef APOPHENIA_RUNTIME_TRACE_H
 #define APOPHENIA_RUNTIME_TRACE_H
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "runtime/dependence.h"
@@ -34,20 +38,45 @@ struct TraceTemplate {
     TraceId id = kNoTrace;
     /** Per-launch validation tokens, in issue order. */
     std::vector<TokenHash> tokens;
-    /** The recorded launches (replayed verbatim). */
-    std::vector<TaskLaunch> launches;
     /** Dependence edges between operations of the fragment, expressed
-     * as offsets from the fragment start. */
+     * as offsets from the fragment start, grouped by target op. */
     std::vector<Dependence> internal_edges;
+    /** CSR offsets: op p's internal edges are
+     * internal_edges[edge_begin[p] .. edge_begin[p + 1]). */
+    std::vector<std::uint32_t> edge_begin = {0};
     /** How many times this template has been replayed. */
     std::size_t replay_count = 0;
-    /** Monotonic stamp of the last recording or replay (LRU). */
+    /** Monotonic stamp of the last recording or replay (LRU;
+     * maintained by TraceCache). */
     std::uint64_t last_used = 0;
 
-    std::size_t Length() const { return launches.size(); }
+    std::size_t Length() const { return tokens.size(); }
+
+    /** The recorded internal edges into fragment position `pos`. */
+    std::span<const Dependence> EdgesOf(std::size_t pos) const
+    {
+        return {internal_edges.data() + edge_begin[pos],
+                internal_edges.data() + edge_begin[pos + 1]};
+    }
+
+    /** Record one op: its token, then its internal edges (sources
+     * rebased to fragment offsets, ascending). */
+    void AddOp(TokenHash token) { tokens.push_back(token); }
+    void AddInternalEdge(const Dependence& edge)
+    {
+        internal_edges.push_back(edge);
+    }
+    void SealOp()
+    {
+        edge_begin.push_back(
+            static_cast<std::uint32_t>(internal_edges.size()));
+    }
 };
 
-/** The set of recorded templates, keyed by trace id. */
+/**
+ * The set of recorded templates, keyed by trace id, with an LRU index
+ * so eviction is O(log n) instead of a full-map scan.
+ */
 class TraceCache {
   public:
     bool Contains(TraceId id) const { return templates_.count(id) != 0; }
@@ -64,23 +93,44 @@ class TraceCache {
         return it == templates_.end() ? nullptr : &it->second;
     }
 
-    void Insert(TraceTemplate t) { templates_[t.id] = std::move(t); }
+    /** Insert (or replace) a template; it becomes most recently used. */
+    void Insert(TraceTemplate t)
+    {
+        const TraceId id = t.id;
+        auto it = templates_.find(id);
+        if (it != templates_.end()) {
+            by_last_used_.erase(it->second.last_used);
+            it->second = std::move(t);
+        } else {
+            it = templates_.emplace(id, std::move(t)).first;
+        }
+        it->second.last_used = ++clock_;
+        by_last_used_.emplace(it->second.last_used, id);
+    }
+
+    /** Mark a template as just used (recorded against or replayed). */
+    void Touch(TraceId id)
+    {
+        const auto it = templates_.find(id);
+        if (it == templates_.end()) {
+            return;
+        }
+        by_last_used_.erase(it->second.last_used);
+        it->second.last_used = ++clock_;
+        by_last_used_.emplace(it->second.last_used, id);
+    }
 
     /** Evict the least-recently-used template; returns its id, or
-     * kNoTrace if the cache is empty. */
+     * kNoTrace if the cache is empty. O(log n). */
     TraceId EvictLeastRecentlyUsed()
     {
-        TraceId victim = kNoTrace;
-        std::uint64_t oldest = ~std::uint64_t{0};
-        for (const auto& [id, t] : templates_) {
-            if (t.last_used < oldest) {
-                oldest = t.last_used;
-                victim = id;
-            }
+        if (by_last_used_.empty()) {
+            return kNoTrace;
         }
-        if (victim != kNoTrace) {
-            templates_.erase(victim);
-        }
+        const auto oldest = by_last_used_.begin();
+        const TraceId victim = oldest->second;
+        by_last_used_.erase(oldest);
+        templates_.erase(victim);
         return victim;
     }
 
@@ -98,6 +148,9 @@ class TraceCache {
 
   private:
     std::map<TraceId, TraceTemplate> templates_;
+    /** last_used stamp (unique, monotonic) -> trace id. */
+    std::map<std::uint64_t, TraceId> by_last_used_;
+    std::uint64_t clock_ = 0;
 };
 
 }  // namespace apo::rt

@@ -1,6 +1,7 @@
 #include "sim/harness.h"
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 namespace apo::sim {
@@ -46,6 +47,8 @@ BuildFrontend(const ExperimentOptions& options)
     rt::RuntimeOptions runtime_options;
     runtime_options.costs = options.costs;
     runtime_options.nodes = options.machine.nodes;
+    runtime_options.mismatch_policy = options.mismatch_policy;
+    runtime_options.log_config = options.log_config;
 
     if (options.replicas > 1) {
         if (options.mode == TracingMode::kManual) {
@@ -89,13 +92,53 @@ BuildFrontend(const ExperimentOptions& options)
     return stack;
 }
 
+PipelineOptions
+BuildPipelineOptions(const ExperimentOptions& options)
+{
+    PipelineOptions pipeline_options;
+    pipeline_options.machine = options.machine;
+    pipeline_options.costs = options.costs;
+    pipeline_options.apophenia_front_end =
+        options.mode == TracingMode::kAuto;
+    pipeline_options.window = options.auto_config.window;
+    pipeline_options.inline_transitive_reduction =
+        options.auto_config.inline_transitive_reduction;
+    return pipeline_options;
+}
+
 }  // namespace
 
 ExperimentResult
 RunExperiment(apps::Application& app, const ExperimentOptions& options)
 {
+    const bool streaming = options.log_mode == LogMode::kStreaming;
+    if (streaming && options.replicas > 1) {
+        throw std::invalid_argument(
+            "RunExperiment: streaming-retire logs require a single "
+            "front end (replicas == 1)");
+    }
+    if (streaming && options.auto_config.inline_transitive_reduction) {
+        throw std::invalid_argument(
+            "RunExperiment: the inline transitive reduction is a "
+            "whole-log transform and needs the retained log");
+    }
+
     FrontendStack stack = BuildFrontend(options);
     api::Frontend& front = *stack.front;
+    const PipelineOptions pipeline_options = BuildPipelineOptions(options);
+
+    // Streaming: the simulator and the traced-flags metric run as the
+    // operation log's retire consumer; the log recycles its blocks
+    // behind them.
+    std::optional<PipelineSimulator> streaming_sim;
+    TracedFlags streaming_traced;
+    if (streaming) {
+        streaming_sim.emplace(pipeline_options);
+        stack.runtime->EnableLogStreaming([&](const rt::OpView& op) {
+            streaming_traced.Consume(op);
+            streaming_sim->Consume(op);
+        });
+    }
 
     // Iteration boundaries are measured on the issued stream (the
     // uniform frontend counter), which Apophenia forwards verbatim.
@@ -111,38 +154,44 @@ RunExperiment(apps::Application& app, const ExperimentOptions& options)
     front.Flush();
 
     const rt::Runtime& runtime = stack.ObservedRuntime();
-    PipelineOptions pipeline_options;
-    pipeline_options.machine = options.machine;
-    pipeline_options.costs = options.costs;
-    pipeline_options.apophenia_front_end =
-        options.mode == TracingMode::kAuto;
-    pipeline_options.window = options.auto_config.window;
-    pipeline_options.inline_transitive_reduction =
-        options.auto_config.inline_transitive_reduction;
-    const PipelineResult sim = SimulatePipeline(runtime.Log(),
-                                                pipeline_options);
-
     ExperimentResult result;
+    PipelineResult sim;
+    if (streaming) {
+        stack.runtime->DrainLogStream();
+        sim = streaming_sim->Finish();
+        result.warmup_iterations =
+            WarmupIterations(streaming_traced, boundaries);
+        if (options.keep_coverage_series) {
+            result.coverage_series = TracedCoverageSeries(
+                streaming_traced, options.coverage_window,
+                options.coverage_stride);
+        }
+    } else {
+        sim = SimulatePipeline(runtime.Log(), pipeline_options);
+        result.warmup_iterations =
+            WarmupIterations(runtime.Log(), boundaries);
+        if (options.keep_coverage_series) {
+            result.coverage_series = TracedCoverageSeries(
+                runtime.Log(), options.coverage_window,
+                options.coverage_stride);
+        }
+    }
+
     const std::vector<double> ends = IterationEndTimes(sim, boundaries);
     result.iterations_per_second = SteadyThroughput(ends);
     result.makespan_us = sim.makespan_us;
     result.total_tasks = runtime.Log().size();
     result.runtime_stats = runtime.Stats();
     result.replayed_fraction = runtime.Stats().ReplayedFraction();
-    result.warmup_iterations =
-        WarmupIterations(runtime.Log(), boundaries);
     result.frontend_stats = front.Stats();
+    result.log_peak_resident_bytes = runtime.Log().PeakResidentBytes();
+    result.log_retired_ops = runtime.Log().RetiredCount();
     if (stack.apophenia != nullptr) {
         result.apophenia_stats = stack.apophenia->Stats();
     } else if (stack.replicated != nullptr) {
         result.apophenia_stats = stack.replicated->Node(0).Stats();
         result.streams_identical = stack.replicated->StreamsIdentical();
         result.coordination = stack.replicated->Coordination();
-    }
-    if (options.keep_coverage_series) {
-        result.coverage_series = TracedCoverageSeries(
-            runtime.Log(), options.coverage_window,
-            options.coverage_stride);
     }
     return result;
 }

@@ -51,6 +51,20 @@ enum class ExecutorMode {
     kPooled,
 };
 
+/** How the harness consumes the runtime's operation log. */
+enum class LogMode {
+    /** The log is kept whole and simulated after the run (the
+     * configuration every figure is reported with). */
+    kRetained,
+    /** Streaming retire: the simulator and metrics run as the log's
+     * streaming consumer, blocks recycle, and resident log memory
+     * stays bounded no matter how long the stream is. Metrics and
+     * decisions are bit-identical to kRetained. Single front end only
+     * (replicas == 1), and incompatible with the inline transitive
+     * reduction (a whole-log transform). */
+    kStreaming,
+};
+
 /** Experiment parameters. */
 struct ExperimentOptions {
     TracingMode mode = TracingMode::kAuto;
@@ -59,6 +73,14 @@ struct ExperimentOptions {
     core::ApopheniaConfig auto_config;  ///< used when mode == kAuto
     ExecutorMode executor_mode = ExecutorMode::kInline;
     std::size_t pool_threads = 2;  ///< used when kPooled
+    /** What a trace replay does when the stream deviates from the
+     * template: throw (Legion's strict mode) or degrade that fragment
+     * to full dependence analysis (see rt::MismatchPolicy). */
+    rt::MismatchPolicy mismatch_policy = rt::MismatchPolicy::kThrow;
+    LogMode log_mode = LogMode::kRetained;
+    /** Operation-log block granularity; with kStreaming this is the
+     * resident-memory ceiling knob. */
+    rt::OperationLog::Config log_config;
     apps::MachineConfig machine;
     /** Control replication: number of replicated front-end nodes.
      * 1 runs a single front end. >1 drives the application through a
@@ -93,6 +115,12 @@ struct ExperimentResult {
     bool streams_identical = true;
     core::CoordinationStats coordination;  ///< zeros unless replicated
     std::vector<std::pair<std::size_t, double>> coverage_series;
+    /** Operation-log memory high-water (node 0 when replicated) — the
+     * number the streaming-retire mode bounds. */
+    std::size_t log_peak_resident_bytes = 0;
+    /** Operations drained through the streaming consumer (0 when
+     * retained). */
+    std::size_t log_retired_ops = 0;
 };
 
 /** Run `app` for `options.iterations` main-loop iterations and

@@ -4,16 +4,6 @@
 
 namespace apo::sim {
 
-namespace {
-
-bool
-IsTraced(const rt::Operation& op)
-{
-    return op.mode != rt::AnalysisMode::kAnalyzed;
-}
-
-}  // namespace
-
 std::vector<double>
 IterationEndTimes(const PipelineResult& result,
                   const std::vector<std::size_t>& boundaries)
@@ -65,11 +55,23 @@ SteadyThroughput(const std::vector<double>& iteration_ends_us,
     return 1e6 / median_us;
 }
 
+TracedFlags
+TracedFlags::Of(const rt::OperationLog& log)
+{
+    TracedFlags traced;
+    traced.flags_.reserve(log.size());
+    for (const auto& op : log) {
+        traced.Consume(op);
+    }
+    return traced;
+}
+
 std::size_t
-WarmupIterations(const std::vector<rt::Operation>& log,
+WarmupIterations(const TracedFlags& traced,
                  const std::vector<std::size_t>& boundaries,
                  double threshold)
 {
+    const std::vector<std::uint8_t>& flags = traced.Flags();
     // Steady state = one past the last iteration whose own traced
     // fraction falls below the threshold. The default threshold is
     // mild (0.5) so that permanent irregular interruptions — CFD's
@@ -83,14 +85,14 @@ WarmupIterations(const std::vector<rt::Operation>& log,
     const std::size_t scan =
         boundaries.size() > 2 ? boundaries.size() - 2 : boundaries.size();
     for (std::size_t it = 0; it < scan; ++it) {
-        const std::size_t end = std::min(boundaries[it], log.size());
-        std::size_t traced = 0;
+        const std::size_t end = std::min(boundaries[it], flags.size());
+        std::size_t count = 0;
         for (std::size_t k = begin; k < end; ++k) {
-            traced += IsTraced(log[k]);
+            count += flags[k];
         }
         const std::size_t total = end - begin;
         if (total != 0 &&
-            static_cast<double>(traced) <
+            static_cast<double>(count) <
                 threshold * static_cast<double>(total)) {
             warmup = it + 1;
         }
@@ -99,27 +101,43 @@ WarmupIterations(const std::vector<rt::Operation>& log,
     return warmup;
 }
 
-std::vector<std::pair<std::size_t, double>>
-TracedCoverageSeries(const std::vector<rt::Operation>& log,
-                     std::size_t window, std::size_t stride)
+std::size_t
+WarmupIterations(const rt::OperationLog& log,
+                 const std::vector<std::size_t>& boundaries,
+                 double threshold)
 {
+    return WarmupIterations(TracedFlags::Of(log), boundaries, threshold);
+}
+
+std::vector<std::pair<std::size_t, double>>
+TracedCoverageSeries(const TracedFlags& traced, std::size_t window,
+                     std::size_t stride)
+{
+    const std::vector<std::uint8_t>& flags = traced.Flags();
     std::vector<std::pair<std::size_t, double>> series;
-    if (log.empty() || window == 0 || stride == 0) {
+    if (flags.empty() || window == 0 || stride == 0) {
         return series;
     }
     // Prefix sums of traced flags for O(1) windows.
-    std::vector<std::size_t> prefix(log.size() + 1, 0);
-    for (std::size_t i = 0; i < log.size(); ++i) {
-        prefix[i + 1] = prefix[i] + IsTraced(log[i]);
+    std::vector<std::size_t> prefix(flags.size() + 1, 0);
+    for (std::size_t i = 0; i < flags.size(); ++i) {
+        prefix[i + 1] = prefix[i] + flags[i];
     }
-    for (std::size_t i = stride; i <= log.size(); i += stride) {
+    for (std::size_t i = stride; i <= flags.size(); i += stride) {
         const std::size_t lo = i > window ? i - window : 0;
-        const double traced =
+        const double count =
             static_cast<double>(prefix[i] - prefix[lo]);
         const double denom = static_cast<double>(i - lo);
-        series.emplace_back(i, 100.0 * traced / denom);
+        series.emplace_back(i, 100.0 * count / denom);
     }
     return series;
+}
+
+std::vector<std::pair<std::size_t, double>>
+TracedCoverageSeries(const rt::OperationLog& log, std::size_t window,
+                     std::size_t stride)
+{
+    return TracedCoverageSeries(TracedFlags::Of(log), window, stride);
 }
 
 }  // namespace apo::sim

@@ -3,11 +3,18 @@
  * Metrics over simulated executions: iteration timing, steady-state
  * throughput, warmup detection (paper figure 9) and the traced-window
  * coverage series (paper figure 10).
+ *
+ * The log-shape metrics (warmup, coverage) need one bit per operation
+ * — was it traced? — so they come in two forms: over a retained
+ * OperationLog, and over a TracedFlags accumulator filled
+ * incrementally by a streaming-retire consumer (one byte per op, so a
+ * million-task stream costs a megabyte, not the log).
  */
 #ifndef APOPHENIA_SIM_METRICS_H
 #define APOPHENIA_SIM_METRICS_H
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -31,6 +38,25 @@ std::vector<double> IterationEndTimes(
 double SteadyThroughput(const std::vector<double>& iteration_ends_us,
                         std::size_t measure = 0);
 
+/** Per-operation traced flags, collected incrementally (streaming) or
+ * extracted from a retained log. */
+class TracedFlags {
+  public:
+    /** Streaming-retire consumer side: record one operation. */
+    void Consume(const rt::OpView& op)
+    {
+        flags_.push_back(op.mode != rt::AnalysisMode::kAnalyzed ? 1 : 0);
+    }
+
+    const std::vector<std::uint8_t>& Flags() const { return flags_; }
+    std::size_t size() const { return flags_.size(); }
+
+    static TracedFlags Of(const rt::OperationLog& log);
+
+  private:
+    std::vector<std::uint8_t> flags_;
+};
+
 /**
  * Iterations until a replaying steady state (figure 9): one past the
  * last iteration whose fraction of traced (recorded or replayed)
@@ -39,7 +65,10 @@ double SteadyThroughput(const std::vector<double>& iteration_ends_us,
  * counting it as leaving the steady state. Returns the iteration
  * count if no steady state was reached.
  */
-std::size_t WarmupIterations(const std::vector<rt::Operation>& log,
+std::size_t WarmupIterations(const TracedFlags& traced,
+                             const std::vector<std::size_t>& boundaries,
+                             double threshold = 0.5);
+std::size_t WarmupIterations(const rt::OperationLog& log,
                              const std::vector<std::size_t>& boundaries,
                              double threshold = 0.5);
 
@@ -48,8 +77,9 @@ std::size_t WarmupIterations(const std::vector<rt::Operation>& log,
  * percentage of the previous `window` operations that were traced.
  */
 std::vector<std::pair<std::size_t, double>> TracedCoverageSeries(
-    const std::vector<rt::Operation>& log, std::size_t window,
-    std::size_t stride);
+    const TracedFlags& traced, std::size_t window, std::size_t stride);
+std::vector<std::pair<std::size_t, double>> TracedCoverageSeries(
+    const rt::OperationLog& log, std::size_t window, std::size_t stride);
 
 }  // namespace apo::sim
 

@@ -1,140 +1,199 @@
 #include "sim/pipeline.h"
 
 #include <algorithm>
+#include <cassert>
+#include <stdexcept>
 
 #include "runtime/graph.h"
 
 namespace apo::sim {
 
+PipelineSimulator::PipelineSimulator(const PipelineOptions& options)
+    : options_(options)
+{
+    if (options_.inline_transitive_reduction) {
+        throw std::invalid_argument(
+            "PipelineSimulator: the inline transitive reduction is a "
+            "whole-log transform; use SimulatePipeline on a retained "
+            "log");
+    }
+    launch_us_ = options_.costs.launch_us +
+                 (options_.apophenia_front_end
+                      ? options_.costs.apophenia_launch_us
+                      : 0.0);
+    cross_latency_ = options_.machine.CrossNodeLatencyUs();
+    num_nodes_ = std::max<std::size_t>(options_.machine.nodes, 1);
+    num_gpus_ = std::max<std::size_t>(options_.machine.GpuCount(), 1);
+    analysis_free_.assign(num_nodes_, 0.0);
+    gpu_free_.assign(num_gpus_, 0.0);
+}
+
+std::size_t
+PipelineSimulator::NodeOf(std::uint32_t shard) const
+{
+    // The analysis-resource index clamp of the original simulator.
+    return std::min<std::size_t>(options_.machine.NodeOf(shard),
+                                 num_nodes_ - 1);
+}
+
+// Schedule execution of one op given its analysis-ready time.
+void
+PipelineSimulator::ExecuteOp(std::size_t index, std::uint32_t shard,
+                             double execution_us, bool blocking,
+                             std::span<const rt::Dependence> deps,
+                             double analysis_ready)
+{
+    const std::size_t gpu = std::min<std::size_t>(shard, num_gpus_ - 1);
+    const std::size_t node = options_.machine.NodeOf(shard);
+    double ready = analysis_ready;
+    for (const rt::Dependence& d : deps) {
+        double dep_done = result_.finish_us[d.from];
+        if (options_.machine.NodeOf(shards_[d.from]) != node) {
+            dep_done += cross_latency_;  // data crosses the network
+        }
+        ready = std::max(ready, dep_done);
+    }
+    const double start = std::max(ready, gpu_free_[gpu]);
+    const double finish = start + execution_us;
+    assert(index == result_.finish_us.size());
+    (void)index;
+    result_.finish_us.push_back(finish);
+    shards_.push_back(shard);
+    gpu_free_[gpu] = finish;
+    result_.makespan_us = std::max(result_.makespan_us, finish);
+    if (blocking) {
+        app_gate_ = std::max(app_gate_, finish);
+    }
+}
+
+void
+PipelineSimulator::ProcessSequential(const rt::OpView& op)
+{
+    // Analyzed or recorded operation: flows through the owning
+    // node's analysis resource one task at a time; the analysis
+    // pipeline runs ahead of execution freely (it needs no
+    // execution events, only region metadata) — up to the
+    // operation window (-lg:window), which bounds in-flight state.
+    app_time_ = std::max(app_time_, app_gate_) + launch_us_;
+    const std::size_t n = NodeOf(op.launch.shard);
+    double start = std::max(analysis_free_[n], app_time_);
+    if (options_.window != 0 && op.index >= options_.window) {
+        start = std::max(start,
+                         result_.finish_us[op.index - options_.window]);
+    }
+    analysis_free_[n] = start + op.analysis_cost_us;
+    ExecuteOp(op.index, op.launch.shard, op.launch.execution_us,
+              op.launch.blocking, op.dependences, analysis_free_[n]);
+}
+
+void
+PipelineSimulator::FlushFragment()
+{
+    if (!in_fragment_) {
+        return;
+    }
+    // (1) No speculation: the replay is issued only once the
+    // application has launched the entire fragment.
+    double arrival = 0.0;
+    node_tasks_.assign(num_nodes_, 0);
+    for (const FragOp& op : fragment_) {
+        app_time_ = std::max(app_time_, app_gate_) + launch_us_;
+        arrival = app_time_;
+        node_tasks_[NodeOf(op.shard)] += 1;
+    }
+    // (2) Each node replays its shard of the fragment as one
+    // block on its analysis resource; the fragment's tasks
+    // become executable only when their node's whole block has
+    // been instantiated. With small tasks and a pipeline that
+    // drains (blocking futures), this block release is what
+    // exposes long replays (figure 8).
+    node_done_.assign(num_nodes_, 0.0);
+    for (std::size_t n = 0; n < num_nodes_; ++n) {
+        if (node_tasks_[n] == 0) {
+            continue;
+        }
+        const double start = std::max(analysis_free_[n], arrival);
+        node_done_[n] = start + options_.costs.replay_constant_us +
+                        options_.costs.replay_us *
+                            static_cast<double>(node_tasks_[n]);
+        analysis_free_[n] = node_done_[n];
+    }
+    for (const FragOp& op : fragment_) {
+        ExecuteOp(op.index, op.shard, op.execution_us, op.blocking,
+                  std::span<const rt::Dependence>(
+                      frag_deps_.data() + op.dep_begin,
+                      frag_deps_.data() + op.dep_end),
+                  node_done_[NodeOf(op.shard)]);
+    }
+    in_fragment_ = false;
+    fragment_.clear();
+    frag_deps_.clear();
+}
+
+void
+PipelineSimulator::BufferFragOp(const rt::OpView& op)
+{
+    FragOp frag;
+    frag.index = op.index;
+    frag.shard = op.launch.shard;
+    frag.execution_us = op.launch.execution_us;
+    frag.blocking = op.launch.blocking;
+    frag.dep_begin = frag_deps_.size();
+    frag_deps_.insert(frag_deps_.end(), op.dependences.begin(),
+                      op.dependences.end());
+    frag.dep_end = frag_deps_.size();
+    fragment_.push_back(frag);
+}
+
+void
+PipelineSimulator::Consume(const rt::OpView& op)
+{
+    if (in_fragment_) {
+        // A replayed fragment's extent: Apophenia issues fragments
+        // contiguously, and a new instance starts at the next
+        // replay_head.
+        if (op.mode == rt::AnalysisMode::kReplayed &&
+            op.trace == fragment_trace_ && !op.replay_head) {
+            BufferFragOp(op);
+            return;
+        }
+        FlushFragment();
+    }
+    if (op.mode == rt::AnalysisMode::kReplayed && op.replay_head) {
+        in_fragment_ = true;
+        fragment_trace_ = op.trace;
+        BufferFragOp(op);
+        return;
+    }
+    ProcessSequential(op);
+}
+
 PipelineResult
-SimulatePipeline(const std::vector<rt::Operation>& log,
+PipelineSimulator::Finish()
+{
+    FlushFragment();
+    return std::move(result_);
+}
+
+PipelineResult
+SimulatePipeline(const rt::OperationLog& log,
                  const PipelineOptions& options)
 {
     if (options.inline_transitive_reduction) {
         // Simulate on the transitively reduced graph, as Legion does
         // with -lg:inline_transitive_reduction (same ordering, fewer
         // event edges).
-        std::vector<rt::Operation> reduced = log;
+        rt::OperationLog reduced = log.Clone();
         rt::TransitiveReduction(reduced, /*window=*/options.window);
         PipelineOptions inner = options;
         inner.inline_transitive_reduction = false;
         return SimulatePipeline(reduced, inner);
     }
-    const apps::MachineConfig& machine = options.machine;
-    const rt::CostModel& costs = options.costs;
-    const double launch_us =
-        costs.launch_us +
-        (options.apophenia_front_end ? costs.apophenia_launch_us : 0.0);
-    const double cross_latency = machine.CrossNodeLatencyUs();
-
-    const std::size_t num_nodes = std::max<std::size_t>(machine.nodes, 1);
-    const std::size_t num_gpus =
-        std::max<std::size_t>(machine.GpuCount(), 1);
-    double app_time = 0.0;  // application phase clock
-    // Blocking futures (e.g. a training loop reading back the loss)
-    // stall the application thread until the producing task finishes;
-    // launches after the producer cannot happen before this gate.
-    double app_gate = 0.0;
-    std::vector<double> analysis_free(num_nodes, 0.0);
-    std::vector<double> gpu_free(num_gpus, 0.0);
-
-    PipelineResult result;
-    result.finish_us.assign(log.size(), 0.0);
-    std::vector<double> exec_start(log.size(), 0.0);
-
-    auto node_of = [&](const rt::Operation& op) {
-        return std::min<std::size_t>(machine.NodeOf(op.launch.shard),
-                                     num_nodes - 1);
-    };
-
-    // Schedule execution of op k given its analysis-ready time.
-    auto execute = [&](std::size_t k, double analysis_ready) {
-        const rt::Operation& op = log[k];
-        const std::size_t gpu =
-            std::min<std::size_t>(op.launch.shard, num_gpus - 1);
-        const std::size_t node = machine.NodeOf(op.launch.shard);
-        double ready = analysis_ready;
-        for (const rt::Dependence& d : op.dependences) {
-            double dep_done = result.finish_us[d.from];
-            if (machine.NodeOf(log[d.from].launch.shard) != node) {
-                dep_done += cross_latency;  // data crosses the network
-            }
-            ready = std::max(ready, dep_done);
-        }
-        exec_start[k] = std::max(ready, gpu_free[gpu]);
-        result.finish_us[k] = exec_start[k] + op.launch.execution_us;
-        gpu_free[gpu] = result.finish_us[k];
-        result.makespan_us =
-            std::max(result.makespan_us, result.finish_us[k]);
-    };
-
-    std::size_t i = 0;
-    while (i < log.size()) {
-        const rt::Operation& op = log[i];
-        if (op.mode == rt::AnalysisMode::kReplayed && op.replay_head) {
-            // A replayed fragment. Its extent: Apophenia issues
-            // fragments contiguously, and a new instance starts at the
-            // next replay_head.
-            std::size_t j = i + 1;
-            while (j < log.size() &&
-                   log[j].mode == rt::AnalysisMode::kReplayed &&
-                   log[j].trace == op.trace && !log[j].replay_head) {
-                ++j;
-            }
-            // (1) No speculation: the replay is issued only once the
-            // application has launched the entire fragment.
-            double arrival = 0.0;
-            std::vector<std::size_t> node_tasks(num_nodes, 0);
-            for (std::size_t k = i; k < j; ++k) {
-                app_time = std::max(app_time, app_gate) + launch_us;
-                arrival = app_time;
-                node_tasks[node_of(log[k])] += 1;
-            }
-            // (2) Each node replays its shard of the fragment as one
-            // block on its analysis resource; the fragment's tasks
-            // become executable only when their node's whole block has
-            // been instantiated. With small tasks and a pipeline that
-            // drains (blocking futures), this block release is what
-            // exposes long replays (figure 8).
-            std::vector<double> node_done(num_nodes, 0.0);
-            for (std::size_t n = 0; n < num_nodes; ++n) {
-                if (node_tasks[n] == 0) {
-                    continue;
-                }
-                const double start = std::max(analysis_free[n], arrival);
-                node_done[n] =
-                    start + costs.replay_constant_us +
-                    costs.replay_us * static_cast<double>(node_tasks[n]);
-                analysis_free[n] = node_done[n];
-            }
-            for (std::size_t k = i; k < j; ++k) {
-                execute(k, node_done[node_of(log[k])]);
-                if (log[k].launch.blocking) {
-                    app_gate = std::max(app_gate, result.finish_us[k]);
-                }
-            }
-            i = j;
-            continue;
-        }
-        // Analyzed or recorded operation: flows through the owning
-        // node's analysis resource one task at a time; the analysis
-        // pipeline runs ahead of execution freely (it needs no
-        // execution events, only region metadata) — up to the
-        // operation window (-lg:window), which bounds in-flight state.
-        app_time = std::max(app_time, app_gate) + launch_us;
-        const std::size_t n = node_of(op);
-        double start = std::max(analysis_free[n], app_time);
-        if (options.window != 0 && i >= options.window) {
-            start = std::max(start, result.finish_us[i - options.window]);
-        }
-        analysis_free[n] = start + op.analysis_cost_us;
-        execute(i, analysis_free[n]);
-        if (op.launch.blocking) {
-            app_gate = std::max(app_gate, result.finish_us[i]);
-        }
-        ++i;
+    PipelineSimulator simulator(options);
+    for (const auto& op : log) {
+        simulator.Consume(op);
     }
-    return result;
+    return simulator.Finish();
 }
 
 }  // namespace apo::sim

@@ -17,12 +17,22 @@
  * fragment). This is the mechanism behind figure 8's observation that
  * very long traces expose latency once per-task execution shrinks.
  *
+ * Two consumption styles over the same core:
+ *  - SimulatePipeline(log, options): the retained-log path — simulate
+ *    a finished run wholesale;
+ *  - PipelineSimulator: the streaming path — feed operations one at a
+ *    time (e.g. as the OperationLog's streaming-retire consumer), so
+ *    a stream far larger than memory simulates in bounded space. The
+ *    two are arithmetically identical: the retained path is a loop
+ *    over Consume() + Finish().
+ *
  * Wall-clock time everywhere in this simulator is *simulated* time,
  * parameterized by the paper's published cost constants (CostModel).
  */
 #ifndef APOPHENIA_SIM_PIPELINE_H
 #define APOPHENIA_SIM_PIPELINE_H
 
+#include <cstdint>
 #include <vector>
 
 #include "apps/app.h"
@@ -43,7 +53,8 @@ struct PipelineOptions {
      * disables the bound. */
     std::size_t window = 30000;
     /** Apply Legion's inline transitive reduction to the dependence
-     * graph before simulating (-lg:inline_transitive_reduction). */
+     * graph before simulating (-lg:inline_transitive_reduction).
+     * Retained-log path only: the reduction is a whole-log transform. */
     bool inline_transitive_reduction = false;
 };
 
@@ -55,8 +66,70 @@ struct PipelineResult {
     double makespan_us = 0.0;
 };
 
-/** Simulate the execution of a runtime operation log. */
-PipelineResult SimulatePipeline(const std::vector<rt::Operation>& log,
+/**
+ * The incremental simulator core. Feed operations in log order via
+ * Consume() — replayed fragments are buffered internally until their
+ * extent is known — then Finish() flushes the trailing fragment and
+ * yields the result. Suitable as an OperationLog streaming-retire
+ * consumer: nothing of the operation is referenced after Consume()
+ * returns (the per-op history it keeps — finish time and shard — is a
+ * few bytes per operation).
+ */
+class PipelineSimulator {
+  public:
+    /** @throws std::invalid_argument if options request the inline
+     *  transitive reduction (a whole-log transform). */
+    explicit PipelineSimulator(const PipelineOptions& options);
+
+    void Consume(const rt::OpView& op);
+    PipelineResult Finish();
+
+  private:
+    struct FragOp {
+        std::size_t index = 0;
+        std::uint32_t shard = 0;
+        double execution_us = 0.0;
+        bool blocking = false;
+        std::size_t dep_begin = 0;  ///< span into frag_deps_
+        std::size_t dep_end = 0;
+    };
+
+    std::size_t NodeOf(std::uint32_t shard) const;
+    void ExecuteOp(std::size_t index, std::uint32_t shard,
+                   double execution_us, bool blocking,
+                   std::span<const rt::Dependence> deps,
+                   double analysis_ready);
+    void ProcessSequential(const rt::OpView& op);
+    void BufferFragOp(const rt::OpView& op);
+    void FlushFragment();
+
+    PipelineOptions options_;
+    double launch_us_ = 0.0;
+    double cross_latency_ = 0.0;
+    std::size_t num_nodes_ = 1;
+    std::size_t num_gpus_ = 1;
+
+    double app_time_ = 0.0;  ///< application phase clock
+    /** Blocking futures (e.g. a training loop reading back the loss)
+     * stall the application thread until the producing task finishes;
+     * launches after the producer cannot happen before this gate. */
+    double app_gate_ = 0.0;
+    std::vector<double> analysis_free_;
+    std::vector<double> gpu_free_;
+    PipelineResult result_;
+    /** Shard of every processed op (cross-node dependence check). */
+    std::vector<std::uint32_t> shards_;
+
+    bool in_fragment_ = false;
+    rt::TraceId fragment_trace_ = rt::kNoTrace;
+    std::vector<FragOp> fragment_;
+    std::vector<rt::Dependence> frag_deps_;
+    std::vector<std::size_t> node_tasks_;  ///< fragment-flush scratch
+    std::vector<double> node_done_;
+};
+
+/** Simulate the execution of a retained runtime operation log. */
+PipelineResult SimulatePipeline(const rt::OperationLog& log,
                                 const PipelineOptions& options);
 
 }  // namespace apo::sim

@@ -24,7 +24,7 @@ ModeName(rt::AnalysisMode mode)
 }  // namespace
 
 void
-WriteChromeTrace(const std::vector<rt::Operation>& log,
+WriteChromeTrace(const rt::OperationLog& log,
                  const PipelineResult& result,
                  const PipelineOptions& options, std::ostream& out)
 {
@@ -32,7 +32,7 @@ WriteChromeTrace(const std::vector<rt::Operation>& log,
     bool first = true;
     for (std::size_t i = 0;
          i < log.size() && i < result.finish_us.size(); ++i) {
-        const rt::Operation& op = log[i];
+        const rt::OpView op = log[i];
         const double finish = result.finish_us[i];
         const double start = finish - op.launch.execution_us;
         if (!first) {
@@ -54,7 +54,7 @@ WriteChromeTrace(const std::vector<rt::Operation>& log,
 }
 
 std::string
-ChromeTraceJson(const std::vector<rt::Operation>& log,
+ChromeTraceJson(const rt::OperationLog& log,
                 const PipelineResult& result,
                 const PipelineOptions& options)
 {

@@ -29,12 +29,12 @@ namespace apo::sim {
  * @param options the pipeline options used for the simulation.
  * @param out     destination stream.
  */
-void WriteChromeTrace(const std::vector<rt::Operation>& log,
+void WriteChromeTrace(const rt::OperationLog& log,
                       const PipelineResult& result,
                       const PipelineOptions& options, std::ostream& out);
 
 /** Convenience: render to a string (testing, small logs). */
-std::string ChromeTraceJson(const std::vector<rt::Operation>& log,
+std::string ChromeTraceJson(const rt::OperationLog& log,
                             const PipelineResult& result,
                             const PipelineOptions& options);
 

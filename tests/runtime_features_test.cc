@@ -7,6 +7,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "runtime/runtime.h"
 
 namespace apo::rt {
@@ -179,6 +181,71 @@ TEST(Eviction, EvictedTraceReRecordsTransparently)
     EXPECT_EQ(rt.Stats().trace_replays, 0u);
     issue(1);  // now replays
     EXPECT_EQ(rt.Stats().trace_replays, 1u);
+}
+
+TEST(Eviction, OrderUnderInterleavedRecordAndReplay)
+{
+    // The LRU index must agree with a reference recency list across an
+    // arbitrary interleaving of recordings (Insert) and replays
+    // (Touch): evictions come out strictly oldest-first.
+    RuntimeOptions options;
+    options.max_trace_templates = 4;
+    Runtime rt(options);
+    const RegionId r = rt.CreateRegion();
+    auto issue = [&](TraceId id) {
+        rt.BeginTrace(id);
+        rt.ExecuteTask(
+            TaskLaunch{id, {{r, 0, Privilege::kReadOnly, 0}}});
+        rt.EndTrace(id);
+    };
+    std::vector<TraceId> recency;  // oldest first
+    auto use = [&](TraceId id) {
+        std::erase(recency, id);
+        recency.push_back(id);
+        issue(id);
+        if (recency.size() > options.max_trace_templates) {
+            recency.erase(recency.begin());  // the expected victim
+        }
+        ASSERT_EQ(rt.Traces().Size(), recency.size());
+        for (TraceId live : recency) {
+            EXPECT_TRUE(rt.HasTrace(live)) << "trace " << live;
+        }
+    };
+    // Interleave: record 1..4; replay 1 and 3 (refreshing them);
+    // record 5 (evicts 2); replay 4; record 6 (evicts 1 — its replay
+    // only deferred it); record 7 (evicts 3).
+    for (const TraceId id : {1, 2, 3, 4, 1, 3, 5, 4, 6, 7}) {
+        use(id);
+    }
+    EXPECT_FALSE(rt.HasTrace(1));
+    EXPECT_FALSE(rt.HasTrace(2));
+    EXPECT_FALSE(rt.HasTrace(3));
+    EXPECT_TRUE(rt.HasTrace(5));
+    EXPECT_EQ(rt.Stats().traces_evicted, 3u);
+}
+
+TEST(Eviction, CacheIndexHandlesDirectInterleavings)
+{
+    // Direct TraceCache check: EvictLeastRecentlyUsed pops in exactly
+    // the Insert/Touch recency order, one per call.
+    TraceCache cache;
+    for (TraceId id = 1; id <= 5; ++id) {
+        TraceTemplate t;
+        t.id = id;
+        cache.Insert(std::move(t));
+    }
+    cache.Touch(2);
+    cache.Touch(4);
+    cache.Touch(1);
+    EXPECT_EQ(cache.EvictLeastRecentlyUsed(), 3u);
+    EXPECT_EQ(cache.EvictLeastRecentlyUsed(), 5u);
+    EXPECT_EQ(cache.EvictLeastRecentlyUsed(), 2u);
+    EXPECT_EQ(cache.EvictLeastRecentlyUsed(), 4u);
+    EXPECT_EQ(cache.EvictLeastRecentlyUsed(), 1u);
+    EXPECT_EQ(cache.EvictLeastRecentlyUsed(), kNoTrace);
+    // Touching an absent id is a harmless no-op.
+    cache.Touch(99);
+    EXPECT_EQ(cache.Size(), 0u);
 }
 
 TEST(Eviction, UnlimitedByDefault)

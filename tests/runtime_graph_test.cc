@@ -19,17 +19,20 @@ namespace apo::rt {
 namespace {
 
 /** Hand-build a log with the given edges (kinds irrelevant here). */
-std::vector<Operation> MakeLog(
+OperationLog MakeLog(
     std::size_t n, const std::vector<std::pair<std::size_t, std::size_t>>&
                        edges)
 {
-    std::vector<Operation> log(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        log[i].index = i;
-    }
+    OperationLog log;
+    std::vector<std::vector<Dependence>> deps(n);
     for (const auto& [from, to] : edges) {
-        log[to].dependences.push_back(
-            Dependence{from, to, DependenceKind::kTrue});
+        deps[to].push_back(Dependence{from, to, DependenceKind::kTrue});
+    }
+    TaskLaunch launch;
+    const TaskLaunchView view = TaskLaunchView::Of(launch);
+    for (std::size_t i = 0; i < n; ++i) {
+        log.Append(view, AnalysisMode::kAnalyzed, kNoTrace, 0.0,
+                   /*replay_head=*/false, deps[i]);
     }
     return log;
 }
@@ -119,7 +122,7 @@ TEST(Graph, ReductionPreservesClosureOnRandomStreams)
             }
             rt.ExecuteTask(t);
         }
-        std::vector<Operation> reduced = rt.Log();
+        OperationLog reduced = rt.Log().Clone();
         const std::size_t removed = TransitiveReduction(reduced);
         EXPECT_EQ(CountEdges(reduced) + removed, CountEdges(rt.Log()));
         for (std::size_t i = 0; i < reduced.size(); ++i) {
@@ -144,9 +147,9 @@ TEST(Graph, ReductionIsIdempotent)
             {{rng.Bernoulli(0.5) ? r : q, 0,
               static_cast<Privilege>(rng.UniformInt(0, 2)), 0}}});
     }
-    std::vector<Operation> once = rt.Log();
+    OperationLog once = rt.Log().Clone();
     TransitiveReduction(once);
-    std::vector<Operation> twice = once;
+    OperationLog twice = once.Clone();
     EXPECT_EQ(TransitiveReduction(twice), 0u);
     for (std::size_t i = 0; i < once.size(); ++i) {
         EXPECT_EQ(once[i].dependences, twice[i].dependences);

@@ -15,7 +15,7 @@
 namespace apo::rt {
 namespace {
 
-std::set<std::size_t> Sources(const Operation& op)
+std::set<std::size_t> Sources(const OpView& op)
 {
     std::set<std::size_t> out;
     for (const Dependence& d : op.dependences) {

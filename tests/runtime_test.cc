@@ -34,7 +34,7 @@ TaskLaunch Reduce(RegionId r, ReductionOpId op, TaskId id = 3)
     return TaskLaunch{id, {{r, 0, Privilege::kReduce, op}}};
 }
 
-std::set<std::size_t> Sources(const Operation& op)
+std::set<std::size_t> Sources(const OpView& op)
 {
     std::set<std::size_t> out;
     for (const Dependence& d : op.dependences) {
@@ -44,7 +44,7 @@ std::set<std::size_t> Sources(const Operation& op)
 }
 
 /** True iff a dependence path from op `from` to op `to` exists. */
-bool Reaches(const std::vector<Operation>& log, std::size_t from,
+bool Reaches(const OperationLog& log, std::size_t from,
              std::size_t to)
 {
     std::vector<bool> reached(log.size(), false);
@@ -93,7 +93,7 @@ TEST(DependenceAnalyzer, WriteAfterReadsIsAnti)
     rt.ExecuteTask(Read(r));
     rt.ExecuteTask(Read(r));
     rt.ExecuteTask(Write(r));
-    const Operation& w2 = rt.Log()[3];
+    const OpView w2 = rt.Log()[3];
     EXPECT_EQ(Sources(w2), (std::set<std::size_t>{0, 1, 2}));
     for (const Dependence& d : w2.dependences) {
         if (d.from != 0) {
@@ -194,9 +194,9 @@ TEST(DependenceAnalyzer, SerializabilityOnRandomStreams)
         rt.ExecuteTask(t);
     }
     const auto& log = rt.Log();
-    auto conflicts = [](const Operation& a, const Operation& b) {
-        for (const auto& x : a.launch.requirements) {
-            for (const auto& y : b.launch.requirements) {
+    auto conflicts = [](const OpView& a, const OpView& b) {
+        for (const auto& x : a.launch.Requirements()) {
+            for (const auto& y : b.launch.Requirements()) {
                 if (x.region != y.region || x.field != y.field) {
                     continue;
                 }
@@ -252,11 +252,11 @@ TEST(Tracing, RecordThenReplayCountsAndCosts)
     EXPECT_EQ(rt.Stats().tasks_replayed, 4u);
     // Replayed tasks are charged α_r (plus c on the head), far less
     // than the full analysis α.
-    const Operation& head = rt.Log()[2];
+    const OpView head = rt.Log()[2];
     EXPECT_TRUE(head.replay_head);
     EXPECT_DOUBLE_EQ(head.analysis_cost_us,
                      rt.Costs().replay_us + rt.Costs().replay_constant_us);
-    const Operation& body = rt.Log()[3];
+    const OpView body = rt.Log()[3];
     EXPECT_DOUBLE_EQ(body.analysis_cost_us, rt.Costs().replay_us);
     EXPECT_LT(body.analysis_cost_us, rt.Costs().analysis_us);
 }

@@ -122,7 +122,7 @@ TEST(Reduction, ReducesEdgesOnRealStreams)
         runtime.ExecuteTask(Task(0, 100.0, r, rt::Privilege::kReadOnly));
         runtime.ExecuteTask(Task(1, 100.0, r, rt::Privilege::kReadOnly));
     }
-    std::vector<rt::Operation> log = runtime.Log();
+    rt::OperationLog log = runtime.Log().Clone();
     const std::size_t before = rt::CountEdges(log);
     const std::size_t removed = rt::TransitiveReduction(log);
     EXPECT_GT(removed, 0u);

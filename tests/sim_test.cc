@@ -210,33 +210,36 @@ TEST(Metrics, SteadyThroughputUsesTail)
     EXPECT_NEAR(SteadyThroughput(ends, 4), 1e6 / 50.0, 1e-6);
 }
 
+/** A synthetic log whose op `i` is traced iff `i >= analyzed_prefix`. */
+rt::OperationLog ModeLog(std::size_t n, std::size_t analyzed_prefix)
+{
+    rt::OperationLog log;
+    const rt::TaskLaunch launch;
+    const rt::TaskLaunchView view = rt::TaskLaunchView::Of(launch);
+    for (std::size_t i = 0; i < n; ++i) {
+        log.Append(view,
+                   i < analyzed_prefix ? rt::AnalysisMode::kAnalyzed
+                                       : rt::AnalysisMode::kReplayed,
+                   rt::kNoTrace, 0.0, /*replay_head=*/false, {});
+    }
+    return log;
+}
+
 TEST(Metrics, WarmupIterationsFindsSteadyPoint)
 {
-    std::vector<rt::Operation> log(100);
-    for (std::size_t i = 0; i < 100; ++i) {
-        log[i].mode = i < 30 ? rt::AnalysisMode::kAnalyzed
-                             : rt::AnalysisMode::kReplayed;
-    }
     std::vector<std::size_t> boundaries;
     for (std::size_t b = 10; b <= 100; b += 10) {
         boundaries.push_back(b);
     }
-    EXPECT_EQ(WarmupIterations(log, boundaries, 0.9), 3u);
+    EXPECT_EQ(WarmupIterations(ModeLog(100, 30), boundaries, 0.9), 3u);
     // All analyzed: never steady (the final two iterations are
     // excluded from the scan as flush-polluted).
-    for (auto& op : log) {
-        op.mode = rt::AnalysisMode::kAnalyzed;
-    }
-    EXPECT_EQ(WarmupIterations(log, boundaries, 0.9), 8u);
+    EXPECT_EQ(WarmupIterations(ModeLog(100, 100), boundaries, 0.9), 8u);
 }
 
 TEST(Metrics, TracedCoverageSeries)
 {
-    std::vector<rt::Operation> log(100);
-    for (std::size_t i = 0; i < 100; ++i) {
-        log[i].mode = i < 50 ? rt::AnalysisMode::kAnalyzed
-                             : rt::AnalysisMode::kReplayed;
-    }
+    const rt::OperationLog log = ModeLog(100, 50);
     const auto series = TracedCoverageSeries(log, 50, 25);
     ASSERT_EQ(series.size(), 4u);
     EXPECT_DOUBLE_EQ(series[0].second, 0.0);    // ops 0-25
@@ -330,10 +333,12 @@ TEST(Harness, PooledOnCompletionModeStillTraces)
 
     ExperimentOptions options;
     options.machine = app_options.machine;
-    // Enough iterations that the pool keeps up with the (now
-    // allocation-free, noticeably faster) issue path: ingestion
-    // timing decides *where* tracing engages, not *whether*.
-    options.iterations = 300;
+    // Enough iterations that the pool keeps up with the issue path
+    // even as successive PRs keep making it faster (allocation-free
+    // builder, now the arena log append): ingestion timing decides
+    // *where* tracing engages, not *whether*. Raised 300 -> 900 after
+    // the columnar log sped the untraced path up again.
+    options.iterations = 900;
     options.mode = TracingMode::kAuto;
     options.executor_mode = ExecutorMode::kPooled;
     options.pool_threads = 3;
