@@ -14,6 +14,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,107 @@
 #include "sim/harness.h"
 
 namespace apo::bench {
+
+// -- JSON record-file helpers (BENCH_micro_repeats.json) --------------------
+//
+// The perf-record file is one JSON object shared by several writers:
+// micro_repeats rewrites its own members, fig_replication_scaling
+// merges its section in, and each must preserve the other's records.
+// These helpers locate a `"key": {...}` member without a JSON
+// library: by key search plus brace counting (the file is machine-
+// written, so no braces hide inside strings).
+
+inline std::string ReadFileOrEmpty(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return "";
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** Locate `"key": {...}`: on success, `member_begin` is the quoted
+ * key's position and [value_begin, value_end) delimits the member's
+ * object value (braces included). */
+inline bool FindJsonMember(const std::string& content,
+                           const std::string& key,
+                           std::size_t* member_begin,
+                           std::size_t* value_begin,
+                           std::size_t* value_end)
+{
+    const std::string quoted = "\"" + key + "\"";
+    const std::size_t at = content.find(quoted);
+    if (at == std::string::npos) {
+        return false;
+    }
+    const std::size_t open = content.find('{', at + quoted.size());
+    if (open == std::string::npos) {
+        return false;
+    }
+    std::size_t end = open;
+    int depth = 0;
+    while (end < content.size()) {
+        if (content[end] == '{') {
+            ++depth;
+        } else if (content[end] == '}' && --depth == 0) {
+            ++end;
+            break;
+        }
+        ++end;
+    }
+    *member_begin = at;
+    *value_begin = open;
+    *value_end = end;
+    return true;
+}
+
+/** The member's `{...}` value text, or "" if absent. */
+inline std::string ExtractJsonMember(const std::string& content,
+                                     const std::string& key)
+{
+    std::size_t member = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    if (!FindJsonMember(content, key, &member, &begin, &end)) {
+        return "";
+    }
+    return content.substr(begin, end - begin);
+}
+
+/** Erase the member plus its separating comma (the preceding one when
+ * the member is last, the following one otherwise). */
+inline void RemoveJsonMember(std::string& content, const std::string& key)
+{
+    std::size_t member = 0;
+    std::size_t value = 0;
+    std::size_t end = 0;
+    if (!FindJsonMember(content, key, &member, &value, &end)) {
+        return;
+    }
+    std::size_t begin = member;
+    while (begin > 0 && (content[begin - 1] == ' ' ||
+                         content[begin - 1] == '\n' ||
+                         content[begin - 1] == '\t')) {
+        --begin;
+    }
+    bool ate_leading_comma = false;
+    if (begin > 0 && content[begin - 1] == ',') {
+        --begin;
+        ate_leading_comma = true;
+    }
+    if (!ate_leading_comma) {
+        while (end < content.size() &&
+               (content[end] == ' ' || content[end] == '\n')) {
+            ++end;
+        }
+        if (end < content.size() && content[end] == ',') {
+            ++end;
+        }
+    }
+    content.erase(begin, end - begin);
+}
 
 /** Perlmutter: 4 NVIDIA A100s per node (paper section 6). */
 inline apps::MachineConfig Perlmutter(std::size_t gpus)

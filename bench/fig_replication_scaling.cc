@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Replication scaling sweep: node counts {2, 8, 64} under every skew
+ * model, streaming logs throughout — the experiment the paper's
+ * section 5.1 stops short of. For each (nodes, skew) cell the sweep
+ * reports simulated steady-state throughput, the agreed-slack
+ * trajectory endpoints, agreement misses, the worst per-node stall
+ * and the worst node's resident-log high water (bounded by the
+ * streaming-retire mode no matter the node count).
+ *
+ * The results merge into BENCH_micro_repeats.json (next to the
+ * finder/issue-path/oplog records) under the "replication_scaling"
+ * key, so successive PRs keep a scaling trajectory. Run micro_repeats
+ * first; this bench preserves whatever else is in the file.
+ *
+ * Usage:
+ *   fig_replication_scaling                    # table + JSON merge
+ *   fig_replication_scaling --json=PATH        # merge target
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/s3d.h"
+#include "bench_util.h"
+#include "sim/cluster.h"
+#include "sim/harness.h"
+
+namespace {
+
+using namespace apo;
+
+struct Row {
+    std::size_t nodes = 0;
+    sim::SkewKind skew = sim::SkewKind::kNone;
+    sim::ExperimentResult result;
+    double max_stall_tasks = 0.0;
+};
+
+sim::SkewModel SkewOf(sim::SkewKind kind)
+{
+    sim::SkewModel skew;
+    skew.kind = kind;
+    skew.jitter_amplitude = 0.3;
+    skew.straggler_node = 0;
+    skew.straggler_factor = 4.0;
+    skew.burst_period_tasks = 1024;
+    skew.burst_duration_tasks = 256;
+    skew.burst_factor = 8.0;
+    skew.burst_stagger_tasks = 128;
+    return skew;
+}
+
+Row RunCell(std::size_t nodes, sim::SkewKind kind)
+{
+    sim::ExperimentOptions options;
+    options.mode = sim::TracingMode::kAuto;
+    options.iterations = 40;
+    options.machine.nodes = 2;
+    options.machine.gpus_per_node = 2;
+    options.auto_config.min_trace_length = 10;
+    options.auto_config.batchsize = 1500;
+    options.auto_config.multi_scale_factor = 100;
+    options.replicas = nodes;
+    options.replication.seed = 7;
+    options.replication.mean_latency_tasks = 120.0;
+    options.replication.jitter = 0.6;
+    options.skew = SkewOf(kind);
+    options.log_mode = sim::LogMode::kStreaming;
+
+    apps::S3dApplication app(
+        apps::S3dOptions{.machine = options.machine});
+    Row row;
+    row.nodes = nodes;
+    row.skew = kind;
+    row.result = sim::RunExperiment(app, options);
+    for (const sim::NodeMetrics& node : row.result.node_metrics) {
+        row.max_stall_tasks =
+            std::max(row.max_stall_tasks, node.max_stall_tasks);
+    }
+    return row;
+}
+
+int MergeIntoJson(const std::string& path, const std::string& section)
+{
+    std::string content = bench::ReadFileOrEmpty(path);
+    if (content.empty()) {
+        content = "{\n}\n";
+    }
+    bench::RemoveJsonMember(content, "replication_scaling");
+    std::size_t close = content.rfind('}');
+    if (close == std::string::npos) {
+        std::fprintf(stderr, "%s is not a JSON object\n", path.c_str());
+        return 1;
+    }
+    std::size_t tail = close;
+    while (tail > 0 && (content[tail - 1] == ' ' ||
+                        content[tail - 1] == '\n' ||
+                        content[tail - 1] == '\t' ||
+                        content[tail - 1] == ',')) {
+        --tail;
+    }
+    const bool has_members = content.find('"') < tail;
+    content.erase(tail);
+    content += has_members ? ",\n" : "\n";
+    content += "  \"replication_scaling\": " + section + "\n}\n";
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    out << content;
+    return 0;
+}
+
+std::string SectionOf(const std::vector<Row>& rows)
+{
+    std::ostringstream json;
+    json << "{\n"
+         << "    \"bench\": \"fig_replication_scaling\",\n"
+         << "    \"app\": \"s3d\", \"iterations\": 40, "
+         << "\"log_mode\": \"streaming\",\n"
+         << "    \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& row = rows[i];
+        char buffer[512];
+        std::snprintf(
+            buffer, sizeof buffer,
+            "      {\"nodes\": %zu, \"skew\": \"%.*s\", "
+            "\"iterations_per_second\": %.2f, "
+            "\"final_slack\": %llu, \"peak_slack\": %llu, "
+            "\"late_jobs\": %llu, \"jobs_coordinated\": %llu, "
+            "\"max_stall_tasks\": %.0f, "
+            "\"worst_node_log_peak_bytes\": %zu, "
+            "\"streams_identical\": %s}%s\n",
+            row.nodes,
+            static_cast<int>(sim::SkewName(row.skew).size()),
+            sim::SkewName(row.skew).data(),
+            row.result.iterations_per_second,
+            static_cast<unsigned long long>(
+                row.result.coordination.final_slack),
+            static_cast<unsigned long long>(
+                row.result.coordination.peak_slack),
+            static_cast<unsigned long long>(
+                row.result.coordination.late_jobs),
+            static_cast<unsigned long long>(
+                row.result.coordination.jobs_coordinated),
+            row.max_stall_tasks, row.result.log_peak_resident_bytes,
+            row.result.streams_identical ? "true" : "false",
+            i + 1 < rows.size() ? "," : "");
+        json << buffer;
+    }
+    json << "    ]\n  }";
+    return json.str();
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string json_path = "BENCH_micro_repeats.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+        }
+    }
+
+    const std::size_t node_counts[] = {2, 8, 64};
+    const sim::SkewKind kinds[] = {
+        sim::SkewKind::kNone, sim::SkewKind::kJitter,
+        sim::SkewKind::kStraggler, sim::SkewKind::kInterference};
+
+    std::printf("# replication scaling (s3d, streaming logs, "
+                "40 iterations)\n");
+    std::printf("%6s %-13s %12s %11s %10s %10s %12s %10s\n", "nodes",
+                "skew", "iters/sec", "final_slck", "late_jobs",
+                "max_stall", "log_peak_B", "identical");
+    std::vector<Row> rows;
+    for (const std::size_t nodes : node_counts) {
+        for (const sim::SkewKind kind : kinds) {
+            Row row = RunCell(nodes, kind);
+            std::printf(
+                "%6zu %-13.*s %12.2f %11llu %10llu %10.0f %12zu "
+                "%10s\n",
+                row.nodes,
+                static_cast<int>(sim::SkewName(kind).size()),
+                sim::SkewName(kind).data(),
+                row.result.iterations_per_second,
+                static_cast<unsigned long long>(
+                    row.result.coordination.final_slack),
+                static_cast<unsigned long long>(
+                    row.result.coordination.late_jobs),
+                row.max_stall_tasks,
+                row.result.log_peak_resident_bytes,
+                row.result.streams_identical ? "yes" : "NO");
+            if (!row.result.streams_identical) {
+                std::fprintf(stderr,
+                             "stream divergence at %zu nodes (%s)\n",
+                             row.nodes,
+                             std::string(sim::SkewName(kind)).c_str());
+                return 1;
+            }
+            rows.push_back(std::move(row));
+        }
+    }
+
+    const int rc = MergeIntoJson(json_path, SectionOf(rows));
+    if (rc == 0) {
+        std::printf("merged into %s\n", json_path.c_str());
+    }
+    return rc;
+}

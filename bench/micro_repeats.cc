@@ -30,8 +30,10 @@
 
 #include "api/frontend.h"
 #include "api/launch.h"
+#include "bench_util.h"
 #include "core/finder.h"
 #include "runtime/oplog.h"
+#include "sim/cluster.h"
 #include "strings/identifiers.h"
 #include "strings/repeats.h"
 #include "strings/suffix_array.h"
@@ -448,6 +450,61 @@ LogAppendRecord RunLogAppendRecord()
     return record;
 }
 
+// ---------------------------------------------------------------------------
+// Stream-digest consume throughput (the incremental-agreement claim).
+//
+// The control-replication safety check used to be an all-pairs walk
+// over retained logs; sim::StreamDigest replaces it with a rolling
+// hash fed per issued call from the streaming-retire consumer. For
+// that to ride the issue path of every node it must be O(1) amortized
+// and allocation-free per operation — measured here over a log of the
+// app skeletons' 3-requirement, 2-edge shape.
+
+struct DigestRecord {
+    IssuePathResult digest;  ///< consumes/sec, allocs/consume
+    std::uint64_t checksum = 0;
+};
+
+DigestRecord RunDigestRecord()
+{
+    constexpr std::size_t kOps = 4096;
+    constexpr std::size_t kConsumes = 1u << 20;
+    constexpr int kReps = 5;
+
+    apo::rt::OperationLog log;
+    apo::rt::TaskLaunch launch;
+    launch.execution_us = 50.0;
+    launch.requirements = {
+        {apo::rt::RegionId{1}, 0, apo::rt::Privilege::kReadOnly, 0},
+        {apo::rt::RegionId{2}, 0, apo::rt::Privilege::kReadOnly, 0},
+        {apo::rt::RegionId{3}, 0, apo::rt::Privilege::kWriteDiscard, 0}};
+    for (std::size_t i = 0; i < kOps; ++i) {
+        launch.task = static_cast<apo::rt::TaskId>(100 + i % 8);
+        const apo::rt::Dependence edges[2] = {
+            {i, i + 2, apo::rt::DependenceKind::kTrue},
+            {i + 1, i + 2, apo::rt::DependenceKind::kAnti}};
+        log.Append(apo::rt::TaskLaunchView::Of(launch),
+                   apo::rt::AnalysisMode::kAnalyzed, 0, 1.0, false,
+                   edges);
+    }
+
+    DigestRecord record;
+    apo::sim::StreamDigest digest;
+    record.digest = MeasureIssuePath(
+        kConsumes, kReps,
+        [&](std::size_t i) { digest.Consume(log[i % kOps]); });
+    record.checksum = digest.Value();
+    benchmark::DoNotOptimize(record.checksum);
+
+    std::printf("\n# stream digest (3-requirement, 2-edge ops, %zu "
+                "consumes)\n",
+                kConsumes);
+    std::printf("%-22s %14.0f consumes/sec  (%.2f allocs/consume)\n",
+                "incremental digest", record.digest.launches_per_sec,
+                record.digest.allocs_per_launch);
+    return record;
+}
+
 int RunLaunchPathRecord(const std::string& json_path)
 {
     constexpr std::size_t kTokens = 1u << 19;
@@ -475,6 +532,16 @@ int RunLaunchPathRecord(const std::string& json_path)
 
     const IssuePathRecord issue = RunIssuePathRecord();
     const LogAppendRecord oplog = RunLogAppendRecord();
+    const DigestRecord stream_digest = RunDigestRecord();
+
+    // This bench rewrites its own records wholesale; carry other
+    // writers' sections (fig_replication_scaling's merge) across.
+    const std::string preserved = apo::bench::ExtractJsonMember(
+        apo::bench::ReadFileOrEmpty(json_path), "replication_scaling");
+    const std::string preserved_member =
+        preserved.empty()
+            ? std::string()
+            : ",\n  \"replication_scaling\": " + preserved;
 
     std::FILE* out = std::fopen(json_path.c_str(), "w");
     if (out == nullptr) {
@@ -505,7 +572,11 @@ int RunLaunchPathRecord(const std::string& json_path)
         "    \"improvement\": %.3f,\n"
         "    \"arena_allocs_per_launch\": %.3f,\n"
         "    \"aos_allocs_per_launch\": %.3f\n"
-        "  }\n"
+        "  },\n"
+        "  \"stream_digest\": {\n"
+        "    \"consumes_per_sec\": %.0f,\n"
+        "    \"allocs_per_consume\": %.3f\n"
+        "  }%s\n"
         "}\n",
         kTokens, snapshot.tokens_per_sec, copy.tokens_per_sec, improvement,
         static_cast<unsigned long long>(snapshot.jobs_launched),
@@ -516,7 +587,10 @@ int RunLaunchPathRecord(const std::string& json_path)
         issue.vector_copy.allocs_per_launch,
         oplog.arena.launches_per_sec, oplog.aos.launches_per_sec,
         oplog.improvement, oplog.arena.allocs_per_launch,
-        oplog.aos.allocs_per_launch);
+        oplog.aos.allocs_per_launch,
+        stream_digest.digest.launches_per_sec,
+        stream_digest.digest.allocs_per_launch,
+        preserved_member.c_str());
     std::fclose(out);
     std::printf("wrote %s\n", json_path.c_str());
     return 0;

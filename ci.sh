@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 build + tests, an ASan+UBSan pass of the whole
-# suite, and the finder launch-path perf record (BENCH_micro_repeats.json,
-# committed so successive PRs keep a tokens/sec trajectory).
+# suite, a TSan pass of the threaded/stacked suites, and the perf records
+# (BENCH_micro_repeats.json, committed so successive PRs keep a
+# tokens/sec + scaling trajectory).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -17,12 +18,12 @@ cmake -B build-asan -S . -DAPO_SANITIZE=ON -DAPO_WERROR=ON -DCMAKE_BUILD_TYPE=Re
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "== sanitizers: TSan executor stress =="
+echo "== sanitizers: TSan executor stress + cluster simulation =="
 cmake -B build-tsan -S . -DAPO_TSAN=ON -DAPO_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j "$JOBS" --target support_executor_stress_test
-ctest --test-dir build-tsan -R '^support_executor_stress_test$' --output-on-failure
+cmake --build build-tsan -j "$JOBS" --target support_executor_stress_test sim_cluster_test
+ctest --test-dir build-tsan -R '^(support_executor_stress_test|sim_cluster_test)$' --output-on-failure -j "$JOBS"
 
-echo "== perf record: finder launch path + frontend issue path =="
+echo "== perf record: finder launch path + frontend issue path + digest =="
 if [ -x build/micro_repeats ]; then
     ./build/micro_repeats --json=BENCH_micro_repeats.json
 elif [ "${APO_ALLOW_NO_BENCH:-0}" = "1" ]; then
@@ -32,6 +33,23 @@ elif [ "${APO_ALLOW_NO_BENCH:-0}" = "1" ]; then
 else
     echo "error: micro_repeats was not built (is Google Benchmark" \
          "installed?); set APO_ALLOW_NO_BENCH=1 to skip the perf record" >&2
+    exit 1
+fi
+
+echo "== perf record: replication scaling sweep =="
+if [ -x build/fig_replication_scaling ]; then
+    ./build/fig_replication_scaling --json=BENCH_micro_repeats.json
+    # The record must actually have landed in the shared JSON.
+    if ! grep -q '"replication_scaling"' BENCH_micro_repeats.json; then
+        echo "error: fig_replication_scaling output is missing from" \
+             "BENCH_micro_repeats.json" >&2
+        exit 1
+    fi
+elif [ "${APO_ALLOW_NO_BENCH:-0}" = "1" ]; then
+    echo "fig_replication_scaling not built; skipping scaling record (APO_ALLOW_NO_BENCH=1)"
+else
+    echo "error: fig_replication_scaling was not built; set" \
+         "APO_ALLOW_NO_BENCH=1 to skip the scaling record" >&2
     exit 1
 fi
 

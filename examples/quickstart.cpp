@@ -8,8 +8,8 @@
  *
  * The application below is written against api::Frontend only — swap
  * `apophenia` for an api::UntracedFrontend (or a multi-node
- * core::ReplicatedFrontEnd) and it runs unchanged in the paper's
- * other evaluation modes.
+ * sim::Cluster) and it runs unchanged in the paper's other
+ * evaluation modes.
  *
  *   $ ./examples/quickstart
  */

@@ -16,8 +16,8 @@
  *  - core::Apophenia:  automatic tracing; annotations are ignored (a
  *                      real port would simply not have them) and
  *                      Apophenia inserts its own trace markers;
- *  - core::ReplicatedFrontEnd: N Apophenia instances over N runtime
- *                      shards with coordinated analysis ingestion
+ *  - sim::Cluster:     N Apophenia instances over N runtime shards
+ *                      with skew-aware coordinated analysis ingestion
  *                      (paper section 5.1).
  *
  * The issue path is non-virtual (NVI): the public ExecuteTask /

@@ -27,8 +27,8 @@
  *    toward already-replayed traces.
  *  - Deterministic ingestion (section 5.1): analysis results are
  *    ingested at task-stream positions only, in launch order; the
- *    IngestMode (config.h) picks those positions, and the replicated
- *    front-end (replication.h) coordinates them across nodes.
+ *    IngestMode (config.h) picks those positions, and the cluster
+ *    front-end (sim/cluster.h) coordinates them across nodes.
  */
 #ifndef APOPHENIA_CORE_APOPHENIA_H
 #define APOPHENIA_CORE_APOPHENIA_H
@@ -96,7 +96,7 @@ class Apophenia final : public api::Frontend {
     // -- Analysis-ingestion control (replication support) -------------------
 
     /** Override the configured ingestion mode (see IngestMode); the
-     * replicated front-end switches its nodes to kManual. */
+     * cluster front-end switches its nodes to kManual. */
     void SetIngestMode(IngestMode mode) { ingest_mode_ = mode; }
     IngestMode GetIngestMode() const { return ingest_mode_; }
 

@@ -19,7 +19,7 @@
  * through the executor's per-job completion callback rather than by
  * the caller polling job state. Ingestion remains strictly in launch
  * order — the deterministic stream-position ingestion contract the
- * control-replicated front-end (replication.h) depends on.
+ * control-replicated cluster front-end (sim/cluster.h) depends on.
  */
 #ifndef APOPHENIA_CORE_FINDER_H
 #define APOPHENIA_CORE_FINDER_H

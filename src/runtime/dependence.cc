@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace apo::rt {
 
@@ -225,6 +226,91 @@ DependenceAnalyzer::AnalyzeInto(std::size_t index,
         }
     }
     edges.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// WindowedTransitiveReducer
+
+WindowedTransitiveReducer::WindowedTransitiveReducer(std::size_t window)
+    : window_(window)
+{
+    if (window == 0) {
+        throw std::invalid_argument(
+            "WindowedTransitiveReducer: an unbounded (window == 0) "
+            "reduction needs the whole log; use the retained "
+            "TransitiveReduction");
+    }
+    ring_.resize(window_ + 1);
+    mark_.assign(window_ + 1, 0);
+}
+
+std::size_t
+WindowedTransitiveReducer::Reduce(std::size_t index,
+                                  std::vector<Dependence>& edges)
+{
+    if (index != next_index_) {
+        throw std::invalid_argument(
+            "WindowedTransitiveReducer: operations must be fed "
+            "consecutively from 0");
+    }
+    ++next_index_;
+
+    // Mirror of rt::TransitiveReduction's per-operation step (graph.cc)
+    // with the log reads redirected into the ring. A below-window
+    // direct predecessor is kept as-is and never explored: every edge
+    // out of it lands even further below the window, exactly as the
+    // retained reduction's bound would skip them.
+    std::size_t removed_here = 0;
+    if (edges.size() >= 2) {
+        std::sort(edges.begin(), edges.end());
+        const std::size_t low_bound = index > window_ ? index - window_ : 0;
+        ++version_;
+        below_window_marks_.clear();
+        kept_.clear();
+        const std::size_t before = edges.size();
+        for (std::size_t k = edges.size(); k-- > 0;) {
+            const Dependence d = edges[k];
+            const bool implied =
+                d.from >= low_bound
+                    ? mark_[d.from % ring_.size()] == version_
+                    : std::find(below_window_marks_.begin(),
+                                below_window_marks_.end(),
+                                d.from) != below_window_marks_.end();
+            if (implied) {
+                continue;
+            }
+            kept_.push_back(d);
+            if (d.from < low_bound) {
+                below_window_marks_.push_back(d.from);
+                continue;
+            }
+            frontier_.clear();
+            frontier_.push_back(d.from);
+            mark_[d.from % ring_.size()] = version_;
+            while (!frontier_.empty()) {
+                const std::size_t node = frontier_.back();
+                frontier_.pop_back();
+                for (const Dependence& e : SlotOf(node)) {
+                    if (e.from < low_bound ||
+                        mark_[e.from % ring_.size()] == version_) {
+                        continue;
+                    }
+                    mark_[e.from % ring_.size()] = version_;
+                    frontier_.push_back(e.from);
+                }
+            }
+        }
+        std::sort(kept_.begin(), kept_.end());
+        edges.assign(kept_.begin(), kept_.end());
+        removed_here = before - edges.size();
+        removed_ += removed_here;
+    }
+
+    // Remember the reduced list for later operations' path searches
+    // (the slot it displaces has fallen out of the window).
+    std::vector<Dependence>& slot = SlotOf(index);
+    slot.assign(edges.begin(), edges.end());
+    return removed_here;
 }
 
 }  // namespace apo::rt

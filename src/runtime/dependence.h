@@ -139,6 +139,77 @@ class DependenceAnalyzer {
         by_root_;
 };
 
+/**
+ * Streaming (windowed) transitive reduction of a dependence graph.
+ *
+ * The retained `rt::TransitiveReduction(log, window)` (graph.h) walks
+ * the whole operation log, pruning each operation's edges that are
+ * implied by paths through *already reduced* earlier edges, with the
+ * path search bounded to the last `window` operations. This class is
+ * the same algorithm turned inside out: feed it every operation's
+ * edge list, in log order, and it reduces each list in place against
+ * a ring buffer holding the reduced edges of the previous `window`
+ * operations — nothing older is needed, because a path step from a
+ * below-window operation necessarily lands even further below the
+ * window and is excluded by the bound. The result is *identical*,
+ * edge for edge, to running the retained reduction with the same
+ * window over the finished log (the differential fuzz corpus pins
+ * this down), but the resident state is O(window), so the reduction
+ * composes with the streaming-retire log for streams far larger than
+ * memory (`-lg:inline_transitive_reduction` + `sim::LogMode::
+ * kStreaming`).
+ *
+ * Steady state performs no allocations: ring slots, mark stamps and
+ * scratch vectors are recycled across operations.
+ */
+class WindowedTransitiveReducer {
+  public:
+    /** @param window the path-search bound; must be nonzero (an
+     *  unbounded reduction needs the retained log).
+     *  @throws std::invalid_argument on window == 0. */
+    explicit WindowedTransitiveReducer(std::size_t window);
+
+    /**
+     * Reduce the edges of operation `index` in place (the vector is
+     * sorted, pruned and shrunk) and remember the reduced list for
+     * later operations' path searches. Operations must be fed
+     * consecutively from 0.
+     * @return the number of edges removed from this operation.
+     */
+    std::size_t Reduce(std::size_t index, std::vector<Dependence>& edges);
+
+    /** Total edges removed so far. */
+    std::size_t RemovedEdges() const { return removed_; }
+
+    /** The path-search bound this reducer was built with. */
+    std::size_t Window() const { return window_; }
+
+  private:
+    /** Ring slot of an operation's reduced edges. The ring holds
+     * `window_ + 1` slots: the `window_` predecessors a reduction may
+     * consult plus the operation being written. */
+    std::vector<Dependence>& SlotOf(std::size_t index)
+    {
+        return ring_[index % ring_.size()];
+    }
+
+    std::size_t window_;
+    std::size_t next_index_ = 0;
+    std::size_t removed_ = 0;
+    /** Reduced edges of operations [next_index_ - window_,
+     * next_index_), ring-addressed by operation index. */
+    std::vector<std::vector<Dependence>> ring_;
+    /** Version-stamped reachability marks, ring-addressed like
+     * `ring_` (distinct in-window operations never collide). */
+    std::vector<std::size_t> mark_;
+    std::size_t version_ = 0;
+    /** Direct predecessors below the window marked this operation
+     * (they cannot use `mark_` — their slots alias in-window ops). */
+    std::vector<std::size_t> below_window_marks_;
+    std::vector<std::size_t> frontier_;  ///< DFS scratch
+    std::vector<Dependence> kept_;       ///< per-op keep scratch
+};
+
 }  // namespace apo::rt
 
 #endif  // APOPHENIA_RUNTIME_DEPENDENCE_H

@@ -1,0 +1,295 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+
+namespace apo::sim {
+
+std::string_view
+SkewName(SkewKind kind)
+{
+    switch (kind) {
+      case SkewKind::kNone:
+        return "none";
+      case SkewKind::kJitter:
+        return "jitter";
+      case SkewKind::kStraggler:
+        return "straggler";
+      case SkewKind::kInterference:
+        return "interference";
+    }
+    return "?";
+}
+
+StreamDigest
+StreamDigest::Of(const rt::OperationLog& log)
+{
+    StreamDigest digest;
+    for (const auto& op : log) {
+        digest.Consume(op);
+    }
+    return digest;
+}
+
+Cluster::Cluster(const ClusterOptions& options) : options_(options)
+{
+    if (options_.coordination.nodes == 0) {
+        options_.coordination.nodes = 1;
+    }
+    slack_ = options_.coordination.initial_slack;
+    const std::size_t n_nodes = options_.coordination.nodes;
+    nodes_.reserve(n_nodes);
+    metrics_.resize(n_nodes);
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+        auto node = std::make_unique<NodeState>(
+            options_.runtime_options,
+            options_.coordination.seed * 7919 + n);
+        // Inline executor keeps the mining computation deterministic;
+        // completion *timing* is simulated by the coordinator.
+        node->front_end = std::make_unique<core::Apophenia>(
+            node->runtime, options_.config);
+        node->front_end->SetIngestMode(core::IngestMode::kManual);
+        if (options_.stream_logs) {
+            NodeState* state = node.get();
+            node->runtime.EnableLogStreaming(
+                [state](const rt::OpView& op) {
+                    state->digest.Consume(op);
+                    if (state->extra) {
+                        state->extra(op);
+                    }
+                });
+        }
+        nodes_.push_back(std::move(node));
+    }
+}
+
+void
+Cluster::AddLogConsumer(std::size_t node, rt::OperationLog::Consumer c)
+{
+    if (node >= nodes_.size()) {
+        throw rt::RuntimeUsageError(
+            "Cluster::AddLogConsumer: node index out of range");
+    }
+    if (!options_.stream_logs) {
+        throw rt::RuntimeUsageError(
+            "Cluster::AddLogConsumer requires stream_logs");
+    }
+    if (tasks_issued_ != 0) {
+        throw rt::RuntimeUsageError(
+            "Cluster::AddLogConsumer must precede the first launch");
+    }
+    nodes_[node]->extra = std::move(c);
+}
+
+void
+Cluster::DrainLogStreams()
+{
+    for (auto& node : nodes_) {
+        node->runtime.DrainLogStream();
+    }
+}
+
+void
+Cluster::DoExecuteTask(const rt::TaskLaunchView& launch)
+{
+    const std::uint64_t at = tasks_issued_;
+    ++tasks_issued_;
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        // The node's virtual clock: a skewed node pays more time per
+        // issued task.
+        metrics_[n].virtual_time_tasks += options_.skew.Factor(n, at);
+        nodes_[n]->front_end->ExecuteTask(launch);
+    }
+    ScheduleNewJobs();
+    IngestDueJobs();
+}
+
+rt::RegionId
+Cluster::CreateRegion()
+{
+    const rt::RegionId region = nodes_[0]->front_end->CreateRegion();
+    for (std::size_t n = 1; n < nodes_.size(); ++n) {
+        if (nodes_[n]->front_end->CreateRegion() != region) {
+            throw rt::RuntimeUsageError(
+                "cluster region allocators diverged on CreateRegion "
+                "(a node was driven outside the cluster front end)");
+        }
+    }
+    return region;
+}
+
+void
+Cluster::DestroyRegion(rt::RegionId r)
+{
+    for (auto& node : nodes_) {
+        node->front_end->DestroyRegion(r);
+    }
+}
+
+std::vector<rt::RegionId>
+Cluster::PartitionRegion(rt::RegionId parent, std::size_t count)
+{
+    std::vector<rt::RegionId> subregions =
+        nodes_[0]->front_end->PartitionRegion(parent, count);
+    for (std::size_t n = 1; n < nodes_.size(); ++n) {
+        if (nodes_[n]->front_end->PartitionRegion(parent, count) !=
+            subregions) {
+            throw rt::RuntimeUsageError(
+                "cluster region allocators diverged on PartitionRegion "
+                "(a node was driven outside the cluster front end)");
+        }
+    }
+    return subregions;
+}
+
+void
+Cluster::ScheduleNewJobs()
+{
+    // All nodes launch identical jobs at identical stream positions
+    // (the mining schedule is a deterministic function of the
+    // stream), so node 0's queue is representative. New jobs are
+    // those beyond `jobs_seen_`.
+    const CoordinationOptions& coord = options_.coordination;
+    nodes_[0]->front_end->VisitPendingJobs(
+        jobs_seen_, [&](const core::PendingJobInfo& job) {
+            jobs_seen_ = job.id + 1;
+            JobSchedule sched;
+            sched.job_id = job.id;
+            sched.agreed_at = job.issued_at + slack_;
+            sched.completion.resize(nodes_.size());
+            // Each node's asynchronous analysis completes after a
+            // simulated, jittered number of further tasks — stretched
+            // by the node's skew factor at launch — and the job is
+            // globally ready only when the slowest node finishes.
+            sched.ready_at = 0;
+            for (std::size_t n = 0; n < nodes_.size(); ++n) {
+                const double lo =
+                    coord.mean_latency_tasks * (1.0 - coord.jitter);
+                const double hi =
+                    coord.mean_latency_tasks * (1.0 + coord.jitter);
+                const double latency =
+                    nodes_[n]->latency_rng.UniformReal(
+                        std::max(0.0, lo), std::max(1.0, hi)) *
+                    options_.skew.Factor(n, job.issued_at);
+                sched.completion[n] =
+                    job.issued_at + static_cast<std::uint64_t>(latency);
+                sched.ready_at =
+                    std::max(sched.ready_at, sched.completion[n]);
+                if (sched.completion[n] > sched.agreed_at) {
+                    metrics_[n].late_jobs += 1;
+                }
+            }
+            stats_.jobs_coordinated += 1;
+            if (sched.ready_at > sched.agreed_at) {
+                // Some node would stall at the agreed point: ingest
+                // when actually ready, and widen the slack for future
+                // jobs (the paper's adaptive count increase).
+                stats_.late_jobs += 1;
+                slack_ = std::max(
+                    slack_ * 2,
+                    sched.ready_at - sched.agreed_at + slack_);
+            }
+            schedule_.push_back(std::move(sched));
+        });
+    stats_.final_slack = slack_;
+    stats_.peak_slack = std::max(stats_.peak_slack, slack_);
+}
+
+void
+Cluster::IngestDueJobs()
+{
+    // Ingest in launch order once both the agreed point and global
+    // readiness have passed — the same decision on every node.
+    while (!schedule_.empty()) {
+        const JobSchedule& next = schedule_.front();
+        const std::uint64_t due =
+            std::max(next.agreed_at, next.ready_at);
+        if (tasks_issued_ < due) {
+            break;
+        }
+        for (std::size_t n = 0; n < nodes_.size(); ++n) {
+            // A node is ready to ingest once both the agreed point
+            // and its own completion have passed; it then idles until
+            // the cluster-wide ingestion point (the slowest node
+            // stalls no one, every other node stalls the difference).
+            const std::uint64_t own =
+                std::max(next.agreed_at, next.completion[n]);
+            const double stall =
+                due > own ? static_cast<double>(due - own) : 0.0;
+            metrics_[n].stall_tasks += stall;
+            metrics_[n].max_stall_tasks =
+                std::max(metrics_[n].max_stall_tasks, stall);
+            nodes_[n]->front_end->IngestOldestJob();
+        }
+        schedule_.pop_front();
+    }
+}
+
+void
+Cluster::DoFlush()
+{
+    // Drain every coordinated job, then flush the front-ends. The
+    // drain ingests jobs whose agreed point lies beyond the end of
+    // the stream, so the stream-position stall accounting does not
+    // apply — those positions never elapse. The stall metrics
+    // describe in-stream agreement points only.
+    while (!schedule_.empty()) {
+        for (auto& node : nodes_) {
+            node->front_end->IngestOldestJob();
+        }
+        schedule_.pop_front();
+    }
+    for (auto& node : nodes_) {
+        node->front_end->Flush();
+    }
+}
+
+StreamDigest
+Cluster::NodeDigest(std::size_t i) const
+{
+    if (options_.stream_logs) {
+        return nodes_[i]->digest;
+    }
+    return StreamDigest::Of(nodes_[i]->runtime.Log());
+}
+
+bool
+Cluster::StreamDigestsAgree() const
+{
+    const StreamDigest reference = NodeDigest(0);
+    for (std::size_t n = 1; n < nodes_.size(); ++n) {
+        if (!(NodeDigest(n) == reference)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+Cluster::StreamsIdentical() const
+{
+    if (options_.stream_logs) {
+        throw rt::RuntimeUsageError(
+            "Cluster::StreamsIdentical needs retained logs (the "
+            "streaming-retire mode recycles them); use "
+            "StreamDigestsAgree");
+    }
+    const rt::OperationLog& reference = nodes_[0]->runtime.Log();
+    for (std::size_t n = 1; n < nodes_.size(); ++n) {
+        const rt::OperationLog& log = nodes_[n]->runtime.Log();
+        if (log.size() != reference.size()) {
+            return false;
+        }
+        for (std::size_t i = 0; i < log.size(); ++i) {
+            const rt::OpView a = log[i];
+            const rt::OpView b = reference[i];
+            if (a.token != b.token || a.mode != b.mode ||
+                a.trace != b.trace ||
+                !(a.dependences == b.dependences)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace apo::sim

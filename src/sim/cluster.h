@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Skew-aware multi-node cluster simulation with incremental stream
+ * agreement (paper section 5.1 at scale).
+ *
+ * Under dynamic control replication the application runs on every
+ * node and each node hosts its own Apophenia instance over its own
+ * runtime shard; all instances must forward bit-identical call
+ * sequences. The only source of divergence is the completion timing
+ * of the asynchronous mining jobs, so the nodes agree, per job, on a
+ * task-stream *position* at which its results are ingested — and a
+ * node whose job has not completed by the agreed position forces the
+ * whole cluster to stall until it has (after which the agreed slack
+ * is widened for subsequent jobs).
+ *
+ * `sim::Cluster` is that protocol made measurable at scale. It owns
+ * one `core::Apophenia` + `rt::Runtime` per simulated node, drives
+ * them in lockstep through the one `api::Frontend` issue surface, and
+ * runs every node under a *virtual clock* perturbed by a pluggable
+ * `SkewModel`:
+ *
+ *  - kNone:         ideal nodes (the paper's configuration);
+ *  - kJitter:       seeded per-task rate noise (OS scheduling,
+ *                   network variance);
+ *  - kStraggler:    one persistently slow node (a failing DIMM, a
+ *                   thermally throttled GPU);
+ *  - kInterference: periodic whole-node slowdown bursts (interfering
+ *                   checkpoints, co-tenant interference).
+ *
+ * Skew slows both a node's task-issue rate and its mining jobs, so
+ * agreement misses, per-node stalls and the adaptive slack trajectory
+ * become observable outputs (`CoordinationStats`, `NodeMetrics`)
+ * instead of hidden constants.
+ *
+ * **Incremental stream agreement.** The control-replication safety
+ * property — all nodes issued identical streams — was previously
+ * checked by an all-pairs walk over fully retained operation logs,
+ * which is exactly what the streaming-retire log (bounded resident
+ * memory) throws away. `StreamDigest` replaces it: a per-node rolling
+ * hash over every issued call (token, analysis mode, trace id,
+ * dependence edges), fed incrementally from each node's streaming-
+ * retire consumer in O(1) amortized time and zero allocations per
+ * operation. Digests agree ⇔ streams identical (up to hash
+ * collision), at constant memory per node — so control replication
+ * now composes with `sim::LogMode::kStreaming`.
+ */
+#ifndef APOPHENIA_SIM_CLUSTER_H
+#define APOPHENIA_SIM_CLUSTER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "api/frontend.h"
+#include "core/apophenia.h"
+#include "core/config.h"
+#include "runtime/runtime.h"
+#include "support/hash.h"
+#include "support/rng.h"
+
+namespace apo::sim {
+
+/** The per-node timing perturbation families. */
+enum class SkewKind : std::uint8_t {
+    kNone,          ///< ideal nodes
+    kJitter,        ///< seeded per-task rate noise
+    kStraggler,     ///< one persistently slow node
+    kInterference,  ///< periodic slowdown bursts
+};
+
+std::string_view SkewName(SkewKind kind);
+
+/**
+ * A deterministic per-(node, task) slowdown factor >= 1. The factor
+ * multiplies both the node's virtual-time cost of issuing a task and
+ * the latency of mining jobs it launches at that position.
+ */
+struct SkewModel {
+    SkewKind kind = SkewKind::kNone;
+    /** Seed of the kJitter hash (independent of the coordination
+     * latency seed). */
+    std::uint64_t seed = 1;
+    /** kJitter: rate noise amplitude; factor is uniform in
+     * [1, 1 + jitter_amplitude). */
+    double jitter_amplitude = 0.25;
+    /** kStraggler: which node is slow, and by how much. */
+    std::size_t straggler_node = 0;
+    double straggler_factor = 4.0;
+    /** kInterference: every `burst_period_tasks`, the node runs at
+     * `burst_factor` for `burst_duration_tasks`; node n's bursts are
+     * offset by n * burst_stagger_tasks (0 = cluster-synchronized
+     * bursts, the interfering-checkpoint shape). */
+    std::uint64_t burst_period_tasks = 4096;
+    std::uint64_t burst_duration_tasks = 512;
+    std::uint64_t burst_stagger_tasks = 0;
+    double burst_factor = 8.0;
+
+    double Factor(std::size_t node, std::uint64_t task) const
+    {
+        switch (kind) {
+          case SkewKind::kNone:
+            return 1.0;
+          case SkewKind::kJitter: {
+            // Stateless hash draw: O(1) random access, identical
+            // whether tasks are visited once or replayed.
+            const std::uint64_t h = support::HashCombine(
+                support::HashCombine(seed, node + 1), task);
+            const double u =
+                static_cast<double>(h >> 11) * 0x1.0p-53;
+            return 1.0 + jitter_amplitude * u;
+          }
+          case SkewKind::kStraggler:
+            return node == straggler_node ? straggler_factor : 1.0;
+          case SkewKind::kInterference: {
+            if (burst_period_tasks == 0) {
+                return 1.0;
+            }
+            const std::uint64_t pos =
+                (task + node * burst_stagger_tasks) %
+                burst_period_tasks;
+            return pos < burst_duration_tasks ? burst_factor : 1.0;
+          }
+        }
+        return 1.0;
+    }
+};
+
+/** Tuning of the agreed-count coordination protocol. */
+struct CoordinationOptions {
+    std::size_t nodes = 2;
+    std::uint64_t seed = 1;
+    /** Mean simulated mining-job latency, measured in observed tasks
+     * (before the skew factor). */
+    double mean_latency_tasks = 200.0;
+    /** Relative jitter: latency is uniform in mean*(1 ± jitter). */
+    double jitter = 0.75;
+    /** Initial agreed slack (operations between job launch and its
+     * ingestion point). */
+    std::uint64_t initial_slack = 64;
+};
+
+/** Aggregate statistics of the coordination protocol. */
+struct CoordinationStats {
+    std::uint64_t jobs_coordinated = 0;
+    /** Jobs whose agreed point arrived before every node finished
+     * (the agreement misses that force a slack increase). */
+    std::uint64_t late_jobs = 0;
+    std::uint64_t final_slack = 0;
+    /** Largest slack the adaptation ever reached. */
+    std::uint64_t peak_slack = 0;
+};
+
+/** Per-node observables of one cluster run. */
+struct NodeMetrics {
+    /** The node's virtual clock after the run: sum of per-task skew
+     * factors (== tasks issued on an ideal node). */
+    double virtual_time_tasks = 0.0;
+    /** Jobs *this node* completed past the agreed point (it made the
+     * others wait). */
+    std::uint64_t late_jobs = 0;
+    /** Stream positions this node spent stalled at *in-stream*
+     * agreement points, waiting for slower nodes (the end-of-stream
+     * drain ingests at positions that never elapse and is not
+     * charged). */
+    double stall_tasks = 0.0;
+    double max_stall_tasks = 0.0;
+};
+
+/**
+ * Incremental digest of one node's issued call stream: a rolling
+ * hash over (token, analysis mode, trace id, dependence edges) of
+ * every operation, in log order. Equal digests (value and count) on
+ * every node certify the control-replication safety property without
+ * retaining any log — feed it from the streaming-retire consumer.
+ * Consume() is O(1 + edges) with zero allocations.
+ */
+class StreamDigest {
+  public:
+    void Consume(const rt::OpView& op)
+    {
+        std::uint64_t h = support::HashCombine(state_, op.token);
+        h = support::HashCombine(h, static_cast<std::uint64_t>(op.mode));
+        h = support::HashCombine(h, op.trace);
+        for (const rt::Dependence& d : op.dependences) {
+            h = support::HashCombine(h, d.from);
+            h = support::HashCombine(h, d.to);
+            h = support::HashCombine(
+                h, static_cast<std::uint64_t>(d.kind));
+        }
+        state_ = h;
+        ++count_;
+    }
+
+    std::uint64_t Value() const { return state_; }
+    std::uint64_t Count() const { return count_; }
+
+    friend bool operator==(const StreamDigest&,
+                           const StreamDigest&) = default;
+
+    /** Digest of a retained log (the same fold, run post-hoc). */
+    static StreamDigest Of(const rt::OperationLog& log);
+
+  private:
+    std::uint64_t state_ = 0x9e3779b97f4a7c15ULL;
+    std::uint64_t count_ = 0;
+};
+
+/** Cluster construction parameters. */
+struct ClusterOptions {
+    CoordinationOptions coordination;
+    SkewModel skew;
+    /** Per-node front-end tuning; config.enabled == false replicates
+     * with tracing disabled (every node a pass-through). */
+    core::ApopheniaConfig config;
+    rt::RuntimeOptions runtime_options;
+    /** Put every node's operation log in streaming-retire mode: the
+     * per-node StreamDigest is fed incrementally and blocks recycle,
+     * so resident log memory stays bounded on all N nodes regardless
+     * of stream length. Extra consumers (the harness's simulator)
+     * attach via AddLogConsumer before the first launch. */
+    bool stream_logs = false;
+};
+
+/**
+ * N Apophenia instances over N runtime shards, fed the same stream
+ * through the one api::Frontend issue surface, with deterministic
+ * skew-aware coordinated analysis ingestion. See file comment.
+ */
+class Cluster final : public api::Frontend {
+  public:
+    explicit Cluster(const ClusterOptions& options);
+
+    // -- api::Frontend: broadcast region management -------------------------
+
+    std::string_view Name() const override { return "cluster"; }
+
+    /** Create the region on every node; the deterministic per-node
+     * allocators must agree on the id (throws rt::RuntimeUsageError
+     * if they have diverged — i.e., a node was driven outside this
+     * front end). */
+    rt::RegionId CreateRegion() override;
+    void DestroyRegion(rt::RegionId r) override;
+    std::vector<rt::RegionId> PartitionRegion(rt::RegionId parent,
+                                              std::size_t count) override;
+
+    // -- Introspection ------------------------------------------------------
+
+    std::size_t Nodes() const { return nodes_.size(); }
+    core::Apophenia& Node(std::size_t i) { return *nodes_[i]->front_end; }
+    const rt::Runtime& NodeRuntime(std::size_t i) const
+    {
+        return nodes_[i]->runtime;
+    }
+    const CoordinationStats& Coordination() const { return stats_; }
+    const std::vector<NodeMetrics>& PerNode() const { return metrics_; }
+    const ClusterOptions& Options() const { return options_; }
+
+    // -- Stream agreement ---------------------------------------------------
+
+    /** Node i's incremental stream digest. Streaming mode: the digest
+     * of the retired prefix (call DrainLogStreams() at end of stream
+     * first). Retained mode: computed from the log on each call. */
+    StreamDigest NodeDigest(std::size_t i) const;
+
+    /** The safety property, via digests: every node's digest equals
+     * node 0's. Works in both log modes at O(1) resident memory per
+     * node when streaming. */
+    bool StreamDigestsAgree() const;
+
+    /**
+     * The exact (all-pairs, retained-log) comparison the digest
+     * replaces: same tokens, modes, trace ids and edges at the same
+     * positions on every node. Kept for digest validation; requires
+     * retained logs (throws rt::RuntimeUsageError when streaming).
+     */
+    bool StreamsIdentical() const;
+
+    // -- Streaming-retire plumbing ------------------------------------------
+
+    /** Attach an extra streaming consumer (after the digest) to node
+     * `node`'s log. Requires ClusterOptions::stream_logs and must be
+     * called before the first launch. */
+    void AddLogConsumer(std::size_t node, rt::OperationLog::Consumer c);
+
+    /** Drain every node's completed operations to its consumers (end
+     * of stream; no-op in retained mode). */
+    void DrainLogStreams();
+
+  protected:
+    /** Issue one task on every node (control replication: the
+     * application issues the same stream everywhere). */
+    void DoExecuteTask(const rt::TaskLaunchView& launch) override;
+
+    /** A control-replicated port runs without manual annotations;
+     * any that remain are dropped (and counted) on every node. */
+    bool DoBeginTrace(rt::TraceId) override { return false; }
+    bool DoEndTrace(rt::TraceId) override { return false; }
+
+    /** End-of-stream on every node. */
+    void DoFlush() override;
+
+  private:
+    struct NodeState {
+        rt::Runtime runtime;
+        std::unique_ptr<core::Apophenia> front_end;
+        support::Rng latency_rng;
+        StreamDigest digest;  ///< fed by the streaming consumer
+        rt::OperationLog::Consumer extra;  ///< harness attachment
+
+        NodeState(const rt::RuntimeOptions& rt_options, std::uint64_t seed)
+            : runtime(rt_options), latency_rng(seed)
+        {
+        }
+    };
+
+    /** Per-job coordination record. */
+    struct JobSchedule {
+        std::uint64_t job_id = 0;
+        std::uint64_t agreed_at = 0;  ///< task count for ingestion
+        std::uint64_t ready_at = 0;   ///< max simulated completion
+        /** Per-node completion positions (stall accounting). */
+        std::vector<std::uint64_t> completion;
+    };
+
+    void ScheduleNewJobs();
+    void IngestDueJobs();
+
+    ClusterOptions options_;
+    std::vector<std::unique_ptr<NodeState>> nodes_;
+    std::deque<JobSchedule> schedule_;  ///< FIFO of uningested jobs
+    std::uint64_t tasks_issued_ = 0;
+    std::uint64_t slack_ = 0;
+    std::uint64_t jobs_seen_ = 0;
+    CoordinationStats stats_;
+    std::vector<NodeMetrics> metrics_;
+};
+
+}  // namespace apo::sim
+
+#endif  // APOPHENIA_SIM_CLUSTER_H

@@ -2,7 +2,8 @@
 
 #include <memory>
 #include <optional>
-#include <stdexcept>
+
+#include "runtime/errors.h"
 
 namespace apo::sim {
 
@@ -27,21 +28,21 @@ struct FrontendStack {
     std::unique_ptr<rt::Runtime> runtime;  ///< single-runtime modes
     std::unique_ptr<support::PooledExecutor> pool;
     std::unique_ptr<core::Apophenia> apophenia;
-    std::unique_ptr<core::ReplicatedFrontEnd> replicated;
+    std::unique_ptr<Cluster> cluster;
     std::unique_ptr<api::Frontend> wrapper;  ///< direct/untraced
     api::Frontend* front = nullptr;
 
     /** The runtime whose operation log the simulator executes (node 0
-     * under replication: StreamsIdentical makes it representative). */
+     * under replication: the stream agreement makes it
+     * representative). */
     const rt::Runtime& ObservedRuntime() const
     {
-        return replicated != nullptr ? replicated->NodeRuntime(0)
-                                     : *runtime;
+        return cluster != nullptr ? cluster->NodeRuntime(0) : *runtime;
     }
 };
 
 FrontendStack
-BuildFrontend(const ExperimentOptions& options)
+BuildFrontend(const ExperimentOptions& options, bool streaming)
 {
     FrontendStack stack;
     rt::RuntimeOptions runtime_options;
@@ -52,18 +53,23 @@ BuildFrontend(const ExperimentOptions& options)
 
     if (options.replicas > 1) {
         if (options.mode == TracingMode::kManual) {
-            throw std::invalid_argument(
-                "RunExperiment: manual tracing is incompatible with "
-                "control replication (the replicated front end drops "
-                "annotations)");
+            throw rt::RuntimeUsageError(
+                "RunExperiment: TracingMode::kManual is incompatible "
+                "with ExperimentOptions::replicas > 1 — the replicated "
+                "cluster front end drops manual trace annotations; use "
+                "TracingMode::kAuto or TracingMode::kUntraced");
         }
-        core::ReplicationOptions replication = options.replication;
-        replication.nodes = options.replicas;
-        core::ApopheniaConfig config = options.auto_config;
-        config.enabled = options.mode == TracingMode::kAuto;
-        stack.replicated = std::make_unique<core::ReplicatedFrontEnd>(
-            replication, config, runtime_options);
-        stack.front = stack.replicated.get();
+        ClusterOptions cluster_options;
+        cluster_options.coordination = options.replication;
+        cluster_options.coordination.nodes = options.replicas;
+        cluster_options.skew = options.skew;
+        cluster_options.config = options.auto_config;
+        cluster_options.config.enabled =
+            options.mode == TracingMode::kAuto;
+        cluster_options.runtime_options = runtime_options;
+        cluster_options.stream_logs = streaming;
+        stack.cluster = std::make_unique<Cluster>(cluster_options);
+        stack.front = stack.cluster.get();
         return stack;
     }
 
@@ -112,32 +118,53 @@ ExperimentResult
 RunExperiment(apps::Application& app, const ExperimentOptions& options)
 {
     const bool streaming = options.log_mode == LogMode::kStreaming;
-    if (streaming && options.replicas > 1) {
-        throw std::invalid_argument(
-            "RunExperiment: streaming-retire logs require a single "
-            "front end (replicas == 1)");
-    }
-    if (streaming && options.auto_config.inline_transitive_reduction) {
-        throw std::invalid_argument(
-            "RunExperiment: the inline transitive reduction is a "
-            "whole-log transform and needs the retained log");
+    const bool reduce = options.auto_config.inline_transitive_reduction;
+    if (streaming && reduce && options.auto_config.window == 0) {
+        throw rt::RuntimeUsageError(
+            "RunExperiment: the inline transitive reduction over a "
+            "streaming log needs a bounded window (-lg:window > 0); an "
+            "unbounded reduction is a whole-log transform");
     }
 
-    FrontendStack stack = BuildFrontend(options);
+    FrontendStack stack = BuildFrontend(options, streaming);
     api::Frontend& front = *stack.front;
     const PipelineOptions pipeline_options = BuildPipelineOptions(options);
 
     // Streaming: the simulator and the traced-flags metric run as the
-    // operation log's retire consumer; the log recycles its blocks
-    // behind them.
+    // operation log's retire consumer (node 0's under replication);
+    // the logs recycle their blocks behind them. The inline transitive
+    // reduction, a retained-path log transform, streams through the
+    // windowed reducer instead — same edges, O(window) resident state.
     std::optional<PipelineSimulator> streaming_sim;
+    std::optional<rt::WindowedTransitiveReducer> streaming_reducer;
+    std::vector<rt::Dependence> reduce_scratch;
     TracedFlags streaming_traced;
     if (streaming) {
-        streaming_sim.emplace(pipeline_options);
-        stack.runtime->EnableLogStreaming([&](const rt::OpView& op) {
+        PipelineOptions sim_options = pipeline_options;
+        sim_options.inline_transitive_reduction = false;
+        streaming_sim.emplace(sim_options);
+        if (reduce) {
+            streaming_reducer.emplace(options.auto_config.window);
+        }
+        auto consumer = [&](const rt::OpView& op) {
             streaming_traced.Consume(op);
-            streaming_sim->Consume(op);
-        });
+            if (streaming_reducer) {
+                reduce_scratch.assign(op.dependences.begin(),
+                                      op.dependences.end());
+                streaming_reducer->Reduce(op.index, reduce_scratch);
+                rt::OpView reduced = op;
+                reduced.dependences = rt::DependenceSpan(
+                    std::span<const rt::Dependence>(reduce_scratch));
+                streaming_sim->Consume(reduced);
+            } else {
+                streaming_sim->Consume(op);
+            }
+        };
+        if (stack.cluster != nullptr) {
+            stack.cluster->AddLogConsumer(0, consumer);
+        } else {
+            stack.runtime->EnableLogStreaming(consumer);
+        }
     }
 
     // Iteration boundaries are measured on the issued stream (the
@@ -157,7 +184,11 @@ RunExperiment(apps::Application& app, const ExperimentOptions& options)
     ExperimentResult result;
     PipelineResult sim;
     if (streaming) {
-        stack.runtime->DrainLogStream();
+        if (stack.cluster != nullptr) {
+            stack.cluster->DrainLogStreams();
+        } else {
+            stack.runtime->DrainLogStream();
+        }
         sim = streaming_sim->Finish();
         result.warmup_iterations =
             WarmupIterations(streaming_traced, boundaries);
@@ -188,10 +219,16 @@ RunExperiment(apps::Application& app, const ExperimentOptions& options)
     result.log_retired_ops = runtime.Log().RetiredCount();
     if (stack.apophenia != nullptr) {
         result.apophenia_stats = stack.apophenia->Stats();
-    } else if (stack.replicated != nullptr) {
-        result.apophenia_stats = stack.replicated->Node(0).Stats();
-        result.streams_identical = stack.replicated->StreamsIdentical();
-        result.coordination = stack.replicated->Coordination();
+    } else if (stack.cluster != nullptr) {
+        result.apophenia_stats = stack.cluster->Node(0).Stats();
+        result.streams_identical = stack.cluster->StreamDigestsAgree();
+        result.coordination = stack.cluster->Coordination();
+        result.node_metrics = stack.cluster->PerNode();
+        for (std::size_t n = 0; n < stack.cluster->Nodes(); ++n) {
+            result.log_peak_resident_bytes = std::max(
+                result.log_peak_resident_bytes,
+                stack.cluster->NodeRuntime(n).Log().PeakResidentBytes());
+        }
     }
     return result;
 }

@@ -8,8 +8,12 @@
  * The application is always driven through the one api::Frontend
  * issue surface; the harness picks the implementation from the
  * options. Control replication (paper section 5.1) is an orthogonal
- * axis: any workload can run on an N-node ReplicatedFrontEnd, and the
- * result carries the StreamsIdentical() safety check.
+ * axis: any workload can run on an N-node sim::Cluster under a
+ * pluggable per-node SkewModel, and the result carries the incremental
+ * stream-digest safety check plus per-node stall/agreement metrics.
+ * The log-mode axis (retained vs streaming-retire) composes with both
+ * — a replicated streaming run keeps every node's resident log
+ * bounded and verifies agreement through the rolling digests.
  */
 #ifndef APOPHENIA_SIM_HARNESS_H
 #define APOPHENIA_SIM_HARNESS_H
@@ -21,8 +25,8 @@
 #include "apps/app.h"
 #include "core/apophenia.h"
 #include "core/config.h"
-#include "core/replication.h"
 #include "runtime/runtime.h"
+#include "sim/cluster.h"
 #include "sim/metrics.h"
 #include "sim/pipeline.h"
 
@@ -59,9 +63,11 @@ enum class LogMode {
     /** Streaming retire: the simulator and metrics run as the log's
      * streaming consumer, blocks recycle, and resident log memory
      * stays bounded no matter how long the stream is. Metrics and
-     * decisions are bit-identical to kRetained. Single front end only
-     * (replicas == 1), and incompatible with the inline transitive
-     * reduction (a whole-log transform). */
+     * decisions are bit-identical to kRetained. Composes with control
+     * replication (every node streams; agreement is checked through
+     * the incremental StreamDigest) and with the inline transitive
+     * reduction (applied through the windowed streaming reducer; needs
+     * a nonzero -lg:window). */
     kStreaming,
 };
 
@@ -82,17 +88,20 @@ struct ExperimentOptions {
      * resident-memory ceiling knob. */
     rt::OperationLog::Config log_config;
     apps::MachineConfig machine;
-    /** Control replication: number of replicated front-end nodes.
+    /** Control replication: number of simulated cluster nodes.
      * 1 runs a single front end. >1 drives the application through a
-     * core::ReplicatedFrontEnd (kAuto traces on every node; kUntraced
-     * runs the nodes with tracing disabled; kManual is rejected —
-     * the replicated front end drops annotations). Replicated mining
-     * always uses the deterministic inline executor; completion
-     * *timing* is what `replication` simulates. */
+     * sim::Cluster (kAuto traces on every node; kUntraced runs the
+     * nodes with tracing disabled; kManual is rejected with a typed
+     * rt::RuntimeUsageError — the cluster front end drops
+     * annotations). Replicated mining always uses the deterministic
+     * inline executor; completion *timing* is what `replication` and
+     * `skew` simulate. */
     std::size_t replicas = 1;
     /** Coordination tuning when replicas > 1 (`nodes` is overridden
      * by `replicas`). */
-    core::ReplicationOptions replication;
+    CoordinationOptions replication;
+    /** Per-node timing perturbation when replicas > 1. */
+    SkewModel skew;
     /** Record the figure-10 coverage series (costs memory). */
     bool keep_coverage_series = false;
     std::size_t coverage_window = 5000;
@@ -111,15 +120,19 @@ struct ExperimentResult {
     /** Uniform issue-surface counters of the driven front end. */
     api::FrontendStats frontend_stats;
     /** Control-replication safety: all nodes issued bit-identical
-     * streams (trivially true when replicas == 1). */
+     * streams, verified through the incremental per-node
+     * StreamDigest (trivially true when replicas == 1). */
     bool streams_identical = true;
-    core::CoordinationStats coordination;  ///< zeros unless replicated
+    CoordinationStats coordination;  ///< zeros unless replicated
+    /** Per-node virtual clocks, stalls and agreement misses (empty
+     * unless replicated). */
+    std::vector<NodeMetrics> node_metrics;
     std::vector<std::pair<std::size_t, double>> coverage_series;
-    /** Operation-log memory high-water (node 0 when replicated) — the
-     * number the streaming-retire mode bounds. */
+    /** Operation-log memory high-water — the worst node's when
+     * replicated — the number the streaming-retire mode bounds. */
     std::size_t log_peak_resident_bytes = 0;
-    /** Operations drained through the streaming consumer (0 when
-     * retained). */
+    /** Operations drained through the streaming consumer on node 0
+     * (0 when retained). */
     std::size_t log_retired_ops = 0;
 };
 

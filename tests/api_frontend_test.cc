@@ -22,7 +22,7 @@
 #include "api/frontend.h"
 #include "api/launch.h"
 #include "core/apophenia.h"
-#include "core/replication.h"
+#include "sim/cluster.h"
 #include "runtime/runtime.h"
 
 #include "support/counting_allocator.h"
@@ -173,16 +173,16 @@ TEST(Frontend, ApopheniaCountsDroppedAnnotations)
     EXPECT_EQ(as_frontend.Stats().tasks_executed, 20u);
 }
 
-TEST(Frontend, ReplicatedCountsDroppedAnnotations)
+TEST(Frontend, ClusterCountsDroppedAnnotations)
 {
-    core::ReplicationOptions options;
-    options.nodes = 2;
-    core::ReplicatedFrontEnd frontend(options, core::ApopheniaConfig{},
-                                      rt::RuntimeOptions{});
+    sim::ClusterOptions options;
+    options.coordination.nodes = 2;
+    sim::Cluster frontend(options);
     DriveAnnotatedStream(frontend);
     EXPECT_EQ(frontend.Stats().annotations_ignored, 10u);
     EXPECT_EQ(frontend.Stats().tasks_executed, 20u);
     EXPECT_TRUE(frontend.StreamsIdentical());
+    EXPECT_TRUE(frontend.StreamDigestsAgree());
 }
 
 // -- The untraced forward path ----------------------------------------------

@@ -19,9 +19,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/apophenia.h"
+#include "runtime/graph.h"
 #include "runtime/runtime.h"
 #include "support/executor.h"
 #include "support/rng.h"
@@ -287,6 +289,46 @@ TEST(DifferentialFuzzPooled, OnCompletionIngestionIsStillSafe)
                 << ")";
         }
         EXPECT_EQ(traced_rt.Stats().trace_mismatches, 0u);
+    }
+}
+
+TEST_P(DifferentialFuzz, WindowedReductionMatchesRetained)
+{
+    // The streaming-aware windowed transitive reduction must produce
+    // edge sets identical to the retained clone-and-reduce transform
+    // on every corpus program — including programs with replayed
+    // fragments, whose template-sourced edges are the interesting
+    // input shape.
+    const FuzzCase fuzz = GetParam();
+    core::ApopheniaConfig config;
+    config.min_trace_length = fuzz.min_trace_length;
+    config.max_trace_length = fuzz.max_trace_length;
+    config.batchsize = fuzz.batchsize;
+    config.multi_scale_factor =
+        std::max<std::size_t>(fuzz.batchsize / 16, 8);
+
+    rt::Runtime traced_rt;
+    core::Apophenia fe(traced_rt, config);
+    RandomProgram(fuzz.seed).Run(fe);
+    fe.Flush();
+
+    for (const std::size_t window : {64u, 30000u}) {
+        SCOPED_TRACE("window " + std::to_string(window));
+        rt::OperationLog retained = traced_rt.Log().Clone();
+        const std::size_t removed =
+            rt::TransitiveReduction(retained, window);
+
+        rt::WindowedTransitiveReducer reducer(window);
+        std::vector<rt::Dependence> scratch;
+        for (std::size_t i = 0; i < traced_rt.Log().size(); ++i) {
+            scratch.assign(traced_rt.Log()[i].dependences.begin(),
+                           traced_rt.Log()[i].dependences.end());
+            reducer.Reduce(i, scratch);
+            ASSERT_EQ(retained[i].dependences, scratch)
+                << "reduced edges diverged at op " << i << " (seed "
+                << fuzz.seed << ")";
+        }
+        EXPECT_EQ(reducer.RemovedEdges(), removed);
     }
 }
 

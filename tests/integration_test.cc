@@ -21,7 +21,7 @@
 #include "apps/s3d.h"
 #include "api/frontend.h"
 #include "apps/torchswe.h"
-#include "core/replication.h"
+#include "sim/cluster.h"
 #include "sim/harness.h"
 
 namespace apo {
@@ -157,11 +157,12 @@ TEST(Integration, SimulatedTimingIsDeterministic)
 TEST(Integration, ReplicationOverRealApplication)
 {
     // Control replication over the S3D skeleton, hand-offs included.
-    core::ReplicationOptions options;
-    options.nodes = 3;
-    options.seed = 11;
-    options.mean_latency_tasks = 150.0;
-    options.jitter = 0.8;
+    sim::ClusterOptions options;
+    options.coordination.nodes = 3;
+    options.coordination.seed = 11;
+    options.coordination.mean_latency_tasks = 150.0;
+    options.coordination.jitter = 0.8;
+    options.config = SmallConfig();
     apps::S3dOptions app_options;
     app_options.machine = SmallMachine();
     // Control replication: the same program runs on every node, so
@@ -174,13 +175,13 @@ TEST(Integration, ReplicationOverRealApplication)
         staging_app.Iteration(staging_sink, i, false);
     }
     // ...then feed it through every replica in lockstep.
-    core::ReplicatedFrontEnd group(options, SmallConfig(),
-                                   rt::RuntimeOptions{});
+    sim::Cluster group(options);
     for (const auto& op : staging.Log()) {
         group.ExecuteTask(op.launch);
     }
     group.Flush();
     EXPECT_TRUE(group.StreamsIdentical());
+    EXPECT_TRUE(group.StreamDigestsAgree());
     EXPECT_GT(group.NodeRuntime(0).Stats().tasks_replayed, 0u);
 }
 

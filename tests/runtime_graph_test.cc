@@ -9,6 +9,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "runtime/graph.h"
@@ -133,6 +135,91 @@ TEST(Graph, ReductionPreservesClosureOnRandomStreams)
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// The streaming (windowed) reducer: identical output to the retained
+// reduction, fed one operation at a time.
+
+/** Stream `log` through a WindowedTransitiveReducer and compare every
+ * operation's reduced edges (and the removal count) against the
+ * retained TransitiveReduction with the same window. */
+void ExpectWindowedMatchesRetained(const OperationLog& log,
+                                   std::size_t window)
+{
+    SCOPED_TRACE("window " + std::to_string(window));
+    OperationLog retained = log.Clone();
+    const std::size_t removed_retained =
+        TransitiveReduction(retained, window);
+
+    WindowedTransitiveReducer reducer(window);
+    std::vector<Dependence> scratch;
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        scratch.assign(log[i].dependences.begin(),
+                       log[i].dependences.end());
+        reducer.Reduce(i, scratch);
+        ASSERT_EQ(retained[i].dependences, scratch)
+            << "edges diverged at op " << i;
+    }
+    EXPECT_EQ(reducer.RemovedEdges(), removed_retained);
+}
+
+TEST(WindowedReducer, MatchesRetainedOnHandBuiltGraphs)
+{
+    // Chain + shortcuts (removals), diamond (no removals), and the
+    // window-bounded case where the shortcut survives.
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    for (std::size_t i = 0; i + 1 < 10; ++i) {
+        edges.push_back({i, i + 1});
+    }
+    for (std::size_t i = 2; i < 10; ++i) {
+        edges.push_back({0, i});
+    }
+    const auto chain = MakeLog(10, edges);
+    for (const std::size_t window : {2u, 3u, 5u, 64u}) {
+        ExpectWindowedMatchesRetained(chain, window);
+    }
+    const auto diamond = MakeLog(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+    ExpectWindowedMatchesRetained(diamond, 2);
+}
+
+TEST(WindowedReducer, MatchesRetainedOnRandomStreams)
+{
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        support::Rng rng(seed);
+        Runtime rt;
+        std::vector<RegionId> regions;
+        for (int i = 0; i < 5; ++i) {
+            regions.push_back(rt.CreateRegion());
+        }
+        for (int i = 0; i < 200; ++i) {
+            TaskLaunch t;
+            t.task = rng.UniformInt(1, 4);
+            const int reqs = static_cast<int>(rng.UniformInt(1, 2));
+            for (int q = 0; q < reqs; ++q) {
+                t.requirements.push_back(RegionRequirement{
+                    regions[rng.UniformInt(0, regions.size() - 1)], 0,
+                    static_cast<Privilege>(rng.UniformInt(0, 3)),
+                    static_cast<ReductionOpId>(rng.UniformInt(1, 2))});
+            }
+            rt.ExecuteTask(t);
+        }
+        for (const std::size_t window : {1u, 7u, 30u, 1000u}) {
+            ExpectWindowedMatchesRetained(rt.Log(), window);
+        }
+    }
+}
+
+TEST(WindowedReducer, RejectsMisuse)
+{
+    EXPECT_THROW(WindowedTransitiveReducer(0), std::invalid_argument);
+    WindowedTransitiveReducer reducer(8);
+    std::vector<Dependence> edges;
+    reducer.Reduce(0, edges);
+    // Operations must be consecutive: skipping or repeating throws.
+    EXPECT_THROW(reducer.Reduce(0, edges), std::invalid_argument);
+    EXPECT_THROW(reducer.Reduce(2, edges), std::invalid_argument);
+    reducer.Reduce(1, edges);  // the successor is fine
 }
 
 TEST(Graph, ReductionIsIdempotent)

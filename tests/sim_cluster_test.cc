@@ -1,0 +1,489 @@
+/**
+ * @file
+ * Tests for the skew-aware cluster simulation (sim/cluster.h): the
+ * agreement protocol must make every node issue a bit-identical call
+ * sequence regardless of per-node analysis completion jitter *and*
+ * per-node skew; the incremental StreamDigest must agree with the
+ * exact retained-log comparison on identical and deliberately
+ * diverged streams; straggler skew must degrade the agreed slack
+ * monotonically; and a 64-node streaming run must stay under a fixed
+ * resident-log ceiling while certifying agreement through the rolling
+ * digests.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apps/cfd.h"
+#include "apps/flexflow.h"
+#include "apps/htr.h"
+#include "apps/s3d.h"
+#include "apps/torchswe.h"
+#include "sim/cluster.h"
+#include "sim/harness.h"
+
+namespace apo::sim {
+namespace {
+
+core::ApopheniaConfig SmallConfig()
+{
+    core::ApopheniaConfig config;
+    config.min_trace_length = 5;
+    config.batchsize = 400;
+    config.multi_scale_factor = 50;
+    return config;
+}
+
+ClusterOptions SmallClusterOptions(std::size_t nodes)
+{
+    ClusterOptions options;
+    options.coordination.nodes = nodes;
+    options.config = SmallConfig();
+    return options;
+}
+
+void DriveLoop(Cluster& fe, int iterations, int body)
+{
+    // Region management broadcasts to every node; the deterministic
+    // per-node allocators must agree on the id.
+    std::vector<rt::RegionId> regions;
+    for (int i = 0; i < body; ++i) {
+        regions.push_back(fe.CreateRegion());
+    }
+    for (int iter = 0; iter < iterations; ++iter) {
+        for (int i = 0; i < body; ++i) {
+            fe.ExecuteTask(rt::TaskLaunch{
+                static_cast<rt::TaskId>(100 + i),
+                {{regions[i], 0, rt::Privilege::kReadOnly, 0},
+                 {regions[(i + 1) % body], 0, rt::Privilege::kReadWrite,
+                  0}}});
+        }
+    }
+    fe.Flush();
+}
+
+// ---------------------------------------------------------------------------
+// The agreement protocol (ported from the core::ReplicatedFrontEnd
+// tests — sim::Cluster is now the one replication implementation).
+
+class ClusterProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(ClusterProperty, NodesIssueIdenticalStreams)
+{
+    const auto [nodes, seed] = GetParam();
+    ClusterOptions options =
+        SmallClusterOptions(static_cast<std::size_t>(nodes));
+    options.coordination.seed = seed;
+    options.coordination.mean_latency_tasks = 120.0;
+    options.coordination.jitter = 0.9;  // adversarial completion skew
+    Cluster fe(options);
+    DriveLoop(fe, /*iterations=*/80, /*body=*/10);
+    EXPECT_TRUE(fe.StreamsIdentical());
+    EXPECT_TRUE(fe.StreamDigestsAgree());
+    // Tracing actually happened on every node.
+    for (std::size_t n = 0; n < fe.Nodes(); ++n) {
+        EXPECT_GT(fe.NodeRuntime(n).Stats().tasks_replayed, 0u)
+            << "node " << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClusterProperty,
+    ::testing::Combine(::testing::Values(2, 3, 8),
+                       ::testing::Values<std::uint64_t>(1, 7, 42)));
+
+TEST(Cluster, SlackAdaptsToSlowAnalyses)
+{
+    ClusterOptions options = SmallClusterOptions(2);
+    options.coordination.seed = 5;
+    options.coordination.initial_slack = 1;         // far too tight
+    options.coordination.mean_latency_tasks = 300;  // analyses are slow
+    Cluster fe(options);
+    DriveLoop(fe, 100, 10);
+    const CoordinationStats& stats = fe.Coordination();
+    EXPECT_GT(stats.jobs_coordinated, 0u);
+    EXPECT_GT(stats.late_jobs, 0u);
+    EXPECT_GT(stats.final_slack, options.coordination.initial_slack);
+    EXPECT_GE(stats.peak_slack, stats.final_slack);
+    EXPECT_TRUE(fe.StreamsIdentical());
+}
+
+TEST(Cluster, GenerousSlackAvoidsLateJobs)
+{
+    ClusterOptions options = SmallClusterOptions(2);
+    options.coordination.seed = 5;
+    options.coordination.initial_slack = 10000;  // above any latency
+    options.coordination.mean_latency_tasks = 50;
+    options.coordination.jitter = 0.5;
+    Cluster fe(options);
+    DriveLoop(fe, 100, 10);
+    EXPECT_EQ(fe.Coordination().late_jobs, 0u);
+    EXPECT_TRUE(fe.StreamsIdentical());
+    // Stall-free steady state: ingestion at the agreed points.
+    for (const NodeMetrics& node : fe.PerNode()) {
+        EXPECT_EQ(node.stall_tasks, 0.0);
+        EXPECT_EQ(node.late_jobs, 0u);
+    }
+}
+
+TEST(Cluster, SingleNodeDegeneratesGracefully)
+{
+    Cluster fe(SmallClusterOptions(1));
+    DriveLoop(fe, 50, 10);
+    EXPECT_TRUE(fe.StreamsIdentical());
+    EXPECT_TRUE(fe.StreamDigestsAgree());
+    EXPECT_GT(fe.NodeRuntime(0).Stats().tasks_replayed, 0u);
+}
+
+TEST(Cluster, VirtualClocksMatchTaskCountWithoutSkew)
+{
+    Cluster fe(SmallClusterOptions(3));
+    DriveLoop(fe, 40, 10);
+    const double issued =
+        static_cast<double>(fe.Stats().tasks_executed);
+    for (const NodeMetrics& node : fe.PerNode()) {
+        EXPECT_DOUBLE_EQ(node.virtual_time_tasks, issued);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental digest vs. exact retained comparison.
+
+TEST(StreamDigest, AgreesWithExactComparisonOnIdenticalStreams)
+{
+    Cluster fe(SmallClusterOptions(3));
+    DriveLoop(fe, 60, 8);
+    EXPECT_TRUE(fe.StreamsIdentical());
+    EXPECT_TRUE(fe.StreamDigestsAgree());
+    EXPECT_EQ(fe.NodeDigest(0).Count(),
+              fe.NodeRuntime(0).Log().size());
+}
+
+TEST(StreamDigest, DetectsDeliberateDivergence)
+{
+    Cluster fe(SmallClusterOptions(2));
+    DriveLoop(fe, 30, 6);
+    ASSERT_TRUE(fe.StreamsIdentical());
+    ASSERT_TRUE(fe.StreamDigestsAgree());
+    // Drive one node outside the cluster front end: its stream (and
+    // digest) must now differ, and both checks must agree on that.
+    const rt::RegionId r = fe.Node(1).CreateRegion();
+    fe.Node(1).ExecuteTask(rt::TaskLaunch{
+        999, {{r, 0, rt::Privilege::kReadWrite, 0}}});
+    fe.Node(1).Flush();
+    EXPECT_FALSE(fe.StreamsIdentical());
+    EXPECT_FALSE(fe.StreamDigestsAgree());
+}
+
+TEST(StreamDigest, SensitiveToEveryComparedField)
+{
+    // Two logs whose operations differ only in one compared field
+    // must produce different digests.
+    rt::TaskLaunch launch;
+    launch.task = 7;
+    launch.requirements = {{rt::RegionId{1}, 0,
+                            rt::Privilege::kReadWrite, 0}};
+    const rt::Dependence edge{0, 1, rt::DependenceKind::kTrue};
+
+    const auto digest_of = [&](rt::TaskId task, rt::TraceId trace,
+                               std::span<const rt::Dependence> deps) {
+        rt::OperationLog log;
+        rt::TaskLaunch first = launch;
+        log.Append(rt::TaskLaunchView::Of(first),
+                   rt::AnalysisMode::kAnalyzed, rt::kNoTrace, 1.0,
+                   false, {});
+        rt::TaskLaunch second = launch;
+        second.task = task;
+        log.Append(rt::TaskLaunchView::Of(second),
+                   rt::AnalysisMode::kAnalyzed, trace, 1.0, false,
+                   deps);
+        return StreamDigest::Of(log);
+    };
+
+    const StreamDigest base = digest_of(7, rt::kNoTrace, {&edge, 1});
+    const StreamDigest same = digest_of(7, rt::kNoTrace, {&edge, 1});
+    EXPECT_EQ(base.Value(), same.Value());
+    EXPECT_NE(base.Value(),
+              digest_of(8, rt::kNoTrace, {&edge, 1}).Value())
+        << "token not digested";
+    EXPECT_NE(base.Value(), digest_of(7, 3, {&edge, 1}).Value())
+        << "trace id not digested";
+    EXPECT_NE(base.Value(), digest_of(7, rt::kNoTrace, {}).Value())
+        << "edges not digested";
+}
+
+TEST(StreamDigest, StreamingDigestEqualsRetainedDigest)
+{
+    // The incremental (streaming-retire-fed) digest and the post-hoc
+    // retained-log digest are the same fold over the same stream.
+    ClusterOptions retained_options = SmallClusterOptions(2);
+    Cluster retained(retained_options);
+    DriveLoop(retained, 50, 8);
+
+    ClusterOptions streaming_options = SmallClusterOptions(2);
+    streaming_options.stream_logs = true;
+    Cluster streaming(streaming_options);
+    DriveLoop(streaming, 50, 8);
+    streaming.DrainLogStreams();
+
+    for (std::size_t n = 0; n < 2; ++n) {
+        EXPECT_EQ(streaming.NodeDigest(n).Value(),
+                  retained.NodeDigest(n).Value())
+            << "node " << n;
+        EXPECT_EQ(streaming.NodeDigest(n).Count(),
+                  retained.NodeDigest(n).Count());
+    }
+    EXPECT_THROW(streaming.StreamsIdentical(), rt::RuntimeUsageError);
+}
+
+// ---------------------------------------------------------------------------
+// Skew models.
+
+ExperimentOptions ClusterExperiment(std::size_t replicas,
+                                    std::size_t iterations)
+{
+    ExperimentOptions options;
+    options.mode = TracingMode::kAuto;
+    options.iterations = iterations;
+    options.machine.nodes = 2;
+    options.machine.gpus_per_node = 2;
+    options.auto_config.min_trace_length = 10;
+    options.auto_config.batchsize = 1500;
+    options.auto_config.multi_scale_factor = 100;
+    options.replicas = replicas;
+    options.replication.seed = 7;
+    options.replication.mean_latency_tasks = 120.0;
+    options.replication.jitter = 0.6;
+    return options;
+}
+
+std::uint64_t FinalSlackWithStraggler(double factor)
+{
+    ExperimentOptions options = ClusterExperiment(4, 60);
+    if (factor > 1.0) {
+        options.skew.kind = SkewKind::kStraggler;
+        options.skew.straggler_node = 1;
+        options.skew.straggler_factor = factor;
+    }
+    apps::S3dApplication app(
+        apps::S3dOptions{.machine = options.machine});
+    const ExperimentResult result = RunExperiment(app, options);
+    EXPECT_TRUE(result.streams_identical) << "factor " << factor;
+    return result.coordination.final_slack;
+}
+
+TEST(Skew, StragglerDegradesAgreedSlackMonotonically)
+{
+    const std::vector<double> factors = {1.0, 2.0, 4.0, 8.0};
+    std::vector<std::uint64_t> slack;
+    for (const double f : factors) {
+        slack.push_back(FinalSlackWithStraggler(f));
+    }
+    for (std::size_t i = 1; i < slack.size(); ++i) {
+        EXPECT_GE(slack[i], slack[i - 1])
+            << "slack not monotone at factor " << factors[i];
+    }
+    EXPECT_GT(slack.back(), slack.front())
+        << "an 8x straggler should visibly widen the agreed slack";
+}
+
+TEST(Skew, StragglerMakesTheOtherNodesStall)
+{
+    ExperimentOptions options = ClusterExperiment(4, 60);
+    options.skew.kind = SkewKind::kStraggler;
+    options.skew.straggler_node = 1;
+    options.skew.straggler_factor = 8.0;
+    apps::S3dApplication app(
+        apps::S3dOptions{.machine = options.machine});
+    const ExperimentResult result = RunExperiment(app, options);
+    ASSERT_EQ(result.node_metrics.size(), 4u);
+    // The straggler misses agreements; the healthy nodes pay stalls.
+    EXPECT_GT(result.node_metrics[1].late_jobs, 0u);
+    double healthy_stall = 0.0;
+    for (std::size_t n = 0; n < 4; ++n) {
+        if (n != 1) {
+            healthy_stall += result.node_metrics[n].stall_tasks;
+        }
+    }
+    EXPECT_GT(healthy_stall, 0.0);
+    // The straggler's virtual clock ran 8x the others'.
+    EXPECT_GT(result.node_metrics[1].virtual_time_tasks,
+              4.0 * result.node_metrics[0].virtual_time_tasks);
+    EXPECT_TRUE(result.streams_identical);
+}
+
+TEST(Skew, JitterAndInterferenceKeepStreamsIdentical)
+{
+    for (const SkewKind kind :
+         {SkewKind::kJitter, SkewKind::kInterference}) {
+        ExperimentOptions options = ClusterExperiment(3, 50);
+        options.skew.kind = kind;
+        options.skew.jitter_amplitude = 0.5;
+        options.skew.burst_period_tasks = 512;
+        options.skew.burst_duration_tasks = 128;
+        options.skew.burst_factor = 8.0;
+        options.skew.burst_stagger_tasks = 171;
+        apps::S3dApplication app(
+            apps::S3dOptions{.machine = options.machine});
+        const ExperimentResult result = RunExperiment(app, options);
+        EXPECT_TRUE(result.streams_identical)
+            << SkewName(kind) << ": skew must perturb timing only";
+        EXPECT_GT(result.replayed_fraction, 0.0) << SkewName(kind);
+        // Skewed clocks ran ahead of the ideal task count.
+        EXPECT_GT(result.node_metrics[0].virtual_time_tasks,
+                  static_cast<double>(
+                      result.frontend_stats.tasks_executed))
+            << SkewName(kind);
+    }
+}
+
+TEST(Skew, InterferenceBurstsForceAgreementMisses)
+{
+    ExperimentOptions baseline = ClusterExperiment(3, 60);
+    apps::S3dApplication base_app(
+        apps::S3dOptions{.machine = baseline.machine});
+    const ExperimentResult none = RunExperiment(base_app, baseline);
+
+    ExperimentOptions bursty = ClusterExperiment(3, 60);
+    bursty.skew.kind = SkewKind::kInterference;
+    bursty.skew.burst_period_tasks = 1024;
+    bursty.skew.burst_duration_tasks = 256;
+    bursty.skew.burst_factor = 16.0;
+    apps::S3dApplication bursty_app(
+        apps::S3dOptions{.machine = bursty.machine});
+    const ExperimentResult result = RunExperiment(bursty_app, bursty);
+
+    EXPECT_TRUE(result.streams_identical);
+    EXPECT_GE(result.coordination.late_jobs,
+              none.coordination.late_jobs);
+    EXPECT_GE(result.coordination.peak_slack,
+              none.coordination.peak_slack);
+}
+
+// ---------------------------------------------------------------------------
+// The replication x skew x log-mode x app axis.
+
+template <typename App, typename Options>
+void ExpectStreamingMatchesRetained(Options app_options,
+                                    std::size_t iterations,
+                                    std::string_view label)
+{
+    SCOPED_TRACE(std::string(label));
+    // Retained / no-skew baseline.
+    ExperimentOptions options = ClusterExperiment(2, iterations);
+    options.machine = app_options.machine;
+    App retained_app(app_options);
+    const ExperimentResult retained =
+        RunExperiment(retained_app, options);
+    EXPECT_TRUE(retained.streams_identical);
+    EXPECT_GT(retained.replayed_fraction, 0.0);
+
+    // Streaming, skew none: bit-identical to the baseline.
+    options.log_mode = LogMode::kStreaming;
+    App streaming_app(app_options);
+    const ExperimentResult streaming =
+        RunExperiment(streaming_app, options);
+    EXPECT_TRUE(streaming.streams_identical);
+    EXPECT_EQ(streaming.iterations_per_second,
+              retained.iterations_per_second);
+    EXPECT_EQ(streaming.makespan_us, retained.makespan_us);
+    EXPECT_EQ(streaming.total_tasks, retained.total_tasks);
+    EXPECT_EQ(streaming.replayed_fraction, retained.replayed_fraction);
+    EXPECT_EQ(streaming.coordination.final_slack,
+              retained.coordination.final_slack);
+    EXPECT_EQ(streaming.log_retired_ops, streaming.total_tasks);
+
+    // Streaming under a straggler: still safe, still streams.
+    options.skew.kind = SkewKind::kStraggler;
+    options.skew.straggler_node = 1;
+    options.skew.straggler_factor = 4.0;
+    App skewed_app(app_options);
+    const ExperimentResult skewed = RunExperiment(skewed_app, options);
+    EXPECT_TRUE(skewed.streams_identical);
+    EXPECT_EQ(skewed.total_tasks, retained.total_tasks);
+    EXPECT_EQ(skewed.log_retired_ops, skewed.total_tasks);
+}
+
+TEST(ClusterHarness, S3dStreamingReplicated)
+{
+    apps::MachineConfig machine{.nodes = 2, .gpus_per_node = 2};
+    ExpectStreamingMatchesRetained<apps::S3dApplication>(
+        apps::S3dOptions{.machine = machine}, 60, "s3d");
+}
+
+TEST(ClusterHarness, HtrStreamingReplicated)
+{
+    apps::MachineConfig machine{.nodes = 2, .gpus_per_node = 2};
+    ExpectStreamingMatchesRetained<apps::HtrApplication>(
+        apps::HtrOptions{.machine = machine}, 50, "htr");
+}
+
+TEST(ClusterHarness, CfdStreamingReplicated)
+{
+    apps::MachineConfig machine{.nodes = 2, .gpus_per_node = 2};
+    ExpectStreamingMatchesRetained<apps::CfdApplication>(
+        apps::CfdOptions{.machine = machine}, 120, "cfd");
+}
+
+TEST(ClusterHarness, TorchSweStreamingReplicated)
+{
+    apps::MachineConfig machine{.nodes = 2, .gpus_per_node = 2};
+    apps::TorchSweOptions options{.machine = machine};
+    options.allocation_pool_budget = 150;
+    ExpectStreamingMatchesRetained<apps::TorchSweApplication>(
+        options, 80, "torchswe");
+}
+
+TEST(ClusterHarness, FlexFlowStreamingReplicated)
+{
+    apps::MachineConfig machine{.nodes = 2, .gpus_per_node = 2};
+    ExpectStreamingMatchesRetained<apps::FlexFlowApplication>(
+        apps::FlexFlowOptions{.machine = machine}, 40, "flexflow");
+}
+
+TEST(ClusterHarness, EightNodesStreamingWithSkew)
+{
+    ExperimentOptions options = ClusterExperiment(8, 50);
+    options.log_mode = LogMode::kStreaming;
+    options.skew.kind = SkewKind::kInterference;
+    options.skew.burst_period_tasks = 768;
+    options.skew.burst_duration_tasks = 128;
+    options.skew.burst_factor = 8.0;
+    options.skew.burst_stagger_tasks = 96;
+    apps::S3dApplication app(
+        apps::S3dOptions{.machine = options.machine});
+    const ExperimentResult result = RunExperiment(app, options);
+    EXPECT_TRUE(result.streams_identical);
+    EXPECT_GT(result.replayed_fraction, 0.0);
+    ASSERT_EQ(result.node_metrics.size(), 8u);
+    EXPECT_EQ(result.log_retired_ops, result.total_tasks);
+}
+
+TEST(ClusterHarness, SixtyFourNodeStreamingStaysUnderLogCeiling)
+{
+    // The "millions of users" shape: 64 simulated nodes, every node's
+    // log in streaming-retire mode. The worst node's resident log
+    // memory must stay under a fixed ceiling no matter the stream
+    // length, and agreement is certified by the rolling digests alone
+    // (no retained logs exist to compare).
+    constexpr std::size_t kCeilingBytes = 2u << 20;  // 2 MiB per node
+    ExperimentOptions options = ClusterExperiment(64, 40);
+    options.log_mode = LogMode::kStreaming;
+    options.skew.kind = SkewKind::kJitter;
+    options.skew.jitter_amplitude = 0.3;
+    apps::S3dApplication app(
+        apps::S3dOptions{.machine = options.machine});
+    const ExperimentResult result = RunExperiment(app, options);
+    EXPECT_TRUE(result.streams_identical);
+    EXPECT_GT(result.replayed_fraction, 0.0);
+    ASSERT_EQ(result.node_metrics.size(), 64u);
+    EXPECT_EQ(result.log_retired_ops, result.total_tasks);
+    EXPECT_LT(result.log_peak_resident_bytes, kCeilingBytes)
+        << "worst-node resident log exceeded the streaming ceiling";
+}
+
+}  // namespace
+}  // namespace apo::sim

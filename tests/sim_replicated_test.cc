@@ -1,15 +1,16 @@
 /**
  * @file
  * The replication axis of the experiment harness: every workload
- * skeleton must run, unmodified, on an N-node ReplicatedFrontEnd
- * through RunExperiment — the paper's section 5.1 configuration over
- * the full application set — with the control-replication safety
+ * skeleton must run, unmodified, on an N-node sim::Cluster through
+ * RunExperiment — the paper's section 5.1 configuration over the
+ * full application set — with the control-replication safety
  * property (bit-identical per-node streams) checked, and with tracing
  * actually engaging (nonzero replayed fraction).
  */
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 
 #include "apps/cfd.h"
 #include "apps/flexflow.h"
@@ -112,12 +113,21 @@ TEST(ReplicatedHarness, UntracedReplicationRunsWithTracingDisabled)
     EXPECT_EQ(result.runtime_stats.tasks_analyzed, result.total_tasks);
 }
 
-TEST(ReplicatedHarness, ManualModeIsRejected)
+TEST(ReplicatedHarness, ManualModeIsRejectedWithTypedError)
 {
     sim::ExperimentOptions options = ReplicatedOptions(10);
     options.mode = sim::TracingMode::kManual;
     apps::S3dApplication app(apps::S3dOptions{.machine = SmallMachine()});
-    EXPECT_THROW(sim::RunExperiment(app, options), std::invalid_argument);
+    // The rejection is a typed usage error whose message names both
+    // offending options, not a generic invalid_argument.
+    try {
+        sim::RunExperiment(app, options);
+        FAIL() << "kManual replication was not rejected";
+    } catch (const rt::RuntimeUsageError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("kManual"), std::string::npos) << what;
+        EXPECT_NE(what.find("replicas"), std::string::npos) << what;
+    }
 }
 
 /** Run one app through every issue-surface implementation the

@@ -196,16 +196,82 @@ TEST(Streaming, ShortStreamMatchesRetainedOnTheSameSyntheticApp)
     ExpectBitIdentical(retained, streaming, "wide-stream/untraced");
 }
 
-TEST(Streaming, RejectsIncompatibleConfigurations)
+TEST(Streaming, RejectsUnboundedWindowWithInlineReduction)
 {
+    // Streaming now composes with both control replication and the
+    // inline transitive reduction; the one remaining incompatibility
+    // is an *unbounded* (-lg:window 0) reduction, which needs the
+    // whole retained log.
     WideStreamApp app(4);
     ExperimentOptions options;
     options.log_mode = LogMode::kStreaming;
-    options.replicas = 2;
-    EXPECT_THROW(RunExperiment(app, options), std::invalid_argument);
-    options.replicas = 1;
     options.auto_config.inline_transitive_reduction = true;
-    EXPECT_THROW(RunExperiment(app, options), std::invalid_argument);
+    options.auto_config.window = 0;
+    EXPECT_THROW(RunExperiment(app, options), rt::RuntimeUsageError);
+}
+
+TEST(Streaming, InlineReductionBitIdenticalToRetained)
+{
+    // -lg:inline_transitive_reduction + kStreaming: the windowed
+    // streaming reducer must reproduce the retained clone-and-reduce
+    // path exactly, so every reported number matches.
+    apps::S3dOptions app_options;
+    app_options.machine.nodes = 2;
+    app_options.machine.gpus_per_node = 2;
+    ExperimentOptions options = SmallAuto(app_options.machine);
+    options.auto_config.inline_transitive_reduction = true;
+    options.keep_coverage_series = true;
+
+    apps::S3dApplication retained_app(app_options);
+    const ExperimentResult retained =
+        RunExperiment(retained_app, options);
+    options.log_mode = LogMode::kStreaming;
+    apps::S3dApplication streaming_app(app_options);
+    const ExperimentResult streaming =
+        RunExperiment(streaming_app, options);
+    ExpectBitIdentical(retained, streaming, "s3d/auto/reduced");
+    EXPECT_GT(streaming.replayed_fraction, 0.0);
+
+    // A small window exercises ring eviction in the streaming reducer
+    // (and the low-bound path of the retained one) the same way.
+    options.auto_config.window = 64;
+    options.log_mode = LogMode::kRetained;
+    apps::S3dApplication retained_small(app_options);
+    const ExperimentResult retained_w =
+        RunExperiment(retained_small, options);
+    options.log_mode = LogMode::kStreaming;
+    apps::S3dApplication streaming_small(app_options);
+    const ExperimentResult streaming_w =
+        RunExperiment(streaming_small, options);
+    ExpectBitIdentical(retained_w, streaming_w, "s3d/auto/window64");
+}
+
+TEST(Streaming, ComposesWithControlReplication)
+{
+    // Replicas > 1 + kStreaming: every node's log streams and
+    // agreement is certified by the incremental digests, bit-identical
+    // to the retained replicated run.
+    apps::S3dOptions app_options;
+    app_options.machine.nodes = 2;
+    app_options.machine.gpus_per_node = 2;
+    ExperimentOptions options = SmallAuto(app_options.machine);
+    options.replicas = 2;
+    options.replication.seed = 7;
+
+    apps::S3dApplication retained_app(app_options);
+    const ExperimentResult retained =
+        RunExperiment(retained_app, options);
+    options.log_mode = LogMode::kStreaming;
+    apps::S3dApplication streaming_app(app_options);
+    const ExperimentResult streaming =
+        RunExperiment(streaming_app, options);
+    ExpectBitIdentical(retained, streaming, "s3d/auto/replicated");
+    EXPECT_TRUE(streaming.streams_identical);
+    EXPECT_TRUE(retained.streams_identical);
+    EXPECT_EQ(streaming.coordination.jobs_coordinated,
+              retained.coordination.jobs_coordinated);
+    EXPECT_EQ(streaming.coordination.final_slack,
+              retained.coordination.final_slack);
 }
 
 // ---------------------------------------------------------------------------
