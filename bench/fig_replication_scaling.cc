@@ -3,25 +3,35 @@
  * Replication scaling sweep: node counts {2, 8, 64} under every skew
  * model, streaming logs throughout — the experiment the paper's
  * section 5.1 stops short of. For each (nodes, skew) cell the sweep
- * reports simulated steady-state throughput, the agreed-slack
- * trajectory endpoints, agreement misses, the worst per-node stall
- * and the worst node's resident-log high water (bounded by the
- * streaming-retire mode no matter the node count).
+ * reports simulated steady-state throughput, wall-clock, the
+ * agreed-slack trajectory endpoints, agreement misses, the worst
+ * per-node stall and the worst node's resident-log high water
+ * (bounded by the streaming-retire mode no matter the node count).
+ *
+ * A second sweep ("cluster_parallel") measures the execution engine
+ * itself at 8 no-skew nodes: the serial PR-4 configuration (jobs = 1,
+ * no shared mining cache) against the parallel engine with the
+ * content-addressed mining cache at jobs ∈ {1, 4, hardware}. Every
+ * configuration is verified to produce identical results — the rows
+ * differ in wall-clock and cache hit rate only.
  *
  * The results merge into BENCH_micro_repeats.json (next to the
  * finder/issue-path/oplog records) under the "replication_scaling"
- * key, so successive PRs keep a scaling trajectory. Run micro_repeats
- * first; this bench preserves whatever else is in the file.
+ * and "cluster_parallel" keys, so successive PRs keep a scaling
+ * trajectory. Run micro_repeats first; this bench preserves whatever
+ * else is in the file.
  *
  * Usage:
- *   fig_replication_scaling                    # table + JSON merge
+ *   fig_replication_scaling                    # tables + JSON merge
  *   fig_replication_scaling --json=PATH        # merge target
  */
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/s3d.h"
@@ -38,7 +48,15 @@ struct Row {
     sim::SkewKind skew = sim::SkewKind::kNone;
     sim::ExperimentResult result;
     double max_stall_tasks = 0.0;
+    double wall_ms = 0.0;
 };
+
+double MillisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
 
 sim::SkewModel SkewOf(sim::SkewKind kind)
 {
@@ -76,7 +94,9 @@ Row RunCell(std::size_t nodes, sim::SkewKind kind)
     Row row;
     row.nodes = nodes;
     row.skew = kind;
+    const auto start = std::chrono::steady_clock::now();
     row.result = sim::RunExperiment(app, options);
+    row.wall_ms = MillisSince(start);
     for (const sim::NodeMetrics& node : row.result.node_metrics) {
         row.max_stall_tasks =
             std::max(row.max_stall_tasks, node.max_stall_tasks);
@@ -84,13 +104,14 @@ Row RunCell(std::size_t nodes, sim::SkewKind kind)
     return row;
 }
 
-int MergeIntoJson(const std::string& path, const std::string& section)
+int MergeIntoJson(const std::string& path, const std::string& key,
+                  const std::string& section)
 {
     std::string content = bench::ReadFileOrEmpty(path);
     if (content.empty()) {
         content = "{\n}\n";
     }
-    bench::RemoveJsonMember(content, "replication_scaling");
+    bench::RemoveJsonMember(content, key);
     std::size_t close = content.rfind('}');
     if (close == std::string::npos) {
         std::fprintf(stderr, "%s is not a JSON object\n", path.c_str());
@@ -106,7 +127,7 @@ int MergeIntoJson(const std::string& path, const std::string& section)
     const bool has_members = content.find('"') < tail;
     content.erase(tail);
     content += has_members ? ",\n" : "\n";
-    content += "  \"replication_scaling\": " + section + "\n}\n";
+    content += "  \"" + key + "\": " + section + "\n}\n";
 
     std::ofstream out(path, std::ios::trunc);
     if (!out) {
@@ -127,11 +148,15 @@ std::string SectionOf(const std::vector<Row>& rows)
          << "    \"rows\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row& row = rows[i];
-        char buffer[512];
+        char buffer[640];
+        // Full-precision rate plus the measured wall-clock: the
+        // simulated throughput is (intentionally) nearly flat across
+        // node counts, so the node-count cost lives in wall_ms.
         std::snprintf(
             buffer, sizeof buffer,
             "      {\"nodes\": %zu, \"skew\": \"%.*s\", "
-            "\"iterations_per_second\": %.2f, "
+            "\"iterations_per_second\": %.6f, "
+            "\"wall_ms\": %.3f, "
             "\"final_slack\": %llu, \"peak_slack\": %llu, "
             "\"late_jobs\": %llu, \"jobs_coordinated\": %llu, "
             "\"max_stall_tasks\": %.0f, "
@@ -140,7 +165,7 @@ std::string SectionOf(const std::vector<Row>& rows)
             row.nodes,
             static_cast<int>(sim::SkewName(row.skew).size()),
             sim::SkewName(row.skew).data(),
-            row.result.iterations_per_second,
+            row.result.iterations_per_second, row.wall_ms,
             static_cast<unsigned long long>(
                 row.result.coordination.final_slack),
             static_cast<unsigned long long>(
@@ -151,6 +176,172 @@ std::string SectionOf(const std::vector<Row>& rows)
                 row.result.coordination.jobs_coordinated),
             row.max_stall_tasks, row.result.log_peak_resident_bytes,
             row.result.streams_identical ? "true" : "false",
+            i + 1 < rows.size() ? "," : "");
+        json << buffer;
+    }
+    json << "    ]\n  }";
+    return json.str();
+}
+
+// -- The execution-engine sweep (the "cluster_parallel" record) -------------
+
+constexpr std::size_t kEngineNodes = 8;
+constexpr std::size_t kEngineIterations = 50;
+/** Wall-clock is min-of-N: robust against co-tenant noise. */
+constexpr int kEngineRepeats = 3;
+
+struct EngineRow {
+    std::size_t jobs = 0;
+    bool cache = false;
+    double wall_ms = 0.0;
+    sim::ExperimentResult result;
+};
+
+EngineRow RunEngineCell(std::size_t jobs, bool cache)
+{
+    sim::ExperimentOptions options;
+    options.mode = sim::TracingMode::kAuto;
+    options.iterations = kEngineIterations;
+    // A mining-dominated cell — the cost the engine deduplicates and
+    // parallelizes is the asynchronous mining, so the cell is shaped
+    // after the issue's premise that mining dominates a replicated
+    // run: a Perlmutter-node-sized machine (the ~264-task iteration
+    // body gives the 8000-token windows a highly repetitive stream),
+    // a long min_trace_length to keep the per-node trie lean, and the
+    // tandem-repeat miner, whose window cost makes the N-fold mining
+    // redundancy ~90% of serial wall-clock. The configuration is
+    // recorded in the JSON so the speedup is never read out of
+    // context.
+    options.machine.nodes = 4;
+    options.machine.gpus_per_node = 4;
+    options.auto_config.min_trace_length = 100;
+    options.auto_config.batchsize = 8000;
+    options.auto_config.multi_scale_factor = 50;
+    options.auto_config.repeats_algorithm =
+        core::RepeatsAlgorithm::kTandem;
+    options.replicas = kEngineNodes;
+    options.replication.seed = 7;
+    options.replication.mean_latency_tasks = 120.0;
+    options.replication.jitter = 0.6;
+    options.log_mode = sim::LogMode::kStreaming;
+    options.cluster_jobs = jobs;
+    options.share_mining_cache = cache;
+
+    EngineRow row;
+    row.jobs = jobs;
+    row.cache = cache;
+    row.wall_ms = 1e300;
+    for (int rep = 0; rep < kEngineRepeats; ++rep) {
+        apps::S3dApplication app(
+            apps::S3dOptions{.machine = options.machine});
+        const auto start = std::chrono::steady_clock::now();
+        row.result = sim::RunExperiment(app, options);
+        row.wall_ms = std::min(row.wall_ms, MillisSince(start));
+    }
+    return row;
+}
+
+/** Every engine configuration must produce the very same experiment —
+ * the rows may differ in wall-clock and cache counters only. The
+ * stream digest is the load-bearing check: it certifies the issued
+ * streams themselves, not just coordination-level counters. */
+bool EngineRowsAgree(const std::vector<EngineRow>& rows)
+{
+    const sim::ExperimentResult& reference = rows.front().result;
+    for (const EngineRow& row : rows) {
+        const sim::ExperimentResult& r = row.result;
+        if (!r.streams_identical ||
+            r.stream_digest != reference.stream_digest ||
+            r.stream_digest_ops != reference.stream_digest_ops ||
+            r.iterations_per_second != reference.iterations_per_second ||
+            r.makespan_us != reference.makespan_us ||
+            r.total_tasks != reference.total_tasks ||
+            r.coordination.final_slack !=
+                reference.coordination.final_slack ||
+            r.coordination.late_jobs != reference.coordination.late_jobs) {
+            std::fprintf(stderr,
+                         "engine divergence at jobs=%zu cache=%d — the "
+                         "parallel engine is not result-identical\n",
+                         row.jobs, row.cache ? 1 : 0);
+            return false;
+        }
+    }
+    return true;
+}
+
+double HitRate(const sim::ExperimentResult& r)
+{
+    const double total = static_cast<double>(r.mining_cache_hits +
+                                             r.mining_cache_misses);
+    return total > 0.0
+               ? static_cast<double>(r.mining_cache_hits) / total
+               : 0.0;
+}
+
+/** Of the probes left after each window's one unavoidable first miss,
+ * the fraction served from the cache (1.0 == "each window mined once,
+ * every other node adopted"). */
+double HitRateAfterFirstMiner(const sim::ExperimentResult& r)
+{
+    const double repeat_probes = static_cast<double>(
+        r.mining_cache_hits +
+        (r.mining_cache_misses - r.mining_cache_windows));
+    return repeat_probes > 0.0
+               ? static_cast<double>(r.mining_cache_hits) / repeat_probes
+               : 0.0;
+}
+
+std::string EngineSectionOf(const std::vector<EngineRow>& rows,
+                            double speedup_jobs4, double speedup_hw,
+                            double speedup_jobs4_vs_cached)
+{
+    std::ostringstream json;
+    char buffer[768];
+    // speedup_*_vs_serial measures the whole engine (cache + fan-out)
+    // against the PR-4 schedule; speedup_jobs4_vs_jobs1_cached
+    // isolates the thread fan-out alone — on a single-core host it is
+    // <= 1 and the vs-serial gain is entirely the mining cache's, so
+    // both are recorded (with the host's hardware_concurrency) to
+    // keep the attribution readable.
+    std::snprintf(
+        buffer, sizeof buffer,
+        "{\n"
+        "    \"bench\": \"fig_replication_scaling/cluster_parallel\",\n"
+        "    \"app\": \"s3d\", \"nodes\": %zu, \"skew\": \"none\", "
+        "\"log_mode\": \"streaming\", \"iterations\": %zu,\n"
+        "    \"config\": {\"machine\": \"4x4\", \"batchsize\": 8000, "
+        "\"multi_scale_factor\": 50, \"min_trace_length\": 100, "
+        "\"repeats_algorithm\": \"tandem\"},\n"
+        "    \"serial_baseline\": \"jobs=1, no mining cache\",\n"
+        "    \"hardware_concurrency\": %u,\n"
+        "    \"speedup_jobs4_vs_serial\": %.3f,\n"
+        "    \"speedup_hw_vs_serial\": %.3f,\n"
+        "    \"speedup_jobs4_vs_jobs1_cached\": %.3f,\n"
+        "    \"rows\": [\n",
+        kEngineNodes, kEngineIterations,
+        std::thread::hardware_concurrency(), speedup_jobs4, speedup_hw,
+        speedup_jobs4_vs_cached);
+    json << buffer;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const EngineRow& row = rows[i];
+        std::snprintf(
+            buffer, sizeof buffer,
+            "      {\"jobs\": %zu, \"mining_cache\": %s, "
+            "\"wall_ms\": %.3f, "
+            "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+            "\"cache_windows\": %zu, "
+            "\"hit_rate\": %.4f, \"hit_rate_after_first_miner\": %.4f, "
+            "\"streams_identical\": %s, "
+            "\"stream_digest\": %llu}%s\n",
+            row.jobs, row.cache ? "true" : "false", row.wall_ms,
+            static_cast<unsigned long long>(
+                row.result.mining_cache_hits),
+            static_cast<unsigned long long>(
+                row.result.mining_cache_misses),
+            row.result.mining_cache_windows, HitRate(row.result),
+            HitRateAfterFirstMiner(row.result),
+            row.result.streams_identical ? "true" : "false",
+            static_cast<unsigned long long>(row.result.stream_digest),
             i + 1 < rows.size() ? "," : "");
         json << buffer;
     }
@@ -177,20 +368,20 @@ main(int argc, char** argv)
 
     std::printf("# replication scaling (s3d, streaming logs, "
                 "40 iterations)\n");
-    std::printf("%6s %-13s %12s %11s %10s %10s %12s %10s\n", "nodes",
-                "skew", "iters/sec", "final_slck", "late_jobs",
-                "max_stall", "log_peak_B", "identical");
+    std::printf("%6s %-13s %12s %9s %11s %10s %10s %12s %10s\n",
+                "nodes", "skew", "iters/sec", "wall_ms", "final_slck",
+                "late_jobs", "max_stall", "log_peak_B", "identical");
     std::vector<Row> rows;
     for (const std::size_t nodes : node_counts) {
         for (const sim::SkewKind kind : kinds) {
             Row row = RunCell(nodes, kind);
             std::printf(
-                "%6zu %-13.*s %12.2f %11llu %10llu %10.0f %12zu "
-                "%10s\n",
+                "%6zu %-13.*s %12.4f %9.1f %11llu %10llu %10.0f "
+                "%12zu %10s\n",
                 row.nodes,
                 static_cast<int>(sim::SkewName(kind).size()),
                 sim::SkewName(kind).data(),
-                row.result.iterations_per_second,
+                row.result.iterations_per_second, row.wall_ms,
                 static_cast<unsigned long long>(
                     row.result.coordination.final_slack),
                 static_cast<unsigned long long>(
@@ -209,7 +400,50 @@ main(int argc, char** argv)
         }
     }
 
-    const int rc = MergeIntoJson(json_path, SectionOf(rows));
+    // The engine sweep: serial PR-4 baseline, then the parallel
+    // engine + shared mining cache at jobs {1, 4, hardware}.
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    std::vector<EngineRow> engine;
+    engine.push_back(RunEngineCell(1, /*cache=*/false));
+    engine.push_back(RunEngineCell(1, /*cache=*/true));
+    engine.push_back(RunEngineCell(4, /*cache=*/true));
+    if (hw != 4) {
+        engine.push_back(RunEngineCell(hw, /*cache=*/true));
+    }
+    if (!EngineRowsAgree(engine)) {
+        return 1;
+    }
+    const double serial_ms = engine[0].wall_ms;
+    const double speedup_jobs4 = serial_ms / engine[2].wall_ms;
+    const double speedup_hw = serial_ms / engine.back().wall_ms;
+    const double speedup_jobs4_vs_cached =
+        engine[1].wall_ms / engine[2].wall_ms;
+    std::printf("\n# cluster engine (s3d, %zu no-skew nodes, "
+                "streaming logs)\n",
+                kEngineNodes);
+    std::printf("%6s %6s %9s %9s %12s %10s\n", "jobs", "cache",
+                "wall_ms", "speedup", "hits/misses", "adopt_rate");
+    for (const EngineRow& row : engine) {
+        std::printf(
+            "%6zu %6s %9.1f %9.2f %6llu/%-5llu %10.4f\n", row.jobs,
+            row.cache ? "yes" : "no", row.wall_ms,
+            serial_ms / row.wall_ms,
+            static_cast<unsigned long long>(
+                row.result.mining_cache_hits),
+            static_cast<unsigned long long>(
+                row.result.mining_cache_misses),
+            HitRateAfterFirstMiner(row.result));
+    }
+
+    int rc = MergeIntoJson(json_path, "replication_scaling",
+                           SectionOf(rows));
+    if (rc == 0) {
+        rc = MergeIntoJson(
+            json_path, "cluster_parallel",
+            EngineSectionOf(engine, speedup_jobs4, speedup_hw,
+                            speedup_jobs4_vs_cached));
+    }
     if (rc == 0) {
         std::printf("merged into %s\n", json_path.c_str());
     }

@@ -535,13 +535,18 @@ int RunLaunchPathRecord(const std::string& json_path)
     const DigestRecord stream_digest = RunDigestRecord();
 
     // This bench rewrites its own records wholesale; carry other
-    // writers' sections (fig_replication_scaling's merge) across.
-    const std::string preserved = apo::bench::ExtractJsonMember(
-        apo::bench::ReadFileOrEmpty(json_path), "replication_scaling");
-    const std::string preserved_member =
-        preserved.empty()
-            ? std::string()
-            : ",\n  \"replication_scaling\": " + preserved;
+    // writers' sections (fig_replication_scaling's merges) across.
+    const std::string existing =
+        apo::bench::ReadFileOrEmpty(json_path);
+    std::string preserved_member;
+    for (const char* key : {"replication_scaling", "cluster_parallel"}) {
+        const std::string preserved =
+            apo::bench::ExtractJsonMember(existing, key);
+        if (!preserved.empty()) {
+            preserved_member +=
+                ",\n  \"" + std::string(key) + "\": " + preserved;
+        }
+    }
 
     std::FILE* out = std::fopen(json_path.c_str(), "w");
     if (out == nullptr) {

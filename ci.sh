@@ -18,10 +18,14 @@ cmake -B build-asan -S . -DAPO_SANITIZE=ON -DAPO_WERROR=ON -DCMAKE_BUILD_TYPE=Re
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "== sanitizers: TSan executor stress + cluster simulation =="
+echo "== sanitizers: TSan executor stress + cluster simulation (parallel engine, 8 worker threads) =="
 cmake -B build-tsan -S . -DAPO_TSAN=ON -DAPO_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j "$JOBS" --target support_executor_stress_test sim_cluster_test
-ctest --test-dir build-tsan -R '^(support_executor_stress_test|sim_cluster_test)$' --output-on-failure -j "$JOBS"
+# APO_JOBS=8 forces every default-jobs cluster through the parallel
+# per-node engine at >= 8 worker threads regardless of the host's core
+# count, so TSan sees the real cross-thread traffic (TaskTeam barriers,
+# shared mining cache) even on small CI machines.
+APO_JOBS=8 ctest --test-dir build-tsan -R '^(support_executor_stress_test|sim_cluster_test)$' --output-on-failure -j "$JOBS"
 
 echo "== perf record: finder launch path + frontend issue path + digest =="
 if [ -x build/micro_repeats ]; then
@@ -39,9 +43,14 @@ fi
 echo "== perf record: replication scaling sweep =="
 if [ -x build/fig_replication_scaling ]; then
     ./build/fig_replication_scaling --json=BENCH_micro_repeats.json
-    # The record must actually have landed in the shared JSON.
+    # Both records must actually have landed in the shared JSON.
     if ! grep -q '"replication_scaling"' BENCH_micro_repeats.json; then
         echo "error: fig_replication_scaling output is missing from" \
+             "BENCH_micro_repeats.json" >&2
+        exit 1
+    fi
+    if ! grep -q '"cluster_parallel"' BENCH_micro_repeats.json; then
+        echo "error: the cluster_parallel engine record is missing from" \
              "BENCH_micro_repeats.json" >&2
         exit 1
     fi

@@ -5,11 +5,12 @@
 namespace apo::core {
 
 Apophenia::Apophenia(rt::Runtime& runtime, ApopheniaConfig config,
-                     support::Executor* executor)
+                     support::Executor* executor,
+                     MiningCache* mining_cache)
     : runtime_(&runtime),
       config_(config),
       executor_(executor != nullptr ? executor : &default_executor_),
-      finder_(config_, *executor_),
+      finder_(config_, *executor_, mining_cache),
       scorer_(config_),
       ingest_mode_(config_.ingest_mode)
 {
@@ -278,12 +279,13 @@ void
 Apophenia::IngestOldestJob()
 {
     const AnalysisJob& job = finder_.WaitOldestJob();
-    for (const CandidateTrace& c : job.results) {
+    const std::vector<CandidateTrace>& results = job.Results();
+    for (const CandidateTrace& c : results) {
         trie_.Insert(c.tokens, c.occurrences, counter_,
                      config_.score_decay_half_life);
     }
     stats_.jobs_ingested += 1;
-    stats_.candidates_ingested += job.results.size();
+    stats_.candidates_ingested += results.size();
     finder_.ReleaseOldestJob();
 }
 

@@ -43,6 +43,7 @@
 #include "api/frontend.h"
 #include "core/config.h"
 #include "core/finder.h"
+#include "core/mining_cache.h"
 #include "core/trie.h"
 #include "runtime/runtime.h"
 #include "support/executor.h"
@@ -75,9 +76,16 @@ class Apophenia final : public api::Frontend {
      *                this class a transparent pass-through.
      * @param executor runs mining jobs; defaults to an internal
      *                inline executor (deterministic, synchronous).
+     * @param mining_cache optional shared memo of mining results,
+     *                content-addressed by the mined slice (see
+     *                mining_cache.h); the cluster front-end shares one
+     *                across all nodes so identical windows are mined
+     *                once. Behaviour-invariant: on or off, the issued
+     *                stream is bit-identical.
      */
     Apophenia(rt::Runtime& runtime, ApopheniaConfig config,
-              support::Executor* executor = nullptr);
+              support::Executor* executor = nullptr,
+              MiningCache* mining_cache = nullptr);
 
     // -- api::Frontend: regions (pass-through) ------------------------------
 

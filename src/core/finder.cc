@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/mining_cache.h"
 #include "strings/identifiers.h"
 #include "strings/repeats.h"
 #include "support/ruler.h"
@@ -93,9 +94,11 @@ MineSlice(const std::vector<rt::TokenHash>& slice,
 }
 
 TraceFinder::TraceFinder(const ApopheniaConfig& config,
-                         support::Executor& executor)
+                         support::Executor& executor,
+                         MiningCache* mining_cache)
     : config_(&config),
       executor_(&executor),
+      mining_cache_(mining_cache),
       history_(config.batchsize, config.history_block_size)
 {
 }
@@ -190,12 +193,54 @@ TraceFinder::LaunchAnalysis(std::size_t slice_length, std::uint64_t now)
     }
 
     const ApopheniaConfig* config = config_;
+    MiningCache* cache = mining_cache_;
     executor_->Submit(
-        [job, config] {
-            if (!job->snapshot.Empty()) {
+        [job, config, cache] {
+            if (cache == nullptr) {
+                if (!job->snapshot.Empty()) {
+                    job->snapshot.CopyTo(job->slice);
+                }
+                job->results = MineSlice(job->slice, *config);
+                return;
+            }
+            // Shared-cache path: adopt another node's verified result
+            // for an identical window (in place — a hit never even
+            // materializes the slice), or mine it and publish.
+            // MineSlice is pure, so either way Results() is
+            // bit-identical to mining locally.
+            const bool zero_copy = !job->snapshot.Empty();
+            MiningCache::Key key;
+            MiningCache::Claim claim;
+            if (zero_copy) {
+                key = MiningCache::KeyOf(job->snapshot);
+                claim = cache->AcquireOrBegin(key, job->snapshot);
+            } else {
+                key = MiningCache::KeyOf(
+                    std::span<const rt::TokenHash>(job->slice));
+                claim = cache->AcquireOrBegin(
+                    key, std::span<const rt::TokenHash>(job->slice));
+            }
+            if (claim.results != nullptr) {
+                job->adopted = std::move(claim.results);
+                return;
+            }
+            if (zero_copy) {
                 job->snapshot.CopyTo(job->slice);
             }
-            job->results = MineSlice(job->slice, *config);
+            if (!claim.miner) {
+                // Verified key collision: a different window owns the
+                // entry. Mine locally; publish nothing.
+                job->results = MineSlice(job->slice, *config);
+                return;
+            }
+            try {
+                job->results = MineSlice(job->slice, *config);
+            } catch (...) {
+                cache->Abandon(key);
+                throw;
+            }
+            job->adopted = cache->Publish(key, job->slice,
+                                          std::move(job->results));
         },
         [job] { job->done.store(true, std::memory_order_release); });
 }
@@ -234,9 +279,10 @@ TraceFinder::ReleaseOldestJob()
 {
     std::unique_ptr<AnalysisJob> job = std::move(inflight_.front());
     inflight_.pop_front();
-    stats_.candidates_produced += job->results.size();
+    stats_.candidates_produced += job->Results().size();
     job->snapshot.Clear();
     job->results.clear();
+    job->adopted = nullptr;
     free_jobs_.push_back(std::move(job));
 }
 

@@ -38,6 +38,8 @@
 
 namespace apo::core {
 
+class MiningCache;
+
 /** A candidate trace produced by a mining job. */
 struct CandidateTrace {
     std::vector<rt::TokenHash> tokens;
@@ -62,9 +64,19 @@ struct AnalysisJob {
     /** Worker-side materialization buffer, reused across jobs. */
     std::vector<rt::TokenHash> slice;
     std::vector<CandidateTrace> results;
+    /** Set instead of `results` when the shared mining cache served
+     * this job: the adopting node reads the first finisher's
+     * published candidate set in place (no per-node copy). Shared
+     * ownership keeps it alive past cache eviction. */
+    std::shared_ptr<const std::vector<CandidateTrace>> adopted;
     /** Completion flag, set (release) by the executor's completion
      * callback once `results` is published. */
     std::atomic<bool> done{false};
+
+    const std::vector<CandidateTrace>& Results() const
+    {
+        return adopted != nullptr ? *adopted : results;
+    }
 };
 
 /** Introspection record for one launched-but-not-ingested job. */
@@ -88,7 +100,12 @@ struct FinderStats {
 /** See file comment. */
 class TraceFinder {
   public:
-    TraceFinder(const ApopheniaConfig& config, support::Executor& executor);
+    /** `mining_cache` (optional, shared, thread-safe) memoizes mining
+     * results under the slice's content address — the cluster
+     * front-end passes one cache to all of its nodes' finders so an
+     * identical window is mined once cluster-wide (mining_cache.h). */
+    TraceFinder(const ApopheniaConfig& config, support::Executor& executor,
+                MiningCache* mining_cache = nullptr);
 
     /** Waits for in-flight jobs: no worker may outlive the jobs. */
     ~TraceFinder();
@@ -146,6 +163,7 @@ class TraceFinder {
 
     const ApopheniaConfig* config_;
     support::Executor* executor_;
+    MiningCache* mining_cache_;  ///< nullptr = always mine locally
     HistoryRing history_;  ///< sliding window, <= batchsize tokens
     std::uint64_t sample_counter_ = 0;  ///< k of the ruler schedule
     /** Launch-order FIFO of jobs awaiting ingestion. */

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "runtime/task.h"
@@ -65,6 +66,10 @@ class HistorySnapshot {
     std::size_t Size() const { return size_; }
     bool Empty() const { return size_ == 0; }
     std::size_t NumSpans() const { return spans_.size(); }
+    /** The block-aligned segments of the slice, in order (read-only;
+     * lets consumers hash or compare the window without materializing
+     * it — see core::MiningCache). */
+    std::span<const Span> Spans() const { return spans_; }
 
     /** Release the block references (keeps span capacity for reuse). */
     void Clear()

@@ -1,0 +1,157 @@
+#include "core/mining_cache.h"
+
+#include <algorithm>
+
+namespace apo::core {
+
+namespace {
+
+constexpr std::uint64_t kKeySeed = 0x9e3779b97f4a7c15ULL;
+
+bool
+SpansMatch(const HistorySnapshot& snapshot,
+           const std::vector<rt::TokenHash>& window)
+{
+    if (snapshot.Size() != window.size()) {
+        return false;
+    }
+    std::size_t at = 0;
+    for (const HistorySnapshot::Span& span : snapshot.Spans()) {
+        if (!std::equal(span.data, span.data + span.length,
+                        window.begin() + static_cast<std::ptrdiff_t>(at))) {
+            return false;
+        }
+        at += span.length;
+    }
+    return true;
+}
+
+}  // namespace
+
+MiningCache::Key
+MiningCache::KeyOf(std::span<const rt::TokenHash> slice)
+{
+    std::uint64_t h = kKeySeed;
+    for (const rt::TokenHash token : slice) {
+        h = support::HashCombine(h, token);
+    }
+    return Key{h, slice.size()};
+}
+
+MiningCache::Key
+MiningCache::KeyOf(const HistorySnapshot& snapshot)
+{
+    std::uint64_t h = kKeySeed;
+    for (const HistorySnapshot::Span& span : snapshot.Spans()) {
+        for (std::size_t i = 0; i < span.length; ++i) {
+            h = support::HashCombine(h, span.data[i]);
+        }
+    }
+    return Key{h, snapshot.Size()};
+}
+
+template <typename MatchesEntry>
+MiningCache::Claim
+MiningCache::Probe(const Key& key, const MatchesEntry& matches)
+{
+    std::unique_lock lock(mutex_);
+    for (;;) {
+        auto [it, inserted] = entries_.try_emplace(key);
+        if (inserted) {
+            ++misses_;
+            return Claim{nullptr, true};  // the caller is the miner
+        }
+        if (it->second.ready) {
+            // Detected, never assumed: adopt only a token-for-token
+            // identical window. A 64-bit collision (different window,
+            // same key) degrades to local mining without publishing —
+            // the entry's owner keeps the slot.
+            if (!matches(it->second)) {
+                ++misses_;
+                return Claim{nullptr, false};
+            }
+            ++hits_;
+            return Claim{it->second.results, false};
+        }
+        // Another node is mining this very window: adopt its result
+        // when it lands instead of paying the mining cost twice.
+        published_.wait(lock);
+    }
+}
+
+MiningCache::Claim
+MiningCache::AcquireOrBegin(const Key& key, const HistorySnapshot& snapshot)
+{
+    return Probe(key, [&](const Entry& entry) {
+        return SpansMatch(snapshot, entry.window);
+    });
+}
+
+MiningCache::Claim
+MiningCache::AcquireOrBegin(const Key& key,
+                            std::span<const rt::TokenHash> slice)
+{
+    return Probe(key, [&](const Entry& entry) {
+        return entry.window.size() == slice.size() &&
+               std::equal(slice.begin(), slice.end(),
+                          entry.window.begin());
+    });
+}
+
+std::shared_ptr<const std::vector<CandidateTrace>>
+MiningCache::Publish(const Key& key,
+                     std::span<const rt::TokenHash> window,
+                     std::vector<CandidateTrace> results)
+{
+    std::shared_ptr<const std::vector<CandidateTrace>> stored =
+        std::make_shared<const std::vector<CandidateTrace>>(
+            std::move(results));
+    {
+        std::lock_guard lock(mutex_);
+        Entry& entry = entries_[key];
+        entry.window.assign(window.begin(), window.end());
+        entry.results = stored;
+        entry.ready = true;
+        ++windows_published_;
+        retained_.push_back(key);
+        // Bounded retention: evict the oldest published entries. An
+        // evicted window that recurs is simply re-mined; in-flight
+        // adopters keep their shared_ptr alive independently.
+        while (max_windows_ != 0 && retained_.size() > max_windows_) {
+            entries_.erase(retained_.front());
+            retained_.pop_front();
+        }
+    }
+    published_.notify_all();
+    return stored;
+}
+
+void
+MiningCache::Abandon(const Key& key)
+{
+    {
+        std::lock_guard lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end() && !it->second.ready) {
+            entries_.erase(it);
+        }
+    }
+    published_.notify_all();
+}
+
+MiningCache::Stats
+MiningCache::Snapshot() const
+{
+    std::lock_guard lock(mutex_);
+    return Stats{hits_, misses_,
+                 static_cast<std::size_t>(windows_published_)};
+}
+
+std::size_t
+MiningCache::Size() const
+{
+    std::lock_guard lock(mutex_);
+    return entries_.size();
+}
+
+}  // namespace apo::core

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Content-addressed shared mining cache for control-replicated runs.
+ *
+ * Under control replication every node feeds the *same* task stream to
+ * its own trace finder, so every node launches a mining job over a
+ * byte-identical history window at the same stream position — and the
+ * dominant cost of the whole cluster (repeat mining) is paid N times
+ * for one answer. This cache deduplicates that work: a completed
+ * `AnalysisJob`'s candidate set is memoized under a content address of
+ * the mined slice, and any node about to mine an identical window
+ * adopts the published result in place instead.
+ *
+ * Correctness rests on two facts:
+ *  - `MineSlice` is a pure function of (slice, config), so adoption is
+ *    bit-identical to local mining — replicated decisions (and the
+ *    stream digests) are unchanged whether the cache is on or off;
+ *  - hits are *detected*, never assumed: the probe key is the window's
+ *    own rolling content hash plus its length, and before a result is
+ *    adopted the stored window is compared token-for-token against
+ *    the prober's — a (vanishingly rare) 64-bit hash collision
+ *    degrades to mining locally, never to adopting a wrong result.
+ *
+ * Probing and verification walk the probe's zero-copy
+ * `HistorySnapshot` block spans directly, so a cache hit never
+ * materializes the window at all — the adopter skips both the O(slice)
+ * copy and the mining.
+ *
+ * Resident memory is bounded: at most `max_windows` published entries
+ * are retained (FIFO eviction; a re-probed evicted window is simply
+ * re-mined), and adopted candidate sets are shared_ptr-owned so an
+ * in-flight job survives the eviction of its entry. The cache
+ * therefore composes with the streaming-retire log mode's
+ * bounded-memory guarantee on unbounded streams.
+ *
+ * The cache is also the cross-thread rendezvous of the parallel
+ * cluster engine: when two nodes race to the same window, the first
+ * becomes the miner and the second *blocks* until the result is
+ * published (mining it twice would be no faster — the wait costs at
+ * most one mining latency and keeps the every-window-mined-once
+ * invariant at any thread count). A waiter never holds an in-progress
+ * entry of its own, so the wait graph has no cycles.
+ */
+#ifndef APOPHENIA_CORE_MINING_CACHE_H
+#define APOPHENIA_CORE_MINING_CACHE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/finder.h"
+#include "core/history.h"
+#include "runtime/task.h"
+#include "support/hash.h"
+
+namespace apo::core {
+
+/** See file comment. Thread-safe; shared by all nodes of a cluster. */
+class MiningCache {
+  public:
+    /** @param max_windows retained published entries (FIFO eviction
+     * beyond it); 0 = unbounded. */
+    explicit MiningCache(std::size_t max_windows = 1024)
+        : max_windows_(max_windows)
+    {
+    }
+
+    /** Content address of a window: the same incremental HashCombine
+     * fold the stream digests use, over the window's tokens, plus the
+     * length as a cheap first-stage check. */
+    struct Key {
+        std::uint64_t hash = 0;
+        std::size_t length = 0;
+
+        friend bool operator==(const Key&, const Key&) = default;
+    };
+
+    static Key KeyOf(std::span<const rt::TokenHash> slice);
+    /** Same fold, walked over the snapshot's block spans (no copy). */
+    static Key KeyOf(const HistorySnapshot& snapshot);
+
+    /** The outcome of a probe. */
+    struct Claim {
+        /** Non-null: a verified hit — adopt this candidate set (the
+         * shared ownership survives eviction of the entry). */
+        std::shared_ptr<const std::vector<CandidateTrace>> results;
+        /** True: the caller is the window's miner and MUST follow with
+         * Publish() (or Abandon() on failure) before probing any
+         * other key. When both fields are empty the key collided with
+         * a different window: mine locally, do not publish. */
+        bool miner = false;
+    };
+
+    /**
+     * Probe the cache with the window's content. A published entry
+     * whose stored window matches returns its candidate set (a hit).
+     * An in-progress entry blocks until the miner publishes or
+     * abandons. An absent entry registers the caller as its miner.
+     */
+    Claim AcquireOrBegin(const Key& key, const HistorySnapshot& snapshot);
+    Claim AcquireOrBegin(const Key& key,
+                         std::span<const rt::TokenHash> slice);
+
+    /** Publish the mining result for a key this caller began; stores
+     * a copy of the window (for hit verification) and returns the
+     * now-immutable shared candidate set so the miner reads it in
+     * place like every adopter. May evict the oldest entries. */
+    std::shared_ptr<const std::vector<CandidateTrace>> Publish(
+        const Key& key, std::span<const rt::TokenHash> window,
+        std::vector<CandidateTrace> results);
+
+    /** Give up on a key this caller began (mining threw): waiters are
+     * released and the next prober becomes the miner. */
+    void Abandon(const Key& key);
+
+    /** Aggregate counters: every probe is a hit (result adopted,
+     * possibly after waiting for the miner) or a miss (the caller
+     * mined). `windows` counts mining runs that published — with no
+     * eviction pressure and no collisions, misses == windows ⇔ each
+     * distinct window was mined exactly once. */
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::size_t windows = 0;
+    };
+
+    Stats Snapshot() const;
+
+    /** Currently retained published + in-progress entries. */
+    std::size_t Size() const;
+
+  private:
+    struct Entry {
+        bool ready = false;
+        /** The mined window itself, for exact hit verification. */
+        std::vector<rt::TokenHash> window;
+        std::shared_ptr<const std::vector<CandidateTrace>> results;
+    };
+
+    struct KeyHasher {
+        std::size_t operator()(const Key& key) const
+        {
+            return static_cast<std::size_t>(
+                support::HashCombine(key.hash, key.length));
+        }
+    };
+
+    /** The generic probe loop; Matches compares the prober's window
+     * against an entry's stored tokens. */
+    template <typename MatchesEntry>
+    Claim Probe(const Key& key, const MatchesEntry& matches);
+
+    mutable std::mutex mutex_;
+    std::condition_variable published_;
+    std::unordered_map<Key, Entry, KeyHasher> entries_;
+    /** Publication order of retained entries (the FIFO eviction
+     * queue); in-progress entries are not in it and are never
+     * evicted. */
+    std::deque<Key> retained_;
+    std::size_t max_windows_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t windows_published_ = 0;
+};
+
+}  // namespace apo::core
+
+#endif  // APOPHENIA_CORE_MINING_CACHE_H

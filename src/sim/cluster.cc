@@ -1,8 +1,33 @@
 #include "sim/cluster.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <thread>
 
 namespace apo::sim {
+
+namespace {
+
+/** ClusterOptions::jobs defaulting: explicit value, else the APO_JOBS
+ * environment override, else the hardware. */
+std::size_t
+ResolveJobs(std::size_t jobs)
+{
+    if (jobs != 0) {
+        return jobs;
+    }
+    if (const char* env = std::getenv("APO_JOBS")) {
+        char* end = nullptr;
+        const unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0) {
+            return static_cast<std::size_t>(parsed);
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+}  // namespace
 
 std::string_view
 SkewName(SkewKind kind)
@@ -30,13 +55,28 @@ StreamDigest::Of(const rt::OperationLog& log)
     return digest;
 }
 
-Cluster::Cluster(const ClusterOptions& options) : options_(options)
+Cluster::Cluster(const ClusterOptions& options)
+    : options_(options),
+      mining_cache_(options.mining_cache_windows),
+      // Never more threads than nodes: the fan-out unit is one node,
+      // so extra workers could only park at every barrier.
+      jobs_(std::min(ResolveJobs(options.jobs),
+                     std::max<std::size_t>(1,
+                                           options.coordination.nodes))),
+      team_(jobs_)
 {
     if (options_.coordination.nodes == 0) {
         options_.coordination.nodes = 1;
     }
+    if (options_.max_batch_tasks == 0) {
+        options_.max_batch_tasks = 1;
+    }
     slack_ = options_.coordination.initial_slack;
     const std::size_t n_nodes = options_.coordination.nodes;
+    // Sharing pays only when several nodes mine the same stream.
+    core::MiningCache* cache =
+        options_.share_mining_cache && n_nodes > 1 ? &mining_cache_
+                                                   : nullptr;
     nodes_.reserve(n_nodes);
     metrics_.resize(n_nodes);
     for (std::size_t n = 0; n < n_nodes; ++n) {
@@ -46,7 +86,7 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options)
         // Inline executor keeps the mining computation deterministic;
         // completion *timing* is simulated by the coordinator.
         node->front_end = std::make_unique<core::Apophenia>(
-            node->runtime, options_.config);
+            node->runtime, options_.config, nullptr, cache);
         node->front_end->SetIngestMode(core::IngestMode::kManual);
         if (options_.stream_logs) {
             NodeState* state = node.get();
@@ -60,6 +100,8 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options)
         }
         nodes_.push_back(std::move(node));
     }
+    team_.SetBody([this](std::size_t n) { RunNodePhase(n); });
+    UpdateHorizon();
 }
 
 void
@@ -91,21 +133,102 @@ Cluster::DrainLogStreams()
 void
 Cluster::DoExecuteTask(const rt::TaskLaunchView& launch)
 {
-    const std::uint64_t at = tasks_issued_;
-    ++tasks_issued_;
-    for (std::size_t n = 0; n < nodes_.size(); ++n) {
-        // The node's virtual clock: a skewed node pays more time per
-        // issued task.
-        metrics_[n].virtual_time_tasks += options_.skew.Factor(n, at);
-        nodes_[n]->front_end->ExecuteTask(launch);
+    // Buffer the launch into a recycled slot. The nodes advance in
+    // batches: between coordination points they are independent, so
+    // the serial per-task loop is deferred to the next barrier (see
+    // ProcessBatch) where it fans out across the team — with results
+    // byte-identical to stepping every node at every task.
+    if (batch_count_ == batch_.size()) {
+        batch_.emplace_back();
     }
+    BatchedLaunch& slot = batch_[batch_count_];
+    launch.MaterializeInto(slot.launch);
+    slot.token = launch.token;
+    ++batch_count_;
+    ++tasks_issued_;
+    if (tasks_issued_ >= horizon_) {
+        ProcessBatch();
+    }
+}
+
+void
+Cluster::ProcessBatch()
+{
+    if (batch_count_ > 0) {
+        batch_base_ = tasks_issued_ - batch_count_;
+        phase_ = NodePhase::kStep;
+        team_.Run(nodes_.size());
+        batch_count_ = 0;
+    }
+    // The nodes have caught up with the issued stream: make the
+    // coordination decisions the serial schedule would have made at
+    // (or before) this position. No job's ingestion point can fall
+    // strictly inside a batch — UpdateHorizon bounds each batch by
+    // the front job's due position and by the current slack, and a
+    // job launched mid-batch is due no earlier than its launch
+    // position plus the (monotonically non-decreasing) slack.
     ScheduleNewJobs();
     IngestDueJobs();
+    UpdateHorizon();
+}
+
+void
+Cluster::RunNodePhase(std::size_t n)
+{
+    NodeState& node = *nodes_[n];
+    switch (phase_) {
+      case NodePhase::kStep: {
+        NodeMetrics& metrics = metrics_[n];
+        for (std::size_t i = 0; i < batch_count_; ++i) {
+            // The node's virtual clock: a skewed node pays more time
+            // per issued task.
+            metrics.virtual_time_tasks +=
+                options_.skew.Factor(n, batch_base_ + i);
+            const BatchedLaunch& buffered = batch_[i];
+            node.front_end->ExecuteTask(
+                rt::TaskLaunchView::Of(buffered.launch, buffered.token));
+        }
+        break;
+      }
+      case NodePhase::kIngest:
+        for (std::size_t k = 0; k < ingest_count_; ++k) {
+            node.front_end->IngestOldestJob();
+        }
+        break;
+      case NodePhase::kDrainAndFlush:
+        for (std::size_t k = 0; k < ingest_count_; ++k) {
+            node.front_end->IngestOldestJob();
+        }
+        node.front_end->Flush();
+        break;
+    }
+}
+
+void
+Cluster::UpdateHorizon()
+{
+    // The next position at which the serial schedule could act: the
+    // front job's due point, else nothing before one slack's worth of
+    // tasks (new jobs are agreed at launch + slack and slack never
+    // shrinks), capped so the batch buffer stays small.
+    std::uint64_t step = std::max<std::uint64_t>(1, slack_);
+    step = std::min<std::uint64_t>(
+        step, static_cast<std::uint64_t>(options_.max_batch_tasks));
+    horizon_ = tasks_issued_ + step;
+    if (!schedule_.empty()) {
+        const JobSchedule& next = schedule_.front();
+        horizon_ = std::min(horizon_,
+                            std::max(next.agreed_at, next.ready_at));
+    }
 }
 
 rt::RegionId
 Cluster::CreateRegion()
 {
+    // Region calls broadcast immediately, so the buffered launches
+    // must reach the nodes first to preserve per-node call order.
+    // Cutting a batch early is always serial-equivalent.
+    ProcessBatch();
     const rt::RegionId region = nodes_[0]->front_end->CreateRegion();
     for (std::size_t n = 1; n < nodes_.size(); ++n) {
         if (nodes_[n]->front_end->CreateRegion() != region) {
@@ -120,6 +243,7 @@ Cluster::CreateRegion()
 void
 Cluster::DestroyRegion(rt::RegionId r)
 {
+    ProcessBatch();
     for (auto& node : nodes_) {
         node->front_end->DestroyRegion(r);
     }
@@ -128,6 +252,7 @@ Cluster::DestroyRegion(rt::RegionId r)
 std::vector<rt::RegionId>
 Cluster::PartitionRegion(rt::RegionId parent, std::size_t count)
 {
+    ProcessBatch();
     std::vector<rt::RegionId> subregions =
         nodes_[0]->front_end->PartitionRegion(parent, count);
     for (std::size_t n = 1; n < nodes_.size(); ++n) {
@@ -198,9 +323,13 @@ void
 Cluster::IngestDueJobs()
 {
     // Ingest in launch order once both the agreed point and global
-    // readiness have passed — the same decision on every node.
-    while (!schedule_.empty()) {
-        const JobSchedule& next = schedule_.front();
+    // readiness have passed — the same decision on every node. The
+    // stall accounting happens here on the driving thread; the
+    // per-node trie ingestion fans out through the team (per-node
+    // order is launch order either way).
+    ingest_count_ = 0;
+    while (ingest_count_ < schedule_.size()) {
+        const JobSchedule& next = schedule_[ingest_count_];
         const std::uint64_t due =
             std::max(next.agreed_at, next.ready_at);
         if (tasks_issued_ < due) {
@@ -218,29 +347,35 @@ Cluster::IngestDueJobs()
             metrics_[n].stall_tasks += stall;
             metrics_[n].max_stall_tasks =
                 std::max(metrics_[n].max_stall_tasks, stall);
-            nodes_[n]->front_end->IngestOldestJob();
         }
-        schedule_.pop_front();
+        ++ingest_count_;
+    }
+    if (ingest_count_ > 0) {
+        phase_ = NodePhase::kIngest;
+        team_.Run(nodes_.size());
+        schedule_.erase(schedule_.begin(),
+                        schedule_.begin() +
+                            static_cast<std::ptrdiff_t>(ingest_count_));
+        ingest_count_ = 0;
     }
 }
 
 void
 Cluster::DoFlush()
 {
-    // Drain every coordinated job, then flush the front-ends. The
-    // drain ingests jobs whose agreed point lies beyond the end of
-    // the stream, so the stream-position stall accounting does not
-    // apply — those positions never elapse. The stall metrics
-    // describe in-stream agreement points only.
-    while (!schedule_.empty()) {
-        for (auto& node : nodes_) {
-            node->front_end->IngestOldestJob();
-        }
-        schedule_.pop_front();
-    }
-    for (auto& node : nodes_) {
-        node->front_end->Flush();
-    }
+    // Catch the nodes up with the issued stream, then drain every
+    // coordinated job and flush the front-ends (one barrier for the
+    // whole per-node drain). The drain ingests jobs whose agreed
+    // point lies beyond the end of the stream, so the stream-position
+    // stall accounting does not apply — those positions never elapse.
+    // The stall metrics describe in-stream agreement points only.
+    ProcessBatch();
+    ingest_count_ = schedule_.size();
+    phase_ = NodePhase::kDrainAndFlush;
+    team_.Run(nodes_.size());
+    schedule_.clear();
+    ingest_count_ = 0;
+    UpdateHorizon();
 }
 
 StreamDigest

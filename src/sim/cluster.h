@@ -43,6 +43,30 @@
  * operation. Digests agree ⇔ streams identical (up to hash
  * collision), at constant memory per node — so control replication
  * now composes with `sim::LogMode::kStreaming`.
+ *
+ * **Parallel execution engine.** Nodes are independent between
+ * coordination points (each owns its runtime shard, finder and trie;
+ * they interact only through the agreed-count schedule, which this
+ * class computes centrally), so the cluster batches the issued stream
+ * up to the next point at which the serial schedule could act — the
+ * front job's due position, bounded by the current slack and
+ * `ClusterOptions::max_batch_tasks` — and fans the per-node advance
+ * loops over a `support::TaskTeam` with a barrier at every batch end.
+ * Scheduling and ingestion decisions stay on the driving thread, so
+ * every observable (digests, CoordinationStats, NodeMetrics, the
+ * per-node rng draws) is byte-identical to the serial schedule at any
+ * thread count, including jobs = 1 (which runs inline). The thread
+ * count comes from `ClusterOptions::jobs` (0 = the APO_JOBS
+ * environment override, else hardware_concurrency).
+ *
+ * **Shared mining cache.** In a control-replicated run every node
+ * mines the same windows of the same stream; a cluster-wide
+ * `core::MiningCache` (content-addressed by each slice's rolling
+ * hash; hits detected, never assumed) lets node k adopt the first
+ * finisher's candidate set, so each distinct window is mined once
+ * cluster-wide instead of N times — the dominant cost of a no-skew
+ * replicated run. Adoption is bit-identical to local mining (MineSlice
+ * is pure), so the cache changes wall-clock only.
  */
 #ifndef APOPHENIA_SIM_CLUSTER_H
 #define APOPHENIA_SIM_CLUSTER_H
@@ -58,7 +82,9 @@
 #include "api/frontend.h"
 #include "core/apophenia.h"
 #include "core/config.h"
+#include "core/mining_cache.h"
 #include "runtime/runtime.h"
+#include "support/executor.h"
 #include "support/hash.h"
 #include "support/rng.h"
 
@@ -223,6 +249,25 @@ struct ClusterOptions {
      * of stream length. Extra consumers (the harness's simulator)
      * attach via AddLogConsumer before the first launch. */
     bool stream_logs = false;
+    /** Threads driving the per-node advance loops (the parallel
+     * engine; see file comment). 0 = the APO_JOBS environment
+     * variable if set, else std::thread::hardware_concurrency();
+     * always clamped to the node count. Every value yields
+     * byte-identical results; 1 is the serial schedule run inline. */
+    std::size_t jobs = 0;
+    /** Upper bound on buffered launches between barriers (caps the
+     * batch storage when the agreed slack grows large). Any positive
+     * value is result-identical; it trades barrier frequency against
+     * buffer memory. */
+    std::size_t max_batch_tasks = 256;
+    /** Share one content-addressed mining cache across the nodes so
+     * identical history windows are mined once cluster-wide (see
+     * core/mining_cache.h). Behaviour-invariant; wall-clock only. */
+    bool share_mining_cache = true;
+    /** Published windows the cache retains (FIFO eviction beyond it;
+     * 0 = unbounded). Bounds cache memory on unbounded streams — an
+     * evicted window that recurs is simply re-mined. */
+    std::size_t mining_cache_windows = 1024;
 };
 
 /**
@@ -258,6 +303,15 @@ class Cluster final : public api::Frontend {
     const CoordinationStats& Coordination() const { return stats_; }
     const std::vector<NodeMetrics>& PerNode() const { return metrics_; }
     const ClusterOptions& Options() const { return options_; }
+    /** Resolved thread count of the parallel engine (after the
+     * APO_JOBS / hardware_concurrency defaulting). */
+    std::size_t Jobs() const { return jobs_; }
+    /** Shared-mining-cache counters (all zero when the cache is
+     * disabled or the run mined nothing). */
+    core::MiningCache::Stats MiningCacheStats() const
+    {
+        return mining_cache_.Snapshot();
+    }
 
     // -- Stream agreement ---------------------------------------------------
 
@@ -326,10 +380,35 @@ class Cluster final : public api::Frontend {
         std::vector<std::uint64_t> completion;
     };
 
+    /** One buffered launch of the current batch; the slots (and their
+     * requirement vectors) are recycled, so buffering is
+     * allocation-free in steady state. */
+    struct BatchedLaunch {
+        rt::TaskLaunch launch;
+        rt::TokenHash token = 0;
+    };
+
+    /** What RunNodePhase does for one node of the current barrier. */
+    enum class NodePhase {
+        kStep,           ///< advance through the buffered batch
+        kIngest,         ///< ingest the first ingest_count_ due jobs
+        kDrainAndFlush,  ///< end-of-stream: drain schedule + Flush
+    };
+
+    /** Run the buffered batch on every node (one TaskTeam barrier),
+     * then schedule/ingest at the caught-up stream position and pick
+     * the next horizon. Serial-schedule equivalent at any point. */
+    void ProcessBatch();
+    void RunNodePhase(std::size_t n);  ///< the TaskTeam body
+    void UpdateHorizon();
+
     void ScheduleNewJobs();
     void IngestDueJobs();
 
     ClusterOptions options_;
+    core::MiningCache mining_cache_;
+    std::size_t jobs_ = 1;    ///< resolved ClusterOptions::jobs
+    support::TaskTeam team_;  ///< per-node fan-out (jobs_ threads)
     std::vector<std::unique_ptr<NodeState>> nodes_;
     std::deque<JobSchedule> schedule_;  ///< FIFO of uningested jobs
     std::uint64_t tasks_issued_ = 0;
@@ -337,6 +416,14 @@ class Cluster final : public api::Frontend {
     std::uint64_t jobs_seen_ = 0;
     CoordinationStats stats_;
     std::vector<NodeMetrics> metrics_;
+
+    // -- Parallel-engine batch state (see file comment) ---------------------
+    NodePhase phase_ = NodePhase::kStep;
+    std::vector<BatchedLaunch> batch_;  ///< recycled launch slots
+    std::size_t batch_count_ = 0;       ///< live prefix of batch_
+    std::uint64_t batch_base_ = 0;  ///< absolute index of batch_[0]
+    std::uint64_t horizon_ = 0;     ///< process when issued reaches this
+    std::size_t ingest_count_ = 0;  ///< due jobs per node this barrier
 };
 
 }  // namespace apo::sim

@@ -68,6 +68,8 @@ BuildFrontend(const ExperimentOptions& options, bool streaming)
             options.mode == TracingMode::kAuto;
         cluster_options.runtime_options = runtime_options;
         cluster_options.stream_logs = streaming;
+        cluster_options.jobs = options.cluster_jobs;
+        cluster_options.share_mining_cache = options.share_mining_cache;
         stack.cluster = std::make_unique<Cluster>(cluster_options);
         stack.front = stack.cluster.get();
         return stack;
@@ -229,6 +231,14 @@ RunExperiment(apps::Application& app, const ExperimentOptions& options)
                 result.log_peak_resident_bytes,
                 stack.cluster->NodeRuntime(n).Log().PeakResidentBytes());
         }
+        const core::MiningCache::Stats cache =
+            stack.cluster->MiningCacheStats();
+        result.mining_cache_hits = cache.hits;
+        result.mining_cache_misses = cache.misses;
+        result.mining_cache_windows = cache.windows;
+        const StreamDigest digest = stack.cluster->NodeDigest(0);
+        result.stream_digest = digest.Value();
+        result.stream_digest_ops = digest.Count();
     }
     return result;
 }

@@ -102,6 +102,14 @@ struct ExperimentOptions {
     CoordinationOptions replication;
     /** Per-node timing perturbation when replicas > 1. */
     SkewModel skew;
+    /** Threads of the cluster's parallel per-node engine when
+     * replicas > 1 (ClusterOptions::jobs: 0 = APO_JOBS env override,
+     * else hardware_concurrency; every value is byte-identical). */
+    std::size_t cluster_jobs = 0;
+    /** Share one content-addressed mining cache across the cluster's
+     * nodes (behaviour-invariant dedup of the replicated mining work;
+     * see core/mining_cache.h). */
+    bool share_mining_cache = true;
     /** Record the figure-10 coverage series (costs memory). */
     bool keep_coverage_series = false;
     std::size_t coverage_window = 5000;
@@ -134,6 +142,19 @@ struct ExperimentResult {
     /** Operations drained through the streaming consumer on node 0
      * (0 when retained). */
     std::size_t log_retired_ops = 0;
+    /** Shared-mining-cache counters (replicated runs; zero when the
+     * cache is off). Every mining-job probe is a hit (another node's
+     * result adopted) or a miss (mined locally); `windows` counts
+     * published mining runs, so misses == windows certifies each
+     * distinct window was mined once cluster-wide. */
+    std::uint64_t mining_cache_hits = 0;
+    std::uint64_t mining_cache_misses = 0;
+    std::size_t mining_cache_windows = 0;
+    /** Node 0's rolling stream digest (replicated runs; zero
+     * otherwise) — the strongest cheap cross-run identity check: two
+     * runs that issued the same stream report the same digest. */
+    std::uint64_t stream_digest = 0;
+    std::uint64_t stream_digest_ops = 0;
 };
 
 /** Run `app` for `options.iterations` main-loop iterations and

@@ -25,9 +25,15 @@ class LcpRmq {
             return;
         }
         const unsigned levels = std::bit_width(n);
-        table_.assign(levels, lcp);
+        // Level j only answers queries of span 2^j, so it needs just
+        // n - 2^j + 1 entries — sizing each level (instead of a full
+        // copy of the LCP array per level) halves the preprocessing
+        // memory overall.
+        table_.resize(levels);
+        table_[0] = lcp;
         for (unsigned j = 1; j < levels; ++j) {
             const std::size_t span = std::size_t{1} << j;
+            table_[j].resize(n - span + 1);
             for (std::size_t i = 0; i + span <= n; ++i) {
                 table_[j][i] = std::min(table_[j - 1][i],
                                         table_[j - 1][i + span / 2]);

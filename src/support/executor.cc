@@ -164,4 +164,125 @@ PooledExecutor::Drain()
     Pump();
 }
 
+TaskTeam::TaskTeam(std::size_t threads)
+{
+    if (threads <= 1) {
+        return;  // caller-only team: Run() loops inline
+    }
+    workers_.reserve(threads - 1);
+    for (std::size_t i = 0; i + 1 < threads; ++i) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+    }
+}
+
+TaskTeam::~TaskTeam()
+{
+    {
+        std::lock_guard lock(mutex_);
+        shutting_down_ = true;
+    }
+    start_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+}
+
+void
+TaskTeam::SetBody(std::function<void(std::size_t)> body)
+{
+    // Workers only read body_ after observing a new epoch under the
+    // same mutex, so publishing it here is race-free as long as no
+    // Run() is in flight (the documented contract).
+    std::lock_guard lock(mutex_);
+    body_ = std::move(body);
+}
+
+void
+TaskTeam::Invoke(std::size_t i)
+{
+    try {
+        body_(i);
+    } catch (...) {
+        std::lock_guard lock(mutex_);
+        if (!error_) {
+            error_ = std::current_exception();
+        }
+    }
+}
+
+void
+TaskTeam::Run(std::size_t count)
+{
+    if (count == 0) {
+        return;
+    }
+    if (workers_.empty() || count == 1) {
+        for (std::size_t i = 0; i < count; ++i) {
+            body_(i);  // inline: exceptions propagate directly
+        }
+        return;
+    }
+    {
+        std::lock_guard lock(mutex_);
+        count_ = count;
+        next_.store(0, std::memory_order_relaxed);
+        running_ = workers_.size();
+        error_ = nullptr;
+        ++epoch_;
+    }
+    start_.notify_all();
+    // The caller is a team member too: claim indices alongside the
+    // workers instead of idling at the barrier.
+    for (;;) {
+        const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) {
+            break;
+        }
+        Invoke(i);
+    }
+    std::unique_lock lock(mutex_);
+    done_.wait(lock, [this] { return running_ == 0; });
+    // Only past the barrier may a failure unwind the caller: every
+    // worker has quiesced, so nothing still touches borrowed state.
+    if (error_) {
+        std::exception_ptr error = error_;
+        error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+void
+TaskTeam::WorkerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::size_t count = 0;
+        {
+            std::unique_lock lock(mutex_);
+            start_.wait(lock, [&] {
+                return shutting_down_ || epoch_ != seen;
+            });
+            if (shutting_down_) {
+                return;
+            }
+            seen = epoch_;
+            count = count_;
+        }
+        for (;;) {
+            const std::size_t i =
+                next_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) {
+                break;
+            }
+            Invoke(i);
+        }
+        {
+            std::lock_guard lock(mutex_);
+            --running_;
+        }
+        done_.notify_one();
+    }
+}
+
 }  // namespace apo::support

@@ -24,9 +24,12 @@
 #ifndef APOPHENIA_SUPPORT_EXECUTOR_H
 #define APOPHENIA_SUPPORT_EXECUTOR_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -173,6 +176,65 @@ class PooledExecutor final : public Executor {
     WorkerPool pool_;
     std::mutex mutex_;
     std::deque<Ticket> tickets_;
+};
+
+/**
+ * A fixed team of threads for data-parallel index loops, built for the
+ * cluster simulation's per-node stepping: the *same* body runs over a
+ * dense index range, many times, with a full barrier after each range.
+ *
+ * Unlike WorkerPool::Submit (one std::function allocation + queue node
+ * per job), the body is installed once and each Run() merely republishes
+ * an index range to the persistent workers — Run() itself performs no
+ * allocation, so it can sit on a zero-allocation-per-launch issue path
+ * whose batches fan out through the team.
+ *
+ * `threads` counts the caller: TaskTeam(1) spawns no workers and Run()
+ * degenerates to an inline loop, so a jobs=1 configuration is exactly
+ * the serial schedule. Indices are claimed from a shared atomic
+ * counter; the body must be safe to invoke concurrently for distinct
+ * indices. Run() returns only after every index has been processed and
+ * every worker has quiesced (the barrier).
+ */
+class TaskTeam {
+  public:
+    explicit TaskTeam(std::size_t threads = 1);
+    ~TaskTeam();
+
+    TaskTeam(const TaskTeam&) = delete;
+    TaskTeam& operator=(const TaskTeam&) = delete;
+
+    /** Install the loop body. Must precede the first Run() and must
+     * not be called while a Run() is in flight. */
+    void SetBody(std::function<void(std::size_t)> body);
+
+    /** Invoke body(i) for every i in [0, count), on the workers plus
+     * the calling thread; returns after all indices completed. If any
+     * invocation throws, the first exception is captured, the barrier
+     * still completes (no worker outlives a Run over state it
+     * borrows), and the exception is rethrown here on the caller. */
+    void Run(std::size_t count);
+
+    /** Total threads participating in a Run (workers + caller). */
+    std::size_t Threads() const { return workers_.size() + 1; }
+
+  private:
+    void WorkerLoop();
+    /** body_(i) with the first thrown exception captured into
+     * error_ (rethrown by Run after the barrier). */
+    void Invoke(std::size_t i);
+
+    std::function<void(std::size_t)> body_;
+    std::mutex mutex_;
+    std::condition_variable start_;
+    std::condition_variable done_;
+    std::uint64_t epoch_ = 0;     ///< bumped per Run; wakes workers
+    std::size_t count_ = 0;       ///< index range of the current epoch
+    std::size_t running_ = 0;     ///< workers still inside the epoch
+    bool shutting_down_ = false;
+    std::exception_ptr error_;    ///< first failure of this epoch
+    std::atomic<std::size_t> next_{0};  ///< shared index claim counter
+    std::vector<std::thread> workers_;
 };
 
 }  // namespace apo::support

@@ -9,13 +9,24 @@
  * monotonically; and a 64-node streaming run must stay under a fixed
  * resident-log ceiling while certifying agreement through the rolling
  * digests.
+ *
+ * The parallel execution engine's contracts are pinned here too: any
+ * thread count (jobs ∈ {1, 2, 8}) yields byte-identical digests,
+ * coordination stats and per-node metrics; a no-skew replicated run
+ * mines each history window exactly once cluster-wide (every other
+ * node adopts from the shared mining cache); and the replicated
+ * streaming issue path allocates nothing per launch in steady state
+ * (this TU owns the binary's counting global operator new).
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "api/launch.h"
 #include "apps/cfd.h"
 #include "apps/flexflow.h"
 #include "apps/htr.h"
@@ -23,6 +34,7 @@
 #include "apps/torchswe.h"
 #include "sim/cluster.h"
 #include "sim/harness.h"
+#include "support/counting_allocator.h"
 
 namespace apo::sim {
 namespace {
@@ -460,6 +472,298 @@ TEST(ClusterHarness, EightNodesStreamingWithSkew)
     EXPECT_GT(result.replayed_fraction, 0.0);
     ASSERT_EQ(result.node_metrics.size(), 8u);
     EXPECT_EQ(result.log_retired_ops, result.total_tasks);
+}
+
+// ---------------------------------------------------------------------------
+// The parallel execution engine: thread-count invariance, the shared
+// mining cache's mine-once invariant, and the zero-allocation issue
+// path.
+
+TEST(ParallelEngine, ClusterByteIdenticalAcrossJobCounts)
+{
+    // Identical clusters driven identically at jobs {1, 2, 8} must
+    // produce the very same digests, coordination stats and per-node
+    // metrics — jobs=1 is the serial schedule, so this pins the
+    // parallel engine to it bit-for-bit.
+    auto run = [](std::size_t jobs) {
+        ClusterOptions options = SmallClusterOptions(4);
+        options.jobs = jobs;
+        options.coordination.seed = 11;
+        options.coordination.jitter = 0.9;
+        options.skew.kind = SkewKind::kJitter;
+        options.skew.jitter_amplitude = 0.4;
+        auto fe = std::make_unique<Cluster>(options);
+        DriveLoop(*fe, /*iterations=*/60, /*body=*/10);
+        return fe;
+    };
+    const auto reference = run(1);
+    for (const std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
+        SCOPED_TRACE(jobs);
+        const auto parallel = run(jobs);
+        // The team is clamped to the node count (4 here).
+        EXPECT_EQ(parallel->Jobs(),
+                  std::min(jobs, parallel->Nodes()));
+        for (std::size_t n = 0; n < reference->Nodes(); ++n) {
+            EXPECT_EQ(parallel->NodeDigest(n).Value(),
+                      reference->NodeDigest(n).Value())
+                << "node " << n;
+            EXPECT_EQ(parallel->NodeDigest(n).Count(),
+                      reference->NodeDigest(n).Count());
+        }
+        const CoordinationStats& a = parallel->Coordination();
+        const CoordinationStats& b = reference->Coordination();
+        EXPECT_EQ(a.jobs_coordinated, b.jobs_coordinated);
+        EXPECT_EQ(a.late_jobs, b.late_jobs);
+        EXPECT_EQ(a.final_slack, b.final_slack);
+        EXPECT_EQ(a.peak_slack, b.peak_slack);
+        for (std::size_t n = 0; n < reference->Nodes(); ++n) {
+            const NodeMetrics& pm = parallel->PerNode()[n];
+            const NodeMetrics& rm = reference->PerNode()[n];
+            EXPECT_DOUBLE_EQ(pm.virtual_time_tasks,
+                             rm.virtual_time_tasks);
+            EXPECT_EQ(pm.late_jobs, rm.late_jobs);
+            EXPECT_DOUBLE_EQ(pm.stall_tasks, rm.stall_tasks);
+            EXPECT_DOUBLE_EQ(pm.max_stall_tasks, rm.max_stall_tasks);
+        }
+    }
+}
+
+TEST(ParallelEngine, HarnessResultsIdenticalAcrossJobCounts)
+{
+    // The full replicated streaming harness (skewed, 8 nodes) through
+    // every figure surface: simulated throughput, makespan, slack
+    // trajectory and per-node metrics must not depend on jobs.
+    auto run = [](std::size_t jobs) {
+        ExperimentOptions options = ClusterExperiment(8, 40);
+        options.log_mode = LogMode::kStreaming;
+        options.skew.kind = SkewKind::kStraggler;
+        options.skew.straggler_node = 2;
+        options.skew.straggler_factor = 4.0;
+        options.cluster_jobs = jobs;
+        apps::S3dApplication app(
+            apps::S3dOptions{.machine = options.machine});
+        return RunExperiment(app, options);
+    };
+    const ExperimentResult reference = run(1);
+    EXPECT_TRUE(reference.streams_identical);
+    for (const std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
+        SCOPED_TRACE(jobs);
+        const ExperimentResult parallel = run(jobs);
+        EXPECT_TRUE(parallel.streams_identical);
+        // The issued streams themselves, not just derived figures.
+        EXPECT_EQ(parallel.stream_digest, reference.stream_digest);
+        EXPECT_EQ(parallel.stream_digest_ops,
+                  reference.stream_digest_ops);
+        EXPECT_DOUBLE_EQ(parallel.iterations_per_second,
+                         reference.iterations_per_second);
+        EXPECT_DOUBLE_EQ(parallel.makespan_us, reference.makespan_us);
+        EXPECT_EQ(parallel.total_tasks, reference.total_tasks);
+        EXPECT_EQ(parallel.replayed_fraction,
+                  reference.replayed_fraction);
+        EXPECT_EQ(parallel.log_retired_ops, reference.log_retired_ops);
+        EXPECT_EQ(parallel.coordination.final_slack,
+                  reference.coordination.final_slack);
+        EXPECT_EQ(parallel.coordination.late_jobs,
+                  reference.coordination.late_jobs);
+        EXPECT_EQ(parallel.coordination.peak_slack,
+                  reference.coordination.peak_slack);
+        ASSERT_EQ(parallel.node_metrics.size(),
+                  reference.node_metrics.size());
+        for (std::size_t n = 0; n < reference.node_metrics.size(); ++n) {
+            EXPECT_DOUBLE_EQ(parallel.node_metrics[n].virtual_time_tasks,
+                             reference.node_metrics[n].virtual_time_tasks);
+            EXPECT_DOUBLE_EQ(parallel.node_metrics[n].stall_tasks,
+                             reference.node_metrics[n].stall_tasks);
+        }
+        // The cache serves every node beyond the first miner at any
+        // thread count (a racing prober blocks for the miner rather
+        // than mining twice).
+        EXPECT_EQ(parallel.mining_cache_misses,
+                  reference.mining_cache_misses);
+        EXPECT_EQ(parallel.mining_cache_hits,
+                  reference.mining_cache_hits);
+    }
+}
+
+TEST(MiningCache, NoSkewReplicatedRunsMineEachWindowOnce)
+{
+    constexpr std::size_t kNodes = 4;
+    ExperimentOptions options = ClusterExperiment(kNodes, 50);
+    options.log_mode = LogMode::kStreaming;
+    apps::S3dApplication app(
+        apps::S3dOptions{.machine = options.machine});
+    const ExperimentResult result = RunExperiment(app, options);
+    EXPECT_TRUE(result.streams_identical);
+
+    const std::uint64_t jobs_per_node =
+        result.apophenia_stats.jobs_ingested;
+    ASSERT_GT(jobs_per_node, 0u);
+    // Every node probes once per job; each distinct window costs
+    // exactly one miss (its one mining run) and every other probe —
+    // all of nodes 1..N-1's, plus repeated windows on node 0 — hits.
+    EXPECT_EQ(result.mining_cache_hits + result.mining_cache_misses,
+              kNodes * jobs_per_node);
+    EXPECT_EQ(result.mining_cache_misses, result.mining_cache_windows)
+        << "a window was mined more than once";
+    EXPECT_LE(result.mining_cache_misses, jobs_per_node)
+        << "a node other than the first finisher re-mined a window";
+    EXPECT_GE(result.mining_cache_hits,
+              (kNodes - 1) * jobs_per_node);
+}
+
+TEST(MiningCache, BoundedRetentionEvictsOldestAndStaysCorrect)
+{
+    core::MiningCache cache(/*max_windows=*/2);
+    const std::vector<rt::TokenHash> a{1, 2, 3};
+    const std::vector<rt::TokenHash> b{4, 5, 6};
+    const std::vector<rt::TokenHash> c{7, 8, 9};
+    auto span_of = [](const std::vector<rt::TokenHash>& w) {
+        return std::span<const rt::TokenHash>(w);
+    };
+    auto mine = [&](const std::vector<rt::TokenHash>& w) {
+        const core::MiningCache::Key key =
+            core::MiningCache::KeyOf(span_of(w));
+        core::MiningCache::Claim claim =
+            cache.AcquireOrBegin(key, span_of(w));
+        EXPECT_TRUE(claim.miner);
+        return cache.Publish(key, span_of(w),
+                             {core::CandidateTrace{w, 2.0}});
+    };
+    const auto a_results = mine(a);
+    mine(b);
+    mine(c);  // evicts a (FIFO, cap 2)
+    EXPECT_EQ(cache.Size(), 2u);
+    // An adopter's shared ownership survives the eviction.
+    ASSERT_EQ(a_results->size(), 1u);
+    EXPECT_EQ(a_results->front().tokens, a);
+    // A retained window still hits; the evicted one is re-mined.
+    const core::MiningCache::Claim hit = cache.AcquireOrBegin(
+        core::MiningCache::KeyOf(span_of(c)), span_of(c));
+    ASSERT_NE(hit.results, nullptr);
+    EXPECT_FALSE(hit.miner);
+    const core::MiningCache::Claim remine = cache.AcquireOrBegin(
+        core::MiningCache::KeyOf(span_of(a)), span_of(a));
+    EXPECT_EQ(remine.results, nullptr);
+    EXPECT_TRUE(remine.miner);
+    cache.Abandon(core::MiningCache::KeyOf(span_of(a)));
+    const core::MiningCache::Stats stats = cache.Snapshot();
+    EXPECT_EQ(stats.misses, 4u);  // a, b, c mined + a re-begun
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.windows, 3u);  // published runs
+}
+
+TEST(MiningCache, HashCollisionIsDetectedNotAdopted)
+{
+    // Probe an existing key with *different* window content (a forged
+    // 64-bit collision): the cache must refuse to adopt and must not
+    // let the prober clobber the entry — it mines locally instead.
+    core::MiningCache cache;
+    const std::vector<rt::TokenHash> original{10, 20, 30};
+    const std::vector<rt::TokenHash> impostor{11, 21, 31};
+    const core::MiningCache::Key key = core::MiningCache::KeyOf(
+        std::span<const rt::TokenHash>(original));
+    core::MiningCache::Claim claim = cache.AcquireOrBegin(
+        key, std::span<const rt::TokenHash>(original));
+    ASSERT_TRUE(claim.miner);
+    cache.Publish(key, std::span<const rt::TokenHash>(original),
+                  {core::CandidateTrace{original, 2.0}});
+
+    const core::MiningCache::Claim collided = cache.AcquireOrBegin(
+        key, std::span<const rt::TokenHash>(impostor));
+    EXPECT_EQ(collided.results, nullptr) << "adopted a colliding window";
+    EXPECT_FALSE(collided.miner) << "collision must not own the entry";
+    // The original entry is untouched and still serves hits.
+    const core::MiningCache::Claim hit = cache.AcquireOrBegin(
+        key, std::span<const rt::TokenHash>(original));
+    ASSERT_NE(hit.results, nullptr);
+    EXPECT_EQ(hit.results->front().tokens, original);
+}
+
+TEST(MiningCache, SharedCacheIsBehaviourInvariant)
+{
+    // On or off, the cache may change wall-clock only: every figure
+    // surface of a skewed replicated run must be identical.
+    auto run = [](bool share) {
+        ExperimentOptions options = ClusterExperiment(3, 40);
+        options.skew.kind = SkewKind::kJitter;
+        options.skew.jitter_amplitude = 0.5;
+        options.share_mining_cache = share;
+        apps::S3dApplication app(
+            apps::S3dOptions{.machine = options.machine});
+        return RunExperiment(app, options);
+    };
+    const ExperimentResult with = run(true);
+    const ExperimentResult without = run(false);
+    EXPECT_TRUE(with.streams_identical);
+    EXPECT_TRUE(without.streams_identical);
+    EXPECT_EQ(with.stream_digest, without.stream_digest);
+    EXPECT_EQ(with.stream_digest_ops, without.stream_digest_ops);
+    EXPECT_DOUBLE_EQ(with.iterations_per_second,
+                     without.iterations_per_second);
+    EXPECT_DOUBLE_EQ(with.makespan_us, without.makespan_us);
+    EXPECT_EQ(with.total_tasks, without.total_tasks);
+    EXPECT_EQ(with.replayed_fraction, without.replayed_fraction);
+    EXPECT_EQ(with.coordination.final_slack,
+              without.coordination.final_slack);
+    EXPECT_GT(with.mining_cache_hits, 0u);
+    EXPECT_EQ(without.mining_cache_hits, 0u);
+    EXPECT_EQ(without.mining_cache_misses, 0u);
+}
+
+namespace {
+
+void DriveStreamingIssuePath(std::size_t jobs)
+{
+    ClusterOptions options;
+    options.coordination.nodes = 3;
+    options.config.enabled = false;  // untraced control replication
+    options.stream_logs = true;
+    options.jobs = jobs;
+    options.runtime_options.log_config.ops_per_block = 256;
+    options.runtime_options.log_config.payload_block_elems = 1024;
+    Cluster fe(options);
+    api::LaunchBuilder builder;
+    const rt::RegionId r0 = fe.CreateRegion();
+    const rt::RegionId out = fe.CreateRegion();
+    auto issue_one = [&](std::size_t i) {
+        const rt::FieldId f = static_cast<rt::FieldId>(i % 4);
+        builder.Start(static_cast<rt::TaskId>(100 + i % 8), 0, 50.0)
+            .Add(rt::RegionRequirement{r0, f, rt::Privilege::kReadWrite,
+                                       0})
+            .Add(rt::RegionRequirement{out, f,
+                                       rt::Privilege::kWriteDiscard, 0})
+            .LaunchOn(fe);
+    };
+    // Warm through several batch and log-block cycles on every node:
+    // batch slots, pending pools and recycled blocks reach capacity.
+    for (std::size_t i = 0; i < 4096; ++i) {
+        issue_one(i);
+    }
+    const std::uint64_t before = support::AllocationCount();
+    for (std::size_t i = 0; i < 8192; ++i) {
+        issue_one(4096 + i);
+    }
+    EXPECT_EQ(support::AllocationCount() - before, 0u)
+        << "replicated streaming issue path allocated per launch "
+           "(jobs=" << jobs << ")";
+    fe.Flush();
+    EXPECT_TRUE(fe.StreamDigestsAgree());
+    EXPECT_EQ(fe.NodeDigest(0).Count(), 4096u + 8192u);
+}
+
+}  // namespace
+
+TEST(ZeroAlloc, ReplicatedStreamingIssuePathIsAllocationFree)
+{
+    DriveStreamingIssuePath(/*jobs=*/1);
+}
+
+TEST(ZeroAlloc, ParallelEngineKeepsTheIssuePathAllocationFree)
+{
+    // The TaskTeam fan-out must not reintroduce per-launch (or
+    // per-batch) allocations: the body is installed once and each
+    // barrier only republishes an index range.
+    DriveStreamingIssuePath(/*jobs=*/2);
 }
 
 TEST(ClusterHarness, SixtyFourNodeStreamingStaysUnderLogCeiling)
