@@ -126,6 +126,24 @@ inline void RemoveJsonMember(std::string& content, const std::string& key)
     content.erase(begin, end - begin);
 }
 
+/** Replace an existing member's `{...}` value in place, keeping the
+ * member's position in the file — repeated merges by different
+ * writers must not shuffle record order, or every bench run produces
+ * a noisy whole-file diff. Returns false when the key is absent (the
+ * caller appends instead). */
+inline bool ReplaceJsonMember(std::string& content, const std::string& key,
+                              const std::string& section)
+{
+    std::size_t member = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    if (!FindJsonMember(content, key, &member, &begin, &end)) {
+        return false;
+    }
+    content.replace(begin, end - begin, section);
+    return true;
+}
+
 /** Perlmutter: 4 NVIDIA A100s per node (paper section 6). */
 inline apps::MachineConfig Perlmutter(std::size_t gpus)
 {

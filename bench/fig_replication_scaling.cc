@@ -111,7 +111,17 @@ int MergeIntoJson(const std::string& path, const std::string& key,
     if (content.empty()) {
         content = "{\n}\n";
     }
-    bench::RemoveJsonMember(content, key);
+    if (bench::ReplaceJsonMember(content, key, section)) {
+        // In-place update keeps member order stable across runs, so
+        // re-running the bench diffs only the values that moved.
+        std::ofstream out(path, std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+        out << content;
+        return 0;
+    }
     std::size_t close = content.rfind('}');
     if (close == std::string::npos) {
         std::fprintf(stderr, "%s is not a JSON object\n", path.c_str());

@@ -26,12 +26,16 @@
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "api/frontend.h"
 #include "api/launch.h"
 #include "bench_util.h"
 #include "core/finder.h"
+#include "core/steady_miner.h"
 #include "runtime/oplog.h"
 #include "sim/cluster.h"
 #include "strings/identifiers.h"
@@ -505,6 +509,172 @@ DigestRecord RunDigestRecord()
     return record;
 }
 
+// ---------------------------------------------------------------------------
+// Steady-state mining throughput (the incremental-engine claim).
+//
+// Steady-state iteration loops hand the finder window after window of
+// byte-identical content whenever the stream's period divides the
+// analysis stride. The incremental engine (core/steady_miner.h) must
+// serve those windows from its rolling ring — one fingerprint pass
+// plus one verify compare, no suffix-array work, no allocation — and
+// must produce candidate sets byte-identical to from-scratch mining.
+// Measured end to end through TraceFinder with an inline executor, so
+// the tokens/sec figures include everything the finder pays per
+// window: history append, job launch, mining, ingestion.
+
+struct SteadyMiningRun {
+    double tokens_per_sec = 0.0;
+    double fast_path_hit_rate = 0.0;
+    std::uint64_t windows = 0;
+    std::uint64_t digest = 0;  ///< fold of every job's candidate set
+};
+
+/** One full finder run over a pure period-64 stream (64 divides the
+ * 4096-token batched stride, so every window is identical). */
+SteadyMiningRun MeasureSteadyMining(bool incremental, std::size_t tokens,
+                                    int reps)
+{
+    strings::Sequence stream(tokens);
+    for (std::size_t i = 0; i < tokens; ++i) {
+        stream[i] = i % 64;
+    }
+
+    SteadyMiningRun best;
+    for (int rep = 0; rep < reps; ++rep) {
+        core::ApopheniaConfig config;
+        config.min_trace_length = 8;
+        config.batchsize = 4096;
+        config.multi_scale_factor = 64;
+        config.identifier_algorithm = core::IdentifierAlgorithm::kBatched;
+        config.incremental_mining = incremental;
+        support::InlineExecutor executor;
+        core::TraceFinder finder(config, executor);
+
+        std::uint64_t digest = 1469598103934665603ull;
+        const auto mix = [&digest](std::uint64_t v) {
+            digest = (digest ^ v) * 1099511628211ull;
+        };
+
+        const auto start = std::chrono::steady_clock::now();
+        std::uint64_t now = 0;
+        for (const auto token : stream) {
+            finder.Observe(token, ++now);
+        }
+        while (finder.PendingJobCount() > 0) {
+            const core::AnalysisJob& job = finder.WaitOldestJob();
+            for (const core::CandidateTrace& trace : job.Results()) {
+                mix(trace.tokens.size());
+                for (const auto token : trace.tokens) {
+                    mix(token);
+                }
+                mix(static_cast<std::uint64_t>(trace.occurrences * 1024.0));
+            }
+            finder.ReleaseOldestJob();
+        }
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+
+        const core::FinderStats& stats = finder.Stats();
+        const double rate = static_cast<double>(tokens) / elapsed.count();
+        if (rate > best.tokens_per_sec) {
+            best.tokens_per_sec = rate;
+            best.windows = stats.jobs_launched;
+            best.fast_path_hit_rate =
+                stats.jobs_launched > 0
+                    ? static_cast<double>(stats.mining_fast_path_hits) /
+                          static_cast<double>(stats.jobs_launched)
+                    : 0.0;
+            best.digest = digest;
+        }
+    }
+    return best;
+}
+
+/** Allocations per fast-path hit on a hot ring: the contract is zero. */
+double MeasureProbeAllocs()
+{
+    core::ApopheniaConfig config;
+    config.min_trace_length = 8;
+    config.batchsize = 4096;
+    config.multi_scale_factor = 64;
+    core::SteadyStateMiner miner(config);
+    std::vector<rt::TokenHash> window(4096);
+    for (std::size_t i = 0; i < window.size(); ++i) {
+        window[i] = i % 64;
+    }
+    core::MiningPath path = core::MiningPath::kNone;
+    miner.Mine(window, &path);  // seed the ring
+
+    constexpr std::uint64_t kProbes = 10000;
+    std::shared_ptr<const std::vector<core::CandidateTrace>> hit;
+    const std::uint64_t before = apo::support::AllocationCount();
+    for (std::uint64_t i = 0; i < kProbes; ++i) {
+        hit = miner.Probe(std::span<const rt::TokenHash>(window));
+    }
+    const std::uint64_t allocs = apo::support::AllocationCount() - before;
+    if (hit == nullptr) {
+        std::fprintf(stderr,
+                     "steady_state_mining: probe missed a hot ring\n");
+        return -1.0;
+    }
+    return static_cast<double>(allocs) / static_cast<double>(kProbes);
+}
+
+struct SteadyMiningRecord {
+    SteadyMiningRun incremental;
+    SteadyMiningRun scratch;
+    double speedup = 0.0;
+    double allocs_per_window = 0.0;
+    bool identical = false;
+};
+
+SteadyMiningRecord RunSteadyMiningRecord()
+{
+    constexpr std::size_t kTokens = 1u << 19;
+    constexpr int kReps = 5;
+
+    SteadyMiningRecord record;
+    record.incremental =
+        MeasureSteadyMining(/*incremental=*/true, kTokens, kReps);
+    record.scratch =
+        MeasureSteadyMining(/*incremental=*/false, kTokens, kReps);
+    record.speedup =
+        record.scratch.tokens_per_sec > 0.0
+            ? record.incremental.tokens_per_sec /
+                  record.scratch.tokens_per_sec
+            : 0.0;
+    record.allocs_per_window = MeasureProbeAllocs();
+    record.identical =
+        record.incremental.digest == record.scratch.digest &&
+        record.incremental.windows == record.scratch.windows;
+
+    std::printf("\n# steady-state mining (period-64 stream, batched "
+                "4096-token windows, %zu tokens)\n",
+                kTokens);
+    std::printf("%-22s %14.0f tokens/sec    (fast-path hit rate %.3f)\n",
+                "incremental engine",
+                record.incremental.tokens_per_sec,
+                record.incremental.fast_path_hit_rate);
+    std::printf("%-22s %14.0f tokens/sec\n", "from scratch (seed)",
+                record.scratch.tokens_per_sec);
+    std::printf("%-22s %14.2fx\n", "speedup", record.speedup);
+    std::printf("%-22s %14.3f allocs/window (hot probe)\n", "fast path",
+                record.allocs_per_window);
+    if (!record.identical) {
+        std::fprintf(stderr,
+                     "steady_state_mining: candidate sets DIFFER between "
+                     "incremental and from-scratch runs "
+                     "(windows %llu vs %llu, digest %llx vs %llx)\n",
+                     static_cast<unsigned long long>(
+                         record.incremental.windows),
+                     static_cast<unsigned long long>(record.scratch.windows),
+                     static_cast<unsigned long long>(
+                         record.incremental.digest),
+                     static_cast<unsigned long long>(record.scratch.digest));
+    }
+    return record;
+}
+
 int RunLaunchPathRecord(const std::string& json_path)
 {
     constexpr std::size_t kTokens = 1u << 19;
@@ -533,6 +703,7 @@ int RunLaunchPathRecord(const std::string& json_path)
     const IssuePathRecord issue = RunIssuePathRecord();
     const LogAppendRecord oplog = RunLogAppendRecord();
     const DigestRecord stream_digest = RunDigestRecord();
+    const SteadyMiningRecord steady = RunSteadyMiningRecord();
 
     // This bench rewrites its own records wholesale; carry other
     // writers' sections (fig_replication_scaling's merges) across.
@@ -581,6 +752,15 @@ int RunLaunchPathRecord(const std::string& json_path)
         "  \"stream_digest\": {\n"
         "    \"consumes_per_sec\": %.0f,\n"
         "    \"allocs_per_consume\": %.3f\n"
+        "  },\n"
+        "  \"steady_state_mining\": {\n"
+        "    \"incremental_tokens_per_sec\": %.0f,\n"
+        "    \"from_scratch_tokens_per_sec\": %.0f,\n"
+        "    \"speedup\": %.3f,\n"
+        "    \"fast_path_hit_rate\": %.3f,\n"
+        "    \"allocs_per_window\": %.3f,\n"
+        "    \"windows\": %llu,\n"
+        "    \"candidate_sets_identical\": %s\n"
         "  }%s\n"
         "}\n",
         kTokens, snapshot.tokens_per_sec, copy.tokens_per_sec, improvement,
@@ -595,9 +775,19 @@ int RunLaunchPathRecord(const std::string& json_path)
         oplog.aos.allocs_per_launch,
         stream_digest.digest.launches_per_sec,
         stream_digest.digest.allocs_per_launch,
-        preserved_member.c_str());
+        steady.incremental.tokens_per_sec,
+        steady.scratch.tokens_per_sec, steady.speedup,
+        steady.incremental.fast_path_hit_rate, steady.allocs_per_window,
+        static_cast<unsigned long long>(steady.incremental.windows),
+        steady.identical ? "true" : "false", preserved_member.c_str());
     std::fclose(out);
     std::printf("wrote %s\n", json_path.c_str());
+    // The equality assert: the record is only acceptable when the
+    // engine's candidate sets match from-scratch mining bit for bit
+    // and the hot fast path allocates nothing.
+    if (!steady.identical || steady.allocs_per_window != 0.0) {
+        return 1;
+    }
     return 0;
 }
 

@@ -20,14 +20,22 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "== sanitizers: TSan executor stress + cluster simulation (parallel engine, 8 worker threads) =="
 cmake -B build-tsan -S . -DAPO_TSAN=ON -DAPO_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j "$JOBS" --target support_executor_stress_test sim_cluster_test
+cmake --build build-tsan -j "$JOBS" --target support_executor_stress_test sim_cluster_test core_incremental_test
 # APO_JOBS=8 forces every default-jobs cluster through the parallel
 # per-node engine at >= 8 worker threads regardless of the host's core
 # count, so TSan sees the real cross-thread traffic (TaskTeam barriers,
-# shared mining cache) even on small CI machines.
-APO_JOBS=8 ctest --test-dir build-tsan -R '^(support_executor_stress_test|sim_cluster_test)$' --output-on-failure -j "$JOBS"
+# shared mining cache, steady-state miner ring) even on small CI
+# machines.
+APO_JOBS=8 ctest --test-dir build-tsan -R '^(support_executor_stress_test|sim_cluster_test|core_incremental_test)$' --output-on-failure -j "$JOBS"
 
 echo "== perf record: finder launch path + frontend issue path + digest =="
+# Snapshot the committed record before the benches overwrite it: the
+# regression gate below compares the fresh run against this baseline.
+BENCH_BASELINE=""
+if [ -f BENCH_micro_repeats.json ]; then
+    BENCH_BASELINE=build/BENCH_baseline.json
+    cp BENCH_micro_repeats.json "$BENCH_BASELINE"
+fi
 if [ -x build/micro_repeats ]; then
     ./build/micro_repeats --json=BENCH_micro_repeats.json
 elif [ "${APO_ALLOW_NO_BENCH:-0}" = "1" ]; then
@@ -60,6 +68,40 @@ else
     echo "error: fig_replication_scaling was not built; set" \
          "APO_ALLOW_NO_BENCH=1 to skip the scaling record" >&2
     exit 1
+fi
+
+echo "== perf gate: bench_compare vs committed baseline =="
+if [ -x build/bench_compare ] && [ -n "$BENCH_BASELINE" ]; then
+    # The steady_state_mining record must exist (exit 2, never
+    # waivable) and no tracked metric may regress >10% against the
+    # committed record (exit 1; APO_ALLOW_BENCH_REGRESSION=1 waives a
+    # *regression* for known-noisy machines, nothing else).
+    set +e
+    ./build/bench_compare --baseline="$BENCH_BASELINE" \
+        --current=BENCH_micro_repeats.json --threshold=0.10 \
+        --require=steady_state_mining
+    compare_status=$?
+    set -e
+    if [ "$compare_status" -eq 1 ]; then
+        if [ "${APO_ALLOW_BENCH_REGRESSION:-0}" = "1" ]; then
+            echo "warning: bench regression waived (APO_ALLOW_BENCH_REGRESSION=1)"
+        else
+            echo "error: perf record regressed >10% against the" \
+                 "committed baseline; investigate, or set" \
+                 "APO_ALLOW_BENCH_REGRESSION=1 on known-noisy machines" >&2
+            exit 1
+        fi
+    elif [ "$compare_status" -ne 0 ]; then
+        echo "error: bench_compare failed (missing record or bad JSON)" >&2
+        exit "$compare_status"
+    fi
+elif [ "${APO_ALLOW_NO_BENCH:-0}" = "1" ]; then
+    echo "bench_compare gate skipped (APO_ALLOW_NO_BENCH=1)"
+elif [ ! -x build/bench_compare ]; then
+    echo "error: bench_compare was not built" >&2
+    exit 1
+else
+    echo "no committed BENCH_micro_repeats.json; gate records from this run on"
 fi
 
 echo "CI OK"

@@ -81,6 +81,10 @@ ParseApopheniaFlags(std::vector<std::string>& args)
             config.copy_slices_at_launch = true;
         } else if (a == "-lg:auto_trace:buffer_all_launches") {
             config.buffer_all_launches = true;
+        } else if (a == "-lg:auto_trace:no_incremental_mining") {
+            config.incremental_mining = false;
+        } else if (a == "-lg:auto_trace:incremental_ring_windows") {
+            config.incremental_ring_windows = ParseCount(a, value_of(i, a));
         } else if (a == "-lg:window") {
             config.window = ParseCount(a, value_of(i, a));
         } else if (a == "-lg:inline_transitive_reduction") {
@@ -119,6 +123,11 @@ ParseApopheniaFlags(std::vector<std::string>& args)
     }
     if (config.history_block_size == 0) {
         throw std::invalid_argument("history_block_size must be positive");
+    }
+    if (config.incremental_mining && config.incremental_ring_windows == 0) {
+        throw std::invalid_argument(
+            "incremental_ring_windows must be positive while incremental "
+            "mining is enabled");
     }
     return config;
 }

@@ -114,6 +114,21 @@ struct ApopheniaConfig {
      * launches straight off the caller's arena. */
     bool buffer_all_launches = false;
 
+    /** Steady-state incremental mining: probe a per-finder ring of
+     * recently mined windows ahead of the shared cache (a verified
+     * hit skips mining, hashing and materialization entirely) and
+     * reuse suffix structures across windows
+     * (strings/incremental.h). Behaviour-invariant: candidate sets
+     * are bit-identical on or off
+     * (-lg:auto_trace:no_incremental_mining disables). */
+    bool incremental_mining = true;
+
+    /** Entries of the rolling fast-path ring — how many distinct
+     * recent window contents (the ruler schedule cycles through
+     * several lengths) each finder remembers
+     * (-lg:auto_trace:incremental_ring_windows). */
+    std::size_t incremental_ring_windows = 8;
+
     // -- Trace selection scoring (paper section 4.3) ----------------------
 
     /** Cap on the occurrence count used in scores, so an early trace

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/mining_cache.h"
+#include "core/steady_miner.h"
 #include "strings/identifiers.h"
 #include "strings/repeats.h"
 #include "support/ruler.h"
@@ -42,28 +43,10 @@ EmitChunked(const strings::Repeat& repeat, const ApopheniaConfig& config,
 }  // namespace
 
 std::vector<CandidateTrace>
-MineSlice(const std::vector<rt::TokenHash>& slice,
-          const ApopheniaConfig& config)
+RepeatsToCandidates(const std::vector<strings::Repeat>& repeats,
+                    std::span<const rt::TokenHash> slice,
+                    const ApopheniaConfig& config)
 {
-    std::vector<strings::Repeat> repeats;
-    switch (config.repeats_algorithm) {
-      case RepeatsAlgorithm::kQuickMatchingOfSubstrings:
-        repeats = strings::FindRepeats(
-            slice, {.min_length = config.min_trace_length,
-                    .min_occurrences = 2});
-        break;
-      case RepeatsAlgorithm::kTandem:
-        repeats =
-            strings::FindTandemRepeats(slice, config.min_trace_length);
-        break;
-      case RepeatsAlgorithm::kLzw:
-        repeats = strings::FindRepeatsLzw(slice, config.min_trace_length);
-        break;
-      case RepeatsAlgorithm::kQuadratic:
-        repeats =
-            strings::FindRepeatsQuadratic(slice, config.min_trace_length);
-        break;
-    }
     std::vector<CandidateTrace> out;
     out.reserve(repeats.size());
     for (const strings::Repeat& r : repeats) {
@@ -93,6 +76,32 @@ MineSlice(const std::vector<rt::TokenHash>& slice,
     return out;
 }
 
+std::vector<CandidateTrace>
+MineSlice(const std::vector<rt::TokenHash>& slice,
+          const ApopheniaConfig& config)
+{
+    std::vector<strings::Repeat> repeats;
+    switch (config.repeats_algorithm) {
+      case RepeatsAlgorithm::kQuickMatchingOfSubstrings:
+        repeats = strings::FindRepeats(
+            slice, {.min_length = config.min_trace_length,
+                    .min_occurrences = 2});
+        break;
+      case RepeatsAlgorithm::kTandem:
+        repeats =
+            strings::FindTandemRepeats(slice, config.min_trace_length);
+        break;
+      case RepeatsAlgorithm::kLzw:
+        repeats = strings::FindRepeatsLzw(slice, config.min_trace_length);
+        break;
+      case RepeatsAlgorithm::kQuadratic:
+        repeats =
+            strings::FindRepeatsQuadratic(slice, config.min_trace_length);
+        break;
+    }
+    return RepeatsToCandidates(repeats, slice, config);
+}
+
 TraceFinder::TraceFinder(const ApopheniaConfig& config,
                          support::Executor& executor,
                          MiningCache* mining_cache)
@@ -101,6 +110,9 @@ TraceFinder::TraceFinder(const ApopheniaConfig& config,
       mining_cache_(mining_cache),
       history_(config.batchsize, config.history_block_size)
 {
+    if (config.incremental_mining) {
+        steady_ = std::make_unique<SteadyStateMiner>(config);
+    }
 }
 
 TraceFinder::~TraceFinder()
@@ -194,21 +206,47 @@ TraceFinder::LaunchAnalysis(std::size_t slice_length, std::uint64_t now)
 
     const ApopheniaConfig* config = config_;
     MiningCache* cache = mining_cache_;
+    SteadyStateMiner* steady = steady_.get();
     executor_->Submit(
-        [job, config, cache] {
+        [job, config, cache, steady] {
+            const bool zero_copy = !job->snapshot.Empty();
+            // Rolling fast path, ahead of the shared cache: a
+            // verified hit adopts this finder's own recent result with
+            // no cache hash probe, no block-span compare against cache
+            // entries, and no slice materialization.
+            if (steady != nullptr) {
+                std::shared_ptr<const std::vector<CandidateTrace>> hit =
+                    zero_copy ? steady->Probe(job->snapshot)
+                              : steady->Probe(std::span<const rt::TokenHash>(
+                                    job->slice));
+                if (hit != nullptr) {
+                    job->adopted = std::move(hit);
+                    job->mining_path = MiningPath::kFastPath;
+                    return;
+                }
+            }
+            // Mine through the incremental engine when present (which
+            // memoizes the result in the ring) or classically; either
+            // way the candidate set is a pure function of (window,
+            // config), bit-identical across all paths.
+            auto mine = [&] {
+                if (steady != nullptr) {
+                    job->adopted = steady->Mine(job->slice,
+                                                &job->mining_path);
+                } else {
+                    job->results = MineSlice(job->slice, *config);
+                }
+            };
             if (cache == nullptr) {
-                if (!job->snapshot.Empty()) {
+                if (zero_copy) {
                     job->snapshot.CopyTo(job->slice);
                 }
-                job->results = MineSlice(job->slice, *config);
+                mine();
                 return;
             }
             // Shared-cache path: adopt another node's verified result
             // for an identical window (in place — a hit never even
             // materializes the slice), or mine it and publish.
-            // MineSlice is pure, so either way Results() is
-            // bit-identical to mining locally.
-            const bool zero_copy = !job->snapshot.Empty();
             MiningCache::Key key;
             MiningCache::Claim claim;
             if (zero_copy) {
@@ -221,6 +259,17 @@ TraceFinder::LaunchAnalysis(std::size_t slice_length, std::uint64_t now)
                     key, std::span<const rt::TokenHash>(job->slice));
             }
             if (claim.results != nullptr) {
+                // Seed the ring with the adopted result so the next
+                // identical window takes the fast path outright.
+                if (steady != nullptr) {
+                    if (zero_copy) {
+                        steady->Memoize(job->snapshot, claim.results);
+                    } else {
+                        steady->Memoize(
+                            std::span<const rt::TokenHash>(job->slice),
+                            claim.results);
+                    }
+                }
                 job->adopted = std::move(claim.results);
                 return;
             }
@@ -230,17 +279,21 @@ TraceFinder::LaunchAnalysis(std::size_t slice_length, std::uint64_t now)
             if (!claim.miner) {
                 // Verified key collision: a different window owns the
                 // entry. Mine locally; publish nothing.
-                job->results = MineSlice(job->slice, *config);
+                mine();
                 return;
             }
             try {
-                job->results = MineSlice(job->slice, *config);
+                mine();
             } catch (...) {
                 cache->Abandon(key);
                 throw;
             }
-            job->adopted = cache->Publish(key, job->slice,
-                                          std::move(job->results));
+            if (job->adopted != nullptr) {
+                cache->Publish(key, job->slice, job->adopted);
+            } else {
+                job->adopted = cache->Publish(key, job->slice,
+                                              std::move(job->results));
+            }
         },
         [job] { job->done.store(true, std::memory_order_release); });
 }
@@ -280,6 +333,20 @@ TraceFinder::ReleaseOldestJob()
     std::unique_ptr<AnalysisJob> job = std::move(inflight_.front());
     inflight_.pop_front();
     stats_.candidates_produced += job->Results().size();
+    switch (job->mining_path) {
+      case MiningPath::kFastPath:
+        ++stats_.mining_fast_path_hits;
+        break;
+      case MiningPath::kRepair:
+        ++stats_.mining_repairs;
+        break;
+      case MiningPath::kFull:
+        ++stats_.mining_full;
+        break;
+      case MiningPath::kNone:
+        break;
+    }
+    job->mining_path = MiningPath::kNone;
     job->snapshot.Clear();
     job->results.clear();
     job->adopted = nullptr;

@@ -29,6 +29,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/config.h"
@@ -36,15 +37,29 @@
 #include "runtime/task.h"
 #include "support/executor.h"
 
+namespace apo::strings {
+struct Repeat;
+}  // namespace apo::strings
+
 namespace apo::core {
 
 class MiningCache;
+class SteadyStateMiner;
 
 /** A candidate trace produced by a mining job. */
 struct CandidateTrace {
     std::vector<rt::TokenHash> tokens;
     /** Non-overlapping occurrences observed in the analyzed slice. */
     double occurrences = 0.0;
+};
+
+/** Which tier of the incremental mining engine served a job (see
+ * steady_miner.h; kNone = engine disabled, classic MineSlice path). */
+enum class MiningPath : std::uint8_t {
+    kNone = 0,
+    kFastPath,  ///< rolling-ring hit: no mining, no hashing, no copy
+    kRepair,    ///< suffix structures reused/repaired across windows
+    kFull,      ///< full rebuild (scratch-reusing)
 };
 
 /** One asynchronous history-mining job. Owned and recycled by the
@@ -69,6 +84,8 @@ struct AnalysisJob {
      * published candidate set in place (no per-node copy). Shared
      * ownership keeps it alive past cache eviction. */
     std::shared_ptr<const std::vector<CandidateTrace>> adopted;
+    /** Which incremental-mining tier produced Results(). */
+    MiningPath mining_path = MiningPath::kNone;
     /** Completion flag, set (release) by the executor's completion
      * callback once `results` is published. */
     std::atomic<bool> done{false};
@@ -95,6 +112,12 @@ struct FinderStats {
     std::uint64_t candidates_produced = 0;
     /** Jobs recycled from the free pool (vs freshly allocated). */
     std::uint64_t jobs_recycled = 0;
+    /** Incremental-mining tier counters over ingested jobs (all zero
+     * with incremental_mining off). A fast-path hit did no suffix
+     * work, no cache hashing and no slice materialization at all. */
+    std::uint64_t mining_fast_path_hits = 0;
+    std::uint64_t mining_repairs = 0;
+    std::uint64_t mining_full = 0;
 };
 
 /** See file comment. */
@@ -157,6 +180,10 @@ class TraceFinder {
 
     const FinderStats& Stats() const { return stats_; }
 
+    /** The finder's incremental mining engine (nullptr when
+     * config.incremental_mining is off). Exposed for tests. */
+    const SteadyStateMiner* Steady() const { return steady_.get(); }
+
   private:
     void LaunchAnalysis(std::size_t slice_length, std::uint64_t now);
     AnalysisJob* AcquireJob();
@@ -164,6 +191,9 @@ class TraceFinder {
     const ApopheniaConfig* config_;
     support::Executor* executor_;
     MiningCache* mining_cache_;  ///< nullptr = always mine locally
+    /** Per-finder steady-state engine (ring + incremental miner);
+     * probed by workers ahead of the shared cache. */
+    std::unique_ptr<SteadyStateMiner> steady_;
     HistoryRing history_;  ///< sliding window, <= batchsize tokens
     std::uint64_t sample_counter_ = 0;  ///< k of the ruler schedule
     /** Launch-order FIFO of jobs awaiting ingestion. */
@@ -187,6 +217,16 @@ class TraceFinder {
  */
 std::vector<CandidateTrace> MineSlice(
     const std::vector<rt::TokenHash>& slice, const ApopheniaConfig& config);
+
+/**
+ * The post-mining half of MineSlice: filter repeats to >= 2
+ * occurrences, chunk to max_trace_length, and apply speculative
+ * period completion. Factored out so the incremental engine's repeat
+ * sets convert through exactly the code path MineSlice uses.
+ */
+std::vector<CandidateTrace> RepeatsToCandidates(
+    const std::vector<strings::Repeat>& repeats,
+    std::span<const rt::TokenHash> slice, const ApopheniaConfig& config);
 
 }  // namespace apo::core
 

@@ -103,9 +103,18 @@ MiningCache::Publish(const Key& key,
                      std::span<const rt::TokenHash> window,
                      std::vector<CandidateTrace> results)
 {
+    return Publish(key, window,
+                   std::make_shared<const std::vector<CandidateTrace>>(
+                       std::move(results)));
+}
+
+std::shared_ptr<const std::vector<CandidateTrace>>
+MiningCache::Publish(
+    const Key& key, std::span<const rt::TokenHash> window,
+    std::shared_ptr<const std::vector<CandidateTrace>> results)
+{
     std::shared_ptr<const std::vector<CandidateTrace>> stored =
-        std::make_shared<const std::vector<CandidateTrace>>(
-            std::move(results));
+        std::move(results);
     {
         std::lock_guard lock(mutex_);
         Entry& entry = entries_[key];

@@ -115,6 +115,13 @@ class MiningCache {
         const Key& key, std::span<const rt::TokenHash> window,
         std::vector<CandidateTrace> results);
 
+    /** Publish an already-shared candidate set (the incremental
+     * engine's miners own their results as shared_ptrs); stores the
+     * same pointer — no copy of the candidates. */
+    std::shared_ptr<const std::vector<CandidateTrace>> Publish(
+        const Key& key, std::span<const rt::TokenHash> window,
+        std::shared_ptr<const std::vector<CandidateTrace>> results);
+
     /** Give up on a key this caller began (mining threw): waiters are
      * released and the next prober becomes the miner. */
     void Abandon(const Key& key);

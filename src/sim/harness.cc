@@ -219,8 +219,14 @@ RunExperiment(apps::Application& app, const ExperimentOptions& options)
     result.frontend_stats = front.Stats();
     result.log_peak_resident_bytes = runtime.Log().PeakResidentBytes();
     result.log_retired_ops = runtime.Log().RetiredCount();
+    auto add_finder_stats = [&result](const core::FinderStats& finder) {
+        result.mining_fast_path_hits += finder.mining_fast_path_hits;
+        result.mining_repairs += finder.mining_repairs;
+        result.mining_full += finder.mining_full;
+    };
     if (stack.apophenia != nullptr) {
         result.apophenia_stats = stack.apophenia->Stats();
+        add_finder_stats(stack.apophenia->Finder());
     } else if (stack.cluster != nullptr) {
         result.apophenia_stats = stack.cluster->Node(0).Stats();
         result.streams_identical = stack.cluster->StreamDigestsAgree();
@@ -230,6 +236,7 @@ RunExperiment(apps::Application& app, const ExperimentOptions& options)
             result.log_peak_resident_bytes = std::max(
                 result.log_peak_resident_bytes,
                 stack.cluster->NodeRuntime(n).Log().PeakResidentBytes());
+            add_finder_stats(stack.cluster->Node(n).Finder());
         }
         const core::MiningCache::Stats cache =
             stack.cluster->MiningCacheStats();

@@ -150,6 +150,13 @@ struct ExperimentResult {
     std::uint64_t mining_cache_hits = 0;
     std::uint64_t mining_cache_misses = 0;
     std::size_t mining_cache_windows = 0;
+    /** Incremental-mining tier counters over ingested jobs, summed
+     * across nodes when replicated (all zero with incremental mining
+     * off): jobs served by the rolling fast path (no mining, no cache
+     * probe), by incremental structure repair, and by full rebuild. */
+    std::uint64_t mining_fast_path_hits = 0;
+    std::uint64_t mining_repairs = 0;
+    std::uint64_t mining_full = 0;
     /** Node 0's rolling stream digest (replicated runs; zero
      * otherwise) — the strongest cheap cross-run identity check: two
      * runs that issued the same stream report the same digest. */

@@ -48,44 +48,42 @@ class RepeatCollector {
 
 }  // namespace
 
-std::vector<Repeat>
-FindTandemRepeats(const Sequence& s, std::size_t min_length)
+void
+FindTandemRepeatsInto(std::span<const Symbol> s, std::size_t min_length,
+                      TandemScratch& scratch, std::vector<Repeat>& out)
 {
     const std::size_t n = s.size();
     min_length = std::max<std::size_t>(min_length, 1);
 
     // A maximal tandem run of period d at position i spans
     // [i, i + eq[i] + d) where eq[i] counts matches s[i+t] == s[i+d+t].
-    struct Run {
-        std::size_t start = 0;
-        std::size_t period = 0;
-        std::size_t copies = 0;
-        std::size_t TotalLength() const { return period * copies; }
-    };
-    std::vector<Run> runs;
-    std::vector<std::size_t> eq(n + 1, 0);
+    std::vector<TandemRun>& runs = scratch.runs;
+    runs.clear();
+    scratch.eq.assign(n + 1, 0);
+    std::size_t* const eq = scratch.eq.data();
     for (std::size_t d = min_length; d * 2 <= n; ++d) {
-        std::fill(eq.begin(), eq.end(), 0);
+        std::fill_n(eq, n + 1, 0);
         for (std::size_t i = n - d; i-- > 0;) {
             eq[i] = s[i] == s[i + d] ? eq[i + 1] + 1 : 0;
         }
         for (std::size_t i = 0; i + 2 * d <= n; ++i) {
             const bool maximal = i == 0 || eq[i - 1] == 0;
             if (maximal && eq[i] >= d) {
-                runs.push_back(Run{i, d, eq[i] / d + 1});
+                runs.push_back(TandemRun{i, d, eq[i] / d + 1});
             }
         }
     }
     // Prefer runs covering the most positions; select disjoint ones.
-    std::sort(runs.begin(), runs.end(), [](const Run& a, const Run& b) {
-        if (a.TotalLength() != b.TotalLength()) {
-            return a.TotalLength() > b.TotalLength();
-        }
-        return a.start < b.start;
-    });
+    std::sort(runs.begin(), runs.end(),
+              [](const TandemRun& a, const TandemRun& b) {
+                  if (a.TotalLength() != b.TotalLength()) {
+                      return a.TotalLength() > b.TotalLength();
+                  }
+                  return a.start < b.start;
+              });
     support::IntervalSet chosen;
     RepeatCollector collector;
-    for (const Run& run : runs) {
+    for (const TandemRun& run : runs) {
         if (!chosen.InsertIfDisjoint(run.start,
                                      run.start + run.TotalLength())) {
             continue;
@@ -96,7 +94,16 @@ FindTandemRepeats(const Sequence& s, std::size_t min_length)
             collector.Add(unit, run.start + k * run.period);
         }
     }
-    return collector.Take(2);
+    out = collector.Take(2);
+}
+
+std::vector<Repeat>
+FindTandemRepeats(const Sequence& s, std::size_t min_length)
+{
+    thread_local TandemScratch scratch;
+    std::vector<Repeat> out;
+    FindTandemRepeatsInto(s, min_length, scratch, out);
+    return out;
 }
 
 std::vector<Repeat>

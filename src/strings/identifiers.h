@@ -23,6 +23,7 @@
 #define APOPHENIA_STRINGS_IDENTIFIERS_H
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "strings/repeats.h"
@@ -39,6 +40,27 @@ namespace apo::strings {
  */
 std::vector<Repeat> FindTandemRepeats(const Sequence& s,
                                       std::size_t min_length);
+
+/** A maximal tandem run of `copies` adjacent copies of a period-
+ * `period` unit starting at `start`. */
+struct TandemRun {
+    std::size_t start = 0;
+    std::size_t period = 0;
+    std::size_t copies = 0;
+    std::size_t TotalLength() const { return period * copies; }
+};
+
+/** Reusable buffers for FindTandemRepeatsInto (the O(n)-per-period
+ * match-length array dominates the baseline's allocation traffic). */
+struct TandemScratch {
+    std::vector<std::size_t> eq;
+    std::vector<TandemRun> runs;
+};
+
+/** Scratch-reusing FindTandemRepeats: bit-identical output into
+ * `out`. */
+void FindTandemRepeatsInto(std::span<const Symbol> s, std::size_t min_length,
+                           TandemScratch& scratch, std::vector<Repeat>& out);
 
 /**
  * LZW-style repeat detection: parse `s` with an LZW dictionary and

@@ -14,24 +14,28 @@ namespace {
  * O(1) range-minimum queries over the LCP array after O(n log n)
  * sparse-table preprocessing. Used to compare candidate substrings
  * lexicographically in constant time, keeping the candidate sort at
- * O(n log n) overall.
+ * O(n log n) overall. The table is built into caller-owned level
+ * storage so repeated constructions reuse the buffers.
  */
 class LcpRmq {
   public:
-    explicit LcpRmq(const std::vector<std::size_t>& lcp)
+    LcpRmq(const std::vector<std::size_t>& lcp,
+           std::vector<std::vector<std::size_t>>& levels)
+        : table_(levels)
     {
         const std::size_t n = lcp.size();
         if (n == 0) {
+            table_.resize(0);
             return;
         }
-        const unsigned levels = std::bit_width(n);
+        const unsigned num_levels = std::bit_width(n);
         // Level j only answers queries of span 2^j, so it needs just
         // n - 2^j + 1 entries — sizing each level (instead of a full
         // copy of the LCP array per level) halves the preprocessing
         // memory overall.
-        table_.resize(levels);
+        table_.resize(num_levels);
         table_[0] = lcp;
-        for (unsigned j = 1; j < levels; ++j) {
+        for (unsigned j = 1; j < num_levels; ++j) {
             const std::size_t span = std::size_t{1} << j;
             table_[j].resize(n - span + 1);
             for (std::size_t i = 0; i + span <= n; ++i) {
@@ -50,35 +54,28 @@ class LcpRmq {
     }
 
   private:
-    std::vector<std::vector<std::size_t>> table_;
-};
-
-/** A candidate occurrence: `length` tokens starting at `start`. */
-struct Candidate {
-    std::size_t length = 0;
-    std::size_t start = 0;
+    std::vector<std::vector<std::size_t>>& table_;
 };
 
 }  // namespace
 
-std::vector<Repeat>
-FindRepeats(const Sequence& s, const RepeatOptions& options)
+void
+FindRepeatsFromSa(std::span<const Symbol> s, const std::vector<std::size_t>& sa,
+                  const std::vector<std::size_t>& lcp,
+                  const RepeatOptions& options, RepeatsScratch& scratch,
+                  std::vector<Repeat>& out)
 {
-    std::vector<Repeat> result;
+    out.clear();
     const std::size_t n = s.size();
     const std::size_t min_len = std::max<std::size_t>(options.min_length, 1);
-    if (n < 2 * min_len) {
-        return result;
-    }
+    assert(RepeatsViable(n, options));
 
-    const std::vector<std::size_t> sa =
-        BuildSuffixArray(s, options.suffix_algorithm);
-    const std::vector<std::size_t> lcp = ComputeLcp(s, sa);
-    std::vector<std::size_t> rank(n);
+    scratch.rank.resize(n);
+    std::vector<std::size_t>& rank = scratch.rank;
     for (std::size_t i = 0; i < n; ++i) {
         rank[sa[i]] = i;
     }
-    const LcpRmq rmq(lcp);
+    const LcpRmq rmq(lcp, scratch.rmq_levels);
 
     // Length of the common prefix of the suffixes at positions a and b.
     auto common_prefix = [&](std::size_t a, std::size_t b) -> std::size_t {
@@ -91,7 +88,8 @@ FindRepeats(const Sequence& s, const RepeatOptions& options)
 
     // Candidate generation: one pass over adjacent suffix-array pairs
     // (paper Algorithm 2, lines 4-14).
-    std::vector<Candidate> candidates;
+    std::vector<RepeatCandidate>& candidates = scratch.candidates;
+    candidates.clear();
     candidates.reserve(2 * n);
     for (std::size_t i = 0; i + 1 < n; ++i) {
         const std::size_t p = lcp[i];
@@ -124,7 +122,7 @@ FindRepeats(const Sequence& s, const RepeatOptions& options)
     // increasing start position. Content comparison is O(1) via the
     // LCP range-minimum structure.
     std::sort(candidates.begin(), candidates.end(),
-              [&](const Candidate& a, const Candidate& b) {
+              [&](const RepeatCandidate& a, const RepeatCandidate& b) {
                   if (a.length != b.length) {
                       return a.length > b.length;
                   }
@@ -144,13 +142,14 @@ FindRepeats(const Sequence& s, const RepeatOptions& options)
     // grouping consecutive equal-content candidates so that each
     // distinct substring is emitted once (the deduplication step).
     support::IntervalSet chosen;
-    auto same_group = [&](const Candidate& a, const Candidate& b) {
+    auto same_group = [&](const RepeatCandidate& a, const RepeatCandidate& b) {
         return a.length == b.length &&
                (a.start == b.start ||
                 common_prefix(a.start, b.start) >= a.length);
     };
-    std::vector<std::size_t> group_starts;
-    const Candidate* group_head = nullptr;
+    std::vector<std::size_t>& group_starts = scratch.group_starts;
+    group_starts.clear();
+    const RepeatCandidate* group_head = nullptr;
     auto flush_group = [&] {
         if (group_head == nullptr ||
             group_starts.size() < options.min_occurrences) {
@@ -164,11 +163,11 @@ FindRepeats(const Sequence& s, const RepeatOptions& options)
         Repeat r;
         r.tokens.assign(s.begin() + group_head->start,
                         s.begin() + group_head->start + group_head->length);
-        r.starts = std::move(group_starts);
-        result.push_back(std::move(r));
+        r.starts.assign(group_starts.begin(), group_starts.end());
+        out.push_back(std::move(r));
         group_starts.clear();
     };
-    for (const Candidate& c : candidates) {
+    for (const RepeatCandidate& c : candidates) {
         if (group_head != nullptr && !same_group(*group_head, c)) {
             flush_group();
             group_head = nullptr;
@@ -185,6 +184,28 @@ FindRepeats(const Sequence& s, const RepeatOptions& options)
         }
     }
     flush_group();
+}
+
+void
+FindRepeatsInto(std::span<const Symbol> s, const RepeatOptions& options,
+                RepeatsScratch& scratch, std::vector<Repeat>& out)
+{
+    out.clear();
+    if (!RepeatsViable(s.size(), options)) {
+        return;
+    }
+    BuildSuffixArrayInto(s, scratch.sa, scratch.suffix,
+                         options.suffix_algorithm);
+    ComputeLcpInto(s, scratch.sa, scratch.lcp, scratch.inverse);
+    FindRepeatsFromSa(s, scratch.sa, scratch.lcp, options, scratch, out);
+}
+
+std::vector<Repeat>
+FindRepeats(const Sequence& s, const RepeatOptions& options)
+{
+    thread_local RepeatsScratch scratch;
+    std::vector<Repeat> result;
+    FindRepeatsInto(s, options, scratch, result);
     return result;
 }
 

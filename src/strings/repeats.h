@@ -11,11 +11,20 @@
  * by decreasing length (then by substring and start position), and
  * greedily selects occurrences that do not overlap previously selected
  * ones. Total complexity O(n log n).
+ *
+ * FindRepeats is the convenience entry point; FindRepeatsInto /
+ * FindRepeatsFromSa are the scratch-reusing layers (see
+ * suffix_array.h's note on the two API layers). FindRepeatsFromSa
+ * additionally lets a caller that already owns a suffix array + LCP —
+ * the incremental miner repairing structures across windows — run just
+ * the candidate-selection stage.
  */
 #ifndef APOPHENIA_STRINGS_REPEATS_H
 #define APOPHENIA_STRINGS_REPEATS_H
 
+#include <algorithm>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "strings/suffix_array.h"
@@ -48,6 +57,38 @@ struct RepeatOptions {
     SuffixAlgorithm suffix_algorithm = SuffixAlgorithm::kSais;
 };
 
+/** FindRepeats' viability guard: inputs shorter than two minimum-length
+ * occurrences cannot contain a selectable repeat and yield the empty
+ * set without building any suffix structures. Shared with the
+ * incremental miner so both paths agree on the degenerate case. */
+inline bool
+RepeatsViable(std::size_t n, const RepeatOptions& options)
+{
+    return n >= 2 * std::max<std::size_t>(options.min_length, 1);
+}
+
+/** A candidate occurrence: `length` tokens starting at `start`. */
+struct RepeatCandidate {
+    std::size_t length = 0;
+    std::size_t start = 0;
+};
+
+/**
+ * Reusable buffers for FindRepeatsInto / FindRepeatsFromSa. Contents
+ * are internal staging only — nothing outlives the call that filled
+ * it. One scratch per thread.
+ */
+struct RepeatsScratch {
+    SuffixWorkspace suffix;
+    std::vector<std::size_t> sa;
+    std::vector<std::size_t> lcp;
+    std::vector<std::size_t> inverse;
+    std::vector<std::size_t> rank;
+    std::vector<std::size_t> group_starts;
+    std::vector<RepeatCandidate> candidates;
+    std::vector<std::vector<std::size_t>> rmq_levels;
+};
+
 /**
  * Find repeated substrings of `s` with high non-overlapping coverage.
  *
@@ -58,6 +99,23 @@ struct RepeatOptions {
  */
 std::vector<Repeat> FindRepeats(const Sequence& s,
                                 const RepeatOptions& options = {});
+
+/** Scratch-reusing FindRepeats: bit-identical output into `out`. */
+void FindRepeatsInto(std::span<const Symbol> s, const RepeatOptions& options,
+                     RepeatsScratch& scratch, std::vector<Repeat>& out);
+
+/**
+ * Candidate generation + greedy selection over a caller-provided
+ * suffix array and LCP array for `s` (which must satisfy
+ * RepeatsViable(|s|, options)). This is everything FindRepeats does
+ * after suffix construction, so callers that repair sa/lcp
+ * incrementally still produce bit-identical repeat sets.
+ */
+void FindRepeatsFromSa(std::span<const Symbol> s,
+                       const std::vector<std::size_t>& sa,
+                       const std::vector<std::size_t>& lcp,
+                       const RepeatOptions& options, RepeatsScratch& scratch,
+                       std::vector<Repeat>& out);
 
 /** Sum of Coverage() over a repeat set (the paper's coverage(T, f)). */
 std::size_t TotalCoverage(const std::vector<Repeat>& repeats);

@@ -11,19 +11,33 @@ namespace {
 
 constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
 
+/** Per-recursion-level SA-IS scratch (one per depth, reused forever). */
+struct SaisLevel {
+    std::vector<std::uint8_t> is_s;
+    std::vector<std::size_t> counts;
+    std::vector<std::size_t> bucket_heads;
+    std::vector<std::size_t> bucket_tails;
+    std::vector<std::size_t> lms_positions;
+    std::vector<std::size_t> lms_order;
+    std::vector<std::size_t> name_of;
+    std::vector<std::uint32_t> reduced;
+    std::vector<std::size_t> reduced_sa;
+};
+
 /**
  * SA-IS induced-sorting suffix array construction.
  *
- * `s` holds values in [0, alphabet), with s.back() == 0 the unique,
- * smallest sentinel. `sa` is filled with the suffix array of `s`
- * (including the sentinel suffix at sa[0]).
+ * `s[0..n)` holds values in [0, alphabet), with s[n - 1] == 0 the
+ * unique, smallest sentinel. Fills sa[0..n) with the suffix array of
+ * `s` (including the sentinel suffix at sa[0]). All temporaries come
+ * from `levels[depth]`, created on first use and reused afterwards.
  */
 void
-SaIs(const std::vector<std::uint32_t>& s, std::size_t alphabet,
-     std::vector<std::size_t>& sa)
+SaIs(const std::uint32_t* s, std::size_t n, std::size_t alphabet,
+     std::size_t* sa, std::vector<std::unique_ptr<SaisLevel>>& levels,
+     std::size_t depth)
 {
-    const std::size_t n = s.size();
-    sa.assign(n, kNone);
+    std::fill_n(sa, n, kNone);
     if (n == 0) {
         return;
     }
@@ -31,49 +45,66 @@ SaIs(const std::vector<std::uint32_t>& s, std::size_t alphabet,
         sa[0] = 0;
         return;
     }
-
-    // Classify suffixes: S-type (true) or L-type (false).
-    std::vector<bool> is_s(n);
-    is_s[n - 1] = true;
-    for (std::size_t i = n - 1; i-- > 0;) {
-        is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+    if (levels.size() <= depth) {
+        levels.resize(depth + 1);
     }
-    auto is_lms = [&](std::size_t i) {
+    if (levels[depth] == nullptr) {
+        levels[depth] = std::make_unique<SaisLevel>();
+    }
+    SaisLevel& lvl = *levels[depth];
+
+    // Classify suffixes: S-type (1) or L-type (0). Byte array + bitwise
+    // fold keeps the backward DP branch-free (vector<bool> proxies cost
+    // a shift/mask per access in this loop).
+    lvl.is_s.resize(n);
+    std::uint8_t* const is_s = lvl.is_s.data();
+    is_s[n - 1] = 1;
+    for (std::size_t i = n - 1; i-- > 0;) {
+        is_s[i] = static_cast<std::uint8_t>(
+            (s[i] < s[i + 1]) |
+            (static_cast<std::uint8_t>(s[i] == s[i + 1]) & is_s[i + 1]));
+    }
+    auto is_lms = [is_s](std::size_t i) {
         return i > 0 && is_s[i] && !is_s[i - 1];
     };
 
     // Bucket boundaries per symbol.
-    std::vector<std::size_t> counts(alphabet, 0);
-    for (std::uint32_t c : s) {
-        ++counts[c];
+    lvl.counts.assign(alphabet, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        ++lvl.counts[s[i]];
     }
-    std::vector<std::size_t> bucket_heads(alphabet), bucket_tails(alphabet);
+    lvl.bucket_heads.resize(alphabet);
+    lvl.bucket_tails.resize(alphabet);
     auto reset_buckets = [&] {
         std::size_t sum = 0;
         for (std::size_t c = 0; c < alphabet; ++c) {
-            bucket_heads[c] = sum;
-            sum += counts[c];
-            bucket_tails[c] = sum;
+            lvl.bucket_heads[c] = sum;
+            sum += lvl.counts[c];
+            lvl.bucket_tails[c] = sum;
         }
     };
 
     // Induce the full order from the (partially or fully) sorted LMS
-    // suffixes currently placed in `sa`.
+    // suffixes currently placed in `sa`. The empty/sentinel test folds
+    // into one compare: j - 1 < n rejects both kNone and 0 (both wrap
+    // above n), replacing the three-way check of the textbook loop.
     auto induce = [&] {
         reset_buckets();
+        std::size_t* const heads = lvl.bucket_heads.data();
+        std::size_t* const tails = lvl.bucket_tails.data();
         // Left-to-right pass places L-type suffixes at bucket heads.
         for (std::size_t i = 0; i < n; ++i) {
-            const std::size_t j = sa[i];
-            if (j != kNone && j > 0 && !is_s[j - 1]) {
-                sa[bucket_heads[s[j - 1]]++] = j - 1;
+            const std::size_t j = sa[i] - 1;
+            if (j < n && !is_s[j]) {
+                sa[heads[s[j]]++] = j;
             }
         }
         // Right-to-left pass places S-type suffixes at bucket tails.
         reset_buckets();
         for (std::size_t i = n; i-- > 0;) {
-            const std::size_t j = sa[i];
-            if (j != kNone && j > 0 && is_s[j - 1]) {
-                sa[--bucket_tails[s[j - 1]]] = j - 1;
+            const std::size_t j = sa[i] - 1;
+            if (j < n && is_s[j]) {
+                sa[--tails[s[j]]] = j;
             }
         }
     };
@@ -81,33 +112,30 @@ SaIs(const std::vector<std::uint32_t>& s, std::size_t alphabet,
     // Step 1: place LMS suffixes in position order at bucket tails and
     // induce to sort the LMS *substrings*.
     reset_buckets();
-    std::vector<std::size_t> lms_positions;
-    lms_positions.reserve(n / 2 + 1);
+    lvl.lms_positions.clear();
     for (std::size_t i = 1; i < n; ++i) {
         if (is_lms(i)) {
-            lms_positions.push_back(i);
+            lvl.lms_positions.push_back(i);
         }
     }
-    for (std::size_t i = lms_positions.size(); i-- > 0;) {
-        const std::size_t p = lms_positions[i];
-        sa[--bucket_tails[s[p]]] = p;
+    for (std::size_t i = lvl.lms_positions.size(); i-- > 0;) {
+        const std::size_t p = lvl.lms_positions[i];
+        sa[--lvl.bucket_tails[s[p]]] = p;
     }
     induce();
 
-    // Step 2: name LMS substrings in their sorted order.
-    std::vector<std::size_t> lms_sorted;
-    lms_sorted.reserve(lms_positions.size());
-    for (std::size_t i = 0; i < n; ++i) {
-        if (sa[i] != kNone && is_lms(sa[i])) {
-            lms_sorted.push_back(sa[i]);
-        }
-    }
-    std::vector<std::size_t> name_of(n, kNone);
+    // Step 2: name LMS substrings in their sorted order (scanning `sa`
+    // directly — the sorted-LMS list needs no separate buffer).
+    lvl.name_of.assign(n, kNone);
     std::size_t num_names = 0;
     std::size_t prev = kNone;
-    for (std::size_t p : lms_sorted) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t p = sa[i];
+        if (p == kNone || !is_lms(p)) {
+            continue;
+        }
         if (prev == kNone) {
-            name_of[p] = num_names++;
+            lvl.name_of[p] = num_names++;
         } else {
             // Compare the LMS substrings starting at prev and p
             // (inclusive of their terminating LMS position).
@@ -131,46 +159,75 @@ SaIs(const std::vector<std::uint32_t>& s, std::size_t alphabet,
             if (!same) {
                 ++num_names;
             }
-            name_of[p] = num_names - 1;
+            lvl.name_of[p] = num_names - 1;
         }
         prev = p;
     }
 
     // Step 3: sort LMS suffixes, recursing if names are not yet unique.
-    std::vector<std::size_t> lms_order(lms_positions.size());
-    if (num_names == lms_positions.size()) {
-        for (std::size_t i = 0; i < lms_positions.size(); ++i) {
-            lms_order[name_of[lms_positions[i]]] = lms_positions[i];
+    const std::size_t m = lvl.lms_positions.size();
+    lvl.lms_order.resize(m);
+    if (num_names == m) {
+        for (std::size_t i = 0; i < m; ++i) {
+            lvl.lms_order[lvl.name_of[lvl.lms_positions[i]]] =
+                lvl.lms_positions[i];
         }
     } else {
-        std::vector<std::uint32_t> reduced(lms_positions.size());
-        for (std::size_t i = 0; i < lms_positions.size(); ++i) {
-            reduced[i] =
-                static_cast<std::uint32_t>(name_of[lms_positions[i]]);
+        lvl.reduced.resize(m);
+        for (std::size_t i = 0; i < m; ++i) {
+            lvl.reduced[i] =
+                static_cast<std::uint32_t>(lvl.name_of[lvl.lms_positions[i]]);
         }
-        std::vector<std::size_t> reduced_sa;
-        SaIs(reduced, num_names, reduced_sa);
-        for (std::size_t i = 0; i < reduced_sa.size(); ++i) {
-            lms_order[i] = lms_positions[reduced_sa[i]];
+        lvl.reduced_sa.resize(m);
+        // `lvl` stays valid across the recursion: resizing `levels`
+        // moves the unique_ptrs, not the SaisLevel objects.
+        SaIs(lvl.reduced.data(), m, num_names, lvl.reduced_sa.data(),
+             levels, depth + 1);
+        for (std::size_t i = 0; i < m; ++i) {
+            lvl.lms_order[i] = lvl.lms_positions[lvl.reduced_sa[i]];
         }
     }
 
     // Step 4: final induce from the fully sorted LMS suffixes.
-    std::fill(sa.begin(), sa.end(), kNone);
+    std::fill_n(sa, n, kNone);
     reset_buckets();
-    for (std::size_t i = lms_order.size(); i-- > 0;) {
-        const std::size_t p = lms_order[i];
-        sa[--bucket_tails[s[p]]] = p;
+    for (std::size_t i = lvl.lms_order.size(); i-- > 0;) {
+        const std::size_t p = lvl.lms_order[i];
+        sa[--lvl.bucket_tails[s[p]]] = p;
     }
     induce();
 }
 
+}  // namespace
+
+/** Workspace backing store (incomplete in the header on purpose). */
+struct SuffixWorkspace::Rep {
+    std::vector<std::unique_ptr<SaisLevel>> levels;
+    std::vector<std::uint32_t> compressed;
+    std::vector<Symbol> sorted;
+    std::vector<std::size_t> sa_full;  // SA-IS output incl. sentinel
+    // Prefix-doubling radix buffers.
+    std::vector<std::size_t> rank;
+    std::vector<std::size_t> tmp;
+    std::vector<std::size_t> counts;
+    std::vector<std::size_t> by_second;
+};
+
+SuffixWorkspace::SuffixWorkspace() : rep_(std::make_unique<Rep>()) {}
+SuffixWorkspace::~SuffixWorkspace() = default;
+
+namespace {
+
 /** O(n log n) prefix-doubling construction with radix sorting. */
-std::vector<std::size_t>
-BuildDoubling(const std::vector<std::uint32_t>& s)
+void
+BuildDoubling(const std::uint32_t* s, std::size_t n,
+              std::vector<std::size_t>& sa, std::vector<std::size_t>& rank,
+              std::vector<std::size_t>& tmp, std::vector<std::size_t>& counts,
+              std::vector<std::size_t>& by_second)
 {
-    const std::size_t n = s.size();
-    std::vector<std::size_t> sa(n), rank(n), tmp(n), counts;
+    sa.resize(n);
+    rank.resize(n);
+    tmp.resize(n);
     std::iota(sa.begin(), sa.end(), 0);
     for (std::size_t i = 0; i < n; ++i) {
         rank[i] = s[i];
@@ -188,7 +245,7 @@ BuildDoubling(const std::vector<std::uint32_t>& s)
             ++counts[key2(i) + 1];
         }
         std::partial_sum(counts.begin(), counts.end(), counts.begin());
-        std::vector<std::size_t> by_second(n);
+        by_second.resize(n);
         for (std::size_t i = 0; i < n; ++i) {
             by_second[counts[key2(i)]++] = i;
         }
@@ -216,56 +273,136 @@ BuildDoubling(const std::vector<std::uint32_t>& s)
             break;
         }
     }
-    return sa;
 }
 
 }  // namespace
 
+std::size_t
+RankCompressInto(std::span<const Symbol> s,
+                 std::vector<Symbol>& sorted_scratch,
+                 std::vector<std::uint32_t>& out)
+{
+    sorted_scratch.assign(s.begin(), s.end());
+    std::sort(sorted_scratch.begin(), sorted_scratch.end());
+    sorted_scratch.erase(
+        std::unique(sorted_scratch.begin(), sorted_scratch.end()),
+        sorted_scratch.end());
+    out.resize(s.size());
+    const Symbol* const base = sorted_scratch.data();
+    const Symbol* const end = base + sorted_scratch.size();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const Symbol* it = std::lower_bound(base, end, s[i]);
+        // +1 reserves rank 0 for the SA-IS sentinel.
+        out[i] = static_cast<std::uint32_t>(it - base) + 1;
+    }
+    return sorted_scratch.size();
+}
+
 std::vector<std::uint32_t>
 RankCompress(const Sequence& s)
 {
-    std::vector<Symbol> sorted(s);
-    std::sort(sorted.begin(), sorted.end());
-    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-    std::vector<std::uint32_t> out(s.size());
-    for (std::size_t i = 0; i < s.size(); ++i) {
-        const auto it =
-            std::lower_bound(sorted.begin(), sorted.end(), s[i]);
-        // +1 reserves rank 0 for the SA-IS sentinel.
-        out[i] = static_cast<std::uint32_t>(it - sorted.begin()) + 1;
-    }
+    std::vector<Symbol> sorted;
+    std::vector<std::uint32_t> out;
+    RankCompressInto(s, sorted, out);
     return out;
+}
+
+std::size_t
+RankTable::CompressInto(std::span<const Symbol> s, std::uint32_t* out)
+{
+    fresh_.clear();
+    {
+        const Symbol* const base = sorted_.data();
+        const Symbol* const end = base + sorted_.size();
+        for (std::size_t i = 0; i < s.size(); ++i) {
+            const Symbol* it = std::lower_bound(base, end, s[i]);
+            if (it != end && *it == s[i]) {
+                out[i] = static_cast<std::uint32_t>(it - base) + 1;
+            } else {
+                fresh_.push_back(s[i]);
+            }
+        }
+    }
+    if (fresh_.empty()) {
+        return 0;
+    }
+    std::sort(fresh_.begin(), fresh_.end());
+    fresh_.erase(std::unique(fresh_.begin(), fresh_.end()), fresh_.end());
+    merged_.resize(sorted_.size() + fresh_.size());
+    std::merge(sorted_.begin(), sorted_.end(), fresh_.begin(), fresh_.end(),
+               merged_.begin());
+    sorted_.swap(merged_);
+    // Admitting symbols shifted ranks above them: recompress every
+    // position against the settled table.
+    const Symbol* const base = sorted_.data();
+    const Symbol* const end = base + sorted_.size();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const Symbol* it = std::lower_bound(base, end, s[i]);
+        out[i] = static_cast<std::uint32_t>(it - base) + 1;
+    }
+    return fresh_.size();
+}
+
+void
+SaisInto(std::span<const std::uint32_t> ranks_with_sentinel,
+         std::size_t alphabet, std::vector<std::size_t>& sa,
+         SuffixWorkspace& workspace)
+{
+    SuffixWorkspace::Rep& rep = *workspace.rep_;
+    const std::size_t n = ranks_with_sentinel.size();
+    assert(n > 0 && ranks_with_sentinel.back() == 0);
+    rep.sa_full.resize(n);
+    SaIs(ranks_with_sentinel.data(), n, alphabet, rep.sa_full.data(),
+         rep.levels, 0);
+    // Drop the sentinel suffix (always first).
+    assert(rep.sa_full[0] == n - 1);
+    sa.assign(rep.sa_full.begin() + 1, rep.sa_full.end());
+}
+
+void
+BuildSuffixArrayInto(std::span<const Symbol> s, std::vector<std::size_t>& sa,
+                     SuffixWorkspace& workspace, SuffixAlgorithm algorithm)
+{
+    sa.clear();
+    if (s.empty()) {
+        return;
+    }
+    SuffixWorkspace::Rep& rep = *workspace.rep_;
+    const std::size_t distinct =
+        RankCompressInto(s, rep.sorted, rep.compressed);
+    if (algorithm == SuffixAlgorithm::kPrefixDoubling) {
+        BuildDoubling(rep.compressed.data(), s.size(), sa, rep.rank, rep.tmp,
+                      rep.counts, rep.by_second);
+        return;
+    }
+    // SA-IS needs a unique smallest sentinel at the end.
+    rep.compressed.push_back(0);
+    SaisInto(rep.compressed, distinct + 1, sa, workspace);
 }
 
 std::vector<std::size_t>
 BuildSuffixArray(const Sequence& s, SuffixAlgorithm algorithm)
 {
-    if (s.empty()) {
-        return {};
-    }
-    std::vector<std::uint32_t> compressed = RankCompress(s);
-    if (algorithm == SuffixAlgorithm::kPrefixDoubling) {
-        return BuildDoubling(compressed);
-    }
-    // SA-IS needs a unique smallest sentinel at the end.
-    compressed.push_back(0);
-    const std::size_t alphabet =
-        *std::max_element(compressed.begin(), compressed.end()) + 1;
-    std::vector<std::size_t> sa_with_sentinel;
-    SaIs(compressed, alphabet, sa_with_sentinel);
-    // Drop the sentinel suffix (always first).
-    assert(!sa_with_sentinel.empty() && sa_with_sentinel[0] == s.size());
-    return {sa_with_sentinel.begin() + 1, sa_with_sentinel.end()};
+    std::vector<std::size_t> sa;
+    SuffixWorkspace workspace;
+    BuildSuffixArrayInto(s, sa, workspace, algorithm);
+    return sa;
 }
 
-std::vector<std::size_t>
-ComputeLcp(const Sequence& s, const std::vector<std::size_t>& sa)
+void
+ComputeLcpInto(std::span<const Symbol> seq, const std::vector<std::size_t>& sa,
+               std::vector<std::size_t>& lcp,
+               std::vector<std::size_t>& inverse_scratch)
 {
-    const std::size_t n = s.size();
+    const std::size_t n = seq.size();
+    lcp.clear();
     if (n <= 1) {
-        return {};
+        return;
     }
-    std::vector<std::size_t> inverse(n), lcp(n - 1, 0);
+    const Symbol* const s = seq.data();
+    lcp.assign(n - 1, 0);
+    inverse_scratch.resize(n);
+    std::vector<std::size_t>& inverse = inverse_scratch;
     for (std::size_t i = 0; i < n; ++i) {
         inverse[sa[i]] = i;
     }
@@ -276,14 +413,22 @@ ComputeLcp(const Sequence& s, const std::vector<std::size_t>& sa)
             continue;
         }
         const std::size_t j = sa[inverse[i] + 1];
-        while (i + h < n && j + h < n && s[i + h] == s[j + h]) {
-            ++h;
+        const std::size_t limit = n - std::max(i, j);
+        if (h < limit) {
+            h += CommonPrefixLength(s + i + h, s + j + h, limit - h);
         }
         lcp[inverse[i]] = h;
         if (h > 0) {
             --h;
         }
     }
+}
+
+std::vector<std::size_t>
+ComputeLcp(const Sequence& s, const std::vector<std::size_t>& sa)
+{
+    std::vector<std::size_t> lcp, inverse;
+    ComputeLcpInto(s, sa, lcp, inverse);
     return lcp;
 }
 

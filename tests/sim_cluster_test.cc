@@ -598,16 +598,19 @@ TEST(MiningCache, NoSkewReplicatedRunsMineEachWindowOnce)
     const std::uint64_t jobs_per_node =
         result.apophenia_stats.jobs_ingested;
     ASSERT_GT(jobs_per_node, 0u);
-    // Every node probes once per job; each distinct window costs
-    // exactly one miss (its one mining run) and every other probe —
-    // all of nodes 1..N-1's, plus repeated windows on node 0 — hits.
-    EXPECT_EQ(result.mining_cache_hits + result.mining_cache_misses,
+    // Every job is served exactly once: by a node's own rolling fast
+    // path (no cache probe at all), by a cache hit, or by a miss (its
+    // one mining run). Each distinct window costs exactly one miss,
+    // and every other job — all of nodes 1..N-1's, plus repeated
+    // windows on node 0 — is a cache hit or a fast-path hit.
+    EXPECT_EQ(result.mining_cache_hits + result.mining_cache_misses +
+                  result.mining_fast_path_hits,
               kNodes * jobs_per_node);
     EXPECT_EQ(result.mining_cache_misses, result.mining_cache_windows)
         << "a window was mined more than once";
     EXPECT_LE(result.mining_cache_misses, jobs_per_node)
         << "a node other than the first finisher re-mined a window";
-    EXPECT_GE(result.mining_cache_hits,
+    EXPECT_GE(result.mining_cache_hits + result.mining_fast_path_hits,
               (kNodes - 1) * jobs_per_node);
 }
 
