@@ -17,6 +17,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/app.h"
@@ -142,6 +143,61 @@ inline bool ReplaceJsonMember(std::string& content, const std::string& key,
     }
     content.replace(begin, end - begin, section);
     return true;
+}
+
+/** Merge `"key": {...section...}` into the JSON object file at
+ * `path`, replacing the member in place when it exists (stable member
+ * order keeps re-runs to value-only diffs) and appending it
+ * otherwise. Creates the file when absent. Returns 0 on success. */
+inline int MergeIntoJson(const std::string& path, const std::string& key,
+                         const std::string& section)
+{
+    std::string content = ReadFileOrEmpty(path);
+    if (content.empty()) {
+        content = "{\n}\n";
+    }
+    if (ReplaceJsonMember(content, key, section)) {
+        std::ofstream out(path, std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+        out << content;
+        return 0;
+    }
+    std::size_t close = content.rfind('}');
+    if (close == std::string::npos) {
+        std::fprintf(stderr, "%s is not a JSON object\n", path.c_str());
+        return 1;
+    }
+    std::size_t tail = close;
+    while (tail > 0 && (content[tail - 1] == ' ' ||
+                        content[tail - 1] == '\n' ||
+                        content[tail - 1] == '\t' ||
+                        content[tail - 1] == ',')) {
+        --tail;
+    }
+    const bool has_members = content.find('"') < tail;
+    content.erase(tail);
+    content += has_members ? ",\n" : "\n";
+    content += "  \"" + key + "\": " + section + "\n}\n";
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    out << content;
+    return 0;
+}
+
+/** The host's thread count as every bench section records it —
+ * wall-clock-derived metrics (speedups, tokens/sec) are only
+ * comparable across record generations with the host pinned next to
+ * them. Never 0 (the unknown-hardware fallback is 1). */
+inline unsigned HardwareConcurrency()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
 }
 
 /** Perlmutter: 4 NVIDIA A100s per node (paper section 6). */

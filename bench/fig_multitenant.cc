@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Multi-tenant service sweep: M ∈ {1, 2, 8, 32} concurrent tenants ×
+ * three workload mixes through one svc::TraceService.
+ *
+ *  - disjoint:  every tenant runs a differently-seeded synthetic
+ *               kernel — the isolation baseline; the shared mining
+ *               cache cannot help and must not hurt.
+ *  - identical: every tenant runs the *same* kernel under a different
+ *               token namespace — the sharing best case; each distinct
+ *               window is mined once service-wide and the other M-1
+ *               tenants adopt it (cross-tenant sharing → (M-1)/M).
+ *  - mixed:     half the tenants share one kernel, half are unique,
+ *               and every odd tenant is open-loop (arrivals on its own
+ *               virtual-time schedule), so the p99 issue latency
+ *               reflects real queueing behind the fair scheduler.
+ *
+ * Per cell the record carries the tenant-mean trace-cache hit rate,
+ * the service-wide cross-tenant sharing ratio, the mining-cache
+ * adoption rate, and p50/p99 issue latency (virtual ticks) of the
+ * worst tenant. The section merges into BENCH_micro_repeats.json
+ * under "fig_multitenant" (ci.sh gates on its presence via
+ * bench_compare --require); the *_hit_rate metrics are deterministic
+ * — inline mining, fixed seeds and policy — so the regression gate
+ * compares them exactly.
+ *
+ * Usage:
+ *   fig_multitenant                 # table + JSON merge
+ *   fig_multitenant --json=PATH     # merge target
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "svc/service.h"
+#include "svc/workload.h"
+
+namespace {
+
+using namespace apo;
+
+struct Cell {
+    std::size_t tenants = 0;
+    std::string mix;
+    svc::ServiceResult result;
+    double wall_ms = 0.0;
+    double mean_trace_hit_rate = 0.0;
+    double adoption_hit_rate = 0.0;  ///< cache hits / post-first probes
+    double worst_p50 = 0.0;
+    double worst_p99 = 0.0;
+};
+
+double MillisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+constexpr std::size_t kIterations = 24;
+constexpr std::uint64_t kSharedSeed = 7;
+
+svc::SyntheticOptions WorkloadOf(const apps::MachineConfig& machine,
+                                 std::uint64_t seed)
+{
+    svc::SyntheticOptions options;
+    options.machine = machine;
+    options.seed = seed;
+    options.kernel_tasks = 40;
+    options.arrays = 4;
+    options.noise_interval = 16;
+    return options;
+}
+
+Cell RunCell(std::size_t tenants, const std::string& mix)
+{
+    apps::MachineConfig machine;
+    machine.nodes = 1;
+    machine.gpus_per_node = 4;
+
+    svc::ServiceOptions service_options;
+    service_options.machine = machine;
+    service_options.config.min_trace_length = 10;
+    service_options.config.batchsize = 960;  // kernel-aligned windows
+    service_options.config.multi_scale_factor = 40;
+    svc::DeficitWeightedFairPolicy policy(64);
+    service_options.policy = &policy;
+
+    svc::TraceService service(service_options);
+    std::vector<std::unique_ptr<svc::SyntheticWorkload>> apps;
+    for (std::size_t t = 0; t < tenants; ++t) {
+        std::uint64_t seed = kSharedSeed;
+        if (mix == "disjoint" || (mix == "mixed" && t % 2 == 1)) {
+            seed = 100 + t;
+        }
+        apps.push_back(std::make_unique<svc::SyntheticWorkload>(
+            WorkloadOf(machine, seed)));
+        svc::TenantOptions tenant;
+        tenant.name = mix + "-" + std::to_string(t);
+        tenant.app = apps.back().get();
+        tenant.iterations = kIterations;
+        tenant.weight = 1.0 + static_cast<double>(t % 3);
+        if (mix == "mixed" && t % 2 == 1) {
+            // Open loop: arrivals every ~half an average iteration, so
+            // the queue builds and the latency percentiles move.
+            tenant.arrival_gap = 20;
+        }
+        service.AddTenant(tenant);
+    }
+
+    Cell cell;
+    cell.tenants = tenants;
+    cell.mix = mix;
+    const auto start = std::chrono::steady_clock::now();
+    cell.result = service.Run();
+    cell.wall_ms = MillisSince(start);
+
+    for (const svc::TenantStats& tenant : cell.result.tenants) {
+        cell.mean_trace_hit_rate += tenant.trace_cache_hit_rate;
+        cell.worst_p50 = std::max(cell.worst_p50,
+                                  tenant.p50_issue_latency);
+        cell.worst_p99 = std::max(cell.worst_p99,
+                                  tenant.p99_issue_latency);
+    }
+    cell.mean_trace_hit_rate /= static_cast<double>(tenants);
+    // Of the probes left after each distinct window's one unavoidable
+    // first miss, the fraction adopted from the cache (the
+    // cluster_parallel record's convention).
+    const core::MiningCache::Stats& cache = cell.result.mining_cache;
+    const double repeat_probes = static_cast<double>(
+        cache.hits + (cache.misses - cache.windows));
+    cell.adoption_hit_rate =
+        repeat_probes > 0.0
+            ? static_cast<double>(cache.hits) / repeat_probes
+            : 0.0;
+    return cell;
+}
+
+std::string SectionOf(const std::vector<Cell>& cells)
+{
+    std::ostringstream json;
+    json << "{\n"
+         << "    \"bench\": \"fig_multitenant\",\n"
+         << "    \"app\": \"synthetic\", \"iterations\": "
+         << kIterations << ", \"policy\": \""
+         << cells.front().result.policy << "\",\n"
+         << "    \"hardware_concurrency\": "
+         << apo::bench::HardwareConcurrency() << ",\n"
+         << "    \"rows\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell& cell = cells[i];
+        char buffer[640];
+        std::snprintf(
+            buffer, sizeof buffer,
+            "      {\"tenants\": %zu, \"mix\": \"%s\", "
+            "\"mean_trace_cache_hit_rate\": %.4f, "
+            "\"cross_tenant_sharing\": %.4f, "
+            "\"adoption_hit_rate\": %.4f, "
+            "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+            "\"cache_windows\": %zu, "
+            "\"cross_namespace_hits\": %llu, "
+            "\"p50_issue_latency\": %.1f, \"p99_issue_latency\": %.1f, "
+            "\"virtual_time\": %llu, \"wall_ms\": %.3f}%s\n",
+            cell.tenants, cell.mix.c_str(), cell.mean_trace_hit_rate,
+            cell.result.cross_tenant_sharing, cell.adoption_hit_rate,
+            static_cast<unsigned long long>(cell.result.mining_cache.hits),
+            static_cast<unsigned long long>(
+                cell.result.mining_cache.misses),
+            cell.result.mining_cache.windows,
+            static_cast<unsigned long long>(
+                cell.result.mining_cache.cross_namespace_hits),
+            cell.worst_p50, cell.worst_p99,
+            static_cast<unsigned long long>(cell.result.virtual_time),
+            cell.wall_ms, i + 1 < cells.size() ? "," : "");
+        json << buffer;
+    }
+    json << "    ]\n  }";
+    return json.str();
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string json_path = "BENCH_micro_repeats.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+        }
+    }
+
+    const std::size_t tenant_counts[] = {1, 2, 8, 32};
+    const char* mixes[] = {"disjoint", "identical", "mixed"};
+
+    std::printf("# multi-tenant service (synthetic tenants, %zu "
+                "iterations, deficit-weighted fair)\n",
+                kIterations);
+    std::printf("%3s %-10s %10s %9s %9s %8s %8s %9s\n", "M", "mix",
+                "trace_hit", "sharing", "adoption", "p50", "p99",
+                "wall_ms");
+    std::vector<Cell> cells;
+    for (const std::size_t tenants : tenant_counts) {
+        for (const char* mix : mixes) {
+            Cell cell = RunCell(tenants, mix);
+            std::printf("%3zu %-10s %10.4f %9.4f %9.4f %8.1f %8.1f "
+                        "%9.1f\n",
+                        cell.tenants, cell.mix.c_str(),
+                        cell.mean_trace_hit_rate,
+                        cell.result.cross_tenant_sharing,
+                        cell.adoption_hit_rate, cell.worst_p50,
+                        cell.worst_p99, cell.wall_ms);
+            // The acceptance invariant: with M identical tenants every
+            // distinct window is mined once service-wide and the other
+            // M-1 tenants adopt it.
+            if (cell.mix == "identical" && cell.tenants > 1) {
+                const core::MiningCache::Stats& cache =
+                    cell.result.mining_cache;
+                const double probes = static_cast<double>(
+                    cache.hits + cache.misses);
+                const double want =
+                    static_cast<double>(cell.tenants - 1) /
+                    static_cast<double>(cell.tenants);
+                if (probes == 0.0 ||
+                    cache.misses != cache.windows ||
+                    cell.result.cross_tenant_sharing < want - 1e-9) {
+                    std::fprintf(
+                        stderr,
+                        "fig_multitenant: identical M=%zu cross-tenant "
+                        "sharing %.4f < (M-1)/M = %.4f\n",
+                        cell.tenants, cell.result.cross_tenant_sharing,
+                        want);
+                    return 1;
+                }
+            }
+            cells.push_back(std::move(cell));
+        }
+    }
+
+    const int rc =
+        apo::bench::MergeIntoJson(json_path, "fig_multitenant",
+                                  SectionOf(cells));
+    if (rc == 0) {
+        std::printf("merged into %s\n", json_path.c_str());
+    }
+    return rc;
+}

@@ -104,50 +104,6 @@ Row RunCell(std::size_t nodes, sim::SkewKind kind)
     return row;
 }
 
-int MergeIntoJson(const std::string& path, const std::string& key,
-                  const std::string& section)
-{
-    std::string content = bench::ReadFileOrEmpty(path);
-    if (content.empty()) {
-        content = "{\n}\n";
-    }
-    if (bench::ReplaceJsonMember(content, key, section)) {
-        // In-place update keeps member order stable across runs, so
-        // re-running the bench diffs only the values that moved.
-        std::ofstream out(path, std::ios::trunc);
-        if (!out) {
-            std::fprintf(stderr, "cannot write %s\n", path.c_str());
-            return 1;
-        }
-        out << content;
-        return 0;
-    }
-    std::size_t close = content.rfind('}');
-    if (close == std::string::npos) {
-        std::fprintf(stderr, "%s is not a JSON object\n", path.c_str());
-        return 1;
-    }
-    std::size_t tail = close;
-    while (tail > 0 && (content[tail - 1] == ' ' ||
-                        content[tail - 1] == '\n' ||
-                        content[tail - 1] == '\t' ||
-                        content[tail - 1] == ',')) {
-        --tail;
-    }
-    const bool has_members = content.find('"') < tail;
-    content.erase(tail);
-    content += has_members ? ",\n" : "\n";
-    content += "  \"" + key + "\": " + section + "\n}\n";
-
-    std::ofstream out(path, std::ios::trunc);
-    if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
-        return 1;
-    }
-    out << content;
-    return 0;
-}
-
 std::string SectionOf(const std::vector<Row>& rows)
 {
     std::ostringstream json;
@@ -155,6 +111,8 @@ std::string SectionOf(const std::vector<Row>& rows)
          << "    \"bench\": \"fig_replication_scaling\",\n"
          << "    \"app\": \"s3d\", \"iterations\": 40, "
          << "\"log_mode\": \"streaming\",\n"
+         << "    \"hardware_concurrency\": "
+         << bench::HardwareConcurrency() << ",\n"
          << "    \"rows\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row& row = rows[i];
@@ -329,7 +287,7 @@ std::string EngineSectionOf(const std::vector<EngineRow>& rows,
         "    \"speedup_jobs4_vs_jobs1_cached\": %.3f,\n"
         "    \"rows\": [\n",
         kEngineNodes, kEngineIterations,
-        std::thread::hardware_concurrency(), speedup_jobs4, speedup_hw,
+        bench::HardwareConcurrency(), speedup_jobs4, speedup_hw,
         speedup_jobs4_vs_cached);
     json << buffer;
     for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -412,8 +370,7 @@ main(int argc, char** argv)
 
     // The engine sweep: serial PR-4 baseline, then the parallel
     // engine + shared mining cache at jobs {1, 4, hardware}.
-    const std::size_t hw =
-        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    const std::size_t hw = bench::HardwareConcurrency();
     std::vector<EngineRow> engine;
     engine.push_back(RunEngineCell(1, /*cache=*/false));
     engine.push_back(RunEngineCell(1, /*cache=*/true));
@@ -446,10 +403,10 @@ main(int argc, char** argv)
             HitRateAfterFirstMiner(row.result));
     }
 
-    int rc = MergeIntoJson(json_path, "replication_scaling",
-                           SectionOf(rows));
+    int rc = bench::MergeIntoJson(json_path, "replication_scaling",
+                                  SectionOf(rows));
     if (rc == 0) {
-        rc = MergeIntoJson(
+        rc = bench::MergeIntoJson(
             json_path, "cluster_parallel",
             EngineSectionOf(engine, speedup_jobs4, speedup_hw,
                             speedup_jobs4_vs_cached));

@@ -710,7 +710,8 @@ int RunLaunchPathRecord(const std::string& json_path)
     const std::string existing =
         apo::bench::ReadFileOrEmpty(json_path);
     std::string preserved_member;
-    for (const char* key : {"replication_scaling", "cluster_parallel"}) {
+    for (const char* key :
+         {"replication_scaling", "cluster_parallel", "fig_multitenant"}) {
         const std::string preserved =
             apo::bench::ExtractJsonMember(existing, key);
         if (!preserved.empty()) {
@@ -730,6 +731,7 @@ int RunLaunchPathRecord(const std::string& json_path)
         "  \"bench\": \"micro_repeats/finder_launch_path\",\n"
         "  \"config\": {\"batchsize\": 4096, \"multi_scale_factor\": 32,"
         " \"min_trace_length\": 8, \"tokens\": %zu},\n"
+        "  \"hardware_concurrency\": %u,\n"
         "  \"snapshot_tokens_per_sec\": %.0f,\n"
         "  \"copy_at_launch_tokens_per_sec\": %.0f,\n"
         "  \"improvement\": %.3f,\n"
@@ -754,6 +756,7 @@ int RunLaunchPathRecord(const std::string& json_path)
         "    \"allocs_per_consume\": %.3f\n"
         "  },\n"
         "  \"steady_state_mining\": {\n"
+        "    \"hardware_concurrency\": %u,\n"
         "    \"incremental_tokens_per_sec\": %.0f,\n"
         "    \"from_scratch_tokens_per_sec\": %.0f,\n"
         "    \"speedup\": %.3f,\n"
@@ -763,7 +766,8 @@ int RunLaunchPathRecord(const std::string& json_path)
         "    \"candidate_sets_identical\": %s\n"
         "  }%s\n"
         "}\n",
-        kTokens, snapshot.tokens_per_sec, copy.tokens_per_sec, improvement,
+        kTokens, apo::bench::HardwareConcurrency(),
+        snapshot.tokens_per_sec, copy.tokens_per_sec, improvement,
         static_cast<unsigned long long>(snapshot.jobs_launched),
         static_cast<unsigned long long>(snapshot.tokens_analyzed),
         issue.builder.launches_per_sec,
@@ -775,6 +779,7 @@ int RunLaunchPathRecord(const std::string& json_path)
         oplog.aos.allocs_per_launch,
         stream_digest.digest.launches_per_sec,
         stream_digest.digest.allocs_per_launch,
+        apo::bench::HardwareConcurrency(),
         steady.incremental.tokens_per_sec,
         steady.scratch.tokens_per_sec, steady.speedup,
         steady.incremental.fast_path_hit_rate, steady.allocs_per_window,

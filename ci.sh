@@ -18,15 +18,17 @@ cmake -B build-asan -S . -DAPO_SANITIZE=ON -DAPO_WERROR=ON -DCMAKE_BUILD_TYPE=Re
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "== sanitizers: TSan executor stress + cluster simulation (parallel engine, 8 worker threads) =="
+echo "== sanitizers: TSan executor stress + cluster simulation (parallel engine, 8 worker threads) + multi-tenant service =="
 cmake -B build-tsan -S . -DAPO_TSAN=ON -DAPO_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j "$JOBS" --target support_executor_stress_test sim_cluster_test core_incremental_test
+cmake --build build-tsan -j "$JOBS" --target support_executor_stress_test sim_cluster_test core_incremental_test svc_service_test
 # APO_JOBS=8 forces every default-jobs cluster through the parallel
 # per-node engine at >= 8 worker threads regardless of the host's core
 # count, so TSan sees the real cross-thread traffic (TaskTeam barriers,
 # shared mining cache, steady-state miner ring) even on small CI
-# machines.
-APO_JOBS=8 ctest --test-dir build-tsan -R '^(support_executor_stress_test|sim_cluster_test|core_incremental_test)$' --output-on-failure -j "$JOBS"
+# machines. svc_service_test's pooled-executor case drives every
+# tenant's mining jobs through one PooledExecutor racing on the shared
+# cross-tenant cache.
+APO_JOBS=8 ctest --test-dir build-tsan -R '^(support_executor_stress_test|sim_cluster_test|core_incremental_test|svc_service_test)$' --output-on-failure -j "$JOBS"
 
 echo "== perf record: finder launch path + frontend issue path + digest =="
 # Snapshot the committed record before the benches overwrite it: the
@@ -70,16 +72,32 @@ else
     exit 1
 fi
 
+echo "== perf record: multi-tenant service sweep =="
+if [ -x build/fig_multitenant ]; then
+    ./build/fig_multitenant --json=BENCH_micro_repeats.json
+    if ! grep -q '"fig_multitenant"' BENCH_micro_repeats.json; then
+        echo "error: the fig_multitenant record is missing from" \
+             "BENCH_micro_repeats.json" >&2
+        exit 1
+    fi
+elif [ "${APO_ALLOW_NO_BENCH:-0}" = "1" ]; then
+    echo "fig_multitenant not built; skipping multi-tenant record (APO_ALLOW_NO_BENCH=1)"
+else
+    echo "error: fig_multitenant was not built; set" \
+         "APO_ALLOW_NO_BENCH=1 to skip the multi-tenant record" >&2
+    exit 1
+fi
+
 echo "== perf gate: bench_compare vs committed baseline =="
 if [ -x build/bench_compare ] && [ -n "$BENCH_BASELINE" ]; then
-    # The steady_state_mining record must exist (exit 2, never
-    # waivable) and no tracked metric may regress >10% against the
-    # committed record (exit 1; APO_ALLOW_BENCH_REGRESSION=1 waives a
-    # *regression* for known-noisy machines, nothing else).
+    # The steady_state_mining and fig_multitenant records must exist
+    # (exit 2, never waivable) and no tracked metric may regress >10%
+    # against the committed record (exit 1; APO_ALLOW_BENCH_REGRESSION=1
+    # waives a *regression* for known-noisy machines, nothing else).
     set +e
     ./build/bench_compare --baseline="$BENCH_BASELINE" \
         --current=BENCH_micro_repeats.json --threshold=0.10 \
-        --require=steady_state_mining
+        --require=steady_state_mining --require=fig_multitenant
     compare_status=$?
     set -e
     if [ "$compare_status" -eq 1 ]; then

@@ -283,6 +283,21 @@ Apophenia::IngestOldestJob()
     for (const CandidateTrace& c : results) {
         trie_.Insert(c.tokens, c.occurrences, counter_,
                      config_.score_decay_half_life);
+        // Rolling identity of the full ingested candidate sequence
+        // (tokens and occurrence counts, in ingestion order): two
+        // front-ends that mined and ingested the same candidates at
+        // the same stream positions report equal digests. The cheap
+        // cross-run "candidate sets identical" check, like the
+        // stream digest is for issued streams.
+        candidate_digest_ =
+            support::HashCombine(candidate_digest_, c.tokens.size());
+        for (const rt::TokenHash token : c.tokens) {
+            candidate_digest_ =
+                support::HashCombine(candidate_digest_, token);
+        }
+        candidate_digest_ = support::HashCombine(
+            candidate_digest_,
+            static_cast<std::uint64_t>(c.occurrences * 4096.0));
     }
     stats_.jobs_ingested += 1;
     stats_.candidates_ingested += results.size();

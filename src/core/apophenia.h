@@ -134,6 +134,11 @@ class Apophenia final : public api::Frontend {
     const ApopheniaStats& Stats() const { return stats_; }
     const FinderStats& Finder() const { return finder_.Stats(); }
     const CandidateTrie& Trie() const { return trie_; }
+    /** Rolling digest of every ingested candidate (tokens +
+     * occurrences, ingestion order): equal digests ⇔ the two
+     * front-ends ingested identical candidate sets at identical
+     * stream positions. */
+    std::uint64_t CandidateDigest() const { return candidate_digest_; }
     rt::Runtime& Target() { return *runtime_; }
     const ApopheniaConfig& Config() const { return config_; }
     std::size_t PendingTasks() const { return pending_.size(); }
@@ -216,6 +221,7 @@ class Apophenia final : public api::Frontend {
     std::deque<CompletedMatch> held_;
     rt::TraceId next_trace_id_ = 1;
     ApopheniaStats stats_;
+    std::uint64_t candidate_digest_ = 0x5eed;
 };
 
 }  // namespace apo::core

@@ -26,6 +26,7 @@
 #define APOPHENIA_CORE_CONFIG_H
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -128,6 +129,15 @@ struct ApopheniaConfig {
      * several lengths) each finder remembers
      * (-lg:auto_trace:incremental_ring_windows). */
     std::size_t incremental_ring_windows = 8;
+
+    /** Token namespace of the stream this finder observes (see
+     * rt::FoldNamespace). The shared content-addressed MiningCache
+     * keys every window by its namespace-relative content
+     * (token ^ namespace), so two tenants running the same kernel
+     * under different namespaces deduplicate to one mining run while
+     * their token streams stay disjoint. 0 (the default) is the
+     * classic un-namespaced stream. */
+    std::uint64_t cache_namespace = 0;
 
     // -- Trace selection scoring (paper section 4.3) ----------------------
 

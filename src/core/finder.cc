@@ -229,13 +229,45 @@ TraceFinder::LaunchAnalysis(std::size_t slice_length, std::uint64_t now)
             // memoizes the result in the ring) or classically; either
             // way the candidate set is a pure function of (window,
             // config), bit-identical across all paths.
+            //
+            // A finder with a nonzero token namespace (a service
+            // tenant) always mines the *de-namespaced* window and
+            // re-keys the result into its namespace. Repeat mining is
+            // not XOR-equivariant (suffix order depends on token
+            // values), so mining the salted slice directly could
+            // differ from adopting Rekey(canonical mining) out of the
+            // shared cache — canonical mining makes every path agree,
+            // and makes per-tenant decisions independent of the salt
+            // value (pinned by the differential fuzz leg). Such
+            // mining always rebuilds (no incremental repair tier);
+            // the salted result is memoized in the ring so identical
+            // windows still take the fast path.
+            const rt::TokenHash ns = config->cache_namespace;
             auto mine = [&] {
-                if (steady != nullptr) {
-                    job->adopted = steady->Mine(job->slice,
-                                                &job->mining_path);
-                } else {
-                    job->results = MineSlice(job->slice, *config);
+                if (ns == 0) {
+                    if (steady != nullptr) {
+                        job->adopted = steady->Mine(job->slice,
+                                                    &job->mining_path);
+                    } else {
+                        job->results = MineSlice(job->slice, *config);
+                    }
+                    return;
                 }
+                std::vector<rt::TokenHash> canonical = job->slice;
+                for (rt::TokenHash& token : canonical) {
+                    token = rt::FoldNamespace(ns, token);
+                }
+                auto salted =
+                    std::make_shared<const std::vector<CandidateTrace>>(
+                        MiningCache::Rekey(MineSlice(canonical, *config),
+                                           ns));
+                if (steady != nullptr) {
+                    steady->Memoize(
+                        std::span<const rt::TokenHash>(job->slice),
+                        salted);
+                    job->mining_path = MiningPath::kFull;
+                }
+                job->adopted = std::move(salted);
             };
             if (cache == nullptr) {
                 if (zero_copy) {
@@ -246,31 +278,43 @@ TraceFinder::LaunchAnalysis(std::size_t slice_length, std::uint64_t now)
             }
             // Shared-cache path: adopt another node's verified result
             // for an identical window (in place — a hit never even
-            // materializes the slice), or mine it and publish.
+            // materializes the slice), or mine it and publish. The
+            // cache speaks namespace-relative tokens, so a finder
+            // with a nonzero token namespace (a service tenant)
+            // de-namespaces its probes and re-keys adopted results —
+            // identical kernels dedup across tenants.
             MiningCache::Key key;
             MiningCache::Claim claim;
             if (zero_copy) {
-                key = MiningCache::KeyOf(job->snapshot);
-                claim = cache->AcquireOrBegin(key, job->snapshot);
+                key = MiningCache::KeyOf(job->snapshot, ns);
+                claim = cache->AcquireOrBegin(key, job->snapshot, ns);
             } else {
                 key = MiningCache::KeyOf(
-                    std::span<const rt::TokenHash>(job->slice));
+                    std::span<const rt::TokenHash>(job->slice), ns);
                 claim = cache->AcquireOrBegin(
-                    key, std::span<const rt::TokenHash>(job->slice));
+                    key, std::span<const rt::TokenHash>(job->slice), ns);
             }
             if (claim.results != nullptr) {
+                job->cache_hit = true;
+                job->cache_cross = claim.owner != ns;
+                std::shared_ptr<const std::vector<CandidateTrace>>
+                    adopted =
+                        ns == 0 ? std::move(claim.results)
+                                : std::make_shared<const std::vector<
+                                      CandidateTrace>>(MiningCache::Rekey(
+                                      *claim.results, ns));
                 // Seed the ring with the adopted result so the next
                 // identical window takes the fast path outright.
                 if (steady != nullptr) {
                     if (zero_copy) {
-                        steady->Memoize(job->snapshot, claim.results);
+                        steady->Memoize(job->snapshot, adopted);
                     } else {
                         steady->Memoize(
                             std::span<const rt::TokenHash>(job->slice),
-                            claim.results);
+                            adopted);
                     }
                 }
-                job->adopted = std::move(claim.results);
+                job->adopted = std::move(adopted);
                 return;
             }
             if (zero_copy) {
@@ -289,10 +333,14 @@ TraceFinder::LaunchAnalysis(std::size_t slice_length, std::uint64_t now)
                 throw;
             }
             if (job->adopted != nullptr) {
-                cache->Publish(key, job->slice, job->adopted);
+                cache->Publish(key, job->slice, job->adopted, ns);
             } else {
-                job->adopted = cache->Publish(key, job->slice,
-                                              std::move(job->results));
+                auto mined =
+                    std::make_shared<const std::vector<CandidateTrace>>(
+                        std::move(job->results));
+                job->results.clear();
+                cache->Publish(key, job->slice, mined, ns);
+                job->adopted = std::move(mined);
             }
         },
         [job] { job->done.store(true, std::memory_order_release); });
@@ -346,6 +394,14 @@ TraceFinder::ReleaseOldestJob()
       case MiningPath::kNone:
         break;
     }
+    if (job->cache_hit) {
+        ++stats_.mining_cache_hits;
+        if (job->cache_cross) {
+            ++stats_.mining_cache_cross_hits;
+        }
+    }
+    job->cache_hit = false;
+    job->cache_cross = false;
     job->mining_path = MiningPath::kNone;
     job->snapshot.Clear();
     job->results.clear();

@@ -86,6 +86,12 @@ struct AnalysisJob {
     std::shared_ptr<const std::vector<CandidateTrace>> adopted;
     /** Which incremental-mining tier produced Results(). */
     MiningPath mining_path = MiningPath::kNone;
+    /** Set by the worker when the shared mining cache served this
+     * job (folded into FinderStats at release, off the worker
+     * thread); `cache_cross` additionally marks a hit published
+     * under a different token namespace (another tenant's mining). */
+    bool cache_hit = false;
+    bool cache_cross = false;
     /** Completion flag, set (release) by the executor's completion
      * callback once `results` is published. */
     std::atomic<bool> done{false};
@@ -118,6 +124,12 @@ struct FinderStats {
     std::uint64_t mining_fast_path_hits = 0;
     std::uint64_t mining_repairs = 0;
     std::uint64_t mining_full = 0;
+    /** Shared-mining-cache outcomes of *this* finder's jobs (all zero
+     * without an attached cache): probes served by a published entry,
+     * and the subset published under a different token namespace —
+     * this tenant adopting another tenant's mining. */
+    std::uint64_t mining_cache_hits = 0;
+    std::uint64_t mining_cache_cross_hits = 0;
 };
 
 /** See file comment. */

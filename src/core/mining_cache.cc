@@ -8,8 +8,10 @@ namespace {
 
 constexpr std::uint64_t kKeySeed = 0x9e3779b97f4a7c15ULL;
 
+/** Token-for-token comparison of a snapshot against a stored window,
+ * with the prober's tokens folded out of their namespace first. */
 bool
-SpansMatch(const HistorySnapshot& snapshot,
+SpansMatch(const HistorySnapshot& snapshot, rt::TokenHash name_space,
            const std::vector<rt::TokenHash>& window)
 {
     if (snapshot.Size() != window.size()) {
@@ -17,9 +19,11 @@ SpansMatch(const HistorySnapshot& snapshot,
     }
     std::size_t at = 0;
     for (const HistorySnapshot::Span& span : snapshot.Spans()) {
-        if (!std::equal(span.data, span.data + span.length,
-                        window.begin() + static_cast<std::ptrdiff_t>(at))) {
-            return false;
+        for (std::size_t i = 0; i < span.length; ++i) {
+            if (rt::FoldNamespace(name_space, span.data[i]) !=
+                window[at + i]) {
+                return false;
+            }
         }
         at += span.length;
     }
@@ -29,22 +33,25 @@ SpansMatch(const HistorySnapshot& snapshot,
 }  // namespace
 
 MiningCache::Key
-MiningCache::KeyOf(std::span<const rt::TokenHash> slice)
+MiningCache::KeyOf(std::span<const rt::TokenHash> slice,
+                   rt::TokenHash name_space)
 {
     std::uint64_t h = kKeySeed;
     for (const rt::TokenHash token : slice) {
-        h = support::HashCombine(h, token);
+        h = support::HashCombine(h, rt::FoldNamespace(name_space, token));
     }
     return Key{h, slice.size()};
 }
 
 MiningCache::Key
-MiningCache::KeyOf(const HistorySnapshot& snapshot)
+MiningCache::KeyOf(const HistorySnapshot& snapshot,
+                   rt::TokenHash name_space)
 {
     std::uint64_t h = kKeySeed;
     for (const HistorySnapshot::Span& span : snapshot.Spans()) {
         for (std::size_t i = 0; i < span.length; ++i) {
-            h = support::HashCombine(h, span.data[i]);
+            h = support::HashCombine(
+                h, rt::FoldNamespace(name_space, span.data[i]));
         }
     }
     return Key{h, snapshot.Size()};
@@ -52,14 +59,16 @@ MiningCache::KeyOf(const HistorySnapshot& snapshot)
 
 template <typename MatchesEntry>
 MiningCache::Claim
-MiningCache::Probe(const Key& key, const MatchesEntry& matches)
+MiningCache::Probe(const Key& key, rt::TokenHash name_space,
+                   const MatchesEntry& matches)
 {
     std::unique_lock lock(mutex_);
     for (;;) {
         auto [it, inserted] = entries_.try_emplace(key);
         if (inserted) {
             ++misses_;
-            return Claim{nullptr, true};  // the caller is the miner
+            it->second.owner = name_space;
+            return Claim{nullptr, true, name_space};  // caller mines
         }
         if (it->second.ready) {
             // Detected, never assumed: adopt only a token-for-token
@@ -68,10 +77,13 @@ MiningCache::Probe(const Key& key, const MatchesEntry& matches)
             // the entry's owner keeps the slot.
             if (!matches(it->second)) {
                 ++misses_;
-                return Claim{nullptr, false};
+                return Claim{nullptr, false, name_space};
             }
             ++hits_;
-            return Claim{it->second.results, false};
+            if (it->second.owner != name_space) {
+                ++cross_namespace_hits_;
+            }
+            return Claim{it->second.results, false, it->second.owner};
         }
         // Another node is mining this very window: adopt its result
         // when it lands instead of paying the mining cost twice.
@@ -80,47 +92,88 @@ MiningCache::Probe(const Key& key, const MatchesEntry& matches)
 }
 
 MiningCache::Claim
-MiningCache::AcquireOrBegin(const Key& key, const HistorySnapshot& snapshot)
+MiningCache::AcquireOrBegin(const Key& key, const HistorySnapshot& snapshot,
+                            rt::TokenHash name_space)
 {
-    return Probe(key, [&](const Entry& entry) {
-        return SpansMatch(snapshot, entry.window);
+    return Probe(key, name_space, [&](const Entry& entry) {
+        return SpansMatch(snapshot, name_space, entry.window);
     });
 }
 
 MiningCache::Claim
 MiningCache::AcquireOrBegin(const Key& key,
-                            std::span<const rt::TokenHash> slice)
+                            std::span<const rt::TokenHash> slice,
+                            rt::TokenHash name_space)
 {
-    return Probe(key, [&](const Entry& entry) {
-        return entry.window.size() == slice.size() &&
-               std::equal(slice.begin(), slice.end(),
-                          entry.window.begin());
+    return Probe(key, name_space, [&](const Entry& entry) {
+        if (entry.window.size() != slice.size()) {
+            return false;
+        }
+        for (std::size_t i = 0; i < slice.size(); ++i) {
+            if (rt::FoldNamespace(name_space, slice[i]) !=
+                entry.window[i]) {
+                return false;
+            }
+        }
+        return true;
     });
+}
+
+std::vector<CandidateTrace>
+MiningCache::Rekey(const std::vector<CandidateTrace>& candidates,
+                   rt::TokenHash name_space)
+{
+    std::vector<CandidateTrace> out;
+    out.reserve(candidates.size());
+    for (const CandidateTrace& candidate : candidates) {
+        CandidateTrace rekeyed;
+        rekeyed.occurrences = candidate.occurrences;
+        rekeyed.tokens.reserve(candidate.tokens.size());
+        for (const rt::TokenHash token : candidate.tokens) {
+            rekeyed.tokens.push_back(
+                rt::FoldNamespace(name_space, token));
+        }
+        out.push_back(std::move(rekeyed));
+    }
+    return out;
 }
 
 std::shared_ptr<const std::vector<CandidateTrace>>
 MiningCache::Publish(const Key& key,
                      std::span<const rt::TokenHash> window,
-                     std::vector<CandidateTrace> results)
+                     std::vector<CandidateTrace> results,
+                     rt::TokenHash name_space)
 {
     return Publish(key, window,
                    std::make_shared<const std::vector<CandidateTrace>>(
-                       std::move(results)));
+                       std::move(results)),
+                   name_space);
 }
 
 std::shared_ptr<const std::vector<CandidateTrace>>
 MiningCache::Publish(
     const Key& key, std::span<const rt::TokenHash> window,
-    std::shared_ptr<const std::vector<CandidateTrace>> results)
+    std::shared_ptr<const std::vector<CandidateTrace>> results,
+    rt::TokenHash name_space)
 {
+    // The entry is stored namespace-relative so any tenant can verify
+    // and adopt it. Namespace 0 (every pre-tenancy caller) keeps the
+    // zero-copy path: the published pointer is stored as-is.
     std::shared_ptr<const std::vector<CandidateTrace>> stored =
-        std::move(results);
+        name_space == 0
+            ? std::move(results)
+            : std::make_shared<const std::vector<CandidateTrace>>(
+                  Rekey(*results, name_space));
     {
         std::lock_guard lock(mutex_);
         Entry& entry = entries_[key];
-        entry.window.assign(window.begin(), window.end());
+        entry.window.resize(window.size());
+        for (std::size_t i = 0; i < window.size(); ++i) {
+            entry.window[i] = rt::FoldNamespace(name_space, window[i]);
+        }
         entry.results = stored;
         entry.ready = true;
+        entry.owner = name_space;
         ++windows_published_;
         retained_.push_back(key);
         // Bounded retention: evict the oldest published entries. An
@@ -129,6 +182,7 @@ MiningCache::Publish(
         while (max_windows_ != 0 && retained_.size() > max_windows_) {
             entries_.erase(retained_.front());
             retained_.pop_front();
+            ++evictions_;
         }
     }
     published_.notify_all();
@@ -153,7 +207,8 @@ MiningCache::Snapshot() const
 {
     std::lock_guard lock(mutex_);
     return Stats{hits_, misses_,
-                 static_cast<std::size_t>(windows_published_)};
+                 static_cast<std::size_t>(windows_published_),
+                 cross_namespace_hits_, evictions_};
 }
 
 std::size_t

@@ -73,7 +73,12 @@ class MiningCache {
 
     /** Content address of a window: the same incremental HashCombine
      * fold the stream digests use, over the window's tokens, plus the
-     * length as a cheap first-stage check. */
+     * length as a cheap first-stage check. The fold runs over the
+     * *namespace-relative* tokens (token ^ name_space, see
+     * rt::FoldNamespace), so two tenants issuing the same kernel
+     * under different token namespaces address the same entry —
+     * identical work is mined once service-wide. Namespace 0 (every
+     * pre-tenancy caller) folds the tokens as-is. */
     struct Key {
         std::uint64_t hash = 0;
         std::size_t length = 0;
@@ -81,60 +86,93 @@ class MiningCache {
         friend bool operator==(const Key&, const Key&) = default;
     };
 
-    static Key KeyOf(std::span<const rt::TokenHash> slice);
+    static Key KeyOf(std::span<const rt::TokenHash> slice,
+                     rt::TokenHash name_space = 0);
     /** Same fold, walked over the snapshot's block spans (no copy). */
-    static Key KeyOf(const HistorySnapshot& snapshot);
+    static Key KeyOf(const HistorySnapshot& snapshot,
+                     rt::TokenHash name_space = 0);
 
     /** The outcome of a probe. */
     struct Claim {
         /** Non-null: a verified hit — adopt this candidate set (the
-         * shared ownership survives eviction of the entry). */
+         * shared ownership survives eviction of the entry). The
+         * tokens are namespace-relative; an adopter with a nonzero
+         * namespace re-keys them via Rekey(). */
         std::shared_ptr<const std::vector<CandidateTrace>> results;
         /** True: the caller is the window's miner and MUST follow with
          * Publish() (or Abandon() on failure) before probing any
          * other key. When both fields are empty the key collided with
          * a different window: mine locally, do not publish. */
         bool miner = false;
+        /** On a hit: the publisher's token namespace. A hit whose
+         * publisher namespace differs from the prober's is a
+         * cross-tenant hit — one tenant adopted another's mining. */
+        rt::TokenHash owner = 0;
     };
 
     /**
      * Probe the cache with the window's content. A published entry
-     * whose stored window matches returns its candidate set (a hit).
-     * An in-progress entry blocks until the miner publishes or
-     * abandons. An absent entry registers the caller as its miner.
+     * whose stored (namespace-relative) window matches returns its
+     * candidate set (a hit). An in-progress entry blocks until the
+     * miner publishes or abandons. An absent entry registers the
+     * caller as its miner. `name_space` is the prober's token
+     * namespace; verification compares the de-namespaced probe
+     * tokens against the entry, so hits stay detected, never assumed,
+     * across tenants.
      */
-    Claim AcquireOrBegin(const Key& key, const HistorySnapshot& snapshot);
+    Claim AcquireOrBegin(const Key& key, const HistorySnapshot& snapshot,
+                         rt::TokenHash name_space = 0);
     Claim AcquireOrBegin(const Key& key,
-                         std::span<const rt::TokenHash> slice);
+                         std::span<const rt::TokenHash> slice,
+                         rt::TokenHash name_space = 0);
 
     /** Publish the mining result for a key this caller began; stores
-     * a copy of the window (for hit verification) and returns the
-     * now-immutable shared candidate set so the miner reads it in
-     * place like every adopter. May evict the oldest entries. */
+     * the window and candidates in namespace-relative form (for hit
+     * verification and cross-tenant adoption) and returns the
+     * now-immutable shared candidate set so a namespace-0 miner
+     * reads it in place like every adopter. (A nonzero-namespace
+     * miner keeps its own salted results; the returned set is
+     * namespace-relative.) May evict the oldest entries. */
     std::shared_ptr<const std::vector<CandidateTrace>> Publish(
         const Key& key, std::span<const rt::TokenHash> window,
-        std::vector<CandidateTrace> results);
+        std::vector<CandidateTrace> results,
+        rt::TokenHash name_space = 0);
 
     /** Publish an already-shared candidate set (the incremental
-     * engine's miners own their results as shared_ptrs); stores the
-     * same pointer — no copy of the candidates. */
+     * engine's miners own their results as shared_ptrs); with
+     * namespace 0 stores the same pointer — no copy of the
+     * candidates. */
     std::shared_ptr<const std::vector<CandidateTrace>> Publish(
         const Key& key, std::span<const rt::TokenHash> window,
-        std::shared_ptr<const std::vector<CandidateTrace>> results);
+        std::shared_ptr<const std::vector<CandidateTrace>> results,
+        rt::TokenHash name_space = 0);
 
     /** Give up on a key this caller began (mining threw): waiters are
      * released and the next prober becomes the miner. */
     void Abandon(const Key& key);
 
+    /** Re-key a candidate set into (or out of — XOR is its own
+     * inverse) a token namespace: every token is folded with the
+     * namespace salt, occurrences are preserved. Identity for
+     * namespace 0. */
+    static std::vector<CandidateTrace> Rekey(
+        const std::vector<CandidateTrace>& candidates,
+        rt::TokenHash name_space);
+
     /** Aggregate counters: every probe is a hit (result adopted,
      * possibly after waiting for the miner) or a miss (the caller
      * mined). `windows` counts mining runs that published — with no
      * eviction pressure and no collisions, misses == windows ⇔ each
-     * distinct window was mined exactly once. */
+     * distinct window was mined exactly once. `cross_namespace_hits`
+     * counts hits whose publisher's token namespace differed from
+     * the prober's (one tenant adopting another tenant's mining);
+     * `evictions` counts entries dropped to the retention bound. */
     struct Stats {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::size_t windows = 0;
+        std::uint64_t cross_namespace_hits = 0;
+        std::uint64_t evictions = 0;
     };
 
     Stats Snapshot() const;
@@ -145,9 +183,13 @@ class MiningCache {
   private:
     struct Entry {
         bool ready = false;
-        /** The mined window itself, for exact hit verification. */
+        /** The mined window itself (namespace-relative tokens), for
+         * exact hit verification. */
         std::vector<rt::TokenHash> window;
         std::shared_ptr<const std::vector<CandidateTrace>> results;
+        /** Token namespace of the publisher (cross-tenant hit
+         * attribution). */
+        rt::TokenHash owner = 0;
     };
 
     struct KeyHasher {
@@ -158,10 +200,11 @@ class MiningCache {
         }
     };
 
-    /** The generic probe loop; Matches compares the prober's window
-     * against an entry's stored tokens. */
+    /** The generic probe loop; Matches compares the prober's
+     * (de-namespaced) window against an entry's stored tokens. */
     template <typename MatchesEntry>
-    Claim Probe(const Key& key, const MatchesEntry& matches);
+    Claim Probe(const Key& key, rt::TokenHash name_space,
+                const MatchesEntry& matches);
 
     mutable std::mutex mutex_;
     std::condition_variable published_;
@@ -174,6 +217,8 @@ class MiningCache {
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t windows_published_ = 0;
+    std::uint64_t cross_namespace_hits_ = 0;
+    std::uint64_t evictions_ = 0;
 };
 
 }  // namespace apo::core

@@ -106,6 +106,24 @@ inline TaskLaunch CopyLaunch(RegionId src, FieldId src_field,
 /** The 64-bit token type trace identification operates on. */
 using TokenHash = std::uint64_t;
 
+/**
+ * Fold a tenant token namespace into a boundary-computed launch token.
+ *
+ * The multi-tenant service gives every tenant a distinct namespace
+ * salt so no two tenants' streams ever share a token value — one
+ * tenant's candidates can never match (or pollute decisions about)
+ * another tenant's stream, even inside shared structures. The fold is
+ * an XOR so that it is (a) free, (b) the identity for namespace 0
+ * (classic single-tenant tokens are untouched, bit-for-bit), and
+ * (c) invertible: the shared content-addressed mining cache recovers
+ * the namespace-relative window (token ^ salt) to deduplicate
+ * identical kernels *across* namespaces without ever mixing them up.
+ */
+inline TokenHash FoldNamespace(TokenHash name_space, TokenHash token)
+{
+    return token ^ name_space;
+}
+
 /** Seed of a launch token: the task id folded into the hash chain.
  * The launch token is built incrementally — seed, then one
  * HashRequirement step per region requirement in order — so the API

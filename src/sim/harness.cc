@@ -49,6 +49,7 @@ BuildFrontend(const ExperimentOptions& options, bool streaming)
     runtime_options.costs = options.costs;
     runtime_options.nodes = options.machine.nodes;
     runtime_options.mismatch_policy = options.mismatch_policy;
+    runtime_options.max_trace_templates = options.max_trace_templates;
     runtime_options.log_config = options.log_config;
 
     if (options.replicas > 1) {
@@ -141,6 +142,7 @@ RunExperiment(apps::Application& app, const ExperimentOptions& options)
     std::optional<rt::WindowedTransitiveReducer> streaming_reducer;
     std::vector<rt::Dependence> reduce_scratch;
     TracedFlags streaming_traced;
+    StreamDigest streaming_digest;
     if (streaming) {
         PipelineOptions sim_options = pipeline_options;
         sim_options.inline_transitive_reduction = false;
@@ -150,6 +152,7 @@ RunExperiment(apps::Application& app, const ExperimentOptions& options)
         }
         auto consumer = [&](const rt::OpView& op) {
             streaming_traced.Consume(op);
+            streaming_digest.Consume(op);
             if (streaming_reducer) {
                 reduce_scratch.assign(op.dependences.begin(),
                                       op.dependences.end());
@@ -216,6 +219,7 @@ RunExperiment(apps::Application& app, const ExperimentOptions& options)
     result.total_tasks = runtime.Log().size();
     result.runtime_stats = runtime.Stats();
     result.replayed_fraction = runtime.Stats().ReplayedFraction();
+    result.trace_cache_evictions = runtime.Stats().traces_evicted;
     result.frontend_stats = front.Stats();
     result.log_peak_resident_bytes = runtime.Log().PeakResidentBytes();
     result.log_retired_ops = runtime.Log().RetiredCount();
@@ -224,9 +228,20 @@ RunExperiment(apps::Application& app, const ExperimentOptions& options)
         result.mining_repairs += finder.mining_repairs;
         result.mining_full += finder.mining_full;
     };
+    if (stack.cluster == nullptr) {
+        // Single-runtime runs report the same stream identity the
+        // cluster nodes do (and the svc::TraceService bit-identity
+        // check diffs against).
+        const StreamDigest digest = streaming
+                                        ? streaming_digest
+                                        : StreamDigest::Of(runtime.Log());
+        result.stream_digest = digest.Value();
+        result.stream_digest_ops = digest.Count();
+    }
     if (stack.apophenia != nullptr) {
         result.apophenia_stats = stack.apophenia->Stats();
         add_finder_stats(stack.apophenia->Finder());
+        result.mining_cache_hits = stack.apophenia->Finder().mining_cache_hits;
     } else if (stack.cluster != nullptr) {
         result.apophenia_stats = stack.cluster->Node(0).Stats();
         result.streams_identical = stack.cluster->StreamDigestsAgree();

@@ -83,6 +83,10 @@ struct ExperimentOptions {
      * template: throw (Legion's strict mode) or degrade that fragment
      * to full dependence analysis (see rt::MismatchPolicy). */
     rt::MismatchPolicy mismatch_policy = rt::MismatchPolicy::kThrow;
+    /** Trace-template retention bound of the runtime's TraceCache
+     * (rt::RuntimeOptions::max_trace_templates; 0 = unlimited).
+     * Evictions surface as ExperimentResult::trace_cache_evictions. */
+    std::size_t max_trace_templates = 0;
     LogMode log_mode = LogMode::kRetained;
     /** Operation-log block granularity; with kStreaming this is the
      * resident-memory ceiling knob. */
@@ -157,11 +161,15 @@ struct ExperimentResult {
     std::uint64_t mining_fast_path_hits = 0;
     std::uint64_t mining_repairs = 0;
     std::uint64_t mining_full = 0;
-    /** Node 0's rolling stream digest (replicated runs; zero
-     * otherwise) — the strongest cheap cross-run identity check: two
-     * runs that issued the same stream report the same digest. */
+    /** The issued stream's rolling digest (node 0's when replicated)
+     * — the strongest cheap cross-run identity check: two runs that
+     * issued the same stream report the same digest. */
     std::uint64_t stream_digest = 0;
     std::uint64_t stream_digest_ops = 0;
+    /** LRU evictions from the runtime's TraceCache (node 0 when
+     * replicated); nonzero only under a finite
+     * rt::RuntimeOptions::max_trace_templates. */
+    std::uint64_t trace_cache_evictions = 0;
 };
 
 /** Run `app` for `options.iterations` main-loop iterations and

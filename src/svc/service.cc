@@ -1,0 +1,458 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "runtime/errors.h"
+#include "sim/cluster.h"
+#include "sim/metrics.h"
+#include "sim/pipeline.h"
+#include "support/hash.h"
+
+namespace apo::svc {
+
+/**
+ * The tenant's issue surface: a thin api::Frontend that folds the
+ * tenant's token namespace into every launch token before handing it
+ * to the tenant's Apophenia instance. The fold is a single XOR on the
+ * boundary-computed hash (see rt::FoldNamespace) — namespace 0 (the
+ * first tenant, and every single-tenant service) forwards tokens
+ * untouched, which is what makes a single-tenant service run
+ * bit-identical to the direct harness.
+ */
+class TenantSession final : public api::Frontend {
+  public:
+    TenantSession(api::Frontend& inner, rt::TokenHash name_space)
+        : inner_(&inner), namespace_(name_space)
+    {
+    }
+
+    std::string_view Name() const override { return "svc-session"; }
+    rt::RegionId CreateRegion() override { return inner_->CreateRegion(); }
+    void DestroyRegion(rt::RegionId r) override
+    {
+        inner_->DestroyRegion(r);
+    }
+    std::vector<rt::RegionId> PartitionRegion(rt::RegionId parent,
+                                              std::size_t count) override
+    {
+        return inner_->PartitionRegion(parent, count);
+    }
+
+  protected:
+    void DoExecuteTask(const rt::TaskLaunchView& launch) override
+    {
+        if (namespace_ == 0) {
+            inner_->ExecuteTask(launch);
+            return;
+        }
+        rt::TaskLaunchView salted = launch;
+        salted.token = rt::FoldNamespace(namespace_, launch.token);
+        inner_->ExecuteTask(salted);
+    }
+
+    /** The tenant engine (Apophenia) does its own tracing; manual
+     * annotations are forwarded for uniform accounting but reported
+     * as dropped at this surface. */
+    bool DoBeginTrace(rt::TraceId id) override
+    {
+        inner_->BeginTrace(id);
+        return false;
+    }
+    bool DoEndTrace(rt::TraceId id) override
+    {
+        inner_->EndTrace(id);
+        return false;
+    }
+    void DoFlush() override { inner_->Flush(); }
+
+  private:
+    api::Frontend* inner_;
+    rt::TokenHash namespace_;
+};
+
+/** One tenant's stack plus its run-loop state. */
+struct TraceService::Tenant {
+    TenantOptions options;
+    rt::TokenHash name_space = 0;
+    std::unique_ptr<rt::Runtime> runtime;
+    std::unique_ptr<core::Apophenia> engine;
+    std::unique_ptr<TenantSession> session;
+
+    /** Issued-task count at the end of each completed iteration. */
+    std::vector<std::size_t> boundaries;
+    /** One issue-latency sample (virtual ticks) per iteration. */
+    std::vector<std::uint64_t> latencies;
+    std::size_t completed = 0;
+    /** Closed loop: virtual time the next iteration became ready. */
+    std::uint64_t ready_since = 0;
+    /** Open loop: virtual time of iteration 0's arrival. */
+    std::uint64_t arrival_base = 0;
+
+    bool Finished() const
+    {
+        return completed >= options.iterations;
+    }
+
+    /** Arrival time of the next (not-yet-granted) iteration. */
+    std::uint64_t NextArrival() const
+    {
+        return options.arrival_gap == 0
+                   ? ready_since
+                   : arrival_base + options.arrival_gap *
+                                        static_cast<std::uint64_t>(
+                                            completed);
+    }
+};
+
+// -- Policies ---------------------------------------------------------------
+
+void
+RoundRobinPolicy::Reset(const std::vector<TenantOptions>&)
+{
+    cursor_ = 0;
+}
+
+std::size_t
+RoundRobinPolicy::Pick(const std::vector<std::size_t>& ready)
+{
+    // First ready tenant at or after the cursor, cyclically.
+    for (const std::size_t t : ready) {
+        if (t >= cursor_) {
+            cursor_ = t + 1;
+            return t;
+        }
+    }
+    cursor_ = ready.front() + 1;
+    return ready.front();
+}
+
+void
+DeficitWeightedFairPolicy::Reset(const std::vector<TenantOptions>& tenants)
+{
+    weights_.clear();
+    deficit_.clear();
+    for (const TenantOptions& tenant : tenants) {
+        weights_.push_back(std::max(tenant.weight, 1e-6));
+        deficit_.push_back(0.0);
+    }
+    cursor_ = 0;
+}
+
+std::size_t
+DeficitWeightedFairPolicy::Pick(const std::vector<std::size_t>& ready)
+{
+    for (;;) {
+        // Cyclic scan from the cursor for a ready tenant with credit.
+        // The cursor does not advance on a grant — a tenant is served
+        // until its deficit is spent (see Charge), which is what lets
+        // task shares track weights across differently-sized
+        // iterations.
+        std::size_t begin = 0;
+        while (begin < ready.size() && ready[begin] < cursor_) {
+            ++begin;
+        }
+        for (std::size_t i = 0; i < ready.size(); ++i) {
+            const std::size_t t =
+                ready[(begin + i) % ready.size()];
+            if (deficit_[t] > 0.0) {
+                cursor_ = t;
+                return t;
+            }
+        }
+        // Everyone ready is out of credit: refill proportionally to
+        // the weights and scan again (terminates — each refill adds
+        // at least quantum × min-weight of credit).
+        for (const std::size_t t : ready) {
+            deficit_[t] += static_cast<double>(quantum_) * weights_[t];
+        }
+    }
+}
+
+void
+DeficitWeightedFairPolicy::Charge(std::size_t tenant, std::uint64_t tasks)
+{
+    deficit_[tenant] -= static_cast<double>(tasks);
+    if (deficit_[tenant] <= 0.0) {
+        cursor_ = tenant + 1;  // spent: move on next Pick
+    }
+}
+
+// -- TraceService -----------------------------------------------------------
+
+TraceService::TraceService(ServiceOptions options)
+    : options_(std::move(options)),
+      cache_(std::make_unique<core::MiningCache>(
+          options_.max_cache_windows))
+{
+}
+
+TraceService::~TraceService() = default;
+
+rt::TokenHash
+TraceService::DefaultNamespace(std::size_t index)
+{
+    if (index == 0) {
+        return 0;  // bit-identical to the un-namespaced direct stack
+    }
+    const rt::TokenHash salt = support::SplitMix64(
+        support::HashCombine(0x7e4a47ULL, index));
+    return salt == 0 ? 0x7e4a47ULL : salt;
+}
+
+std::size_t
+TraceService::AddTenant(TenantOptions tenant)
+{
+    auto state = std::make_unique<Tenant>();
+    state->options = std::move(tenant);
+    state->name_space = state->options.name_space.value_or(
+        DefaultNamespace(tenants_.size()));
+
+    rt::RuntimeOptions runtime_options;
+    runtime_options.costs = options_.costs;
+    runtime_options.nodes = options_.machine.nodes;
+    runtime_options.mismatch_policy = options_.mismatch_policy;
+    runtime_options.max_trace_templates = options_.max_trace_templates;
+    runtime_options.log_config = options_.log_config;
+    state->runtime = std::make_unique<rt::Runtime>(runtime_options);
+
+    core::ApopheniaConfig config = options_.config;
+    config.cache_namespace = state->name_space;
+    state->engine = std::make_unique<core::Apophenia>(
+        *state->runtime, config, options_.executor,
+        options_.share_mining_cache ? cache_.get() : nullptr);
+    state->session = std::make_unique<TenantSession>(*state->engine,
+                                                     state->name_space);
+    tenants_.push_back(std::move(state));
+    return tenants_.size() - 1;
+}
+
+api::Frontend&
+TraceService::Session(std::size_t tenant)
+{
+    return *tenants_.at(tenant)->session;
+}
+
+const core::Apophenia&
+TraceService::TenantEngine(std::size_t tenant) const
+{
+    return *tenants_.at(tenant)->engine;
+}
+
+const rt::Runtime&
+TraceService::TenantRuntime(std::size_t tenant) const
+{
+    return *tenants_.at(tenant)->runtime;
+}
+
+rt::TokenHash
+TraceService::TenantNamespace(std::size_t tenant) const
+{
+    return tenants_.at(tenant)->name_space;
+}
+
+core::MiningCache::Stats
+TraceService::MiningCacheStats() const
+{
+    return cache_->Snapshot();
+}
+
+ServiceResult
+TraceService::Run()
+{
+    if (tenants_.empty()) {
+        throw rt::RuntimeUsageError(
+            "TraceService::Run: no tenants registered");
+    }
+    for (const auto& tenant : tenants_) {
+        if (tenant->options.app == nullptr) {
+            throw rt::RuntimeUsageError(
+                "TraceService::Run: tenant '" + tenant->options.name +
+                "' has no application (TenantOptions::app)");
+        }
+    }
+    AdmissionPolicy* policy =
+        options_.policy != nullptr ? options_.policy : &default_policy_;
+    {
+        std::vector<TenantOptions> specs;
+        specs.reserve(tenants_.size());
+        for (const auto& tenant : tenants_) {
+            specs.push_back(tenant->options);
+        }
+        policy->Reset(specs);
+    }
+
+    // Setup in tenant order (deterministic; each tenant's stream
+    // starts exactly as its standalone run would).
+    std::uint64_t clock = 0;
+    for (const auto& tenant : tenants_) {
+        tenant->options.app->Setup(*tenant->session);
+        clock += tenant->session->Stats().tasks_executed;
+    }
+    for (const auto& tenant : tenants_) {
+        tenant->ready_since = clock;
+        tenant->arrival_base = clock;
+    }
+
+    std::vector<std::size_t> ready;
+    for (;;) {
+        ready.clear();
+        std::uint64_t next_arrival =
+            std::numeric_limits<std::uint64_t>::max();
+        for (std::size_t t = 0; t < tenants_.size(); ++t) {
+            Tenant& tenant = *tenants_[t];
+            if (tenant.Finished()) {
+                continue;
+            }
+            const std::uint64_t arrival = tenant.NextArrival();
+            if (arrival <= clock) {
+                ready.push_back(t);
+            } else {
+                next_arrival = std::min(next_arrival, arrival);
+            }
+        }
+        if (ready.empty()) {
+            if (next_arrival ==
+                std::numeric_limits<std::uint64_t>::max()) {
+                break;  // every tenant finished
+            }
+            // Idle: jump virtual time to the next open-loop arrival.
+            clock = next_arrival;
+            continue;
+        }
+
+        const std::size_t t = policy->Pick(ready);
+        Tenant& tenant = *tenants_[t];
+        tenant.latencies.push_back(clock - tenant.NextArrival());
+
+        const std::uint64_t before =
+            tenant.session->Stats().tasks_executed;
+        tenant.options.app->Iteration(*tenant.session, tenant.completed,
+                                      /*manual_tracing=*/false);
+        const std::uint64_t after =
+            tenant.session->Stats().tasks_executed;
+        const std::uint64_t tasks = after - before;
+        clock += tasks;
+        policy->Charge(t, std::max<std::uint64_t>(1, tasks));
+
+        tenant.boundaries.push_back(static_cast<std::size_t>(after));
+        tenant.completed += 1;
+        tenant.ready_since = clock;
+        if (tenant.Finished()) {
+            // End-of-stream for this tenant, at this point of the
+            // interleave — a tenant-local drain, like the standalone
+            // harness's final Flush.
+            tenant.session->Flush();
+        }
+    }
+    return AssembleResults(clock);
+}
+
+namespace {
+
+double
+Percentile(std::vector<std::uint64_t> samples, double q)
+{
+    if (samples.empty()) {
+        return 0.0;
+    }
+    std::sort(samples.begin(), samples.end());
+    const double rank =
+        q * static_cast<double>(samples.size() - 1);
+    const std::size_t at = static_cast<std::size_t>(rank + 0.5);
+    return static_cast<double>(samples[std::min(at, samples.size() - 1)]);
+}
+
+}  // namespace
+
+ServiceResult
+TraceService::AssembleResults(std::uint64_t virtual_time)
+{
+    ServiceResult result;
+    result.policy = std::string(
+        (options_.policy != nullptr ? options_.policy
+                                    : &default_policy_)
+            ->Name());
+    result.virtual_time = virtual_time;
+
+    sim::PipelineOptions pipeline_options;
+    pipeline_options.machine = options_.machine;
+    pipeline_options.costs = options_.costs;
+    pipeline_options.apophenia_front_end = true;
+    pipeline_options.window = options_.config.window;
+    pipeline_options.inline_transitive_reduction =
+        options_.config.inline_transitive_reduction;
+
+    for (const auto& tenant : tenants_) {
+        const rt::Runtime& runtime = *tenant->runtime;
+        const core::Apophenia& engine = *tenant->engine;
+        const core::FinderStats& finder = engine.Finder();
+
+        sim::ExperimentResult experiment;
+        const sim::PipelineResult sim =
+            SimulatePipeline(runtime.Log(), pipeline_options);
+        const std::vector<double> ends =
+            IterationEndTimes(sim, tenant->boundaries);
+        experiment.iterations_per_second = sim::SteadyThroughput(ends);
+        experiment.makespan_us = sim.makespan_us;
+        experiment.total_tasks = runtime.Log().size();
+        experiment.warmup_iterations =
+            sim::WarmupIterations(runtime.Log(), tenant->boundaries);
+        experiment.runtime_stats = runtime.Stats();
+        experiment.replayed_fraction =
+            runtime.Stats().ReplayedFraction();
+        experiment.trace_cache_evictions =
+            runtime.Stats().traces_evicted;
+        experiment.frontend_stats = tenant->session->Stats();
+        experiment.apophenia_stats = engine.Stats();
+        experiment.mining_fast_path_hits = finder.mining_fast_path_hits;
+        experiment.mining_repairs = finder.mining_repairs;
+        experiment.mining_full = finder.mining_full;
+        experiment.mining_cache_hits = finder.mining_cache_hits;
+        experiment.log_peak_resident_bytes =
+            runtime.Log().PeakResidentBytes();
+        experiment.log_retired_ops = runtime.Log().RetiredCount();
+        const sim::StreamDigest digest =
+            sim::StreamDigest::Of(runtime.Log());
+        experiment.stream_digest = digest.Value();
+        experiment.stream_digest_ops = digest.Count();
+
+        TenantStats stats;
+        stats.name = tenant->options.name;
+        stats.name_space = tenant->name_space;
+        stats.iterations_completed = tenant->completed;
+        stats.tokens_issued =
+            tenant->session->Stats().tasks_executed;
+        stats.tokens_replayed = runtime.Stats().tasks_replayed;
+        const core::ApopheniaStats& front = engine.Stats();
+        stats.trace_cache_hit_rate =
+            front.traces_fired == 0
+                ? 0.0
+                : static_cast<double>(front.trace_replays) /
+                      static_cast<double>(front.traces_fired);
+        stats.trace_cache_evictions = runtime.Stats().traces_evicted;
+        stats.mining_cache_hits = finder.mining_cache_hits;
+        stats.cross_tenant_mining_hits =
+            finder.mining_cache_cross_hits;
+        stats.p50_issue_latency = Percentile(tenant->latencies, 0.50);
+        stats.p99_issue_latency = Percentile(tenant->latencies, 0.99);
+        stats.stream_digest = digest.Value();
+        stats.stream_digest_ops = digest.Count();
+        stats.candidate_digest = engine.CandidateDigest();
+
+        result.experiments.push_back(std::move(experiment));
+        result.tenants.push_back(std::move(stats));
+    }
+
+    result.mining_cache = cache_->Snapshot();
+    const std::uint64_t probes =
+        result.mining_cache.hits + result.mining_cache.misses;
+    result.cross_tenant_sharing =
+        probes == 0 ? 0.0
+                    : static_cast<double>(
+                          result.mining_cache.cross_namespace_hits) /
+                          static_cast<double>(probes);
+    return result;
+}
+
+}  // namespace apo::svc

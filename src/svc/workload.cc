@@ -1,0 +1,108 @@
+#include "svc/workload.h"
+
+#include <algorithm>
+#include <string>
+
+#include "support/hash.h"
+
+namespace apo::svc {
+
+namespace {
+
+/** Small deterministic generator: one SplitMix64 step per draw. */
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t Next()
+    {
+        state_ += 0x9e3779b97f4a7c15ULL;
+        return support::SplitMix64(state_);
+    }
+
+    std::uint64_t Next(std::uint64_t bound)
+    {
+        return bound == 0 ? 0 : Next() % bound;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+}  // namespace
+
+SyntheticWorkload::SyntheticWorkload(SyntheticOptions options)
+    : options_(options)
+{
+    // The kernel is drawn once, at construction, from the seed: the
+    // iteration loop then replays it verbatim, so the token stream is
+    // periodic and a pure function of (seed, machine, knobs).
+    Rng rng(support::HashCombine(0x5eedfeedULL, options_.seed));
+    const std::size_t arrays = std::max<std::size_t>(2, options_.arrays);
+    const std::uint64_t gpus =
+        std::max<std::uint64_t>(1, options_.machine.GpuCount());
+    kernel_.reserve(options_.kernel_tasks);
+    for (std::size_t i = 0; i < options_.kernel_tasks; ++i) {
+        KernelStep step;
+        // A tenant-seeded task-id pool of 8 "kernels": repeats within
+        // the body make sub-patterns, different seeds make disjoint
+        // task ids (and therefore disjoint tokens).
+        step.task = support::HashCombine(
+            support::HashCombine(0x7a5cULL, options_.seed),
+            rng.Next(8));
+        step.shard = static_cast<std::uint32_t>(rng.Next(gpus));
+        step.reads = static_cast<std::uint8_t>(rng.Next(arrays));
+        step.read2 = static_cast<std::uint8_t>(rng.Next(arrays));
+        step.writes = static_cast<std::uint8_t>(rng.Next(arrays));
+        step.exec_scale = 0.5 + 0.1 * static_cast<double>(rng.Next(10));
+        kernel_.push_back(step);
+    }
+}
+
+void
+SyntheticWorkload::Setup(api::Frontend& fe)
+{
+    arrays_.clear();
+    const std::size_t arrays = std::max<std::size_t>(2, options_.arrays);
+    arrays_.reserve(arrays);
+    for (std::size_t i = 0; i < arrays; ++i) {
+        arrays_.emplace_back(fe);
+    }
+}
+
+void
+SyntheticWorkload::Iteration(api::Frontend& fe, std::size_t iter,
+                             bool /*manual_tracing*/)
+{
+    for (const KernelStep& step : kernel_) {
+        auto& task = builder_.Start(rt::TaskId{step.task}, step.shard,
+                                    options_.exec_us * step.exec_scale);
+        task.Add(arrays_[step.reads].Read(step.shard));
+        if (step.read2 != step.reads) {
+            task.Add(arrays_[step.read2].Read(step.shard));
+        }
+        task.Add(arrays_[step.writes].Write(step.shard));
+        task.LaunchOn(fe);
+    }
+    // Irregular burst: a short, per-burst-unique sequence (the
+    // residual-check / region-churn structure of the app skeletons)
+    // that interrupts the periodicity without dominating the stream.
+    if (options_.noise_interval != 0 &&
+        (iter + 1) % options_.noise_interval == 0) {
+        Rng burst(support::HashCombine(
+            support::HashCombine(0xb0057ULL, options_.seed), iter));
+        const std::size_t tasks = 1 + burst.Next(3);
+        for (std::size_t i = 0; i < tasks; ++i) {
+            apps::DistArray scratch(fe);
+            builder_
+                .Start(rt::TaskId{burst.Next()}, 0,
+                       options_.exec_us * 0.25)
+                .Add(arrays_[0].Read(0))
+                .Add(scratch.Write(0))
+                .LaunchOn(fe);
+            scratch.Destroy(fe);
+        }
+    }
+}
+
+}  // namespace apo::svc

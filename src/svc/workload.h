@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Seeded synthetic workload generator for the multi-tenant service.
+ *
+ * The five application skeletons are closed-loop: the next iteration
+ * is issued when the service grants it. A served fleet also contains
+ * open-loop tenants whose requests arrive on their own schedule
+ * regardless of service progress — the service models that by pairing
+ * this generator with a nonzero TenantOptions::arrival_gap, so
+ * iterations queue up behind a busy service and the per-tenant issue
+ * latency (virtual time between arrival and grant) becomes a real,
+ * contention-dependent quantity.
+ *
+ * The stream itself is a deterministic function of the seed: a fixed
+ * random kernel of `kernel_tasks` launches repeated every iteration
+ * (the traceable body), plus a short irregular burst every
+ * `noise_interval` iterations (unique shapes per burst, so the finder
+ * must keep re-discovering the kernel around interruptions — the same
+ * structure the app skeletons use). Two generators with the same seed
+ * issue bit-identical streams; different seeds give disjoint token
+ * sets with probability 1 - 2^-64-ish.
+ */
+#ifndef APOPHENIA_SVC_WORKLOAD_H
+#define APOPHENIA_SVC_WORKLOAD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/app.h"
+#include "apps/array.h"
+
+namespace apo::svc {
+
+/** Tuning knobs of the synthetic tenant. */
+struct SyntheticOptions {
+    apps::MachineConfig machine;
+    /** Everything below is derived deterministically from this. */
+    std::uint64_t seed = 1;
+    /** Launches in the repeated per-iteration kernel. */
+    std::size_t kernel_tasks = 40;
+    /** Long-lived arrays the kernel reads/writes. */
+    std::size_t arrays = 4;
+    /** Every this-many iterations, issue an irregular burst (0 =
+     * never). */
+    std::size_t noise_interval = 16;
+    double exec_us = 500.0;
+};
+
+/** See file comment. */
+class SyntheticWorkload final : public apps::Application {
+  public:
+    explicit SyntheticWorkload(SyntheticOptions options);
+
+    std::string_view Name() const override { return "synthetic"; }
+
+    void Setup(api::Frontend& fe) override;
+    void Iteration(api::Frontend& fe, std::size_t iter,
+                   bool manual_tracing) override;
+
+  private:
+    /** One launch of the repeated kernel, fixed at construction. */
+    struct KernelStep {
+        std::uint64_t task = 0;     ///< rt::TaskId
+        std::uint32_t shard = 0;
+        std::uint8_t reads = 0;     ///< indices into arrays_ (packed)
+        std::uint8_t read2 = 0;
+        std::uint8_t writes = 0;
+        double exec_scale = 1.0;
+    };
+
+    SyntheticOptions options_;
+    std::vector<KernelStep> kernel_;
+    std::vector<apps::DistArray> arrays_;
+};
+
+}  // namespace apo::svc
+
+#endif  // APOPHENIA_SVC_WORKLOAD_H

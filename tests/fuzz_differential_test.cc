@@ -22,11 +22,14 @@
 #include <string>
 #include <vector>
 
+#include <unordered_map>
+
 #include "core/apophenia.h"
 #include "runtime/graph.h"
 #include "runtime/runtime.h"
 #include "support/executor.h"
 #include "support/rng.h"
+#include "svc/service.h"
 
 namespace apo {
 namespace {
@@ -377,6 +380,214 @@ TEST_P(DifferentialFuzz, WindowedReductionMatchesRetained)
                 << fuzz.seed << ")";
         }
         EXPECT_EQ(reducer.RemovedEdges(), removed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The multi-tenant service leg: an M-tenant *interleaved* service run
+// must be bit-identical, per tenant, to M independent single-tenant
+// runs — over the same random corpus every other differential check
+// uses. RandomProgram issues in one shot, so the corpus programs are
+// first recorded as virtual-region op lists and then replayed in
+// round-robin chunks through the tenants' sessions.
+
+/** One recorded front-end call, with virtual region ids. */
+struct RecordedOp {
+    enum class Kind { kCreate, kDestroy, kPartition, kTask };
+    Kind kind = Kind::kTask;
+    rt::RegionId region;  ///< kCreate result / kDestroy / kPartition parent
+    std::size_t count = 0;               ///< kPartition
+    std::vector<rt::RegionId> results;   ///< kPartition virtual children
+    rt::TaskLaunch launch;               ///< kTask (virtual region ids)
+};
+
+/** A RandomProgram target that records instead of executing. */
+class RecordingTarget {
+  public:
+    rt::RegionId CreateRegion()
+    {
+        const rt::RegionId id{next_++};
+        RecordedOp op;
+        op.kind = RecordedOp::Kind::kCreate;
+        op.region = id;
+        ops_.push_back(std::move(op));
+        return id;
+    }
+
+    void DestroyRegion(rt::RegionId r)
+    {
+        RecordedOp op;
+        op.kind = RecordedOp::Kind::kDestroy;
+        op.region = r;
+        ops_.push_back(std::move(op));
+    }
+
+    std::vector<rt::RegionId> PartitionRegion(rt::RegionId parent,
+                                              std::size_t n)
+    {
+        RecordedOp op;
+        op.kind = RecordedOp::Kind::kPartition;
+        op.region = parent;
+        op.count = n;
+        for (std::size_t i = 0; i < n; ++i) {
+            op.results.push_back(rt::RegionId{next_++});
+        }
+        ops_.push_back(std::move(op));
+        return ops_.back().results;
+    }
+
+    void ExecuteTask(const rt::TaskLaunch& t)
+    {
+        RecordedOp op;
+        op.kind = RecordedOp::Kind::kTask;
+        op.launch = t;
+        ops_.push_back(std::move(op));
+    }
+
+    std::vector<RecordedOp> Take() { return std::move(ops_); }
+
+  private:
+    std::vector<RecordedOp> ops_;
+    std::uint64_t next_ = 1;
+};
+
+/** Replays a recorded op list against a front end one op at a time,
+ * mapping virtual region ids to the target's real ones. */
+class OpReplayer {
+  public:
+    OpReplayer(api::Frontend& fe, const std::vector<RecordedOp>& ops)
+        : fe_(&fe), ops_(&ops)
+    {
+    }
+
+    bool Done() const { return at_ >= ops_->size(); }
+
+    void Step()
+    {
+        const RecordedOp& op = (*ops_)[at_++];
+        switch (op.kind) {
+          case RecordedOp::Kind::kCreate:
+            map_[op.region.value] = fe_->CreateRegion();
+            break;
+          case RecordedOp::Kind::kDestroy:
+            fe_->DestroyRegion(map_.at(op.region.value));
+            map_.erase(op.region.value);
+            break;
+          case RecordedOp::Kind::kPartition: {
+            const std::vector<rt::RegionId> real =
+                fe_->PartitionRegion(map_.at(op.region.value), op.count);
+            for (std::size_t i = 0; i < op.results.size(); ++i) {
+                map_[op.results[i].value] = real[i];
+            }
+            break;
+          }
+          case RecordedOp::Kind::kTask: {
+            rt::TaskLaunch launch = op.launch;
+            for (rt::RegionRequirement& req : launch.requirements) {
+                req.region = map_.at(req.region.value);
+            }
+            fe_->ExecuteTask(launch);
+            break;
+          }
+        }
+    }
+
+  private:
+    api::Frontend* fe_;
+    const std::vector<RecordedOp>* ops_;
+    std::size_t at_ = 0;
+    std::unordered_map<std::uint64_t, rt::RegionId> map_;
+};
+
+TEST_P(DifferentialFuzz, MultiTenantServiceEqualsIndependentRuns)
+{
+    const FuzzCase fuzz = GetParam();
+    core::ApopheniaConfig config;
+    config.min_trace_length = fuzz.min_trace_length;
+    config.max_trace_length = fuzz.max_trace_length;
+    config.batchsize = fuzz.batchsize;
+    config.multi_scale_factor =
+        std::max<std::size_t>(fuzz.batchsize / 16, 8);
+
+    // Three tenants; tenants 0 and 2 run the *same* program under
+    // different namespaces, so the shared mining cache's cross-tenant
+    // adoption path is active during the differential check.
+    const std::uint64_t seeds[3] = {fuzz.seed, fuzz.seed + 100,
+                                    fuzz.seed};
+    std::vector<std::vector<RecordedOp>> programs;
+    for (const std::uint64_t seed : seeds) {
+        RecordingTarget recorder;
+        RandomProgram(seed).Run(recorder);
+        programs.push_back(recorder.Take());
+    }
+
+    svc::ServiceOptions service_options;
+    service_options.config = config;
+    svc::TraceService service(service_options);
+    for (std::size_t t = 0; t < programs.size(); ++t) {
+        svc::TenantOptions tenant;
+        tenant.name = "fuzz" + std::to_string(t);
+        service.AddTenant(tenant);
+    }
+    {
+        std::vector<OpReplayer> replayers;
+        for (std::size_t t = 0; t < programs.size(); ++t) {
+            replayers.emplace_back(service.Session(t), programs[t]);
+        }
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (std::size_t t = 0; t < replayers.size(); ++t) {
+                const bool was_done = replayers[t].Done();
+                for (int k = 0; k < 7 && !replayers[t].Done(); ++k) {
+                    replayers[t].Step();
+                    progress = true;
+                }
+                if (!was_done && replayers[t].Done()) {
+                    service.Session(t).Flush();
+                }
+            }
+        }
+    }
+
+    for (std::size_t t = 0; t < programs.size(); ++t) {
+        SCOPED_TRACE("tenant " + std::to_string(t) + " (seed " +
+                     std::to_string(seeds[t]) + ")");
+        // The independent reference: a single-tenant service pinned to
+        // the same namespace, running the same program alone.
+        svc::TraceService solo(service_options);
+        svc::TenantOptions tenant;
+        tenant.name = "solo";
+        tenant.name_space = service.TenantNamespace(t);
+        solo.AddTenant(tenant);
+        OpReplayer replayer(solo.Session(0), programs[t]);
+        while (!replayer.Done()) {
+            replayer.Step();
+        }
+        solo.Session(0).Flush();
+
+        const rt::OperationLog& interleaved = service.TenantRuntime(t).Log();
+        const rt::OperationLog& alone = solo.TenantRuntime(0).Log();
+        ASSERT_EQ(interleaved.size(), alone.size());
+        for (std::size_t i = 0; i < interleaved.size(); ++i) {
+            ASSERT_EQ(interleaved[i].token, alone[i].token)
+                << "stream diverged at op " << i;
+            ASSERT_EQ(interleaved[i].mode, alone[i].mode)
+                << "analysis mode diverged at op " << i;
+            ASSERT_EQ(interleaved[i].trace, alone[i].trace)
+                << "trace decision diverged at op " << i;
+            ASSERT_EQ(interleaved[i].dependences, alone[i].dependences)
+                << "graph diverged at op " << i;
+        }
+        // The finders mined/adopted identical candidate sets — shared-
+        // cache adoption in the interleaved run is bit-identical to
+        // mining alone.
+        EXPECT_EQ(service.TenantEngine(t).CandidateDigest(),
+                  solo.TenantEngine(0).CandidateDigest());
+        EXPECT_EQ(service.TenantEngine(t).Stats().traces_fired,
+                  solo.TenantEngine(0).Stats().traces_fired);
+        EXPECT_EQ(service.TenantEngine(t).Stats().jobs_ingested,
+                  solo.TenantEngine(0).Stats().jobs_ingested);
     }
 }
 
