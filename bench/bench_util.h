@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -198,6 +199,28 @@ inline int MergeIntoJson(const std::string& path, const std::string& key,
 inline unsigned HardwareConcurrency()
 {
     return std::max(1u, std::thread::hardware_concurrency());
+}
+
+/** The host-pinning JSON fragment every bench section embeds next to
+ * its wall-clock metrics: `"hardware_concurrency": N`, plus
+ * `"apo_jobs": J` when the APO_JOBS thread-count override is set to
+ * a positive number — a record produced under an override is only
+ * comparable to records produced under the same one, so the override
+ * is pinned in the record rather than silently shaping it. (A set
+ * but non-numeric/zero APO_JOBS is ignored here exactly as the
+ * engine ignores it.) No trailing comma. */
+inline std::string ConcurrencyJson()
+{
+    std::string out = "\"hardware_concurrency\": " +
+                      std::to_string(HardwareConcurrency());
+    if (const char* jobs = std::getenv("APO_JOBS")) {
+        char* end = nullptr;
+        const unsigned long value = std::strtoul(jobs, &end, 10);
+        if (end != jobs && *end == '\0' && value > 0) {
+            out += ", \"apo_jobs\": " + std::to_string(value);
+        }
+    }
+    return out;
 }
 
 /** Perlmutter: 4 NVIDIA A100s per node (paper section 6). */

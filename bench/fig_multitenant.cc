@@ -149,8 +149,7 @@ std::string SectionOf(const std::vector<Cell>& cells)
          << "    \"app\": \"synthetic\", \"iterations\": "
          << kIterations << ", \"policy\": \""
          << cells.front().result.policy << "\",\n"
-         << "    \"hardware_concurrency\": "
-         << apo::bench::HardwareConcurrency() << ",\n"
+         << "    " << apo::bench::ConcurrencyJson() << ",\n"
          << "    \"rows\": [\n";
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const Cell& cell = cells[i];

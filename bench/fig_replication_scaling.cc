@@ -13,13 +13,23 @@
  * no shared mining cache) against the parallel engine with the
  * content-addressed mining cache at jobs ∈ {1, 4, hardware}. Every
  * configuration is verified to produce identical results — the rows
- * differ in wall-clock and cache hit rate only.
+ * differ in wall-clock and cache hit rate only. The sweep pins
+ * per-node decision engines (the thing it measures); one appended
+ * shared-decision row cross-checks bit-identity against them.
+ *
+ * A third sweep ("decision_cost") is the shared-decision-engine
+ * acceptance cell: for N ∈ {2, 8, 64, 256} no-skew nodes it times the
+ * decision path in both modes — the shared core::DecisionEngine's
+ * decider nanoseconds stay ~flat in N (the whole cluster decides each
+ * task once) while the per-node-engine baseline's summed engine
+ * nanoseconds grow ~linearly — and verifies the two modes produce
+ * bit-identical streams, digests and coordination at every N.
  *
  * The results merge into BENCH_micro_repeats.json (next to the
- * finder/issue-path/oplog records) under the "replication_scaling"
- * and "cluster_parallel" keys, so successive PRs keep a scaling
- * trajectory. Run micro_repeats first; this bench preserves whatever
- * else is in the file.
+ * finder/issue-path/oplog records) under the "replication_scaling",
+ * "cluster_parallel" and "decision_cost" keys, so successive PRs keep
+ * a scaling trajectory. Run micro_repeats first; this bench preserves
+ * whatever else is in the file.
  *
  * Usage:
  *   fig_replication_scaling                    # tables + JSON merge
@@ -49,7 +59,22 @@ struct Row {
     sim::ExperimentResult result;
     double max_stall_tasks = 0.0;
     double wall_ms = 0.0;
+    /** Cluster-wide decision nanoseconds per issued task (the shared
+     * decider's under shared decisions — ~flat in the node count). */
+    double decision_ns_per_task = 0.0;
 };
+
+/** DecisionStats::decision_ns normalized by the issued-stream length:
+ * the cluster-wide cost of *deciding* each task (shared mode: the one
+ * decider; per-node mode: every node's engine summed). */
+double DecisionNsPerTask(const sim::ExperimentResult& result)
+{
+    const double tasks =
+        static_cast<double>(result.frontend_stats.tasks_executed);
+    return tasks > 0.0
+               ? static_cast<double>(result.decision_ns) / tasks
+               : 0.0;
+}
 
 double MillisSince(std::chrono::steady_clock::time_point start)
 {
@@ -97,6 +122,7 @@ Row RunCell(std::size_t nodes, sim::SkewKind kind)
     const auto start = std::chrono::steady_clock::now();
     row.result = sim::RunExperiment(app, options);
     row.wall_ms = MillisSince(start);
+    row.decision_ns_per_task = DecisionNsPerTask(row.result);
     for (const sim::NodeMetrics& node : row.result.node_metrics) {
         row.max_stall_tasks =
             std::max(row.max_stall_tasks, node.max_stall_tasks);
@@ -111,8 +137,7 @@ std::string SectionOf(const std::vector<Row>& rows)
          << "    \"bench\": \"fig_replication_scaling\",\n"
          << "    \"app\": \"s3d\", \"iterations\": 40, "
          << "\"log_mode\": \"streaming\",\n"
-         << "    \"hardware_concurrency\": "
-         << bench::HardwareConcurrency() << ",\n"
+         << "    " << bench::ConcurrencyJson() << ",\n"
          << "    \"rows\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row& row = rows[i];
@@ -129,6 +154,7 @@ std::string SectionOf(const std::vector<Row>& rows)
             "\"late_jobs\": %llu, \"jobs_coordinated\": %llu, "
             "\"max_stall_tasks\": %.0f, "
             "\"worst_node_log_peak_bytes\": %zu, "
+            "\"decision_ns_per_task\": %.1f, "
             "\"streams_identical\": %s}%s\n",
             row.nodes,
             static_cast<int>(sim::SkewName(row.skew).size()),
@@ -143,6 +169,7 @@ std::string SectionOf(const std::vector<Row>& rows)
             static_cast<unsigned long long>(
                 row.result.coordination.jobs_coordinated),
             row.max_stall_tasks, row.result.log_peak_resident_bytes,
+            row.decision_ns_per_task,
             row.result.streams_identical ? "true" : "false",
             i + 1 < rows.size() ? "," : "");
         json << buffer;
@@ -161,11 +188,12 @@ constexpr int kEngineRepeats = 3;
 struct EngineRow {
     std::size_t jobs = 0;
     bool cache = false;
+    bool shared = false;  ///< shared decision engine (cross-check row)
     double wall_ms = 0.0;
     sim::ExperimentResult result;
 };
 
-EngineRow RunEngineCell(std::size_t jobs, bool cache)
+EngineRow RunEngineCell(std::size_t jobs, bool cache, bool shared = false)
 {
     sim::ExperimentOptions options;
     options.mode = sim::TracingMode::kAuto;
@@ -194,10 +222,15 @@ EngineRow RunEngineCell(std::size_t jobs, bool cache)
     options.log_mode = sim::LogMode::kStreaming;
     options.cluster_jobs = jobs;
     options.share_mining_cache = cache;
+    // This sweep measures the *per-node* engine fan-out, so the rows
+    // pin per-node decisions; the one shared = true row cross-checks
+    // the shared decision engine's bit-identity against them.
+    options.shared_decisions = shared;
 
     EngineRow row;
     row.jobs = jobs;
     row.cache = cache;
+    row.shared = shared;
     row.wall_ms = 1e300;
     for (int rep = 0; rep < kEngineRepeats; ++rep) {
         apps::S3dApplication app(
@@ -281,13 +314,13 @@ std::string EngineSectionOf(const std::vector<EngineRow>& rows,
         "\"multi_scale_factor\": 50, \"min_trace_length\": 100, "
         "\"repeats_algorithm\": \"tandem\"},\n"
         "    \"serial_baseline\": \"jobs=1, no mining cache\",\n"
-        "    \"hardware_concurrency\": %u,\n"
+        "    %s,\n"
         "    \"speedup_jobs4_vs_serial\": %.3f,\n"
         "    \"speedup_hw_vs_serial\": %.3f,\n"
         "    \"speedup_jobs4_vs_jobs1_cached\": %.3f,\n"
         "    \"rows\": [\n",
         kEngineNodes, kEngineIterations,
-        bench::HardwareConcurrency(), speedup_jobs4, speedup_hw,
+        bench::ConcurrencyJson().c_str(), speedup_jobs4, speedup_hw,
         speedup_jobs4_vs_cached);
     json << buffer;
     for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -295,13 +328,15 @@ std::string EngineSectionOf(const std::vector<EngineRow>& rows,
         std::snprintf(
             buffer, sizeof buffer,
             "      {\"jobs\": %zu, \"mining_cache\": %s, "
+            "\"shared_decisions\": %s, "
             "\"wall_ms\": %.3f, "
             "\"cache_hits\": %llu, \"cache_misses\": %llu, "
             "\"cache_windows\": %zu, "
             "\"hit_rate\": %.4f, \"hit_rate_after_first_miner\": %.4f, "
             "\"streams_identical\": %s, "
             "\"stream_digest\": %llu}%s\n",
-            row.jobs, row.cache ? "true" : "false", row.wall_ms,
+            row.jobs, row.cache ? "true" : "false",
+            row.shared ? "true" : "false", row.wall_ms,
             static_cast<unsigned long long>(
                 row.result.mining_cache_hits),
             static_cast<unsigned long long>(
@@ -310,6 +345,151 @@ std::string EngineSectionOf(const std::vector<EngineRow>& rows,
             HitRateAfterFirstMiner(row.result),
             row.result.streams_identical ? "true" : "false",
             static_cast<unsigned long long>(row.result.stream_digest),
+            i + 1 < rows.size() ? "," : "");
+        json << buffer;
+    }
+    json << "    ]\n  }";
+    return json.str();
+}
+
+// -- The decision-cost sweep (the "decision_cost" record) -------------------
+//
+// The shared-decision-engine acceptance cell (ISSUE 8 / ROADMAP item
+// 1): one S3D stream replicated across N no-skew nodes, timed twice —
+// shared decision engine on, then per-node engines — at jobs = 1 so
+// every decision nanosecond is attributable. The shared decider's
+// cost per issued task should be ~independent of N (the cluster
+// decides each task once); the baseline's summed per-node engine cost
+// grows ~linearly (every node re-decides the same stream). Both modes
+// must be bit-identical in streams, digests and coordination.
+
+constexpr std::size_t kDecisionIterations = 30;
+
+struct DecisionRow {
+    std::size_t nodes = 0;
+    std::uint64_t tasks = 0;
+    /** Shared mode: the decider's ns per issued task (flat in N). */
+    double shared_ns_per_task = 0.0;
+    /** Shared mode: node-side broadcast-apply ns per task per node. */
+    double apply_ns_per_task_per_node = 0.0;
+    /** Per-node mode: summed engine ns per issued task (~linear). */
+    double baseline_ns_per_task = 0.0;
+    bool identical = false;  ///< shared vs per-node bit-identity
+};
+
+sim::ExperimentResult RunDecisionCell(std::size_t nodes, bool shared)
+{
+    sim::ExperimentOptions options;
+    options.mode = sim::TracingMode::kAuto;
+    options.iterations = kDecisionIterations;
+    options.machine.nodes = 2;
+    options.machine.gpus_per_node = 2;
+    options.auto_config.min_trace_length = 10;
+    options.auto_config.batchsize = 1500;
+    options.auto_config.multi_scale_factor = 100;
+    options.replicas = nodes;
+    options.replication.seed = 7;
+    options.replication.mean_latency_tasks = 120.0;
+    options.replication.jitter = 0.6;
+    options.log_mode = sim::LogMode::kStreaming;
+    options.cluster_jobs = 1;
+    options.shared_decisions = shared;
+    apps::S3dApplication app(
+        apps::S3dOptions{.machine = options.machine});
+    return sim::RunExperiment(app, options);
+}
+
+bool DecisionModesIdentical(const sim::ExperimentResult& shared,
+                            const sim::ExperimentResult& baseline)
+{
+    return shared.streams_identical && baseline.streams_identical &&
+           shared.stream_digest == baseline.stream_digest &&
+           shared.stream_digest_ops == baseline.stream_digest_ops &&
+           shared.candidate_digest == baseline.candidate_digest &&
+           shared.iterations_per_second ==
+               baseline.iterations_per_second &&
+           shared.makespan_us == baseline.makespan_us &&
+           shared.total_tasks == baseline.total_tasks &&
+           shared.coordination.final_slack ==
+               baseline.coordination.final_slack &&
+           shared.coordination.peak_slack ==
+               baseline.coordination.peak_slack &&
+           shared.coordination.late_jobs ==
+               baseline.coordination.late_jobs &&
+           shared.coordination.jobs_coordinated ==
+               baseline.coordination.jobs_coordinated;
+}
+
+DecisionRow RunDecisionRow(std::size_t nodes)
+{
+    // min-of-repeats on the internally measured decision clocks (the
+    // same robustness the wall-clock rows use); identity is checked
+    // on every repeat — it is exact, not statistical.
+    const int repeats = nodes >= 64 ? 2 : 3;
+    DecisionRow row;
+    row.nodes = nodes;
+    row.identical = true;
+    double shared_ns = 1e300;
+    double apply_ns = 1e300;
+    double baseline_ns = 1e300;
+    for (int rep = 0; rep < repeats; ++rep) {
+        const sim::ExperimentResult shared = RunDecisionCell(nodes, true);
+        const sim::ExperimentResult baseline =
+            RunDecisionCell(nodes, false);
+        row.tasks = shared.frontend_stats.tasks_executed;
+        const double tasks = static_cast<double>(row.tasks);
+        shared_ns = std::min(
+            shared_ns, static_cast<double>(shared.decision_ns) / tasks);
+        apply_ns = std::min(
+            apply_ns, static_cast<double>(shared.decision_apply_ns) /
+                          tasks / static_cast<double>(nodes));
+        baseline_ns = std::min(
+            baseline_ns,
+            static_cast<double>(baseline.decision_ns) / tasks);
+        row.identical =
+            row.identical && DecisionModesIdentical(shared, baseline);
+    }
+    row.shared_ns_per_task = shared_ns;
+    row.apply_ns_per_task_per_node = apply_ns;
+    row.baseline_ns_per_task = baseline_ns;
+    return row;
+}
+
+std::string DecisionSectionOf(const std::vector<DecisionRow>& rows,
+                              double shared_n64_vs_n2)
+{
+    std::ostringstream json;
+    char buffer[640];
+    std::snprintf(
+        buffer, sizeof buffer,
+        "{\n"
+        "    \"bench\": \"fig_replication_scaling/decision_cost\",\n"
+        "    \"app\": \"s3d\", \"skew\": \"none\", "
+        "\"log_mode\": \"streaming\", \"iterations\": %zu, "
+        "\"jobs\": 1,\n"
+        "    %s,\n"
+        "    \"shared_n64_vs_n2_ratio\": %.3f,\n"
+        "    \"rows\": [\n",
+        kDecisionIterations, bench::ConcurrencyJson().c_str(),
+        shared_n64_vs_n2);
+    json << buffer;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const DecisionRow& row = rows[i];
+        std::snprintf(
+            buffer, sizeof buffer,
+            "      {\"nodes\": %zu, \"tasks\": %llu, "
+            "\"shared_decision_ns_per_task\": %.1f, "
+            "\"apply_ns_per_task_per_node\": %.1f, "
+            "\"baseline_engine_ns_per_task\": %.1f, "
+            "\"baseline_over_shared_ratio\": %.2f, "
+            "\"identical\": %s}%s\n",
+            row.nodes, static_cast<unsigned long long>(row.tasks),
+            row.shared_ns_per_task, row.apply_ns_per_task_per_node,
+            row.baseline_ns_per_task,
+            row.shared_ns_per_task > 0.0
+                ? row.baseline_ns_per_task / row.shared_ns_per_task
+                : 0.0,
+            row.identical ? "true" : "false",
             i + 1 < rows.size() ? "," : "");
         json << buffer;
     }
@@ -378,30 +558,72 @@ main(int argc, char** argv)
     if (hw != 4) {
         engine.push_back(RunEngineCell(hw, /*cache=*/true));
     }
-    if (!EngineRowsAgree(engine)) {
-        return 1;
-    }
     const double serial_ms = engine[0].wall_ms;
     const double speedup_jobs4 = serial_ms / engine[2].wall_ms;
     const double speedup_hw = serial_ms / engine.back().wall_ms;
     const double speedup_jobs4_vs_cached =
         engine[1].wall_ms / engine[2].wall_ms;
+    // The shared-decision cross-check row rides along at the end (the
+    // speedup_* members above index the per-node rows, so it must not
+    // shift them): same digests, same coordination, one decider.
+    engine.push_back(RunEngineCell(1, /*cache=*/true, /*shared=*/true));
+    if (!EngineRowsAgree(engine)) {
+        return 1;
+    }
     std::printf("\n# cluster engine (s3d, %zu no-skew nodes, "
                 "streaming logs)\n",
                 kEngineNodes);
-    std::printf("%6s %6s %9s %9s %12s %10s\n", "jobs", "cache",
-                "wall_ms", "speedup", "hits/misses", "adopt_rate");
+    std::printf("%6s %6s %7s %9s %9s %12s %10s\n", "jobs", "cache",
+                "shared", "wall_ms", "speedup", "hits/misses",
+                "adopt_rate");
     for (const EngineRow& row : engine) {
         std::printf(
-            "%6zu %6s %9.1f %9.2f %6llu/%-5llu %10.4f\n", row.jobs,
-            row.cache ? "yes" : "no", row.wall_ms,
-            serial_ms / row.wall_ms,
+            "%6zu %6s %7s %9.1f %9.2f %6llu/%-5llu %10.4f\n", row.jobs,
+            row.cache ? "yes" : "no", row.shared ? "yes" : "no",
+            row.wall_ms, serial_ms / row.wall_ms,
             static_cast<unsigned long long>(
                 row.result.mining_cache_hits),
             static_cast<unsigned long long>(
                 row.result.mining_cache_misses),
             HitRateAfterFirstMiner(row.result));
     }
+
+    // The decision-cost acceptance sweep.
+    const std::size_t decision_nodes[] = {2, 8, 64, 256};
+    std::vector<DecisionRow> decisions;
+    std::printf("\n# decision cost (s3d, no-skew, jobs=1, shared "
+                "decider vs per-node engines)\n");
+    std::printf("%6s %8s %14s %14s %14s %10s %10s\n", "nodes", "tasks",
+                "shared_ns/task", "apply_ns/n/t", "base_ns/task",
+                "base/shared", "identical");
+    for (const std::size_t nodes : decision_nodes) {
+        DecisionRow row = RunDecisionRow(nodes);
+        std::printf("%6zu %8llu %14.1f %14.1f %14.1f %10.2f %10s\n",
+                    row.nodes,
+                    static_cast<unsigned long long>(row.tasks),
+                    row.shared_ns_per_task,
+                    row.apply_ns_per_task_per_node,
+                    row.baseline_ns_per_task,
+                    row.shared_ns_per_task > 0.0
+                        ? row.baseline_ns_per_task / row.shared_ns_per_task
+                        : 0.0,
+                    row.identical ? "yes" : "NO");
+        if (!row.identical) {
+            std::fprintf(stderr,
+                         "decision-mode divergence at %zu nodes — the "
+                         "shared decision engine is not bit-identical\n",
+                         nodes);
+            return 1;
+        }
+        decisions.push_back(row);
+    }
+    const double shared_n64_vs_n2 =
+        decisions[0].shared_ns_per_task > 0.0
+            ? decisions[2].shared_ns_per_task /
+                  decisions[0].shared_ns_per_task
+            : 0.0;
+    std::printf("shared decider ns/task, N=64 vs N=2: %.3fx\n",
+                shared_n64_vs_n2);
 
     int rc = bench::MergeIntoJson(json_path, "replication_scaling",
                                   SectionOf(rows));
@@ -410,6 +632,11 @@ main(int argc, char** argv)
             json_path, "cluster_parallel",
             EngineSectionOf(engine, speedup_jobs4, speedup_hw,
                             speedup_jobs4_vs_cached));
+    }
+    if (rc == 0) {
+        rc = bench::MergeIntoJson(
+            json_path, "decision_cost",
+            DecisionSectionOf(decisions, shared_n64_vs_n2));
     }
     if (rc == 0) {
         std::printf("merged into %s\n", json_path.c_str());

@@ -731,7 +731,7 @@ int RunLaunchPathRecord(const std::string& json_path)
         "  \"bench\": \"micro_repeats/finder_launch_path\",\n"
         "  \"config\": {\"batchsize\": 4096, \"multi_scale_factor\": 32,"
         " \"min_trace_length\": 8, \"tokens\": %zu},\n"
-        "  \"hardware_concurrency\": %u,\n"
+        "  %s,\n"
         "  \"snapshot_tokens_per_sec\": %.0f,\n"
         "  \"copy_at_launch_tokens_per_sec\": %.0f,\n"
         "  \"improvement\": %.3f,\n"
@@ -756,7 +756,7 @@ int RunLaunchPathRecord(const std::string& json_path)
         "    \"allocs_per_consume\": %.3f\n"
         "  },\n"
         "  \"steady_state_mining\": {\n"
-        "    \"hardware_concurrency\": %u,\n"
+        "    %s,\n"
         "    \"incremental_tokens_per_sec\": %.0f,\n"
         "    \"from_scratch_tokens_per_sec\": %.0f,\n"
         "    \"speedup\": %.3f,\n"
@@ -766,7 +766,7 @@ int RunLaunchPathRecord(const std::string& json_path)
         "    \"candidate_sets_identical\": %s\n"
         "  }%s\n"
         "}\n",
-        kTokens, apo::bench::HardwareConcurrency(),
+        kTokens, apo::bench::ConcurrencyJson().c_str(),
         snapshot.tokens_per_sec, copy.tokens_per_sec, improvement,
         static_cast<unsigned long long>(snapshot.jobs_launched),
         static_cast<unsigned long long>(snapshot.tokens_analyzed),
@@ -779,7 +779,7 @@ int RunLaunchPathRecord(const std::string& json_path)
         oplog.aos.allocs_per_launch,
         stream_digest.digest.launches_per_sec,
         stream_digest.digest.allocs_per_launch,
-        apo::bench::HardwareConcurrency(),
+        apo::bench::ConcurrencyJson().c_str(),
         steady.incremental.tokens_per_sec,
         steady.scratch.tokens_per_sec, steady.speedup,
         steady.incremental.fast_path_hit_rate, steady.allocs_per_window,

@@ -18,17 +18,19 @@ cmake -B build-asan -S . -DAPO_SANITIZE=ON -DAPO_WERROR=ON -DCMAKE_BUILD_TYPE=Re
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "== sanitizers: TSan executor stress + cluster simulation (parallel engine, 8 worker threads) + multi-tenant service =="
+echo "== sanitizers: TSan executor stress + cluster simulation (parallel engine, 8 worker threads) + shared decision engine + multi-tenant service =="
 cmake -B build-tsan -S . -DAPO_TSAN=ON -DAPO_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j "$JOBS" --target support_executor_stress_test sim_cluster_test core_incremental_test svc_service_test
+cmake --build build-tsan -j "$JOBS" --target support_executor_stress_test sim_cluster_test core_incremental_test core_decision_test svc_service_test
 # APO_JOBS=8 forces every default-jobs cluster through the parallel
 # per-node engine at >= 8 worker threads regardless of the host's core
 # count, so TSan sees the real cross-thread traffic (TaskTeam barriers,
 # shared mining cache, steady-state miner ring) even on small CI
-# machines. svc_service_test's pooled-executor case drives every
-# tenant's mining jobs through one PooledExecutor racing on the shared
-# cross-tenant cache.
-APO_JOBS=8 ctest --test-dir build-tsan -R '^(support_executor_stress_test|sim_cluster_test|core_incremental_test|svc_service_test)$' --output-on-failure -j "$JOBS"
+# machines. core_decision_test's 64-node shared-engine case fans one
+# decider's broadcast batches across the worker team.
+# svc_service_test's pooled-executor case drives every tenant's mining
+# jobs through one PooledExecutor racing on the shared cross-tenant
+# cache.
+APO_JOBS=8 ctest --test-dir build-tsan -R '^(support_executor_stress_test|sim_cluster_test|core_incremental_test|core_decision_test|svc_service_test)$' --output-on-failure -j "$JOBS"
 
 echo "== perf record: finder launch path + frontend issue path + digest =="
 # Snapshot the committed record before the benches overwrite it: the
@@ -61,6 +63,11 @@ if [ -x build/fig_replication_scaling ]; then
     fi
     if ! grep -q '"cluster_parallel"' BENCH_micro_repeats.json; then
         echo "error: the cluster_parallel engine record is missing from" \
+             "BENCH_micro_repeats.json" >&2
+        exit 1
+    fi
+    if ! grep -q '"decision_cost"' BENCH_micro_repeats.json; then
+        echo "error: the decision_cost record is missing from" \
              "BENCH_micro_repeats.json" >&2
         exit 1
     fi
@@ -97,7 +104,8 @@ if [ -x build/bench_compare ] && [ -n "$BENCH_BASELINE" ]; then
     set +e
     ./build/bench_compare --baseline="$BENCH_BASELINE" \
         --current=BENCH_micro_repeats.json --threshold=0.10 \
-        --require=steady_state_mining --require=fig_multitenant
+        --require=steady_state_mining --require=fig_multitenant \
+        --require=decision_cost
     compare_status=$?
     set -e
     if [ "$compare_status" -eq 1 ]; then

@@ -47,6 +47,7 @@ Apophenia::DoExecuteTask(const rt::TaskLaunchView& launch)
         // preserve stream order.
         FlushPrefixBelow(counter_ - 1);
         runtime_->ExecuteTask(launch);
+        EmitTask(counter_ - 1);
         pending_base_ = counter_;
         stats_.tasks_forwarded_untraced += 1;
         return;
@@ -224,15 +225,18 @@ Apophenia::Fire(const CompletedMatch& match)
     }
     const bool recording = !runtime_->HasTrace(stats->trace_id);
     runtime_->BeginTrace(stats->trace_id);
+    EmitMarker(Decision::Kind::kBegin, stats->trace_id, recording);
     for (std::uint64_t i = match.start; i < match.end; ++i) {
         PendingTask& front = pending_.front();
         runtime_->ExecuteTask(
             rt::TaskLaunchView::Of(front.launch, front.token));
+        EmitTask(i);
         pending_pool_.push_back(std::move(front));
         pending_.pop_front();
     }
     pending_base_ = match.end;
     runtime_->EndTrace(stats->trace_id);
+    EmitMarker(Decision::Kind::kEnd, stats->trace_id, recording);
     stats->replays += 1;
     stats_.traces_fired += 1;
     stats_.tasks_forwarded_traced += match.end - match.start;
@@ -255,6 +259,7 @@ Apophenia::FlushPrefixBelow(std::uint64_t keep_from)
 {
     while (pending_base_ < keep_from && !pending_.empty()) {
         ForwardFront();
+        EmitTask(pending_base_);
         pending_base_ += 1;
         stats_.tasks_forwarded_untraced += 1;
     }

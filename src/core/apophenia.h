@@ -50,6 +50,34 @@
 
 namespace apo::core {
 
+/**
+ * One broadcastable decision of the decision engine: the exact
+ * runtime-bound call an Apophenia front-end made for its stream,
+ * tagged with enough context to re-apply it to any runtime that
+ * received the byte-identical input stream (see
+ * core/decision_engine.h). The encoding mirrors the issue surface:
+ *
+ *  - kTask outside a Begin/End pair — the launch at input index
+ *    `value` was forwarded untraced (analyze / passthrough);
+ *  - kBegin(recording=true) … kTask* … kEnd — the enclosed launches
+ *    were recorded as trace `value`;
+ *  - kBegin(recording=false) … kTask* … kEnd — the enclosed launches
+ *    replayed trace `value`.
+ *
+ * POD, 16 bytes, held in a recycled vector: recording and applying
+ * decisions allocates nothing in steady state.
+ */
+struct Decision {
+    enum class Kind : std::uint8_t {
+        kTask,   ///< forward the input launch at absolute index `value`
+        kBegin,  ///< BeginTrace(value)
+        kEnd,    ///< EndTrace(value)
+    };
+    Kind kind = Kind::kTask;
+    bool recording = false;  ///< kBegin only: record (vs replay)
+    std::uint64_t value = 0;
+};
+
 /** Front-end statistics. */
 struct ApopheniaStats {
     std::uint64_t tasks_observed = 0;
@@ -129,6 +157,19 @@ class Apophenia final : public api::Frontend {
      * waiting for its completion if necessary. The job must exist. */
     void IngestOldestJob();
 
+    // -- Decision broadcast (shared decision engine support) ----------------
+
+    /** Attach a decision sink: every runtime-bound call this front-end
+     * makes is additionally recorded as a Decision event, in issue
+     * order, so a decision engine can fan the stream's decisions out
+     * to replicated runtimes (core/decision_engine.h). The sink must
+     * outlive the front-end or be detached with nullptr; the caller
+     * owns clearing it between broadcast rounds. */
+    void SetDecisionSink(std::vector<Decision>* sink)
+    {
+        decisions_ = sink;
+    }
+
     // -- Introspection -------------------------------------------------------
 
     const ApopheniaStats& Stats() const { return stats_; }
@@ -186,6 +227,21 @@ class Apophenia final : public api::Frontend {
         std::uint64_t end = 0;  ///< exclusive absolute index
     };
 
+    void EmitTask(std::uint64_t index)
+    {
+        if (decisions_ != nullptr) {
+            decisions_->push_back(
+                Decision{Decision::Kind::kTask, false, index});
+        }
+    }
+    void EmitMarker(Decision::Kind kind, rt::TraceId trace,
+                    bool recording)
+    {
+        if (decisions_ != nullptr) {
+            decisions_->push_back(Decision{kind, recording, trace});
+        }
+    }
+
     void IngestReadyJobs();
     void AdvancePointers(rt::TokenHash token);
     void ConsiderCompleted(const std::vector<CompletedMatch>& completed);
@@ -222,6 +278,7 @@ class Apophenia final : public api::Frontend {
     rt::TraceId next_trace_id_ = 1;
     ApopheniaStats stats_;
     std::uint64_t candidate_digest_ = 0x5eed;
+    std::vector<Decision>* decisions_ = nullptr;
 };
 
 }  // namespace apo::core

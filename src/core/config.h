@@ -17,6 +17,7 @@
  *   -lg:auto_trace:history_block_size <N>
  *   -lg:auto_trace:copy_slices_at_launch
  *   -lg:auto_trace:buffer_all_launches
+ *   -lg:auto_trace:no_shared_decisions
  *
  * The paper's experiments all run with one configuration (batchsize
  * 5000, multi-scale factor 250/500, min length 25); only FlexFlow
@@ -138,6 +139,17 @@ struct ApopheniaConfig {
      * their token streams stay disjoint. 0 (the default) is the
      * classic un-namespaced stream. */
     std::uint64_t cache_namespace = 0;
+
+    /** Control-replicated clusters: hoist ONE decision engine (trie +
+     * pending buffer + TraceCache — core/decision_engine.h) above the
+     * node shards and broadcast its per-task decisions instead of
+     * re-deriving them per node. Soundness is checked per node via
+     * the incremental StreamDigest; a diverged node falls back to a
+     * local engine. Behaviour-invariant on byte-identical streams:
+     * issued streams, digests, and coordination stats are
+     * bit-identical to per-node engines
+     * (-lg:auto_trace:no_shared_decisions disables). */
+    bool shared_decisions = true;
 
     // -- Trace selection scoring (paper section 4.3) ----------------------
 

@@ -27,7 +27,8 @@
  * copy and the mining.
  *
  * Resident memory is bounded: at most `max_windows` published entries
- * are retained (FIFO eviction; a re-probed evicted window is simply
+ * are retained (evicted per `kEvictionPolicy` — the one authoritative
+ * statement of the policy; a re-probed evicted window is simply
  * re-mined), and adopted candidate sets are shared_ptr-owned so an
  * in-flight job survives the eviction of its entry. The cache
  * therefore composes with the streaming-retire log mode's
@@ -51,6 +52,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -64,8 +66,24 @@ namespace apo::core {
 /** See file comment. Thread-safe; shared by all nodes of a cluster. */
 class MiningCache {
   public:
-    /** @param max_windows retained published entries (FIFO eviction
-     * beyond it); 0 = unbounded. */
+    /**
+     * The eviction policy, stated once (every other mention — here,
+     * the cluster/service option comments, bench records — refers to
+     * this constant): **publication-order FIFO**. Published entries
+     * are dropped oldest-published-first when the retention bound is
+     * exceeded; recency of *probes* never reorders the queue (unlike
+     * the runtime TraceCache's LRU), because a steady replicated
+     * stream re-probes windows in rough publication order anyway and
+     * FIFO keeps eviction O(1) under the cache mutex. In-progress
+     * (unpublished) entries are never evicted. Evictions surface as
+     * Stats::evictions and, through the harness, as
+     * `ExperimentResult::mining_cache_evictions`.
+     */
+    static constexpr std::string_view kEvictionPolicy =
+        "publication-order FIFO";
+
+    /** @param max_windows retained published entries (kEvictionPolicy
+     * applies beyond it); 0 = unbounded. */
     explicit MiningCache(std::size_t max_windows = 1024)
         : max_windows_(max_windows)
     {

@@ -1,12 +1,22 @@
 #include "sim/cluster.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <thread>
 
 namespace apo::sim {
 
 namespace {
+
+std::uint64_t
+NowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
 
 /** ClusterOptions::jobs defaulting: explicit value, else the APO_JOBS
  * environment override, else the hardware. */
@@ -73,21 +83,48 @@ Cluster::Cluster(const ClusterOptions& options)
     }
     slack_ = options_.coordination.initial_slack;
     const std::size_t n_nodes = options_.coordination.nodes;
-    // Sharing pays only when several nodes mine the same stream.
+    // The shared decision engine replaces the per-node engines when
+    // there is more than one node to share across and tracing is on
+    // (a disabled front-end is a pass-through either way).
+    const bool shared = options_.shared_decisions &&
+                        options_.config.shared_decisions &&
+                        options_.config.enabled && n_nodes > 1;
+    if (shared) {
+        engine_ = std::make_unique<core::DecisionEngine>(
+            options_.config, options_.runtime_options,
+            options_.external_mining_cache);
+        if (options_.stream_logs) {
+            engine_->DecisionRuntime().EnableLogStreaming(
+                [this](const rt::OpView& op) {
+                    engine_digest_.Consume(op);
+                });
+        }
+    }
+    // Sharing pays only when several per-node finders mine the same
+    // stream; the service layer's external cache (cross-tenant
+    // dedup) takes precedence in either mode.
     core::MiningCache* cache =
-        options_.share_mining_cache && n_nodes > 1 ? &mining_cache_
-                                                   : nullptr;
+        options_.external_mining_cache != nullptr
+            ? options_.external_mining_cache
+            : (options_.share_mining_cache && n_nodes > 1
+                   ? &mining_cache_
+                   : nullptr);
     nodes_.reserve(n_nodes);
     metrics_.resize(n_nodes);
+    node_ns_.resize(n_nodes, 0);
     for (std::size_t n = 0; n < n_nodes; ++n) {
         auto node = std::make_unique<NodeState>(
             options_.runtime_options,
             options_.coordination.seed * 7919 + n);
         // Inline executor keeps the mining computation deterministic;
-        // completion *timing* is simulated by the coordinator.
-        node->front_end = std::make_unique<core::Apophenia>(
-            node->runtime, options_.config, nullptr, cache);
-        node->front_end->SetIngestMode(core::IngestMode::kManual);
+        // completion *timing* is simulated by the coordinator. In
+        // shared-decision mode the node hosts no engine at all — it
+        // applies the decider's broadcast.
+        if (!shared) {
+            node->front_end = std::make_unique<core::Apophenia>(
+                node->runtime, options_.config, nullptr, cache);
+            node->front_end->SetIngestMode(core::IngestMode::kManual);
+        }
         if (options_.stream_logs) {
             NodeState* state = node.get();
             node->runtime.EnableLogStreaming(
@@ -128,6 +165,9 @@ Cluster::DrainLogStreams()
     for (auto& node : nodes_) {
         node->runtime.DrainLogStream();
     }
+    if (engine_ != nullptr) {
+        engine_->DecisionRuntime().DrainLogStream();
+    }
 }
 
 void
@@ -137,13 +177,20 @@ Cluster::DoExecuteTask(const rt::TaskLaunchView& launch)
     // batches: between coordination points they are independent, so
     // the serial per-task loop is deferred to the next barrier (see
     // ProcessBatch) where it fans out across the team — with results
-    // byte-identical to stepping every node at every task.
-    if (batch_count_ == batch_.size()) {
-        batch_.emplace_back();
+    // byte-identical to stepping every node at every task. In
+    // shared-decision mode the engine's retention ring IS the batch
+    // buffer (the decider needs the launches past the barrier for
+    // trace firing and quarantined-node feeding).
+    if (engine_ != nullptr) {
+        engine_->Buffer(launch);
+    } else {
+        if (batch_count_ == batch_.size()) {
+            batch_.emplace_back();
+        }
+        BatchedLaunch& slot = batch_[batch_count_];
+        launch.MaterializeInto(slot.launch);
+        slot.token = launch.token;
     }
-    BatchedLaunch& slot = batch_[batch_count_];
-    launch.MaterializeInto(slot.launch);
-    slot.token = launch.token;
     ++batch_count_;
     ++tasks_issued_;
     if (tasks_issued_ >= horizon_) {
@@ -156,8 +203,21 @@ Cluster::ProcessBatch()
 {
     if (batch_count_ > 0) {
         batch_base_ = tasks_issued_ - batch_count_;
+        ++batches_;
+        if (engine_ != nullptr) {
+            // Decide once on the driving thread (the timed quantity
+            // that stays flat in N), then fan the broadcast out.
+            const std::uint64_t t0 = NowNs();
+            engine_->DecideStaged();
+            decision_ns_ += NowNs() - t0;
+            decisions_broadcast_ += engine_->Decisions().size();
+        }
         phase_ = NodePhase::kStep;
         team_.Run(nodes_.size());
+        if (engine_ != nullptr) {
+            CheckDigests();
+            engine_->Retire();
+        }
         batch_count_ = 0;
     }
     // The nodes have caught up with the issued stream: make the
@@ -181,27 +241,137 @@ Cluster::RunNodePhase(std::size_t n)
         NodeMetrics& metrics = metrics_[n];
         for (std::size_t i = 0; i < batch_count_; ++i) {
             // The node's virtual clock: a skewed node pays more time
-            // per issued task.
+            // per issued task (input tasks — identical in both
+            // decision modes).
             metrics.virtual_time_tasks +=
                 options_.skew.Factor(n, batch_base_ + i);
-            const BatchedLaunch& buffered = batch_[i];
-            node.front_end->ExecuteTask(
-                rt::TaskLaunchView::Of(buffered.launch, buffered.token));
         }
+        const std::uint64_t t0 = NowNs();
+        if (engine_ != nullptr) {
+            if (!node.quarantined) {
+                ApplyDecisions(n);
+            } else {
+                // The quarantined node re-decides locally from the
+                // raw launches the engine retained for this batch.
+                for (std::size_t i = 0; i < batch_count_; ++i) {
+                    node.front_end->ExecuteTask(
+                        NodeLaunchView(n, batch_base_ + i));
+                }
+            }
+        } else {
+            for (std::size_t i = 0; i < batch_count_; ++i) {
+                const BatchedLaunch& buffered = batch_[i];
+                node.front_end->ExecuteTask(rt::TaskLaunchView::Of(
+                    buffered.launch, buffered.token));
+            }
+        }
+        node_ns_[n] += NowNs() - t0;
         break;
       }
-      case NodePhase::kIngest:
+      case NodePhase::kIngest: {
+        const std::uint64_t t0 = NowNs();
         for (std::size_t k = 0; k < ingest_count_; ++k) {
             node.front_end->IngestOldestJob();
         }
+        node_ns_[n] += NowNs() - t0;
         break;
-      case NodePhase::kDrainAndFlush:
-        for (std::size_t k = 0; k < ingest_count_; ++k) {
-            node.front_end->IngestOldestJob();
+      }
+      case NodePhase::kDrainAndFlush: {
+        const std::uint64_t t0 = NowNs();
+        if (engine_ != nullptr) {
+            if (!node.quarantined) {
+                ApplyDecisions(n);
+            } else {
+                node.front_end->Flush();
+            }
+        } else {
+            for (std::size_t k = 0; k < ingest_count_; ++k) {
+                node.front_end->IngestOldestJob();
+            }
+            node.front_end->Flush();
         }
-        node.front_end->Flush();
+        node_ns_[n] += NowNs() - t0;
         break;
+      }
     }
+}
+
+rt::TaskLaunchView
+Cluster::NodeLaunchView(std::size_t n, std::uint64_t index) const
+{
+    rt::TaskLaunchView view = engine_->LaunchAt(index);
+    const ClusterOptions::FaultInjection& fault = options_.fault;
+    if (fault.enabled && n == fault.node && index >= fault.from_task) {
+        view.token ^= fault.token_xor;
+    }
+    return view;
+}
+
+void
+Cluster::ApplyDecisions(std::size_t n)
+{
+    rt::Runtime& runtime = nodes_[n]->runtime;
+    for (const core::Decision& d : engine_->Decisions()) {
+        switch (d.kind) {
+          case core::Decision::Kind::kTask:
+            runtime.ExecuteTask(NodeLaunchView(n, d.value));
+            break;
+          case core::Decision::Kind::kBegin:
+            runtime.BeginTrace(d.value);
+            break;
+          case core::Decision::Kind::kEnd:
+            runtime.EndTrace(d.value);
+            break;
+        }
+    }
+}
+
+void
+Cluster::CheckDigests()
+{
+    // Advance the incremental digests to the current barrier (the
+    // streaming consumers already did; retained mode folds the new
+    // log suffix here, each op exactly once) and compare every
+    // healthy node against the decision runtime's reference.
+    if (!options_.stream_logs) {
+        const rt::OperationLog& log = engine_->DecisionRuntime().Log();
+        for (; engine_cursor_ < log.size(); ++engine_cursor_) {
+            engine_digest_.Consume(log[engine_cursor_]);
+        }
+    }
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        NodeState& node = *nodes_[n];
+        if (node.quarantined) {
+            continue;
+        }
+        if (!options_.stream_logs) {
+            const rt::OperationLog& log = node.runtime.Log();
+            for (; node.digest_cursor < log.size();
+                 ++node.digest_cursor) {
+                node.digest.Consume(log[node.digest_cursor]);
+            }
+        }
+        if (!(node.digest == engine_digest_)) {
+            Quarantine(n);
+        }
+    }
+}
+
+void
+Cluster::Quarantine(std::size_t n)
+{
+    // The node's stream diverged from the broadcast's reference: the
+    // shared decisions are no longer known-sound for it. Fall back to
+    // local decision-making — a cold Apophenia over the node's own
+    // runtime (kEagerDrain: self-contained deterministic ingestion,
+    // outside the cluster-wide coordination) — and stop checking its
+    // digest; the healthy nodes continue bit-identically.
+    NodeState& node = *nodes_[n];
+    node.quarantined = true;
+    ++fallbacks_;
+    node.front_end = std::make_unique<core::Apophenia>(
+        node.runtime, options_.config, nullptr, nullptr);
+    node.front_end->SetIngestMode(core::IngestMode::kEagerDrain);
 }
 
 void
@@ -227,11 +397,21 @@ Cluster::CreateRegion()
 {
     // Region calls broadcast immediately, so the buffered launches
     // must reach the nodes first to preserve per-node call order.
-    // Cutting a batch early is always serial-equivalent.
+    // Cutting a batch early is always serial-equivalent. An Apophenia
+    // region call is a pure runtime pass-through, so in shared mode
+    // the nodes' runtimes take it directly (the decision runtime must
+    // see it too, to stay a mirror).
     ProcessBatch();
-    const rt::RegionId region = nodes_[0]->front_end->CreateRegion();
-    for (std::size_t n = 1; n < nodes_.size(); ++n) {
-        if (nodes_[n]->front_end->CreateRegion() != region) {
+    rt::RegionId region{};
+    std::size_t first = 0;
+    if (engine_ != nullptr) {
+        region = engine_->DecisionRuntime().CreateRegion();
+    } else {
+        region = nodes_[0]->front_end->CreateRegion();
+        first = 1;
+    }
+    for (std::size_t n = first; n < nodes_.size(); ++n) {
+        if (nodes_[n]->runtime.CreateRegion() != region) {
             throw rt::RuntimeUsageError(
                 "cluster region allocators diverged on CreateRegion "
                 "(a node was driven outside the cluster front end)");
@@ -244,6 +424,13 @@ void
 Cluster::DestroyRegion(rt::RegionId r)
 {
     ProcessBatch();
+    if (engine_ != nullptr) {
+        engine_->DecisionRuntime().DestroyRegion(r);
+        for (auto& node : nodes_) {
+            node->runtime.DestroyRegion(r);
+        }
+        return;
+    }
     for (auto& node : nodes_) {
         node->front_end->DestroyRegion(r);
     }
@@ -253,10 +440,17 @@ std::vector<rt::RegionId>
 Cluster::PartitionRegion(rt::RegionId parent, std::size_t count)
 {
     ProcessBatch();
-    std::vector<rt::RegionId> subregions =
-        nodes_[0]->front_end->PartitionRegion(parent, count);
-    for (std::size_t n = 1; n < nodes_.size(); ++n) {
-        if (nodes_[n]->front_end->PartitionRegion(parent, count) !=
+    std::vector<rt::RegionId> subregions;
+    std::size_t first = 0;
+    if (engine_ != nullptr) {
+        subregions =
+            engine_->DecisionRuntime().PartitionRegion(parent, count);
+    } else {
+        subregions = nodes_[0]->front_end->PartitionRegion(parent, count);
+        first = 1;
+    }
+    for (std::size_t n = first; n < nodes_.size(); ++n) {
+        if (nodes_[n]->runtime.PartitionRegion(parent, count) !=
             subregions) {
             throw rt::RuntimeUsageError(
                 "cluster region allocators diverged on PartitionRegion "
@@ -274,7 +468,7 @@ Cluster::ScheduleNewJobs()
     // stream), so node 0's queue is representative. New jobs are
     // those beyond `jobs_seen_`.
     const CoordinationOptions& coord = options_.coordination;
-    nodes_[0]->front_end->VisitPendingJobs(
+    CoordinationSource().VisitPendingJobs(
         jobs_seen_, [&](const core::PendingJobInfo& job) {
             jobs_seen_ = job.id + 1;
             JobSchedule sched;
@@ -351,8 +545,19 @@ Cluster::IngestDueJobs()
         ++ingest_count_;
     }
     if (ingest_count_ > 0) {
-        phase_ = NodePhase::kIngest;
-        team_.Run(nodes_.size());
+        if (engine_ != nullptr) {
+            // One coordinated ingestion, on the decider (timed: part
+            // of the shared decision path). Quarantined nodes ingest
+            // eagerly inside their local engines instead.
+            const std::uint64_t t0 = NowNs();
+            for (std::size_t k = 0; k < ingest_count_; ++k) {
+                engine_->Decider().IngestOldestJob();
+            }
+            decision_ns_ += NowNs() - t0;
+        } else {
+            phase_ = NodePhase::kIngest;
+            team_.Run(nodes_.size());
+        }
         schedule_.erase(schedule_.begin(),
                         schedule_.begin() +
                             static_cast<std::ptrdiff_t>(ingest_count_));
@@ -370,12 +575,52 @@ Cluster::DoFlush()
     // stall accounting does not apply — those positions never elapse.
     // The stall metrics describe in-stream agreement points only.
     ProcessBatch();
-    ingest_count_ = schedule_.size();
-    phase_ = NodePhase::kDrainAndFlush;
-    team_.Run(nodes_.size());
+    if (engine_ != nullptr) {
+        // Drain the remaining coordinated jobs into the decider and
+        // flush it — the final decisions land in the broadcast log —
+        // then fan the last apply (or, quarantined, a local flush)
+        // out to the nodes.
+        const std::uint64_t t0 = NowNs();
+        const std::size_t remaining = schedule_.size();
+        for (std::size_t k = 0; k < remaining; ++k) {
+            engine_->Decider().IngestOldestJob();
+        }
+        engine_->FlushDecider();
+        decision_ns_ += NowNs() - t0;
+        decisions_broadcast_ += engine_->Decisions().size();
+        phase_ = NodePhase::kDrainAndFlush;
+        team_.Run(nodes_.size());
+        CheckDigests();
+        engine_->Retire();
+    } else {
+        ingest_count_ = schedule_.size();
+        phase_ = NodePhase::kDrainAndFlush;
+        team_.Run(nodes_.size());
+    }
     schedule_.clear();
     ingest_count_ = 0;
     UpdateHorizon();
+}
+
+DecisionStats
+Cluster::DecisionCost() const
+{
+    DecisionStats stats;
+    stats.shared = engine_ != nullptr;
+    stats.batches = batches_;
+    stats.decisions = decisions_broadcast_;
+    stats.fallbacks = fallbacks_;
+    std::uint64_t node_total = 0;
+    for (const std::uint64_t ns : node_ns_) {
+        node_total += ns;
+    }
+    if (engine_ != nullptr) {
+        stats.decision_ns = decision_ns_;
+        stats.apply_ns = node_total;
+    } else {
+        stats.decision_ns = node_total;
+    }
+    return stats;
 }
 
 StreamDigest

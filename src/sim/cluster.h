@@ -67,6 +67,23 @@
  * cluster-wide instead of N times — the dominant cost of a no-skew
  * replicated run. Adoption is bit-identical to local mining (MineSlice
  * is pure), so the cache changes wall-clock only.
+ *
+ * **Shared decision engine.** The mining cache still left trie
+ * matching, candidate ingestion and replay decisions paid N times on
+ * byte-identical streams. With `ClusterOptions::shared_decisions`
+ * (default on; `-lg:auto_trace:no_shared_decisions` or per-node-mode
+ * tests disable), the cluster hosts no per-node Apophenia at all:
+ * one `core::DecisionEngine` consumes the issued stream exactly once
+ * on the driving thread and broadcasts POD decision events — riding
+ * the same safe-horizon batches — which the team fan-out merely
+ * *applies* to each node's runtime. Total decision cost becomes O(1)
+ * in N; the issued streams, digests, CoordinationStats and candidate
+ * digests are bit-identical to per-node engines. Soundness is not
+ * assumed: each node's incremental StreamDigest is compared against
+ * the decision runtime's at every barrier, and a diverged node is
+ * quarantined — it falls back to a cold local Apophenia (counted in
+ * DecisionStats::fallbacks) while the healthy nodes continue
+ * bit-identically.
  */
 #ifndef APOPHENIA_SIM_CLUSTER_H
 #define APOPHENIA_SIM_CLUSTER_H
@@ -82,6 +99,7 @@
 #include "api/frontend.h"
 #include "core/apophenia.h"
 #include "core/config.h"
+#include "core/decision_engine.h"
 #include "core/mining_cache.h"
 #include "runtime/runtime.h"
 #include "support/executor.h"
@@ -180,6 +198,30 @@ struct CoordinationStats {
     std::uint64_t peak_slack = 0;
 };
 
+/** Aggregate decision-path accounting of one cluster run. */
+struct DecisionStats {
+    /** True when the run used the shared decision engine. */
+    bool shared = false;
+    /** Cluster-wide nanoseconds spent *making* decisions: the shared
+     * decider's feed + coordinated-ingest + flush time on the driving
+     * thread, or (per-node mode) the summed per-node engine time —
+     * the quantity that grows ~linearly in N with per-node engines
+     * and stays ~flat with the shared engine. */
+    std::uint64_t decision_ns = 0;
+    /** Shared mode only: summed nanoseconds the nodes spent applying
+     * broadcast decisions (per-node mode folds the equivalent work
+     * into decision_ns). Quarantined nodes' local-engine time lands
+     * here too. */
+    std::uint64_t apply_ns = 0;
+    /** Safe-horizon batch barriers executed. */
+    std::uint64_t batches = 0;
+    /** Decision events broadcast (0 in per-node mode). */
+    std::uint64_t decisions = 0;
+    /** Nodes quarantined after a StreamDigest divergence (each fell
+     * back to a local decision engine). */
+    std::uint64_t fallbacks = 0;
+};
+
 /** Per-node observables of one cluster run. */
 struct NodeMetrics {
     /** The node's virtual clock after the run: sum of per-task skew
@@ -264,10 +306,34 @@ struct ClusterOptions {
      * identical history windows are mined once cluster-wide (see
      * core/mining_cache.h). Behaviour-invariant; wall-clock only. */
     bool share_mining_cache = true;
-    /** Published windows the cache retains (FIFO eviction beyond it;
-     * 0 = unbounded). Bounds cache memory on unbounded streams — an
+    /** Published windows the cache retains (evicted in
+     * core::MiningCache::kEvictionPolicy order beyond it; 0 =
+     * unbounded). Bounds cache memory on unbounded streams — an
      * evicted window that recurs is simply re-mined. */
     std::size_t mining_cache_windows = 1024;
+    /** Use the shared decision engine (see file comment): one decider
+     * consumes the stream once and the nodes apply its broadcast
+     * decisions, with per-barrier digest checks. Active only when
+     * tracing is enabled, config.shared_decisions is true, and the
+     * cluster has more than one node; otherwise (or when false) every
+     * node hosts its own Apophenia. Bit-identical either way. */
+    bool shared_decisions = true;
+    /** Mining memo for the decider's finder in place of (or, in
+     * per-node mode, instead of) the cluster-internal cache — the
+     * service layer passes its service-wide cross-tenant cache here.
+     * Not owned; must outlive the cluster. */
+    core::MiningCache* external_mining_cache = nullptr;
+    /** Test-only fault injection: from absolute stream index
+     * `from_task` on, node `node` applies launches with their token
+     * XORed by `token_xor` — a corrupted replica. The digest check
+     * must detect and quarantine it (shared-decision mode). */
+    struct FaultInjection {
+        bool enabled = false;
+        std::size_t node = 0;
+        std::uint64_t from_task = 0;
+        rt::TokenHash token_xor = 0;
+    };
+    FaultInjection fault;
 };
 
 /**
@@ -295,10 +361,52 @@ class Cluster final : public api::Frontend {
     // -- Introspection ------------------------------------------------------
 
     std::size_t Nodes() const { return nodes_.size(); }
-    core::Apophenia& Node(std::size_t i) { return *nodes_[i]->front_end; }
+    /** Node i's front-end engine. Per-node mode only — in shared-
+     * decision mode the nodes host no engine (the decider makes every
+     * decision; see Decider()) unless node i was quarantined into its
+     * local fallback engine. */
+    core::Apophenia& Node(std::size_t i)
+    {
+        if (nodes_[i]->front_end == nullptr) {
+            throw rt::RuntimeUsageError(
+                "Cluster::Node: shared-decision mode hosts no per-node "
+                "engine (see ClusterOptions::shared_decisions; use "
+                "Decider())");
+        }
+        return *nodes_[i]->front_end;
+    }
+    const core::Apophenia& Node(std::size_t i) const
+    {
+        return const_cast<Cluster*>(this)->Node(i);
+    }
     const rt::Runtime& NodeRuntime(std::size_t i) const
     {
         return nodes_[i]->runtime;
+    }
+
+    // -- Shared decision engine ---------------------------------------------
+
+    /** True when this run uses the shared decision engine. */
+    bool SharedDecisions() const { return engine_ != nullptr; }
+    /** The shared decider (shared-decision mode only): its stats,
+     * finder and candidate digest are what Node(0)'s would have been
+     * in per-node mode — bit-identical by construction. */
+    const core::Apophenia& Decider() const
+    {
+        if (engine_ == nullptr) {
+            throw rt::RuntimeUsageError(
+                "Cluster::Decider: per-node mode has no shared decision "
+                "engine (see ClusterOptions::shared_decisions)");
+        }
+        return engine_->Decider();
+    }
+    /** Decision-path cost/fallback accounting (both modes). */
+    DecisionStats DecisionCost() const;
+    /** True iff node i diverged and was quarantined into a local
+     * fallback engine. */
+    bool NodeQuarantined(std::size_t i) const
+    {
+        return nodes_[i]->quarantined;
     }
     const CoordinationStats& Coordination() const { return stats_; }
     const std::vector<NodeMetrics>& PerNode() const { return metrics_; }
@@ -360,9 +468,17 @@ class Cluster final : public api::Frontend {
   private:
     struct NodeState {
         rt::Runtime runtime;
+        /** Per-node mode: the node's Apophenia. Shared-decision mode:
+         * null until the node is quarantined, then its local fallback
+         * engine. */
         std::unique_ptr<core::Apophenia> front_end;
         support::Rng latency_rng;
         StreamDigest digest;  ///< fed by the streaming consumer
+        /** Retained mode: next log index the barrier digest check
+         * folds (shared-decision mode keeps the digest incremental
+         * without streaming). */
+        std::size_t digest_cursor = 0;
+        bool quarantined = false;
         rt::OperationLog::Consumer extra;  ///< harness attachment
 
         NodeState(const rt::RuntimeOptions& rt_options, std::uint64_t seed)
@@ -405,10 +521,40 @@ class Cluster final : public api::Frontend {
     void ScheduleNewJobs();
     void IngestDueJobs();
 
+    // -- Shared-decision-mode helpers ---------------------------------------
+
+    /** The engine whose pending-job queue drives coordination: the
+     * decider in shared mode, node 0 otherwise. */
+    const core::Apophenia& CoordinationSource() const
+    {
+        return engine_ != nullptr ? engine_->Decider()
+                                  : *nodes_[0]->front_end;
+    }
+    /** Node n's view of the retained launch at absolute index
+     * `index`, with the fault injection applied if armed. */
+    rt::TaskLaunchView NodeLaunchView(std::size_t n,
+                                      std::uint64_t index) const;
+    /** Replay the decider's broadcast decisions into node n's
+     * runtime (team body, shared mode). */
+    void ApplyDecisions(std::size_t n);
+    /** Barrier soundness check: every healthy node's incremental
+     * digest must equal the decision runtime's; a diverged node is
+     * quarantined. */
+    void CheckDigests();
+    void Quarantine(std::size_t n);
+
     ClusterOptions options_;
     core::MiningCache mining_cache_;
     std::size_t jobs_ = 1;    ///< resolved ClusterOptions::jobs
     support::TaskTeam team_;  ///< per-node fan-out (jobs_ threads)
+    /** Non-null iff the run uses the shared decision engine. */
+    std::unique_ptr<core::DecisionEngine> engine_;
+    /** Incremental digest of the decision runtime's stream — the
+     * reference the per-node digests are checked against at every
+     * barrier. Streaming mode feeds it from the decision runtime's
+     * retire consumer; retained mode folds via engine_cursor_. */
+    StreamDigest engine_digest_;
+    std::size_t engine_cursor_ = 0;
     std::vector<std::unique_ptr<NodeState>> nodes_;
     std::deque<JobSchedule> schedule_;  ///< FIFO of uningested jobs
     std::uint64_t tasks_issued_ = 0;
@@ -416,6 +562,15 @@ class Cluster final : public api::Frontend {
     std::uint64_t jobs_seen_ = 0;
     CoordinationStats stats_;
     std::vector<NodeMetrics> metrics_;
+
+    // -- Decision-path accounting (see DecisionStats) -----------------------
+    std::uint64_t decision_ns_ = 0;  ///< shared decider, driving thread
+    /** Per-node engine time (per-node mode) or apply time (shared
+     * mode); workers write their own slot, barriers publish. */
+    std::vector<std::uint64_t> node_ns_;
+    std::uint64_t decisions_broadcast_ = 0;
+    std::uint64_t batches_ = 0;
+    std::uint64_t fallbacks_ = 0;
 
     // -- Parallel-engine batch state (see file comment) ---------------------
     NodePhase phase_ = NodePhase::kStep;

@@ -71,6 +71,7 @@ BuildFrontend(const ExperimentOptions& options, bool streaming)
         cluster_options.stream_logs = streaming;
         cluster_options.jobs = options.cluster_jobs;
         cluster_options.share_mining_cache = options.share_mining_cache;
+        cluster_options.shared_decisions = options.shared_decisions;
         stack.cluster = std::make_unique<Cluster>(cluster_options);
         stack.front = stack.cluster.get();
         return stack;
@@ -242,8 +243,19 @@ RunExperiment(apps::Application& app, const ExperimentOptions& options)
         result.apophenia_stats = stack.apophenia->Stats();
         add_finder_stats(stack.apophenia->Finder());
         result.mining_cache_hits = stack.apophenia->Finder().mining_cache_hits;
+        result.candidate_digest = stack.apophenia->CandidateDigest();
     } else if (stack.cluster != nullptr) {
-        result.apophenia_stats = stack.cluster->Node(0).Stats();
+        // The decision-making engine whose stats/digests describe the
+        // run: the shared decider (whose decisions every node
+        // applied), or node 0's engine in per-node mode — identical
+        // numbers by the bit-identity property.
+        const bool shared = stack.cluster->SharedDecisions();
+        if (options.mode == TracingMode::kAuto) {
+            const core::Apophenia& decider =
+                shared ? stack.cluster->Decider() : stack.cluster->Node(0);
+            result.apophenia_stats = decider.Stats();
+            result.candidate_digest = decider.CandidateDigest();
+        }
         result.streams_identical = stack.cluster->StreamDigestsAgree();
         result.coordination = stack.cluster->Coordination();
         result.node_metrics = stack.cluster->PerNode();
@@ -251,13 +263,26 @@ RunExperiment(apps::Application& app, const ExperimentOptions& options)
             result.log_peak_resident_bytes = std::max(
                 result.log_peak_resident_bytes,
                 stack.cluster->NodeRuntime(n).Log().PeakResidentBytes());
-            add_finder_stats(stack.cluster->Node(n).Finder());
+            if (!shared) {
+                add_finder_stats(stack.cluster->Node(n).Finder());
+            }
+        }
+        if (shared) {
+            add_finder_stats(stack.cluster->Decider().Finder());
         }
         const core::MiningCache::Stats cache =
             stack.cluster->MiningCacheStats();
         result.mining_cache_hits = cache.hits;
         result.mining_cache_misses = cache.misses;
         result.mining_cache_windows = cache.windows;
+        result.mining_cache_evictions = cache.evictions;
+        const DecisionStats decisions = stack.cluster->DecisionCost();
+        result.shared_decisions = decisions.shared;
+        result.decision_ns = decisions.decision_ns;
+        result.decision_apply_ns = decisions.apply_ns;
+        result.decision_batches = decisions.batches;
+        result.decisions_broadcast = decisions.decisions;
+        result.decision_fallbacks = decisions.fallbacks;
         const StreamDigest digest = stack.cluster->NodeDigest(0);
         result.stream_digest = digest.Value();
         result.stream_digest_ops = digest.Count();

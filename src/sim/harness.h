@@ -114,6 +114,11 @@ struct ExperimentOptions {
      * nodes (behaviour-invariant dedup of the replicated mining work;
      * see core/mining_cache.h). */
     bool share_mining_cache = true;
+    /** Replicated kAuto runs: one shared decision engine drives every
+     * node instead of per-node engines (ClusterOptions::
+     * shared_decisions; bit-identical either way — see
+     * core/decision_engine.h). */
+    bool shared_decisions = true;
     /** Record the figure-10 coverage series (costs memory). */
     bool keep_coverage_series = false;
     std::size_t coverage_window = 5000;
@@ -170,6 +175,27 @@ struct ExperimentResult {
      * replicated); nonzero only under a finite
      * rt::RuntimeOptions::max_trace_templates. */
     std::uint64_t trace_cache_evictions = 0;
+    /** Evictions from the shared mining cache (replicated runs;
+     * policy: core::MiningCache::kEvictionPolicy) — nonzero only
+     * under a finite mining_cache_windows bound, the analogue of
+     * trace_cache_evictions for mining memo retention. */
+    std::uint64_t mining_cache_evictions = 0;
+    /** Rolling digest of the ingested candidate sets (the decider's
+     * under shared decisions, node 0's / the single front-end's
+     * otherwise; 0 unless kAuto): equal digests certify two runs
+     * ingested identical candidates at identical stream positions. */
+    std::uint64_t candidate_digest = 0;
+    /** Decision-path accounting of replicated runs (see
+     * sim::DecisionStats): whether the shared decision engine drove
+     * the nodes, the cluster-wide decision nanoseconds (the quantity
+     * the decision_cost bench shows flat in N for the shared engine),
+     * broadcast/batch counts, and digest-divergence fallbacks. */
+    bool shared_decisions = false;
+    std::uint64_t decision_ns = 0;
+    std::uint64_t decision_apply_ns = 0;
+    std::uint64_t decision_batches = 0;
+    std::uint64_t decisions_broadcast = 0;
+    std::uint64_t decision_fallbacks = 0;
 };
 
 /** Run `app` for `options.iterations` main-loop iterations and

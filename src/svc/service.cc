@@ -71,12 +71,15 @@ class TenantSession final : public api::Frontend {
     rt::TokenHash namespace_;
 };
 
-/** One tenant's stack plus its run-loop state. */
+/** One tenant's stack plus its run-loop state. Exactly one of
+ * {runtime+engine, cluster} is populated: the single stack, or the
+ * tenant's replication cluster (TenantOptions::replicas > 1). */
 struct TraceService::Tenant {
     TenantOptions options;
     rt::TokenHash name_space = 0;
     std::unique_ptr<rt::Runtime> runtime;
     std::unique_ptr<core::Apophenia> engine;
+    std::unique_ptr<sim::Cluster> cluster;
     std::unique_ptr<TenantSession> session;
 
     /** Issued-task count at the end of each completed iteration. */
@@ -214,15 +217,38 @@ TraceService::AddTenant(TenantOptions tenant)
     runtime_options.mismatch_policy = options_.mismatch_policy;
     runtime_options.max_trace_templates = options_.max_trace_templates;
     runtime_options.log_config = options_.log_config;
-    state->runtime = std::make_unique<rt::Runtime>(runtime_options);
-
     core::ApopheniaConfig config = options_.config;
     config.cache_namespace = state->name_space;
-    state->engine = std::make_unique<core::Apophenia>(
-        *state->runtime, config, options_.executor,
-        options_.share_mining_cache ? cache_.get() : nullptr);
-    state->session = std::make_unique<TenantSession>(*state->engine,
-                                                     state->name_space);
+
+    api::Frontend* inner = nullptr;
+    if (state->options.replicas > 1) {
+        // Replicated tenant: N nodes behind one cluster, one shared
+        // per-tenant decision engine (under shared_decisions), and
+        // the *service-wide* mining cache as the cluster's backing
+        // store so cross-tenant dedup composes with replication.
+        // Cluster mining is always deterministic-inline — the
+        // service-level executor applies to unreplicated tenants
+        // only.
+        sim::ClusterOptions cluster_options;
+        cluster_options.coordination = options_.replication;
+        cluster_options.coordination.nodes = state->options.replicas;
+        cluster_options.config = config;
+        cluster_options.config.enabled = true;
+        cluster_options.runtime_options = runtime_options;
+        cluster_options.shared_decisions = options_.shared_decisions;
+        cluster_options.external_mining_cache =
+            options_.share_mining_cache ? cache_.get() : nullptr;
+        state->cluster = std::make_unique<sim::Cluster>(cluster_options);
+        inner = state->cluster.get();
+    } else {
+        state->runtime = std::make_unique<rt::Runtime>(runtime_options);
+        state->engine = std::make_unique<core::Apophenia>(
+            *state->runtime, config, options_.executor,
+            options_.share_mining_cache ? cache_.get() : nullptr);
+        inner = state->engine.get();
+    }
+    state->session =
+        std::make_unique<TenantSession>(*inner, state->name_space);
     tenants_.push_back(std::move(state));
     return tenants_.size() - 1;
 }
@@ -236,13 +262,26 @@ TraceService::Session(std::size_t tenant)
 const core::Apophenia&
 TraceService::TenantEngine(std::size_t tenant) const
 {
-    return *tenants_.at(tenant)->engine;
+    const Tenant& state = *tenants_.at(tenant);
+    if (state.cluster != nullptr) {
+        return state.cluster->SharedDecisions() ? state.cluster->Decider()
+                                                : state.cluster->Node(0);
+    }
+    return *state.engine;
 }
 
 const rt::Runtime&
 TraceService::TenantRuntime(std::size_t tenant) const
 {
-    return *tenants_.at(tenant)->runtime;
+    const Tenant& state = *tenants_.at(tenant);
+    return state.cluster != nullptr ? state.cluster->NodeRuntime(0)
+                                    : *state.runtime;
+}
+
+const sim::Cluster*
+TraceService::TenantCluster(std::size_t tenant) const
+{
+    return tenants_.at(tenant)->cluster.get();
 }
 
 rt::TokenHash
@@ -384,8 +423,18 @@ TraceService::AssembleResults(std::uint64_t virtual_time)
         options_.config.inline_transitive_reduction;
 
     for (const auto& tenant : tenants_) {
-        const rt::Runtime& runtime = *tenant->runtime;
-        const core::Apophenia& engine = *tenant->engine;
+        const sim::Cluster* cluster = tenant->cluster.get();
+        const rt::Runtime& runtime = cluster != nullptr
+                                         ? cluster->NodeRuntime(0)
+                                         : *tenant->runtime;
+        // Replicated: the engine whose stats describe the tenant is
+        // the shared decider (or replica 0's in per-node mode —
+        // identical numbers by the bit-identity property).
+        const core::Apophenia& engine =
+            cluster != nullptr
+                ? (cluster->SharedDecisions() ? cluster->Decider()
+                                              : cluster->Node(0))
+                : *tenant->engine;
         const core::FinderStats& finder = engine.Finder();
 
         sim::ExperimentResult experiment;
@@ -416,6 +465,23 @@ TraceService::AssembleResults(std::uint64_t virtual_time)
             sim::StreamDigest::Of(runtime.Log());
         experiment.stream_digest = digest.Value();
         experiment.stream_digest_ops = digest.Count();
+        if (cluster != nullptr) {
+            experiment.streams_identical = cluster->StreamDigestsAgree();
+            experiment.coordination = cluster->Coordination();
+            experiment.node_metrics = cluster->PerNode();
+            const sim::DecisionStats decisions = cluster->DecisionCost();
+            experiment.shared_decisions = decisions.shared;
+            experiment.decision_ns = decisions.decision_ns;
+            experiment.decision_apply_ns = decisions.apply_ns;
+            experiment.decision_batches = decisions.batches;
+            experiment.decisions_broadcast = decisions.decisions;
+            experiment.decision_fallbacks = decisions.fallbacks;
+            for (std::size_t n = 0; n < cluster->Nodes(); ++n) {
+                experiment.log_peak_resident_bytes = std::max(
+                    experiment.log_peak_resident_bytes,
+                    cluster->NodeRuntime(n).Log().PeakResidentBytes());
+            }
+        }
 
         TenantStats stats;
         stats.name = tenant->options.name;

@@ -26,6 +26,15 @@
  *    into its own namespace). Cross-tenant hits are counted per
  *    tenant and service-wide.
  *
+ * A tenant may itself be control-replicated
+ * (TenantOptions::replicas > 1): its stream then runs on N simulated
+ * nodes behind one sim::Cluster, and one per-tenant shared
+ * core::DecisionEngine makes every trace decision once for all of
+ * the tenant's replicas (ServiceOptions::shared_decisions) — so a
+ * tenant pays mining/matching O(1) in its own width, while its
+ * replicated stack still probes the service-wide mining cache for
+ * cross-tenant dedup.
+ *
  * Interleaving is decided by a pluggable AdmissionPolicy at the issue
  * surface (round-robin and deficit-weighted fair round-robin ship);
  * the schedulable quantum is one application iteration. Virtual time
@@ -69,6 +78,16 @@ struct TenantOptions {
      * service-wide) and queues until granted. 0 = closed loop: the
      * next iteration arrives when the previous one completes. */
     std::uint64_t arrival_gap = 0;
+    /** Control replication within the tenant: >1 runs the tenant's
+     * stream on this many simulated nodes behind one sim::Cluster,
+     * and (under ServiceOptions::shared_decisions) one shared
+     * decision engine drives all of the tenant's replicas — the
+     * tenant pays mining/matching once no matter how wide it is. The
+     * replicated stack still probes the service-wide mining cache
+     * (through ClusterOptions::external_mining_cache), so
+     * cross-tenant dedup composes with replication. 1 = the plain
+     * single-runtime stack. */
+    std::size_t replicas = 1;
     /** Explicit token namespace; defaults to
      * TraceService::DefaultNamespace(tenant index). The differential
      * fuzz leg pins that per-tenant behaviour is independent of the
@@ -155,6 +174,14 @@ struct ServiceOptions {
     bool share_mining_cache = true;
     /** Retention bound of the shared cache (see MiningCache). */
     std::size_t max_cache_windows = 1024;
+    /** Replicated tenants (TenantOptions::replicas > 1): drive every
+     * replica of a tenant from one shared per-tenant decision engine
+     * (sim::ClusterOptions::shared_decisions; bit-identical to
+     * per-replica engines either way). */
+    bool shared_decisions = true;
+    /** Coordination tuning of replicated tenants (`nodes` comes from
+     * TenantOptions::replicas). */
+    sim::CoordinationOptions replication;
     /** Admission policy; borrowed. nullptr = internal round-robin. */
     AdmissionPolicy* policy = nullptr;
     /** Optional shared executor for every tenant's mining jobs (the
@@ -236,9 +263,16 @@ class TraceService {
      * drive this directly; Run() drives it through the policy. */
     api::Frontend& Session(std::size_t tenant);
 
+    /** The tenant's decision engine: the single-stack Apophenia, or —
+     * replicated — the cluster's shared decider (per-node mode:
+     * replica 0's engine, identical numbers by bit-identity). */
     const core::Apophenia& TenantEngine(std::size_t tenant) const;
+    /** The tenant's runtime (replica 0's when replicated). */
     const rt::Runtime& TenantRuntime(std::size_t tenant) const;
     rt::TokenHash TenantNamespace(std::size_t tenant) const;
+    /** The tenant's replication cluster; nullptr when the tenant is
+     * unreplicated (TenantOptions::replicas == 1). */
+    const sim::Cluster* TenantCluster(std::size_t tenant) const;
 
     core::MiningCache::Stats MiningCacheStats() const;
 

@@ -176,7 +176,13 @@ TEST(StreamDigest, AgreesWithExactComparisonOnIdenticalStreams)
 
 TEST(StreamDigest, DetectsDeliberateDivergence)
 {
-    Cluster fe(SmallClusterOptions(2));
+    // Per-node engines: the divergence is injected through Node(1)'s
+    // own front end, which shared-decision mode doesn't host. (The
+    // shared-mode divergence path is core_decision_test's
+    // fault-injection case.)
+    ClusterOptions options = SmallClusterOptions(2);
+    options.shared_decisions = false;
+    Cluster fe(options);
     DriveLoop(fe, 30, 6);
     ASSERT_TRUE(fe.StreamsIdentical());
     ASSERT_TRUE(fe.StreamDigestsAgree());
@@ -590,6 +596,10 @@ TEST(MiningCache, NoSkewReplicatedRunsMineEachWindowOnce)
     constexpr std::size_t kNodes = 4;
     ExperimentOptions options = ClusterExperiment(kNodes, 50);
     options.log_mode = LogMode::kStreaming;
+    // The per-window accounting below counts every node's own probes
+    // — per-node engines (under shared decisions only the one decider
+    // mines, which is the stronger dedup, tested elsewhere).
+    options.shared_decisions = false;
     apps::S3dApplication app(
         apps::S3dOptions{.machine = options.machine});
     const ExperimentResult result = RunExperiment(app, options);
@@ -691,6 +701,10 @@ TEST(MiningCache, SharedCacheIsBehaviourInvariant)
         options.skew.kind = SkewKind::kJitter;
         options.skew.jitter_amplitude = 0.5;
         options.share_mining_cache = share;
+        // Per-node engines: the cross-node adoption this test pins
+        // (hits > 0 with the cache on) only exists when every node
+        // mines for itself.
+        options.shared_decisions = false;
         apps::S3dApplication app(
             apps::S3dOptions{.machine = options.machine});
         return RunExperiment(app, options);

@@ -16,7 +16,11 @@
  *  - M identical tenants mine each distinct window once service-wide
  *    and adopt cross-tenant at (M-1)/M of probes;
  *  - runs are deterministic for a fixed tenant set, seed and policy,
- *    and the deficit-weighted fair policy honors weights.
+ *    and the deficit-weighted fair policy honors weights;
+ *  - a replicated tenant (TenantOptions::replicas > 1) runs behind
+ *    one sim::Cluster with one shared per-tenant decision engine,
+ *    bit-identical to per-replica engines, and still shares the
+ *    service-wide mining cache across tenants.
  */
 #include <gtest/gtest.h>
 
@@ -623,6 +627,172 @@ TEST(OpenLoop, QueueingShowsUpInLatency)
     EXPECT_GT(result.tenants[1].p99_issue_latency, 0.0);
     EXPECT_GE(result.tenants[1].p99_issue_latency,
               result.tenants[1].p50_issue_latency);
+}
+
+// ---------------------------------------------------------------------------
+// Replicated tenants: one decision engine per tenant cluster.
+
+/** A replicated-tenant run whose app and service outlive the result
+ * (TenantOptions borrows the app pointer). */
+struct ReplicatedRun {
+    std::unique_ptr<svc::SyntheticWorkload> app;
+    std::unique_ptr<svc::TraceService> service;
+    svc::ServiceResult result;
+};
+
+ReplicatedRun RunReplicatedTenant(bool shared, std::size_t replicas)
+{
+    svc::ServiceOptions service_options;
+    service_options.config = TestConfig();
+    service_options.shared_decisions = shared;
+    service_options.replication.seed = 7;
+    service_options.replication.mean_latency_tasks = 120.0;
+    service_options.replication.jitter = 0.6;
+    ReplicatedRun run;
+    run.app = std::make_unique<svc::SyntheticWorkload>(Synthetic(31));
+    run.service = std::make_unique<svc::TraceService>(service_options);
+    svc::TenantOptions tenant;
+    tenant.name = "wide";
+    tenant.app = run.app.get();
+    tenant.iterations = 25;
+    tenant.replicas = replicas;
+    run.service->AddTenant(tenant);
+    run.result = run.service->Run();
+    return run;
+}
+
+TEST(ReplicatedTenant, SharedEngineIsBitIdenticalToPerReplicaEngines)
+{
+    const ReplicatedRun shared = RunReplicatedTenant(true, 3);
+    const ReplicatedRun per_node = RunReplicatedTenant(false, 3);
+
+    // Both runs stand behind a 3-node cluster whose replicas agree.
+    const sim::Cluster* shared_cluster = shared.service->TenantCluster(0);
+    const sim::Cluster* per_node_cluster =
+        per_node.service->TenantCluster(0);
+    ASSERT_NE(shared_cluster, nullptr);
+    ASSERT_NE(per_node_cluster, nullptr);
+    EXPECT_TRUE(shared_cluster->SharedDecisions());
+    EXPECT_FALSE(per_node_cluster->SharedDecisions());
+    EXPECT_TRUE(shared_cluster->StreamDigestsAgree());
+    EXPECT_TRUE(per_node_cluster->StreamDigestsAgree());
+
+    // Tenant-level identity: the shared engine changed nothing the
+    // tenant can observe.
+    ASSERT_EQ(shared.result.tenants.size(), 1u);
+    ASSERT_EQ(per_node.result.tenants.size(), 1u);
+    const svc::TenantStats& a = shared.result.tenants[0];
+    const svc::TenantStats& b = per_node.result.tenants[0];
+    EXPECT_EQ(a.stream_digest, b.stream_digest);
+    EXPECT_EQ(a.stream_digest_ops, b.stream_digest_ops);
+    EXPECT_EQ(a.candidate_digest, b.candidate_digest);
+    EXPECT_EQ(a.tokens_issued, b.tokens_issued);
+    EXPECT_EQ(a.tokens_replayed, b.tokens_replayed);
+    EXPECT_EQ(a.trace_cache_hit_rate, b.trace_cache_hit_rate);
+    EXPECT_EQ(a.iterations_completed, 25u);
+    EXPECT_EQ(b.iterations_completed, 25u);
+
+    // Experiment-level identity plus the decision-path accounting:
+    // only the shared run broadcast decisions, and neither diverged.
+    const sim::ExperimentResult& se = shared.result.experiments[0];
+    const sim::ExperimentResult& pe = per_node.result.experiments[0];
+    EXPECT_TRUE(se.shared_decisions);
+    EXPECT_FALSE(pe.shared_decisions);
+    EXPECT_GT(se.decision_batches, 0u);
+    EXPECT_GT(se.decisions_broadcast, 0u);
+    EXPECT_EQ(se.decision_fallbacks, 0u);
+    EXPECT_EQ(pe.decisions_broadcast, 0u);
+    EXPECT_EQ(se.total_tasks, pe.total_tasks);
+    EXPECT_EQ(se.replayed_fraction, pe.replayed_fraction);
+    EXPECT_EQ(se.coordination.jobs_coordinated,
+              pe.coordination.jobs_coordinated);
+    EXPECT_EQ(se.coordination.final_slack, pe.coordination.final_slack);
+    ASSERT_EQ(se.node_metrics.size(), 3u);
+    ASSERT_EQ(pe.node_metrics.size(), 3u);
+
+    // The shared decider is what any per-node engine would have been.
+    EXPECT_EQ(shared.service->TenantEngine(0).CandidateDigest(),
+              per_node.service->TenantEngine(0).CandidateDigest());
+    const core::ApopheniaStats ss =
+        shared.service->TenantEngine(0).Stats();
+    const core::ApopheniaStats ps =
+        per_node.service->TenantEngine(0).Stats();
+    EXPECT_EQ(ss.tasks_observed, ps.tasks_observed);
+    EXPECT_EQ(ss.trace_records, ps.trace_records);
+    EXPECT_EQ(ss.trace_replays, ps.trace_replays);
+    EXPECT_EQ(ss.candidates_ingested, ps.candidates_ingested);
+    EXPECT_GT(ss.trace_replays, 0u);
+}
+
+TEST(ReplicatedTenant, CrossTenantSharingComposesWithReplication)
+{
+    // Two identical-kernel tenants, each 2-wide: each tenant mines
+    // once for all its replicas, the *service* mines each window once
+    // for both tenants, and half the probes cross tenants.
+    svc::ServiceOptions service_options;
+    service_options.config = TestConfig();
+    service_options.replication.seed = 7;
+    svc::TraceService service(service_options);
+    svc::SyntheticWorkload a(Synthetic(7));
+    svc::SyntheticWorkload b(Synthetic(7));
+    svc::TenantOptions tenant;
+    tenant.iterations = 25;
+    tenant.replicas = 2;
+    tenant.name = "a";
+    tenant.app = &a;
+    service.AddTenant(tenant);
+    tenant.name = "b";
+    tenant.app = &b;
+    service.AddTenant(tenant);
+    const svc::ServiceResult result = service.Run();
+
+    const core::MiningCache::Stats cache = result.mining_cache;
+    ASSERT_GT(cache.hits + cache.misses, 0u);
+    EXPECT_EQ(cache.misses, cache.windows);
+    EXPECT_GT(cache.cross_namespace_hits, 0u);
+    EXPECT_GE(result.cross_tenant_sharing, 0.5 - 1e-9);
+
+    for (std::size_t t = 0; t < 2; ++t) {
+        const sim::Cluster* cluster = service.TenantCluster(t);
+        ASSERT_NE(cluster, nullptr);
+        EXPECT_TRUE(cluster->SharedDecisions());
+        EXPECT_TRUE(cluster->StreamDigestsAgree());
+        EXPECT_EQ(result.tenants[t].iterations_completed, 25u);
+    }
+    // Identical tenants stay bit-identical even when replicated.
+    EXPECT_EQ(result.tenants[0].tokens_issued,
+              result.tenants[1].tokens_issued);
+    EXPECT_EQ(result.tenants[0].trace_cache_hit_rate,
+              result.tenants[1].trace_cache_hit_rate);
+}
+
+TEST(ReplicatedTenant, MixesWithUnreplicatedTenants)
+{
+    svc::ServiceOptions service_options;
+    service_options.config = TestConfig();
+    svc::TraceService service(service_options);
+    svc::SyntheticWorkload flat(Synthetic(51));
+    svc::SyntheticWorkload wide(Synthetic(52));
+    svc::TenantOptions tenant;
+    tenant.iterations = 20;
+    tenant.name = "flat";
+    tenant.app = &flat;
+    service.AddTenant(tenant);
+    tenant.name = "wide";
+    tenant.app = &wide;
+    tenant.replicas = 3;
+    service.AddTenant(tenant);
+    const svc::ServiceResult result = service.Run();
+
+    EXPECT_EQ(service.TenantCluster(0), nullptr);
+    ASSERT_NE(service.TenantCluster(1), nullptr);
+    EXPECT_TRUE(service.TenantCluster(1)->StreamDigestsAgree());
+    EXPECT_EQ(result.tenants[0].iterations_completed, 20u);
+    EXPECT_EQ(result.tenants[1].iterations_completed, 20u);
+    EXPECT_EQ(result.experiments[0].node_metrics.size(), 0u);
+    EXPECT_EQ(result.experiments[1].node_metrics.size(), 3u);
+    EXPECT_FALSE(result.experiments[0].shared_decisions);
+    EXPECT_TRUE(result.experiments[1].shared_decisions);
 }
 
 }  // namespace
