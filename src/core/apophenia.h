@@ -45,6 +45,7 @@
 #include "core/finder.h"
 #include "core/mining_cache.h"
 #include "core/trie.h"
+#include "fault/checkpoint.h"
 #include "runtime/runtime.h"
 #include "support/executor.h"
 
@@ -183,6 +184,30 @@ class Apophenia final : public api::Frontend {
     rt::Runtime& Target() { return *runtime_; }
     const ApopheniaConfig& Config() const { return config_; }
     std::size_t PendingTasks() const { return pending_.size(); }
+
+    // -- Checkpoint/restore --------------------------------------------------
+
+    /**
+     * Serialize the front-end's complete decision state: replay
+     * cursors (task counter, pending buffer with its buffered
+     * launches, active match pointers, held matches, next trace id),
+     * stats, the candidate digest, the finder (history ring, steady
+     * ring, completed in-flight jobs) and the candidate trie. The
+     * target runtime is NOT included — checkpoint it separately with
+     * rt::Runtime::SaveState. Every in-flight mining job must have
+     * completed (guaranteed under the inline executor; otherwise
+     * drain first). @throws fault::CheckpointError on undone jobs.
+     */
+    void SaveState(fault::CheckpointWriter& writer) const;
+
+    /** Restore onto a freshly constructed front-end with an identical
+     * config (and a runtime restored to the matching stream
+     * position). Active pointers and held matches are rebuilt by
+     * re-walking the restored trie over the buffered tokens, so the
+     * restored replayer continues bit-identically.
+     * @throws fault::CheckpointError on a used front-end or a
+     *   malformed image. */
+    void LoadState(fault::CheckpointReader& reader);
 
   protected:
     // -- api::Frontend: the intercepted issue path --------------------------

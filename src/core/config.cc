@@ -85,6 +85,8 @@ ParseApopheniaFlags(std::vector<std::string>& args)
             config.incremental_mining = false;
         } else if (a == "-lg:auto_trace:no_shared_decisions") {
             config.shared_decisions = false;
+        } else if (a == "-lg:auto_trace:no_checkpoints") {
+            config.checkpoints = false;
         } else if (a == "-lg:auto_trace:incremental_ring_windows") {
             config.incremental_ring_windows = ParseCount(a, value_of(i, a));
         } else if (a == "-lg:window") {

@@ -18,6 +18,7 @@
  *   -lg:auto_trace:copy_slices_at_launch
  *   -lg:auto_trace:buffer_all_launches
  *   -lg:auto_trace:no_shared_decisions
+ *   -lg:auto_trace:no_checkpoints
  *
  * The paper's experiments all run with one configuration (batchsize
  * 5000, multi-scale factor 250/500, min length 25); only FlexFlow
@@ -150,6 +151,13 @@ struct ApopheniaConfig {
      * bit-identical to per-node engines
      * (-lg:auto_trace:no_shared_decisions disables). */
     bool shared_decisions = true;
+
+    /** Fault tolerance: allow periodic cluster checkpoints (fault::)
+     * when a checkpoint interval is configured. The escape hatch
+     * `-lg:auto_trace:no_checkpoints` turns all checkpointing off —
+     * rejoining nodes then resync by replaying the full retained
+     * decision tail from stream start. */
+    bool checkpoints = true;
 
     // -- Trace selection scoring (paper section 4.3) ----------------------
 

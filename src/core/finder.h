@@ -34,6 +34,7 @@
 
 #include "core/config.h"
 #include "core/history.h"
+#include "fault/checkpoint.h"
 #include "runtime/task.h"
 #include "support/executor.h"
 
@@ -52,6 +53,12 @@ struct CandidateTrace {
     /** Non-overlapping occurrences observed in the analyzed slice. */
     double occurrences = 0.0;
 };
+
+/** Checkpoint helpers for candidate sets (used by the finder's
+ * in-flight jobs, the steady-state ring and the mining cache). */
+void SaveCandidates(fault::CheckpointWriter& writer,
+                    const std::vector<CandidateTrace>& candidates);
+std::vector<CandidateTrace> LoadCandidates(fault::CheckpointReader& reader);
 
 /** Which tier of the incremental mining engine served a job (see
  * steady_miner.h; kNone = engine disabled, classic MineSlice path). */
@@ -195,6 +202,15 @@ class TraceFinder {
     /** The finder's incremental mining engine (nullptr when
      * config.incremental_mining is off). Exposed for tests. */
     const SteadyStateMiner* Steady() const { return steady_.get(); }
+
+    /** Checkpoint hooks: sampling cursors, anchors, stats, the
+     * history ring, the steady-state ring, and every in-flight job as
+     * a completed result (id, issue position, candidates, tier) —
+     * every job must have completed (drain the executor first);
+     * throws fault::CheckpointError otherwise. LoadState restores
+     * onto a fresh finder built with an identical config. */
+    void SaveState(fault::CheckpointWriter& writer) const;
+    void LoadState(fault::CheckpointReader& reader);
 
   private:
     void LaunchAnalysis(std::size_t slice_length, std::uint64_t now);

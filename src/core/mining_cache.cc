@@ -218,4 +218,63 @@ MiningCache::Size() const
     return entries_.size();
 }
 
+void
+MiningCache::SaveState(fault::CheckpointWriter& writer) const
+{
+    std::lock_guard lock(mutex_);
+    if (entries_.size() != retained_.size()) {
+        throw fault::CheckpointError(
+            "MiningCache::SaveState requires a quiescent cache (a "
+            "miner holds an in-progress entry)");
+    }
+    writer.BeginSection(fault::SectionTag::kMiningCache);
+    writer.U64(hits_);
+    writer.U64(misses_);
+    writer.U64(windows_published_);
+    writer.U64(cross_namespace_hits_);
+    writer.U64(evictions_);
+    writer.U64(retained_.size());
+    for (const Key& key : retained_) {
+        const Entry& entry = entries_.at(key);
+        writer.U64(key.hash);
+        writer.U64(key.length);
+        writer.U64(entry.owner);
+        writer.VecU64(entry.window);
+        SaveCandidates(writer, entry.results != nullptr
+                                   ? *entry.results
+                                   : std::vector<CandidateTrace>{});
+    }
+    writer.EndSection();
+}
+
+void
+MiningCache::LoadState(fault::CheckpointReader& reader)
+{
+    std::lock_guard lock(mutex_);
+    if (!entries_.empty()) {
+        throw fault::CheckpointError(
+            "MiningCache::LoadState requires a fresh cache");
+    }
+    reader.BeginSection(fault::SectionTag::kMiningCache);
+    hits_ = reader.U64();
+    misses_ = reader.U64();
+    windows_published_ = reader.U64();
+    cross_namespace_hits_ = reader.U64();
+    evictions_ = reader.U64();
+    const std::uint64_t count = reader.U64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Key key;
+        key.hash = reader.U64();
+        key.length = static_cast<std::size_t>(reader.U64());
+        Entry& entry = entries_[key];
+        entry.owner = reader.U64();
+        entry.window = reader.VecU64();
+        entry.results = std::make_shared<const std::vector<CandidateTrace>>(
+            LoadCandidates(reader));
+        entry.ready = true;
+        retained_.push_back(key);
+    }
+    reader.EndSection();
+}
+
 }  // namespace apo::core

@@ -58,6 +58,7 @@
 
 #include "core/finder.h"
 #include "core/history.h"
+#include "fault/checkpoint.h"
 #include "runtime/task.h"
 #include "support/hash.h"
 
@@ -197,6 +198,14 @@ class MiningCache {
 
     /** Currently retained published + in-progress entries. */
     std::size_t Size() const;
+
+    /** Checkpoint hooks: counters plus every retained published entry
+     * in publication (FIFO) order. Every entry must be published —
+     * in-progress entries mean a miner is mid-window and the cache is
+     * not quiescent; throws fault::CheckpointError. LoadState
+     * restores onto a fresh (empty) cache. */
+    void SaveState(fault::CheckpointWriter& writer) const;
+    void LoadState(fault::CheckpointReader& reader);
 
   private:
     struct Entry {

@@ -173,6 +173,64 @@ SteadyStateMiner::Snapshot() const
     return stats_;
 }
 
+void
+SteadyStateMiner::SaveState(fault::CheckpointWriter& writer) const
+{
+    std::lock_guard lock(mutex_);
+    writer.BeginSection(fault::SectionTag::kSteadyMiner);
+    writer.U64(next_slot_);
+    writer.U64(stats_.probes);
+    writer.U64(stats_.fast_path_hits);
+    writer.U64(stats_.repairs);
+    writer.U64(stats_.full_rebuilds);
+    writer.U64(stats_.memoized);
+    writer.U64(ring_.size());
+    for (const Entry& entry : ring_) {
+        writer.Bool(entry.valid);
+        if (!entry.valid) {
+            continue;
+        }
+        writer.U64(entry.fingerprint);
+        writer.VecU64(entry.window);
+        writer.U64(entry.period);
+        SaveCandidates(writer, entry.results != nullptr
+                                   ? *entry.results
+                                   : std::vector<CandidateTrace>{});
+    }
+    writer.EndSection();
+}
+
+void
+SteadyStateMiner::LoadState(fault::CheckpointReader& reader)
+{
+    std::lock_guard lock(mutex_);
+    if (!ring_.empty()) {
+        throw fault::CheckpointError(
+            "SteadyStateMiner::LoadState requires a fresh engine");
+    }
+    reader.BeginSection(fault::SectionTag::kSteadyMiner);
+    next_slot_ = reader.U64();
+    stats_.probes = reader.U64();
+    stats_.fast_path_hits = reader.U64();
+    stats_.repairs = reader.U64();
+    stats_.full_rebuilds = reader.U64();
+    stats_.memoized = reader.U64();
+    const std::uint64_t entries = reader.U64();
+    ring_.resize(entries);
+    for (Entry& entry : ring_) {
+        entry.valid = reader.Bool();
+        if (!entry.valid) {
+            continue;
+        }
+        entry.fingerprint = reader.U64();
+        entry.window = reader.VecU64();
+        entry.period = reader.U64();
+        entry.results = std::make_shared<const std::vector<CandidateTrace>>(
+            LoadCandidates(reader));
+    }
+    reader.EndSection();
+}
+
 std::vector<std::size_t>
 SteadyStateMiner::RingPeriods() const
 {

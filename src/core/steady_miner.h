@@ -47,6 +47,7 @@
 #include "core/config.h"
 #include "core/finder.h"
 #include "core/history.h"
+#include "fault/checkpoint.h"
 #include "runtime/task.h"
 #include "strings/incremental.h"
 
@@ -101,6 +102,15 @@ class SteadyStateMiner {
     /** Dominant periods of the ring's memoized windows (0 = unknown),
      * in ring order. Introspection for tests. */
     std::vector<std::size_t> RingPeriods() const;
+
+    /** Checkpoint hooks: the memoized ring (fingerprints, windows,
+     * candidate sets, periods) plus the stats counters. The
+     * incremental miner's suffix structures restart cold — mining is
+     * a pure function of (window, config), so every restored result
+     * stays bit-identical; only the repair-vs-rebuild tier counters
+     * can differ after a restore. */
+    void SaveState(fault::CheckpointWriter& writer) const;
+    void LoadState(fault::CheckpointReader& reader);
 
   private:
     struct Entry {

@@ -1,5 +1,8 @@
 #include "core/trie.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace apo::core {
 
 CandidateTrie::CandidateTrie()
@@ -7,10 +10,8 @@ CandidateTrie::CandidateTrie()
     nodes_.emplace_back();  // the root, id 0
 }
 
-CandidateStats&
-CandidateTrie::Insert(const std::vector<rt::TokenHash>& tokens,
-                      double occurrences, std::uint64_t now,
-                      double half_life)
+CandidateTrie::Node*
+CandidateTrie::WalkOrCreate(std::span<const rt::TokenHash> tokens)
 {
     Node* node = &nodes_.front();
     for (rt::TokenHash t : tokens) {
@@ -25,6 +26,15 @@ CandidateTrie::Insert(const std::vector<rt::TokenHash>& tokens,
         }
         node = &nodes_[it->second];
     }
+    return node;
+}
+
+CandidateStats&
+CandidateTrie::Insert(const std::vector<rt::TokenHash>& tokens,
+                      double occurrences, std::uint64_t now,
+                      double half_life)
+{
+    Node* node = WalkOrCreate(tokens);
     if (!node->candidate) {
         node->candidate = std::make_unique<CandidateStats>();
         node->candidate->id = next_id_++;
@@ -44,6 +54,70 @@ CandidateTrie::Step(const Node* node, rt::TokenHash token) const
     const std::uint32_t parent = node == nullptr ? 0 : node->id;
     const auto it = edges_.find(EdgeKey{parent, token});
     return it == edges_.end() ? nullptr : &nodes_[it->second];
+}
+
+void
+CandidateTrie::SaveState(fault::CheckpointWriter& writer) const
+{
+    // Nodes carry no parent back-pointers; invert the flat edge index
+    // once so each candidate's token path reads off by walking up.
+    std::vector<std::pair<std::uint32_t, rt::TokenHash>> up(nodes_.size());
+    for (const auto& [key, child] : edges_) {
+        up[child] = {key.parent, key.token};
+    }
+    writer.BeginSection(fault::SectionTag::kCandidateTrie);
+    writer.U64(next_id_);
+    writer.U64(num_candidates_);
+    std::vector<rt::TokenHash> path;
+    for (const Node& node : nodes_) {
+        if (!node.candidate) {
+            continue;
+        }
+        path.clear();
+        for (std::uint32_t id = node.id; id != 0; id = up[id].first) {
+            path.push_back(up[id].second);
+        }
+        std::reverse(path.begin(), path.end());
+        writer.VecU64(path);
+        const CandidateStats& stats = *node.candidate;
+        writer.U64(stats.id);
+        writer.U64(stats.length);
+        writer.F64(stats.count);
+        writer.U64(stats.last_seen);
+        writer.U64(stats.trace_id);
+        writer.U64(stats.replays);
+    }
+    writer.EndSection();
+}
+
+void
+CandidateTrie::LoadState(fault::CheckpointReader& reader)
+{
+    if (nodes_.size() != 1 || num_candidates_ != 0) {
+        throw fault::CheckpointError(
+            "CandidateTrie::LoadState requires an empty trie");
+    }
+    reader.BeginSection(fault::SectionTag::kCandidateTrie);
+    next_id_ = reader.U64();
+    const std::uint64_t candidates = reader.U64();
+    for (std::uint64_t i = 0; i < candidates; ++i) {
+        const std::vector<rt::TokenHash> path = reader.VecU64();
+        Node* node = WalkOrCreate(path);
+        if (node->candidate != nullptr) {
+            throw fault::CheckpointError(
+                "checkpoint trie repeats a candidate path");
+        }
+        node->candidate = std::make_unique<CandidateStats>();
+        CandidateStats& stats = *node->candidate;
+        stats.id = reader.U64();
+        stats.length = reader.U64();
+        stats.count = reader.F64();
+        stats.last_seen = reader.U64();
+        stats.trace_id = reader.U64();
+        stats.replays = reader.U64();
+        ++num_candidates_;
+    }
+    reader.EndSection();
 }
 
 }  // namespace apo::core

@@ -28,10 +28,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "core/config.h"
+#include "fault/checkpoint.h"
 #include "runtime/task.h"
 #include "runtime/trace.h"
 #include "support/hash.h"
@@ -107,7 +109,21 @@ class CandidateTrie {
 
     const Node* Root() const { return &nodes_.front(); }
 
+    /** Checkpoint hooks: every candidate's token path plus its full
+     * statistics (id, decayed count, last-seen stamp, trace id,
+     * replay count) and the id counter. Restore re-inserts the paths
+     * into an empty trie — node ids may come out in a different pool
+     * order, but every observable (Step walks, num_children,
+     * candidate stats) is identical, so a restored replayer makes
+     * bit-identical decisions. */
+    void SaveState(fault::CheckpointWriter& writer) const;
+    void LoadState(fault::CheckpointReader& reader);
+
   private:
+    /** Walk `tokens` from the root, creating missing nodes (the
+     * shared path step of Insert and LoadState). */
+    Node* WalkOrCreate(std::span<const rt::TokenHash> tokens);
+
     /** One edge of the flat child index. */
     struct EdgeKey {
         std::uint32_t parent = 0;

@@ -313,4 +313,92 @@ WindowedTransitiveReducer::Reduce(std::size_t index,
     return removed_here;
 }
 
+namespace {
+
+void
+SaveIndexVector(fault::CheckpointWriter& writer,
+                const std::vector<std::size_t>& values)
+{
+    writer.U64(values.size());
+    for (const std::size_t v : values) {
+        writer.U64(v);
+    }
+}
+
+void
+LoadIndexVector(fault::CheckpointReader& reader,
+                std::vector<std::size_t>& values)
+{
+    const std::uint64_t count = reader.U64();
+    values.clear();
+    values.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        values.push_back(reader.U64());
+    }
+}
+
+}  // namespace
+
+void
+DependenceAnalyzer::SaveState(fault::CheckpointWriter& writer) const
+{
+    writer.BeginSection(fault::SectionTag::kDependenceAnalyzer);
+    writer.U64(states_.size());
+    for (const auto& [key, state] : states_) {
+        writer.U64(key.first);
+        writer.U64(key.second);
+        writer.Bool(state.last_writer.has_value());
+        writer.U64(state.last_writer.value_or(0));
+        SaveIndexVector(writer, state.readers);
+        SaveIndexVector(writer, state.reducers);
+        writer.U64(state.redop);
+        SaveIndexVector(writer, state.prev_reducers);
+    }
+    writer.U64(by_root_.size());
+    for (const auto& [key, regions] : by_root_) {
+        writer.U64(key.first);
+        writer.U64(key.second);
+        writer.U64(regions.size());
+        for (const RegionId r : regions) {
+            writer.U64(r.value);
+        }
+    }
+    writer.EndSection();
+}
+
+void
+DependenceAnalyzer::LoadState(fault::CheckpointReader& reader)
+{
+    reader.BeginSection(fault::SectionTag::kDependenceAnalyzer);
+    states_.clear();
+    const std::uint64_t state_count = reader.U64();
+    for (std::uint64_t i = 0; i < state_count; ++i) {
+        const std::uint64_t region = reader.U64();
+        const FieldId field = static_cast<FieldId>(reader.U64());
+        FieldState& state = states_[{region, field}];
+        const bool has_writer = reader.Bool();
+        const std::uint64_t writer_index = reader.U64();
+        state.last_writer =
+            has_writer ? std::optional<std::size_t>(writer_index)
+                       : std::nullopt;
+        LoadIndexVector(reader, state.readers);
+        LoadIndexVector(reader, state.reducers);
+        state.redop = static_cast<ReductionOpId>(reader.U64());
+        LoadIndexVector(reader, state.prev_reducers);
+    }
+    by_root_.clear();
+    const std::uint64_t root_count = reader.U64();
+    for (std::uint64_t i = 0; i < root_count; ++i) {
+        const std::uint64_t root = reader.U64();
+        const FieldId field = static_cast<FieldId>(reader.U64());
+        std::vector<RegionId>& regions = by_root_[{root, field}];
+        const std::uint64_t region_count = reader.U64();
+        regions.reserve(region_count);
+        for (std::uint64_t j = 0; j < region_count; ++j) {
+            regions.push_back(RegionId{reader.U64()});
+        }
+    }
+    reader.EndSection();
+}
+
 }  // namespace apo::rt

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "fault/checkpoint.h"
 #include "runtime/region.h"
 #include "runtime/region_tree.h"
 #include "runtime/task.h"
@@ -124,6 +125,14 @@ class DependenceAnalyzer {
 
     /** Number of distinct (region, field) pairs ever touched. */
     std::size_t TrackedFields() const { return states_.size(); }
+
+    /** Checkpoint hooks: the full coherence state (field states plus
+     * the alias index), with the absolute operation indices it holds —
+     * the restored analyzer must emit bit-identical edges for the
+     * continued stream. The forest pointer is reattached by the owner
+     * (SetForest), not serialized. */
+    void SaveState(fault::CheckpointWriter& writer) const;
+    void LoadState(fault::CheckpointReader& reader);
 
   private:
     FieldState& MutableState(RegionId region, FieldId field);

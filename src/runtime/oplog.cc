@@ -24,14 +24,17 @@ OperationLog::NoteAllocated(std::size_t bytes)
 OperationLog::OpRow&
 OperationLog::Row(std::size_t index)
 {
-    assert(index >= retired_ || !Streaming());
     assert(index < appended_);
     const std::size_t cap = config_.ops_per_block;
-    // Retirement removes whole row blocks, so the front block's begin
-    // stays a multiple of the block size and lookup is O(1).
-    const std::size_t block =
-        index / cap - row_blocks_.front().begin / cap;
-    return row_blocks_[block].rows[index % cap];
+    // Every block holds exactly `cap` rows starting at its `begin`,
+    // and retirement removes whole blocks from the front, so relative
+    // addressing from the front block is O(1) — even when a checkpoint
+    // restore re-based the log at an arbitrary absolute index (the
+    // front `begin` then need not be a multiple of the block size).
+    const std::size_t front_begin = row_blocks_.front().begin;
+    assert(index >= front_begin);
+    const std::size_t block = (index - front_begin) / cap;
+    return row_blocks_[block].rows[(index - front_begin) % cap];
 }
 
 const OperationLog::OpRow&
@@ -289,13 +292,49 @@ OperationLog::Clone() const
 {
     assert(!Streaming() && "streaming logs cannot be cloned");
     OperationLog copy(config_);
-    copy.Reserve(appended_, 0, 0);
-    for (std::size_t i = 0; i < appended_; ++i) {
+    copy.Reserve(appended_ - retired_, 0, 0);
+    // A checkpoint-restored retained log is resident only from its
+    // restore base; the clone re-bases identically.
+    copy.appended_ = copy.retired_ = copy.retire_bound_ = retired_;
+    for (std::size_t i = retired_; i < appended_; ++i) {
         const OpView op = (*this)[i];
         copy.Append(op.launch, op.mode, op.trace, op.analysis_cost_us,
                     op.replay_head, op.dependences);
     }
     return copy;
+}
+
+void
+OperationLog::SaveState(fault::CheckpointWriter& writer) const
+{
+    writer.BeginSection(fault::SectionTag::kOperationLog);
+    writer.Bool(Streaming());
+    writer.U64(appended_);
+    writer.EndSection();
+}
+
+void
+OperationLog::LoadState(fault::CheckpointReader& reader)
+{
+    if (!empty()) {
+        throw fault::CheckpointError(
+            "OperationLog::LoadState requires an empty log");
+    }
+    reader.BeginSection(fault::SectionTag::kOperationLog);
+    const bool was_streaming = reader.Bool();
+    const std::uint64_t base = reader.U64();
+    reader.EndSection();
+    if (was_streaming != Streaming()) {
+        throw fault::CheckpointError(
+            "checkpoint log mode does not match the restoring log");
+    }
+    // Re-base: the restored log continues appending at the
+    // checkpointed absolute index. Everything below the base is gone
+    // (retired in streaming mode; simply non-resident in retained
+    // mode) — dependence edges keep their absolute source indices as
+    // plain values, which is all the digests and the replay machinery
+    // ever read from pre-base history.
+    appended_ = retired_ = retire_bound_ = base;
 }
 
 }  // namespace apo::rt

@@ -43,6 +43,7 @@
 #include <span>
 #include <vector>
 
+#include "fault/checkpoint.h"
 #include "runtime/dependence.h"
 #include "runtime/region.h"
 #include "runtime/task.h"
@@ -208,6 +209,22 @@ class OperationLog {
     /** Deep copy (retained logs only; the reduction path simulates on
      * a pruned copy). */
     OperationLog Clone() const;
+
+    // -- Checkpoint/restore ------------------------------------------------
+
+    /** Serialize the log's append cursor. The log *content* is not
+     * checkpointed: a restored log is re-based at the checkpointed
+     * absolute index and continues appending there, so later
+     * operations keep their absolute indices (dependence edges and
+     * stream digests fold absolute indices, so the restore must
+     * preserve them bit-for-bit). */
+    void SaveState(fault::CheckpointWriter& writer) const;
+
+    /** Restore onto a freshly constructed (empty) log with the same
+     * Config and streaming mode as the checkpointed one.
+     * @throws fault::CheckpointError on a non-empty log, a mode
+     *   mismatch, or a malformed image. */
+    void LoadState(fault::CheckpointReader& reader);
 
   private:
     /** One POD row; payload spans point into the arenas. */

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/checkpoint.h"
+
 namespace apo::rt {
 
 /** Opaque handle to a logical region. */
@@ -97,6 +99,32 @@ class RegionAllocator {
 
     /** Number of ids ever created (high-water mark). */
     std::uint64_t HighWater() const { return next_; }
+
+    /** Checkpoint hook: id reuse order drives stream periodicity, so
+     * both the counter and the exact LIFO free list are saved. */
+    void SaveState(fault::CheckpointWriter& writer) const
+    {
+        writer.BeginSection(fault::SectionTag::kRegionAllocator);
+        writer.U64(next_);
+        writer.U64(free_list_.size());
+        for (const RegionId r : free_list_) {
+            writer.U64(r.value);
+        }
+        writer.EndSection();
+    }
+
+    void LoadState(fault::CheckpointReader& reader)
+    {
+        reader.BeginSection(fault::SectionTag::kRegionAllocator);
+        next_ = reader.U64();
+        const std::uint64_t count = reader.U64();
+        free_list_.clear();
+        free_list_.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            free_list_.push_back(RegionId{reader.U64()});
+        }
+        reader.EndSection();
+    }
 
   private:
     std::uint64_t next_ = 1;  // id 0 reserved as "no region"

@@ -1,5 +1,6 @@
 #include "runtime/region_tree.h"
 
+#include <algorithm>
 #include <string>
 
 namespace apo::rt {
@@ -116,6 +117,47 @@ RegionTreeForest::Aliases(RegionId a, RegionId b) const
         deep = &nodes_.at(deep_id.value);
     }
     return deep_id == shallow_id;
+}
+
+void
+RegionTreeForest::SaveState(fault::CheckpointWriter& writer) const
+{
+    writer.BeginSection(fault::SectionTag::kRegionForest);
+    std::vector<std::uint64_t> ids;
+    ids.reserve(nodes_.size());
+    for (const auto& [id, node] : nodes_) {
+        ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    writer.U64(ids.size());
+    for (const std::uint64_t id : ids) {
+        const Node& node = nodes_.at(id);
+        writer.U64(id);
+        writer.U64(node.parent.value);
+        writer.U64(node.depth);
+        writer.U64(node.root);
+        writer.U64(node.children);
+    }
+    writer.EndSection();
+}
+
+void
+RegionTreeForest::LoadState(fault::CheckpointReader& reader)
+{
+    reader.BeginSection(fault::SectionTag::kRegionForest);
+    const std::uint64_t count = reader.U64();
+    nodes_.clear();
+    nodes_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t id = reader.U64();
+        Node node;
+        node.parent = RegionId{reader.U64()};
+        node.depth = reader.U64();
+        node.root = reader.U64();
+        node.children = reader.U64();
+        nodes_[id] = node;
+    }
+    reader.EndSection();
 }
 
 }  // namespace apo::rt

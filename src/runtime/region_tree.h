@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/checkpoint.h"
 #include "runtime/errors.h"
 #include "runtime/region.h"
 
@@ -67,6 +68,11 @@ class RegionTreeForest {
     bool Aliases(RegionId a, RegionId b) const;
 
     std::size_t Size() const { return nodes_.size(); }
+
+    /** Checkpoint hooks: the forest nodes, serialized in region-id
+     * order so two identical forests produce identical images. */
+    void SaveState(fault::CheckpointWriter& writer) const;
+    void LoadState(fault::CheckpointReader& reader);
 
   private:
     struct Node {

@@ -272,4 +272,62 @@ Runtime::HandleMismatchAtEnd()
     log_.SetRetireBound(RetireBound());
 }
 
+void
+Runtime::SaveState(fault::CheckpointWriter& writer) const
+{
+    if (mode_ != Mode::kIdle) {
+        throw fault::CheckpointError(
+            "Runtime::SaveState requires a quiescent runtime "
+            "(no open trace)");
+    }
+    writer.BeginSection(fault::SectionTag::kRuntime);
+    writer.U64(abandoned_trace_);
+    writer.U64(trace_start_);
+    writer.U64(stats_.tasks_analyzed);
+    writer.U64(stats_.tasks_recorded);
+    writer.U64(stats_.tasks_replayed);
+    writer.U64(stats_.traces_recorded);
+    writer.U64(stats_.trace_replays);
+    writer.U64(stats_.trace_mismatches);
+    writer.U64(stats_.traces_evicted);
+    writer.U64(stats_.tasks_rewound);
+    writer.F64(stats_.total_analysis_us);
+    writer.EndSection();
+    allocator_.SaveState(writer);
+    forest_.SaveState(writer);
+    analyzer_.SaveState(writer);
+    cache_.SaveState(writer);
+    log_.SaveState(writer);
+}
+
+void
+Runtime::LoadState(fault::CheckpointReader& reader)
+{
+    if (!log_.empty() || mode_ != Mode::kIdle) {
+        throw fault::CheckpointError(
+            "Runtime::LoadState requires a fresh runtime");
+    }
+    reader.BeginSection(fault::SectionTag::kRuntime);
+    abandoned_trace_ = reader.U64();
+    trace_start_ = reader.U64();
+    stats_.tasks_analyzed = reader.U64();
+    stats_.tasks_recorded = reader.U64();
+    stats_.tasks_replayed = reader.U64();
+    stats_.traces_recorded = reader.U64();
+    stats_.trace_replays = reader.U64();
+    stats_.trace_mismatches = reader.U64();
+    stats_.traces_evicted = reader.U64();
+    stats_.tasks_rewound = reader.U64();
+    stats_.total_analysis_us = reader.F64();
+    reader.EndSection();
+    allocator_.LoadState(reader);
+    forest_.LoadState(reader);
+    analyzer_.LoadState(reader);
+    cache_.LoadState(reader);
+    log_.LoadState(reader);
+    mode_ = Mode::kIdle;
+    open_trace_ = kNoTrace;
+    replay_position_ = 0;
+}
+
 }  // namespace apo::rt

@@ -190,6 +190,30 @@ class Runtime {
     /** α adjusted for machine size (see CostModel::analysis_scale_factor). */
     double ScaledAnalysisUs() const;
 
+    /** True when no trace is open — the precondition of SaveState.
+     * Periodic checkpointers poll this to defer a snapshot that would
+     * land mid-trace to the next quiescent point. */
+    bool Quiescent() const { return mode_ == Mode::kIdle; }
+
+    // -- Checkpoint/restore ------------------------------------------------
+
+    /**
+     * Serialize the runtime's complete analysis state: allocator,
+     * region forest, dependence coherence, trace cache, stats, trace
+     * bookkeeping, and the operation-log append cursor. Only legal at
+     * a quiescent point (no open trace); a restored runtime continues
+     * the stream with bit-identical edges, modes and costs.
+     * @throws fault::CheckpointError mid-trace.
+     */
+    void SaveState(fault::CheckpointWriter& writer) const;
+
+    /** Restore onto a freshly constructed runtime with identical
+     * RuntimeOptions (and, for streaming logs, the consumer already
+     * attached via EnableLogStreaming).
+     * @throws fault::CheckpointError on a used runtime or a malformed
+     *   image. */
+    void LoadState(fault::CheckpointReader& reader);
+
   private:
     enum class Mode { kIdle, kRecording, kReplaying };
 

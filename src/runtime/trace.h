@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "fault/checkpoint.h"
 #include "runtime/dependence.h"
 #include "runtime/task.h"
 
@@ -144,6 +145,68 @@ class TraceCache {
             total += t.Length();
         }
         return total;
+    }
+
+    /** Checkpoint hooks: every template (tokens, CSR edges, replay
+     * count) plus the LRU clock and per-template stamps, so eviction
+     * order after a restore matches the uninterrupted run exactly. */
+    void SaveState(fault::CheckpointWriter& writer) const
+    {
+        writer.BeginSection(fault::SectionTag::kTraceCache);
+        writer.U64(clock_);
+        writer.U64(templates_.size());
+        for (const auto& [id, t] : templates_) {
+            writer.U64(id);
+            writer.VecU64(t.tokens);
+            writer.U64(t.internal_edges.size());
+            for (const Dependence& d : t.internal_edges) {
+                writer.U64(d.from);
+                writer.U64(d.to);
+                writer.U64(static_cast<std::uint64_t>(d.kind));
+            }
+            writer.U64(t.edge_begin.size());
+            for (const std::uint32_t offset : t.edge_begin) {
+                writer.U64(offset);
+            }
+            writer.U64(t.replay_count);
+            writer.U64(t.last_used);
+        }
+        writer.EndSection();
+    }
+
+    void LoadState(fault::CheckpointReader& reader)
+    {
+        reader.BeginSection(fault::SectionTag::kTraceCache);
+        templates_.clear();
+        by_last_used_.clear();
+        clock_ = reader.U64();
+        const std::uint64_t count = reader.U64();
+        for (std::uint64_t i = 0; i < count; ++i) {
+            TraceTemplate t;
+            t.id = reader.U64();
+            t.tokens = reader.VecU64();
+            const std::uint64_t edges = reader.U64();
+            t.internal_edges.reserve(edges);
+            for (std::uint64_t j = 0; j < edges; ++j) {
+                Dependence d;
+                d.from = reader.U64();
+                d.to = reader.U64();
+                d.kind = static_cast<DependenceKind>(reader.U64());
+                t.internal_edges.push_back(d);
+            }
+            const std::uint64_t begins = reader.U64();
+            t.edge_begin.clear();
+            t.edge_begin.reserve(begins);
+            for (std::uint64_t j = 0; j < begins; ++j) {
+                t.edge_begin.push_back(
+                    static_cast<std::uint32_t>(reader.U64()));
+            }
+            t.replay_count = reader.U64();
+            t.last_used = reader.U64();
+            by_last_used_.emplace(t.last_used, t.id);
+            templates_.emplace(t.id, std::move(t));
+        }
+        reader.EndSection();
     }
 
   private:

@@ -89,6 +89,32 @@ Cluster::Cluster(const ClusterOptions& options)
     const bool shared = options_.shared_decisions &&
                         options_.config.shared_decisions &&
                         options_.config.enabled && n_nodes > 1;
+    // Fault tolerance rides on the shared engine: the decision tail a
+    // rejoiner replays IS the broadcast log.
+    if ((!options_.fault_plan.events.empty() ||
+         options_.checkpoint_interval_tasks > 0) &&
+        !shared) {
+        throw rt::RuntimeUsageError(
+            "cluster fault tolerance (fault plans, checkpoints) "
+            "requires the shared decision engine");
+    }
+    for (const ClusterOptions::FaultEvent& event :
+         options_.fault_plan.events) {
+        if (event.node >= n_nodes) {
+            throw rt::RuntimeUsageError(
+                "fault plan names a node outside the roster");
+        }
+        if (event.rejoin_at_task <= event.crash_at_task) {
+            throw rt::RuntimeUsageError(
+                "fault plan rejoin must follow the crash");
+        }
+    }
+    resync_enabled_ = shared && (!options_.fault_plan.events.empty() ||
+                                 options_.fault.enabled ||
+                                 options_.checkpoint_interval_tasks > 0);
+    checkpoints_enabled_ = shared &&
+                           options_.checkpoint_interval_tasks > 0 &&
+                           options_.config.checkpoints;
     if (shared) {
         engine_ = std::make_unique<core::DecisionEngine>(
             options_.config, options_.runtime_options,
@@ -122,18 +148,11 @@ Cluster::Cluster(const ClusterOptions& options)
         // applies the decider's broadcast.
         if (!shared) {
             node->front_end = std::make_unique<core::Apophenia>(
-                node->runtime, options_.config, nullptr, cache);
+                *node->runtime, options_.config, nullptr, cache);
             node->front_end->SetIngestMode(core::IngestMode::kManual);
         }
         if (options_.stream_logs) {
-            NodeState* state = node.get();
-            node->runtime.EnableLogStreaming(
-                [state](const rt::OpView& op) {
-                    state->digest.Consume(op);
-                    if (state->extra) {
-                        state->extra(op);
-                    }
-                });
+            AttachStreamConsumer(*node);
         }
         nodes_.push_back(std::move(node));
     }
@@ -160,10 +179,24 @@ Cluster::AddLogConsumer(std::size_t node, rt::OperationLog::Consumer c)
 }
 
 void
+Cluster::AttachStreamConsumer(NodeState& node)
+{
+    NodeState* state = &node;
+    node.runtime->EnableLogStreaming([state](const rt::OpView& op) {
+        state->digest.Consume(op);
+        if (state->extra) {
+            state->extra(op);
+        }
+    });
+}
+
+void
 Cluster::DrainLogStreams()
 {
     for (auto& node : nodes_) {
-        node->runtime.DrainLogStream();
+        if (node->runtime != nullptr) {
+            node->runtime->DrainLogStream();
+        }
     }
     if (engine_ != nullptr) {
         engine_->DecisionRuntime().DrainLogStream();
@@ -203,6 +236,7 @@ Cluster::ProcessBatch()
 {
     if (batch_count_ > 0) {
         batch_base_ = tasks_issued_ - batch_count_;
+        ApplyMembershipEvents(batch_base_);
         ++batches_;
         if (engine_ != nullptr) {
             // Decide once on the driving thread (the timed quantity
@@ -216,9 +250,15 @@ Cluster::ProcessBatch()
         team_.Run(nodes_.size());
         if (engine_ != nullptr) {
             CheckDigests();
+            RetainDecisionTail();
             engine_->Retire();
         }
         batch_count_ = 0;
+        if (checkpoints_enabled_ &&
+            tasks_issued_ - checkpoint_task_ >=
+                options_.checkpoint_interval_tasks) {
+            TakeCheckpoint();
+        }
     }
     // The nodes have caught up with the issued stream: make the
     // coordination decisions the serial schedule would have made at
@@ -236,6 +276,9 @@ void
 Cluster::RunNodePhase(std::size_t n)
 {
     NodeState& node = *nodes_[n];
+    if (node.crashed) {
+        return;  // a crashed node neither executes nor accrues time
+    }
     switch (phase_) {
       case NodePhase::kStep: {
         NodeMetrics& metrics = metrics_[n];
@@ -301,7 +344,8 @@ Cluster::NodeLaunchView(std::size_t n, std::uint64_t index) const
 {
     rt::TaskLaunchView view = engine_->LaunchAt(index);
     const ClusterOptions::FaultInjection& fault = options_.fault;
-    if (fault.enabled && n == fault.node && index >= fault.from_task) {
+    if (fault.enabled && n == fault.node && index >= fault.from_task &&
+        index < fault.until_task) {
         view.token ^= fault.token_xor;
     }
     return view;
@@ -310,7 +354,7 @@ Cluster::NodeLaunchView(std::size_t n, std::uint64_t index) const
 void
 Cluster::ApplyDecisions(std::size_t n)
 {
-    rt::Runtime& runtime = nodes_[n]->runtime;
+    rt::Runtime& runtime = *nodes_[n]->runtime;
     for (const core::Decision& d : engine_->Decisions()) {
         switch (d.kind) {
           case core::Decision::Kind::kTask:
@@ -341,11 +385,11 @@ Cluster::CheckDigests()
     }
     for (std::size_t n = 0; n < nodes_.size(); ++n) {
         NodeState& node = *nodes_[n];
-        if (node.quarantined) {
+        if (node.quarantined || node.crashed) {
             continue;
         }
         if (!options_.stream_logs) {
-            const rt::OperationLog& log = node.runtime.Log();
+            const rt::OperationLog& log = node.runtime->Log();
             for (; node.digest_cursor < log.size();
                  ++node.digest_cursor) {
                 node.digest.Consume(log[node.digest_cursor]);
@@ -370,7 +414,7 @@ Cluster::Quarantine(std::size_t n)
     node.quarantined = true;
     ++fallbacks_;
     node.front_end = std::make_unique<core::Apophenia>(
-        node.runtime, options_.config, nullptr, nullptr);
+        *node.runtime, options_.config, nullptr, nullptr);
     node.front_end->SetIngestMode(core::IngestMode::kEagerDrain);
 }
 
@@ -406,12 +450,17 @@ Cluster::CreateRegion()
     std::size_t first = 0;
     if (engine_ != nullptr) {
         region = engine_->DecisionRuntime().CreateRegion();
+        RecordRegionEvent(
+            ReplayEvent{.kind = ReplayEvent::Kind::kCreateRegion});
     } else {
         region = nodes_[0]->front_end->CreateRegion();
         first = 1;
     }
     for (std::size_t n = first; n < nodes_.size(); ++n) {
-        if (nodes_[n]->runtime.CreateRegion() != region) {
+        if (nodes_[n]->crashed) {
+            continue;
+        }
+        if (nodes_[n]->runtime->CreateRegion() != region) {
             throw rt::RuntimeUsageError(
                 "cluster region allocators diverged on CreateRegion "
                 "(a node was driven outside the cluster front end)");
@@ -426,8 +475,13 @@ Cluster::DestroyRegion(rt::RegionId r)
     ProcessBatch();
     if (engine_ != nullptr) {
         engine_->DecisionRuntime().DestroyRegion(r);
+        RecordRegionEvent(
+            ReplayEvent{.kind = ReplayEvent::Kind::kDestroyRegion,
+                        .value = r.value});
         for (auto& node : nodes_) {
-            node->runtime.DestroyRegion(r);
+            if (!node->crashed) {
+                node->runtime->DestroyRegion(r);
+            }
         }
         return;
     }
@@ -445,12 +499,19 @@ Cluster::PartitionRegion(rt::RegionId parent, std::size_t count)
     if (engine_ != nullptr) {
         subregions =
             engine_->DecisionRuntime().PartitionRegion(parent, count);
+        RecordRegionEvent(
+            ReplayEvent{.kind = ReplayEvent::Kind::kPartitionRegion,
+                        .value = parent.value,
+                        .count = count});
     } else {
         subregions = nodes_[0]->front_end->PartitionRegion(parent, count);
         first = 1;
     }
     for (std::size_t n = first; n < nodes_.size(); ++n) {
-        if (nodes_[n]->runtime.PartitionRegion(parent, count) !=
+        if (nodes_[n]->crashed) {
+            continue;
+        }
+        if (nodes_[n]->runtime->PartitionRegion(parent, count) !=
             subregions) {
             throw rt::RuntimeUsageError(
                 "cluster region allocators diverged on PartitionRegion "
@@ -493,7 +554,8 @@ Cluster::ScheduleNewJobs()
                     job.issued_at + static_cast<std::uint64_t>(latency);
                 sched.ready_at =
                     std::max(sched.ready_at, sched.completion[n]);
-                if (sched.completion[n] > sched.agreed_at) {
+                if (sched.completion[n] > sched.agreed_at &&
+                    !nodes_[n]->crashed) {
                     metrics_[n].late_jobs += 1;
                 }
             }
@@ -530,6 +592,9 @@ Cluster::IngestDueJobs()
             break;
         }
         for (std::size_t n = 0; n < nodes_.size(); ++n) {
+            if (nodes_[n]->crashed) {
+                continue;
+            }
             // A node is ready to ingest once both the agreed point
             // and its own completion have passed; it then idles until
             // the cluster-wide ingestion point (the slowest node
@@ -591,6 +656,7 @@ Cluster::DoFlush()
         phase_ = NodePhase::kDrainAndFlush;
         team_.Run(nodes_.size());
         CheckDigests();
+        RetainDecisionTail();
         engine_->Retire();
     } else {
         ingest_count_ = schedule_.size();
@@ -626,10 +692,20 @@ Cluster::DecisionCost() const
 StreamDigest
 Cluster::NodeDigest(std::size_t i) const
 {
-    if (options_.stream_logs) {
-        return nodes_[i]->digest;
+    const NodeState& node = *nodes_[i];
+    if (options_.stream_logs || node.runtime == nullptr) {
+        return node.digest;  // crashed: frozen at the crash point
     }
-    return StreamDigest::Of(nodes_[i]->runtime.Log());
+    // Retained mode: continue the node's incremental digest (which a
+    // restore may have seeded mid-stream) over the rows it has not
+    // folded yet. On a never-restored node the cursor starts at zero,
+    // so this equals StreamDigest::Of(log).
+    StreamDigest digest = node.digest;
+    const rt::OperationLog& log = node.runtime->Log();
+    for (std::size_t at = node.digest_cursor; at < log.size(); ++at) {
+        digest.Consume(log[at]);
+    }
+    return digest;
 }
 
 bool
@@ -653,9 +729,9 @@ Cluster::StreamsIdentical() const
             "streaming-retire mode recycles them); use "
             "StreamDigestsAgree");
     }
-    const rt::OperationLog& reference = nodes_[0]->runtime.Log();
+    const rt::OperationLog& reference = nodes_[0]->runtime->Log();
     for (std::size_t n = 1; n < nodes_.size(); ++n) {
-        const rt::OperationLog& log = nodes_[n]->runtime.Log();
+        const rt::OperationLog& log = nodes_[n]->runtime->Log();
         if (log.size() != reference.size()) {
             return false;
         }
@@ -670,6 +746,228 @@ Cluster::StreamsIdentical() const
         }
     }
     return true;
+}
+
+// -- Fault tolerance (fault::) ----------------------------------------------
+
+void
+Cluster::ApplyMembershipEvents(std::uint64_t at)
+{
+    for (const ClusterOptions::FaultEvent& event :
+         options_.fault_plan.events) {
+        NodeState& node = *nodes_[event.node];
+        if (!node.crashed && node.runtime != nullptr &&
+            event.crash_at_task <= at && at < event.rejoin_at_task) {
+            // The node's process dies: runtime and (any fallback)
+            // engine are gone. Its latency rng keeps drawing in
+            // ScheduleNewJobs so the roster-wide schedule — and with
+            // it every healthy node's behaviour — stays bit-identical
+            // to a churn-free run.
+            node.runtime.reset();
+            node.front_end.reset();
+            node.crashed = true;
+            node.quarantined = false;
+            ++fault_stats_.crashes;
+        }
+        if (node.crashed && event.rejoin_at_task <= at) {
+            RejoinNode(event.node);
+            ++fault_stats_.rejoins;
+        }
+    }
+    // Transient corruption heals once the injection window has
+    // passed: resync the quarantined node from a healthy peer.
+    if (options_.fault.enabled && resync_enabled_ &&
+        options_.fault.until_task != UINT64_MAX &&
+        at >= options_.fault.until_task) {
+        for (std::size_t n = 0; n < nodes_.size(); ++n) {
+            if (nodes_[n]->quarantined) {
+                RejoinNode(n);
+                ++fault_stats_.heals;
+            }
+        }
+    }
+}
+
+void
+Cluster::ResyncQuarantined(std::size_t i)
+{
+    if (engine_ == nullptr || !resync_enabled_) {
+        throw rt::RuntimeUsageError(
+            "Cluster::ResyncQuarantined requires the shared decision "
+            "engine with tail retention (a fault plan, fault "
+            "injection, or a checkpoint interval)");
+    }
+    ProcessBatch();
+    if (!nodes_[i]->quarantined) {
+        throw rt::RuntimeUsageError(
+            "Cluster::ResyncQuarantined: node is not quarantined");
+    }
+    RejoinNode(i);
+    ++fault_stats_.heals;
+}
+
+void
+Cluster::RetainDecisionTail()
+{
+    if (!resync_enabled_) {
+        return;
+    }
+    for (const core::Decision& d : engine_->Decisions()) {
+        switch (d.kind) {
+          case core::Decision::Kind::kTask: {
+            const rt::TaskLaunchView view = engine_->LaunchAt(d.value);
+            ReplayEvent event;
+            event.kind = ReplayEvent::Kind::kTask;
+            view.MaterializeInto(event.launch);
+            event.token = view.token;
+            tail_.push_back(std::move(event));
+            break;
+          }
+          case core::Decision::Kind::kBegin:
+            tail_.push_back(ReplayEvent{
+                .kind = ReplayEvent::Kind::kBegin,
+                .recording = d.recording,
+                .value = d.value,
+            });
+            break;
+          case core::Decision::Kind::kEnd:
+            tail_.push_back(ReplayEvent{
+                .kind = ReplayEvent::Kind::kEnd,
+                .value = d.value,
+            });
+            break;
+        }
+    }
+}
+
+void
+Cluster::RecordRegionEvent(ReplayEvent event)
+{
+    if (resync_enabled_) {
+        tail_.push_back(std::move(event));
+    }
+}
+
+void
+Cluster::TakeCheckpoint()
+{
+    // Any healthy node's state serves every future rejoiner: healthy
+    // nodes are bit-identical by the barrier digest check that just
+    // ran (their digests equal the decision runtime's).
+    const NodeState* source = nullptr;
+    for (const auto& node : nodes_) {
+        if (!node->crashed && !node->quarantined) {
+            source = node.get();
+            break;
+        }
+    }
+    if (source == nullptr) {
+        return;  // no healthy peer to snapshot; keep the old image
+    }
+    if (!source->runtime->Quiescent()) {
+        // The barrier landed mid-trace; a snapshot here would be
+        // illegal (Runtime::SaveState). Defer to the next barrier —
+        // the tail simply keeps growing until a quiescent point.
+        return;
+    }
+    fault::CheckpointWriter writer;
+    writer.BeginSection(fault::SectionTag::kClusterNode);
+    writer.U64(source->digest.RawState());
+    writer.U64(source->digest.Count());
+    writer.U64(tasks_issued_);
+    writer.EndSection();
+    source->runtime->SaveState(writer);
+    checkpoint_image_ = writer.TakeImage();
+    checkpoint_task_ = tasks_issued_;
+    tail_.clear();
+    ++fault_stats_.checkpoints_taken;
+    fault_stats_.last_checkpoint_bytes = checkpoint_image_.size();
+    fault_stats_.total_checkpoint_bytes += checkpoint_image_.size();
+    // The virtual-time cost model: writing the image pauses every
+    // alive node. Digests and decisions are unaffected.
+    const double pause = options_.checkpoint_pause_tasks_per_kb *
+                         static_cast<double>(checkpoint_image_.size()) /
+                         1024.0;
+    fault_stats_.checkpoint_pause_tasks += pause;
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        if (!nodes_[n]->crashed) {
+            metrics_[n].virtual_time_tasks += pause;
+        }
+    }
+}
+
+void
+Cluster::RejoinNode(std::size_t n)
+{
+    NodeState& node = *nodes_[n];
+    // Fresh process: new runtime, streaming consumer re-attached
+    // before the restore (the restored log must already be in
+    // streaming mode when LoadState checks it).
+    node.runtime =
+        std::make_unique<rt::Runtime>(options_.runtime_options);
+    node.front_end.reset();
+    if (options_.stream_logs) {
+        AttachStreamConsumer(node);
+    }
+    node.digest = StreamDigest{};
+    node.digest_cursor = 0;
+    if (!checkpoint_image_.empty()) {
+        // Install the newest peer checkpoint: digest state first,
+        // then the runtime image.
+        fault::CheckpointReader reader(checkpoint_image_);
+        reader.BeginSection(fault::SectionTag::kClusterNode);
+        const std::uint64_t digest_state = reader.U64();
+        const std::uint64_t digest_count = reader.U64();
+        reader.U64();  // checkpoint stream position (informational)
+        reader.EndSection();
+        node.runtime->LoadState(reader);
+        node.digest.Restore(digest_state, digest_count);
+        node.digest_cursor = node.runtime->Log().size();
+    }
+    // Replay the decision tail since the checkpoint: the broadcast
+    // every node applied while this one was away. After this the
+    // node's runtime — and its digest — match the healthy peers
+    // exactly, and the next barrier's digest check re-verifies it.
+    for (const ReplayEvent& event : tail_) {
+        switch (event.kind) {
+          case ReplayEvent::Kind::kTask:
+            node.runtime->ExecuteTask(
+                rt::TaskLaunchView::Of(event.launch, event.token));
+            break;
+          case ReplayEvent::Kind::kBegin:
+            node.runtime->BeginTrace(event.value);
+            break;
+          case ReplayEvent::Kind::kEnd:
+            node.runtime->EndTrace(event.value);
+            break;
+          case ReplayEvent::Kind::kCreateRegion:
+            node.runtime->CreateRegion();
+            break;
+          case ReplayEvent::Kind::kDestroyRegion:
+            node.runtime->DestroyRegion(rt::RegionId{event.value});
+            break;
+          case ReplayEvent::Kind::kPartitionRegion:
+            node.runtime->PartitionRegion(rt::RegionId{event.value},
+                                          event.count);
+            break;
+        }
+    }
+    fault_stats_.tail_events_replayed += tail_.size();
+    node.crashed = false;
+    node.quarantined = false;
+    // Cost model: the cluster stalls while the rejoiner installs the
+    // image and catches up through the tail.
+    const double stall =
+        options_.checkpoint_pause_tasks_per_kb *
+            static_cast<double>(checkpoint_image_.size()) / 1024.0 +
+        options_.resync_tasks_per_event *
+            static_cast<double>(tail_.size());
+    fault_stats_.recovery_stall_tasks += stall;
+    for (std::size_t k = 0; k < nodes_.size(); ++k) {
+        if (!nodes_[k]->crashed) {
+            metrics_[k].virtual_time_tasks += stall;
+        }
+    }
 }
 
 }  // namespace apo::sim

@@ -84,6 +84,20 @@
  * quarantined — it falls back to a cold local Apophenia (counted in
  * DecisionStats::fallbacks) while the healthy nodes continue
  * bit-identically.
+ *
+ * **Elastic membership (fault::).** A `ClusterOptions::FaultPlan`
+ * schedules node crashes and rejoins; `checkpoint_interval_tasks`
+ * arms periodic cluster checkpoints (one healthy node's runtime image
+ * plus stream digest, written with `fault::CheckpointWriter`). A
+ * rejoining node resyncs from a healthy peer: it installs the newest
+ * checkpoint and replays the decision tail retained since it, after
+ * which its incremental digest — restored from the image and advanced
+ * by the replay — re-enters the per-barrier soundness check. The same
+ * resync path heals quarantined (diverged) nodes. The coordination
+ * schedule remains a function of the full fixed roster, so healthy
+ * nodes run bit-identically to a churn-free run; checkpoint writes
+ * and resync stalls are charged to the virtual clocks only (see the
+ * cost model in ClusterOptions and `FaultStats`).
  */
 #ifndef APOPHENIA_SIM_CLUSTER_H
 #define APOPHENIA_SIM_CLUSTER_H
@@ -101,77 +115,14 @@
 #include "core/config.h"
 #include "core/decision_engine.h"
 #include "core/mining_cache.h"
+#include "fault/checkpoint.h"
 #include "runtime/runtime.h"
+#include "sim/skew.h"
 #include "support/executor.h"
 #include "support/hash.h"
 #include "support/rng.h"
 
 namespace apo::sim {
-
-/** The per-node timing perturbation families. */
-enum class SkewKind : std::uint8_t {
-    kNone,          ///< ideal nodes
-    kJitter,        ///< seeded per-task rate noise
-    kStraggler,     ///< one persistently slow node
-    kInterference,  ///< periodic slowdown bursts
-};
-
-std::string_view SkewName(SkewKind kind);
-
-/**
- * A deterministic per-(node, task) slowdown factor >= 1. The factor
- * multiplies both the node's virtual-time cost of issuing a task and
- * the latency of mining jobs it launches at that position.
- */
-struct SkewModel {
-    SkewKind kind = SkewKind::kNone;
-    /** Seed of the kJitter hash (independent of the coordination
-     * latency seed). */
-    std::uint64_t seed = 1;
-    /** kJitter: rate noise amplitude; factor is uniform in
-     * [1, 1 + jitter_amplitude). */
-    double jitter_amplitude = 0.25;
-    /** kStraggler: which node is slow, and by how much. */
-    std::size_t straggler_node = 0;
-    double straggler_factor = 4.0;
-    /** kInterference: every `burst_period_tasks`, the node runs at
-     * `burst_factor` for `burst_duration_tasks`; node n's bursts are
-     * offset by n * burst_stagger_tasks (0 = cluster-synchronized
-     * bursts, the interfering-checkpoint shape). */
-    std::uint64_t burst_period_tasks = 4096;
-    std::uint64_t burst_duration_tasks = 512;
-    std::uint64_t burst_stagger_tasks = 0;
-    double burst_factor = 8.0;
-
-    double Factor(std::size_t node, std::uint64_t task) const
-    {
-        switch (kind) {
-          case SkewKind::kNone:
-            return 1.0;
-          case SkewKind::kJitter: {
-            // Stateless hash draw: O(1) random access, identical
-            // whether tasks are visited once or replayed.
-            const std::uint64_t h = support::HashCombine(
-                support::HashCombine(seed, node + 1), task);
-            const double u =
-                static_cast<double>(h >> 11) * 0x1.0p-53;
-            return 1.0 + jitter_amplitude * u;
-          }
-          case SkewKind::kStraggler:
-            return node == straggler_node ? straggler_factor : 1.0;
-          case SkewKind::kInterference: {
-            if (burst_period_tasks == 0) {
-                return 1.0;
-            }
-            const std::uint64_t pos =
-                (task + node * burst_stagger_tasks) %
-                burst_period_tasks;
-            return pos < burst_duration_tasks ? burst_factor : 1.0;
-          }
-        }
-        return 1.0;
-    }
-};
 
 /** Tuning of the agreed-count coordination protocol. */
 struct CoordinationOptions {
@@ -266,6 +217,18 @@ class StreamDigest {
     std::uint64_t Value() const { return state_; }
     std::uint64_t Count() const { return count_; }
 
+    /** Raw fold state, for checkpointing (Value() without the count;
+     * Restore() round-trips it). */
+    std::uint64_t RawState() const { return state_; }
+    /** Reset to a checkpointed (state, count) pair: subsequent
+     * Consume() calls continue the fold exactly where the saved
+     * digest left off. */
+    void Restore(std::uint64_t state, std::uint64_t count)
+    {
+        state_ = state;
+        count_ = count;
+    }
+
     friend bool operator==(const StreamDigest&,
                            const StreamDigest&) = default;
 
@@ -323,17 +286,78 @@ struct ClusterOptions {
      * service layer passes its service-wide cross-tenant cache here.
      * Not owned; must outlive the cluster. */
     core::MiningCache* external_mining_cache = nullptr;
-    /** Test-only fault injection: from absolute stream index
-     * `from_task` on, node `node` applies launches with their token
-     * XORed by `token_xor` — a corrupted replica. The digest check
-     * must detect and quarantine it (shared-decision mode). */
+    /** Test-only fault injection: on absolute stream indices in
+     * [from_task, until_task), node `node` applies launches with
+     * their token XORed by `token_xor` — a corrupted replica. The
+     * digest check must detect and quarantine it (shared-decision
+     * mode). A finite `until_task` makes the corruption transient:
+     * once the stream passes it, the cluster heals the quarantined
+     * node by peer resync (checkpoint install + decision-tail
+     * replay) at the next barrier. */
     struct FaultInjection {
         bool enabled = false;
         std::size_t node = 0;
         std::uint64_t from_task = 0;
+        std::uint64_t until_task = UINT64_MAX;
         rt::TokenHash token_xor = 0;
     };
     FaultInjection fault;
+
+    // -- Elastic membership (fault::) ---------------------------------------
+
+    /** One scheduled crash/rejoin of the fault plan. The node crashes
+     * (its runtime is destroyed) at the barrier covering stream index
+     * `crash_at_task` and, if `rejoin_at_task` is finite, rejoins at
+     * the barrier covering that index by resyncing from a healthy
+     * peer: it installs the newest cluster checkpoint and replays the
+     * retained decision tail since it. Healthy nodes continue
+     * bit-identically to a churn-free run — the coordination schedule
+     * keeps drawing every roster member's latency, crashed or not. */
+    struct FaultEvent {
+        std::size_t node = 0;
+        std::uint64_t crash_at_task = 0;
+        std::uint64_t rejoin_at_task = UINT64_MAX;  ///< never
+    };
+    /** Scheduled membership churn. Requires the shared decision
+     * engine (the decision tail is what a rejoiner replays). */
+    struct FaultPlan {
+        std::vector<FaultEvent> events;
+    };
+    FaultPlan fault_plan;
+
+    /** Take a cluster checkpoint (the newest healthy node's runtime
+     * image + stream digest, via fault::CheckpointWriter) every this
+     * many issued tasks; 0 = never. Rejoining nodes install the
+     * newest image; the decision tail retained since it covers the
+     * rest. Requires the shared decision engine. Disabled cluster-
+     * wide by ApopheniaConfig::checkpoints == false (the
+     * `-lg:auto_trace:no_checkpoints` escape hatch) — rejoiners then
+     * replay the full decision tail from stream start. */
+    std::uint64_t checkpoint_interval_tasks = 0;
+
+    /** Virtual-time model of checkpoint/recovery cost. Writing a
+     * checkpoint pauses every alive node for `pause_per_kb` virtual
+     * tasks per KiB of image; a rejoin stalls the whole cluster for
+     * the install (same per-KiB rate) plus `resync_per_event` virtual
+     * tasks per replayed decision-tail event. Purely an output model:
+     * digests and decisions are unaffected. */
+    double checkpoint_pause_tasks_per_kb = 0.25;
+    double resync_tasks_per_event = 0.05;
+};
+
+/** Aggregate fault-tolerance accounting of one cluster run. */
+struct FaultStats {
+    std::uint64_t checkpoints_taken = 0;
+    std::uint64_t last_checkpoint_bytes = 0;
+    std::uint64_t total_checkpoint_bytes = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t rejoins = 0;  ///< scheduled rejoins (crash recovery)
+    std::uint64_t heals = 0;    ///< quarantine resyncs (divergence recovery)
+    std::uint64_t tail_events_replayed = 0;
+    /** Virtual tasks charged to alive nodes for checkpoint writes and
+     * for resync stalls (see the cost model in ClusterOptions). */
+    double checkpoint_pause_tasks = 0.0;
+    double recovery_stall_tasks = 0.0;
 };
 
 /**
@@ -381,7 +405,12 @@ class Cluster final : public api::Frontend {
     }
     const rt::Runtime& NodeRuntime(std::size_t i) const
     {
-        return nodes_[i]->runtime;
+        if (nodes_[i]->runtime == nullptr) {
+            throw rt::RuntimeUsageError(
+                "Cluster::NodeRuntime: node is crashed (see the fault "
+                "plan)");
+        }
+        return *nodes_[i]->runtime;
     }
 
     // -- Shared decision engine ---------------------------------------------
@@ -408,6 +437,31 @@ class Cluster final : public api::Frontend {
     {
         return nodes_[i]->quarantined;
     }
+
+    // -- Fault tolerance (fault::) ------------------------------------------
+
+    /** True iff node i is currently crashed (between its fault-plan
+     * crash and rejoin points). */
+    bool NodeCrashed(std::size_t i) const { return nodes_[i]->crashed; }
+    /** Checkpoint / membership accounting. */
+    const FaultStats& FaultRecovery() const { return fault_stats_; }
+    /** The newest cluster checkpoint image (empty if none taken). */
+    const std::vector<std::uint8_t>& CheckpointImage() const
+    {
+        return checkpoint_image_;
+    }
+    /**
+     * Resync a quarantined node from a healthy peer right now: its
+     * diverged runtime is discarded and rebuilt from the newest
+     * checkpoint plus the retained decision tail, after which it
+     * rejoins the shared-decision broadcast (counted in
+     * FaultStats::heals). Requires the shared decision engine with
+     * tail retention (a fault plan, fault injection, or a checkpoint
+     * interval). Throws rt::RuntimeUsageError if node i is not
+     * quarantined.
+     */
+    void ResyncQuarantined(std::size_t i);
+
     const CoordinationStats& Coordination() const { return stats_; }
     const std::vector<NodeMetrics>& PerNode() const { return metrics_; }
     const ClusterOptions& Options() const { return options_; }
@@ -467,7 +521,9 @@ class Cluster final : public api::Frontend {
 
   private:
     struct NodeState {
-        rt::Runtime runtime;
+        /** Null while the node is crashed (its process is gone);
+         * rebuilt from a peer checkpoint on rejoin. */
+        std::unique_ptr<rt::Runtime> runtime;
         /** Per-node mode: the node's Apophenia. Shared-decision mode:
          * null until the node is quarantined, then its local fallback
          * engine. */
@@ -479,10 +535,12 @@ class Cluster final : public api::Frontend {
          * without streaming). */
         std::size_t digest_cursor = 0;
         bool quarantined = false;
+        bool crashed = false;
         rt::OperationLog::Consumer extra;  ///< harness attachment
 
         NodeState(const rt::RuntimeOptions& rt_options, std::uint64_t seed)
-            : runtime(rt_options), latency_rng(seed)
+            : runtime(std::make_unique<rt::Runtime>(rt_options)),
+              latency_rng(seed)
         {
         }
     };
@@ -543,6 +601,45 @@ class Cluster final : public api::Frontend {
     void CheckDigests();
     void Quarantine(std::size_t n);
 
+    // -- Fault-tolerance helpers (fault::) ----------------------------------
+
+    /** One event of the retained decision tail: a runtime-bound call
+     * every node received since the newest checkpoint, materialized
+     * so a rejoiner can replay it into a restored runtime. */
+    struct ReplayEvent {
+        enum class Kind : std::uint8_t {
+            kTask,
+            kBegin,
+            kEnd,
+            kCreateRegion,
+            kDestroyRegion,
+            kPartitionRegion,
+        };
+        Kind kind = Kind::kTask;
+        bool recording = false;   ///< kBegin
+        std::uint64_t value = 0;  ///< trace id / region id / parent
+        std::uint64_t count = 0;  ///< kPartitionRegion
+        rt::TaskLaunch launch;    ///< kTask
+        rt::TokenHash token = 0;  ///< kTask
+    };
+
+    /** Attach the streaming digest consumer to the node's (fresh or
+     * restored) runtime. */
+    void AttachStreamConsumer(NodeState& node);
+    /** Process fault-plan crashes/rejoins (and transient-injection
+     * heals) due at stream position `at`. */
+    void ApplyMembershipEvents(std::uint64_t at);
+    /** Materialize the current decision round into the retained tail
+     * (call before Retire()). */
+    void RetainDecisionTail();
+    void RecordRegionEvent(ReplayEvent event);
+    /** Snapshot the first healthy node into checkpoint_image_ and
+     * clear the tail. */
+    void TakeCheckpoint();
+    /** Rebuild node n from the newest checkpoint + retained tail and
+     * return it to the shared-decision broadcast. */
+    void RejoinNode(std::size_t n);
+
     ClusterOptions options_;
     core::MiningCache mining_cache_;
     std::size_t jobs_ = 1;    ///< resolved ClusterOptions::jobs
@@ -571,6 +668,18 @@ class Cluster final : public api::Frontend {
     std::uint64_t decisions_broadcast_ = 0;
     std::uint64_t batches_ = 0;
     std::uint64_t fallbacks_ = 0;
+
+    // -- Fault-tolerance state (see ClusterOptions) -------------------------
+    /** True when the run retains the decision tail (a fault plan,
+     * fault injection, or checkpointing is configured). */
+    bool resync_enabled_ = false;
+    /** True when periodic checkpoints are armed (interval set and not
+     * escaped via ApopheniaConfig::checkpoints). */
+    bool checkpoints_enabled_ = false;
+    std::vector<ReplayEvent> tail_;  ///< decisions since the checkpoint
+    std::vector<std::uint8_t> checkpoint_image_;
+    std::uint64_t checkpoint_task_ = 0;  ///< stream position of the image
+    FaultStats fault_stats_;
 
     // -- Parallel-engine batch state (see file comment) ---------------------
     NodePhase phase_ = NodePhase::kStep;

@@ -113,6 +113,10 @@ BuildPipelineOptions(const ExperimentOptions& options)
     pipeline_options.window = options.auto_config.window;
     pipeline_options.inline_transitive_reduction =
         options.auto_config.inline_transitive_reduction;
+    // The same skew that perturbs the cluster's coordination timing
+    // stretches the simulated makespan (kNone = exactly 1.0 factors,
+    // bit-identical to a skew-free simulation).
+    pipeline_options.skew = options.skew;
     return pipeline_options;
 }
 

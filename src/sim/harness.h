@@ -104,7 +104,10 @@ struct ExperimentOptions {
     /** Coordination tuning when replicas > 1 (`nodes` is overridden
      * by `replicas`). */
     CoordinationOptions replication;
-    /** Per-node timing perturbation when replicas > 1. */
+    /** Per-node timing perturbation: when replicas > 1 it skews the
+     * cluster's coordination timing, and (any replica count) it
+     * stretches the pipeline simulator's per-node analysis/execution
+     * costs, so skew shows up in the simulated makespan. */
     SkewModel skew;
     /** Threads of the cluster's parallel per-node engine when
      * replicas > 1 (ClusterOptions::jobs: 0 = APO_JOBS env override,

@@ -76,14 +76,18 @@ PipelineSimulator::ProcessSequential(const rt::OpView& op)
     // operation window (-lg:window), which bounds in-flight state.
     app_time_ = std::max(app_time_, app_gate_) + launch_us_;
     const std::size_t n = NodeOf(op.launch.shard);
+    // A skewed node pays the factor on both its analysis and its
+    // execution of the task (kNone is exactly 1.0).
+    const double factor = options_.skew.Factor(n, op.index);
     double start = std::max(analysis_free_[n], app_time_);
     if (options_.window != 0 && op.index >= options_.window) {
         start = std::max(start,
                          result_.finish_us[op.index - options_.window]);
     }
-    analysis_free_[n] = start + op.analysis_cost_us;
-    ExecuteOp(op.index, op.launch.shard, op.launch.execution_us,
-              op.launch.blocking, op.dependences, analysis_free_[n]);
+    analysis_free_[n] = start + op.analysis_cost_us * factor;
+    ExecuteOp(op.index, op.launch.shard,
+              op.launch.execution_us * factor, op.launch.blocking,
+              op.dependences, analysis_free_[n]);
 }
 
 void
@@ -108,18 +112,26 @@ PipelineSimulator::FlushFragment()
     // drains (blocking futures), this block release is what
     // exposes long replays (figure 8).
     node_done_.assign(num_nodes_, 0.0);
+    const std::uint64_t frag_pos = fragment_.front().index;
     for (std::size_t n = 0; n < num_nodes_; ++n) {
         if (node_tasks_[n] == 0) {
             continue;
         }
+        // The whole replay block runs at the node's skew factor at
+        // the fragment's stream position (one replay = one op).
         const double start = std::max(analysis_free_[n], arrival);
-        node_done_[n] = start + options_.costs.replay_constant_us +
-                        options_.costs.replay_us *
-                            static_cast<double>(node_tasks_[n]);
+        node_done_[n] = start +
+                        (options_.costs.replay_constant_us +
+                         options_.costs.replay_us *
+                             static_cast<double>(node_tasks_[n])) *
+                            options_.skew.Factor(n, frag_pos);
         analysis_free_[n] = node_done_[n];
     }
     for (const FragOp& op : fragment_) {
-        ExecuteOp(op.index, op.shard, op.execution_us, op.blocking,
+        ExecuteOp(op.index, op.shard,
+                  op.execution_us *
+                      options_.skew.Factor(NodeOf(op.shard), op.index),
+                  op.blocking,
                   std::span<const rt::Dependence>(
                       frag_deps_.data() + op.dep_begin,
                       frag_deps_.data() + op.dep_end),

@@ -38,6 +38,7 @@
 #include "apps/app.h"
 #include "runtime/cost_model.h"
 #include "runtime/runtime.h"
+#include "sim/skew.h"
 
 namespace apo::sim {
 
@@ -47,6 +48,13 @@ struct PipelineOptions {
     rt::CostModel costs;
     /** Charge the Apophenia front-end's extra per-launch cost. */
     bool apophenia_front_end = false;
+    /** Per-(node, task) timing skew: stretches each operation's
+     * analysis/replay-block and execution costs by the owning node's
+     * SkewModel::Factor at that stream position, so a straggler or
+     * an interference burst lands in the makespan. kNone (the
+     * default) yields exactly-1.0 factors — the simulated times are
+     * bit-identical to a skew-free build. */
+    SkewModel skew;
     /** Operation window (-lg:window): the analysis stage may run at
      * most this many operations ahead of completed execution, bounding
      * the runtime's in-flight state. The artifact uses 30000. 0

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic per-(node, task) timing-skew models.
+ *
+ * Shared by the cluster simulation (sim/cluster.h), which uses skew
+ * to perturb per-node issue rates and mining-job latencies, and the
+ * pipeline simulator (sim/pipeline.h), which stretches per-task
+ * analysis and replay costs by the same factor — so a straggler node
+ * slows both halves of the simulated system consistently.
+ */
+#ifndef APOPHENIA_SIM_SKEW_H
+#define APOPHENIA_SIM_SKEW_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "support/hash.h"
+
+namespace apo::sim {
+
+/** The per-node timing perturbation families. */
+enum class SkewKind : std::uint8_t {
+    kNone,          ///< ideal nodes
+    kJitter,        ///< seeded per-task rate noise
+    kStraggler,     ///< one persistently slow node
+    kInterference,  ///< periodic slowdown bursts
+};
+
+std::string_view SkewName(SkewKind kind);
+
+/**
+ * A deterministic per-(node, task) slowdown factor >= 1. The factor
+ * multiplies both the node's virtual-time cost of issuing a task and
+ * the latency of mining jobs it launches at that position. kNone
+ * returns exactly 1.0, so multiplying a cost by Factor() is
+ * bit-identical to not multiplying at all in the unskewed
+ * configuration.
+ */
+struct SkewModel {
+    SkewKind kind = SkewKind::kNone;
+    /** Seed of the kJitter hash (independent of the coordination
+     * latency seed). */
+    std::uint64_t seed = 1;
+    /** kJitter: rate noise amplitude; factor is uniform in
+     * [1, 1 + jitter_amplitude). */
+    double jitter_amplitude = 0.25;
+    /** kStraggler: which node is slow, and by how much. */
+    std::size_t straggler_node = 0;
+    double straggler_factor = 4.0;
+    /** kInterference: every `burst_period_tasks`, the node runs at
+     * `burst_factor` for `burst_duration_tasks`; node n's bursts are
+     * offset by n * burst_stagger_tasks (0 = cluster-synchronized
+     * bursts, the interfering-checkpoint shape). */
+    std::uint64_t burst_period_tasks = 4096;
+    std::uint64_t burst_duration_tasks = 512;
+    std::uint64_t burst_stagger_tasks = 0;
+    double burst_factor = 8.0;
+
+    double Factor(std::size_t node, std::uint64_t task) const
+    {
+        switch (kind) {
+          case SkewKind::kNone:
+            return 1.0;
+          case SkewKind::kJitter: {
+            // Stateless hash draw: O(1) random access, identical
+            // whether tasks are visited once or replayed.
+            const std::uint64_t h = support::HashCombine(
+                support::HashCombine(seed, node + 1), task);
+            const double u =
+                static_cast<double>(h >> 11) * 0x1.0p-53;
+            return 1.0 + jitter_amplitude * u;
+          }
+          case SkewKind::kStraggler:
+            return node == straggler_node ? straggler_factor : 1.0;
+          case SkewKind::kInterference: {
+            if (burst_period_tasks == 0) {
+                return 1.0;
+            }
+            const std::uint64_t pos =
+                (task + node * burst_stagger_tasks) %
+                burst_period_tasks;
+            return pos < burst_duration_tasks ? burst_factor : 1.0;
+          }
+        }
+        return 1.0;
+    }
+};
+
+}  // namespace apo::sim
+
+#endif  // APOPHENIA_SIM_SKEW_H

@@ -1,6 +1,7 @@
 #include "svc/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "runtime/errors.h"
@@ -86,6 +87,9 @@ struct TraceService::Tenant {
     std::vector<std::size_t> boundaries;
     /** One issue-latency sample (virtual ticks) per iteration. */
     std::vector<std::uint64_t> latencies;
+    /** One wall-clock service-time sample (nanoseconds, steady-clock,
+     * grant → iteration return) per iteration. */
+    std::vector<std::uint64_t> wall_ns;
     std::size_t completed = 0;
     /** Closed loop: virtual time the next iteration became ready. */
     std::uint64_t ready_since = 0;
@@ -236,6 +240,8 @@ TraceService::AddTenant(TenantOptions tenant)
         cluster_options.config.enabled = true;
         cluster_options.runtime_options = runtime_options;
         cluster_options.shared_decisions = options_.shared_decisions;
+        cluster_options.checkpoint_interval_tasks =
+            state->options.checkpoint_interval_tasks;
         cluster_options.external_mining_cache =
             options_.share_mining_cache ? cache_.get() : nullptr;
         state->cluster = std::make_unique<sim::Cluster>(cluster_options);
@@ -366,8 +372,13 @@ TraceService::Run()
 
         const std::uint64_t before =
             tenant.session->Stats().tasks_executed;
+        const auto wall_start = std::chrono::steady_clock::now();
         tenant.options.app->Iteration(*tenant.session, tenant.completed,
                                       /*manual_tracing=*/false);
+        tenant.wall_ns.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count()));
         const std::uint64_t after =
             tenant.session->Stats().tasks_executed;
         const std::uint64_t tasks = after - before;
@@ -502,6 +513,10 @@ TraceService::AssembleResults(std::uint64_t virtual_time)
             finder.mining_cache_cross_hits;
         stats.p50_issue_latency = Percentile(tenant->latencies, 0.50);
         stats.p99_issue_latency = Percentile(tenant->latencies, 0.99);
+        stats.p50_issue_wall_us =
+            Percentile(tenant->wall_ns, 0.50) / 1000.0;
+        stats.p99_issue_wall_us =
+            Percentile(tenant->wall_ns, 0.99) / 1000.0;
         stats.stream_digest = digest.Value();
         stats.stream_digest_ops = digest.Count();
         stats.candidate_digest = engine.CandidateDigest();

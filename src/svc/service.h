@@ -93,6 +93,12 @@ struct TenantOptions {
      * fuzz leg pins that per-tenant behaviour is independent of the
      * salt value. */
     std::optional<rt::TokenHash> name_space;
+    /** Replicated tenants only: arm periodic cluster checkpoints of
+     * the tenant's replication stack every this many issued tasks
+     * (sim::ClusterOptions::checkpoint_interval_tasks; 0 = never).
+     * Subject to the `-lg:auto_trace:no_checkpoints` escape hatch in
+     * ServiceOptions::config. */
+    std::uint64_t checkpoint_interval_tasks = 0;
 };
 
 /** Pluggable admission policy: which ready tenant is granted the
@@ -214,6 +220,12 @@ struct TenantStats {
      * and its grant) percentiles over the tenant's iterations. */
     double p50_issue_latency = 0.0;
     double p99_issue_latency = 0.0;
+    /** Wall-clock per-iteration service time (µs from grant to the
+     * iteration's return, steady-clock) percentiles — the real-time
+     * companion of the virtual-tick quantiles above, and the first
+     * slice of the sustained-rate driver (ROADMAP item 3). */
+    double p50_issue_wall_us = 0.0;
+    double p99_issue_wall_us = 0.0;
     /** The tenant's stream identity (digest of its own runtime's
      * issued operation stream). */
     std::uint64_t stream_digest = 0;

@@ -25,8 +25,10 @@
 #include <unordered_map>
 
 #include "core/apophenia.h"
+#include "fault/checkpoint.h"
 #include "runtime/graph.h"
 #include "runtime/runtime.h"
+#include "sim/cluster.h"
 #include "support/executor.h"
 #include "support/rng.h"
 #include "svc/service.h"
@@ -461,6 +463,12 @@ class OpReplayer {
     }
 
     bool Done() const { return at_ >= ops_->size(); }
+    std::size_t Position() const { return at_; }
+
+    /** Point subsequent Steps at another front end. The virtual→real
+     * region map carries over: a restored front end's deterministic
+     * allocator reproduces the same real ids the crashed one held. */
+    void Rebind(api::Frontend& fe) { fe_ = &fe; }
 
     void Step()
     {
@@ -589,6 +597,99 @@ TEST_P(DifferentialFuzz, MultiTenantServiceEqualsIndependentRuns)
         EXPECT_EQ(service.TenantEngine(t).Stats().jobs_ingested,
                   solo.TenantEngine(0).Stats().jobs_ingested);
     }
+}
+
+TEST_P(DifferentialFuzz, CheckpointRestartAtRandomCutIsBitIdentical)
+{
+    // The fault:: round-trip property over the whole differential
+    // corpus: crash the front end at a seeded random cut point,
+    // checkpoint, restore onto a fresh runtime + Apophenia, finish
+    // the program — tokens, modes, trace ids, dependence edges and
+    // the candidate digest must equal the uninterrupted run's.
+    const FuzzCase fuzz = GetParam();
+    core::ApopheniaConfig config;
+    config.min_trace_length = fuzz.min_trace_length;
+    config.max_trace_length = fuzz.max_trace_length;
+    config.batchsize = fuzz.batchsize;
+    config.multi_scale_factor =
+        std::max<std::size_t>(fuzz.batchsize / 16, 8);
+
+    RecordingTarget recorder;
+    RandomProgram(fuzz.seed).Run(recorder);
+    const std::vector<RecordedOp> program = recorder.Take();
+    ASSERT_GT(program.size(), 8u);
+
+    // Uninterrupted reference run.
+    rt::Runtime ref_rt;
+    core::Apophenia ref_fe(ref_rt, config);
+    {
+        OpReplayer replayer(ref_fe, program);
+        while (!replayer.Done()) {
+            replayer.Step();
+        }
+        ref_fe.Flush();
+    }
+    const sim::StreamDigest want = sim::StreamDigest::Of(ref_rt.Log());
+
+    // Crash run: a seeded random cut, advanced to the next quiescent
+    // point (Runtime::SaveState is illegal mid-trace).
+    support::Rng cut_rng(fuzz.seed * 9176 + 11);
+    const std::size_t cut = static_cast<std::size_t>(cut_rng.UniformInt(
+        program.size() / 4, (3 * program.size()) / 4));
+    auto crashed_rt = std::make_unique<rt::Runtime>();
+    auto crashed_fe =
+        std::make_unique<core::Apophenia>(*crashed_rt, config);
+    OpReplayer replayer(*crashed_fe, program);
+    while (replayer.Position() < cut) {
+        replayer.Step();
+    }
+    while (!crashed_rt->Quiescent() && !replayer.Done()) {
+        replayer.Step();
+    }
+    ASSERT_TRUE(crashed_rt->Quiescent());
+
+    fault::CheckpointWriter writer;
+    crashed_rt->SaveState(writer);
+    crashed_fe->SaveState(writer);
+    const std::vector<std::uint8_t> image = writer.TakeImage();
+    const std::size_t cut_ops = crashed_rt->Log().size();
+    sim::StreamDigest digest = sim::StreamDigest::Of(crashed_rt->Log());
+    crashed_fe.reset();
+    crashed_rt.reset();
+
+    // Restore and finish.
+    rt::Runtime restored_rt;
+    core::Apophenia restored_fe(restored_rt, config);
+    fault::CheckpointReader reader(image);
+    restored_rt.LoadState(reader);
+    restored_fe.LoadState(reader);
+    EXPECT_TRUE(reader.AtEnd());
+    replayer.Rebind(restored_fe);
+    while (!replayer.Done()) {
+        replayer.Step();
+    }
+    restored_fe.Flush();
+
+    ASSERT_EQ(restored_rt.Log().size(), ref_rt.Log().size());
+    for (std::size_t i = cut_ops; i < restored_rt.Log().size(); ++i) {
+        ASSERT_EQ(restored_rt.Log()[i].token, ref_rt.Log()[i].token)
+            << "stream diverged at op " << i << " (seed " << fuzz.seed
+            << ", cut " << cut_ops << ")";
+        ASSERT_EQ(restored_rt.Log()[i].mode, ref_rt.Log()[i].mode)
+            << "analysis mode diverged at op " << i;
+        ASSERT_EQ(restored_rt.Log()[i].trace, ref_rt.Log()[i].trace)
+            << "trace decision diverged at op " << i;
+        ASSERT_EQ(restored_rt.Log()[i].dependences,
+                  ref_rt.Log()[i].dependences)
+            << "graph diverged at op " << i;
+    }
+    for (std::size_t at = cut_ops; at < restored_rt.Log().size(); ++at) {
+        digest.Consume(restored_rt.Log()[at]);
+    }
+    EXPECT_EQ(digest.Value(), want.Value());
+    EXPECT_EQ(digest.Count(), want.Count());
+    EXPECT_EQ(restored_fe.CandidateDigest(), ref_fe.CandidateDigest());
+    EXPECT_EQ(restored_rt.Stats().trace_mismatches, 0u);
 }
 
 std::vector<FuzzCase> MakeCases()

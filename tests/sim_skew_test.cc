@@ -1,0 +1,115 @@
+/**
+ * @file
+ * SkewModel-in-the-makespan tests (PR: fault tolerance): the pipeline
+ * simulator stretches per-task analysis/replay/execution costs by
+ * SkewModel::Factor, so a straggler node now shows up in the
+ * simulated makespan — monotonically in its slowdown factor — while
+ * the unskewed configuration stays bit-identical to a run with no
+ * skew model at all (kNone returns exactly 1.0).
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/s3d.h"
+#include "sim/harness.h"
+#include "sim/skew.h"
+
+namespace apo {
+namespace {
+
+sim::ExperimentOptions BaseOptions()
+{
+    sim::ExperimentOptions options;
+    options.mode = sim::TracingMode::kAuto;
+    options.iterations = 40;
+    options.auto_config.min_trace_length = 5;
+    options.auto_config.batchsize = 400;
+    options.auto_config.multi_scale_factor = 50;
+    options.machine = apps::MachineConfig{.nodes = 2, .gpus_per_node = 2};
+    return options;
+}
+
+double MakespanWithSkew(const sim::SkewModel& skew)
+{
+    sim::ExperimentOptions options = BaseOptions();
+    options.skew = skew;
+    apps::S3dApplication app(
+        apps::S3dOptions{.machine = options.machine});
+    return sim::RunExperiment(app, options).makespan_us;
+}
+
+TEST(SimSkew, StragglerMakespanIsMonotoneInItsFactor)
+{
+    std::vector<double> makespans;
+    for (const double factor : {1.0, 2.0, 4.0, 8.0}) {
+        sim::SkewModel skew;
+        skew.kind = sim::SkewKind::kStraggler;
+        skew.straggler_node = 1;
+        skew.straggler_factor = factor;
+        makespans.push_back(MakespanWithSkew(skew));
+    }
+    for (std::size_t i = 1; i < makespans.size(); ++i) {
+        EXPECT_GE(makespans[i], makespans[i - 1])
+            << "straggler factor " << (1 << i)
+            << " shrank the makespan";
+    }
+    // An 8x straggler must actually stretch the critical path.
+    EXPECT_GT(makespans.back(), makespans.front());
+}
+
+TEST(SimSkew, UnitStragglerIsBitIdenticalToNoSkew)
+{
+    sim::SkewModel unit;
+    unit.kind = sim::SkewKind::kStraggler;
+    unit.straggler_node = 1;
+    unit.straggler_factor = 1.0;  // Factor() == 1.0 everywhere
+    const double with_unit = MakespanWithSkew(unit);
+    const double without = MakespanWithSkew(sim::SkewModel{});
+    EXPECT_EQ(with_unit, without);
+}
+
+TEST(SimSkew, JitterAndInterferenceStretchTheMakespan)
+{
+    const double baseline = MakespanWithSkew(sim::SkewModel{});
+
+    sim::SkewModel jitter;
+    jitter.kind = sim::SkewKind::kJitter;
+    jitter.jitter_amplitude = 0.5;
+    EXPECT_GT(MakespanWithSkew(jitter), baseline);
+
+    sim::SkewModel bursts;
+    bursts.kind = sim::SkewKind::kInterference;
+    bursts.burst_period_tasks = 512;
+    bursts.burst_duration_tasks = 128;
+    bursts.burst_factor = 8.0;
+    EXPECT_GT(MakespanWithSkew(bursts), baseline);
+}
+
+TEST(SimSkew, StreamingAndRetainedAgreeUnderSkew)
+{
+    // The streaming-retire pipeline consumer and the wholesale
+    // simulator must apply the same skew factors: identical makespan
+    // and throughput, bit for bit.
+    sim::SkewModel skew;
+    skew.kind = sim::SkewKind::kStraggler;
+    skew.straggler_node = 1;
+    skew.straggler_factor = 3.0;
+
+    sim::ExperimentOptions retained = BaseOptions();
+    retained.skew = skew;
+    sim::ExperimentOptions streaming = retained;
+    streaming.log_mode = sim::LogMode::kStreaming;
+
+    apps::S3dApplication app_a(
+        apps::S3dOptions{.machine = retained.machine});
+    apps::S3dApplication app_b(
+        apps::S3dOptions{.machine = streaming.machine});
+    const sim::ExperimentResult a = sim::RunExperiment(app_a, retained);
+    const sim::ExperimentResult b = sim::RunExperiment(app_b, streaming);
+    EXPECT_EQ(a.makespan_us, b.makespan_us);
+    EXPECT_EQ(a.iterations_per_second, b.iterations_per_second);
+}
+
+}  // namespace
+}  // namespace apo
