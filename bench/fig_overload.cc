@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Overload sweep: offered load {0.5×, 0.9×, 1.1×, 2×} of the traced
+ * issue capacity × overload policy {block, shed, degrade} through the
+ * sustained open-loop driver (svc::LoadDriver, streaming-retire logs).
+ *
+ * What the grid shows, and what this bench asserts hard:
+ *
+ *  - Sustainable load (≤ 0.9×): the overload machinery is inert — all
+ *    three policies issue bit-identical per-tenant streams (equal
+ *    stream digests) with zero shed and zero degraded iterations.
+ *  - Saturation (2×): kBlock falls off the latency cliff (its p99
+ *    issue latency grows with the run length), kShed holds latency by
+ *    dropping ~half the arrivals, and kDegrade holds p99 within 5× of
+ *    its own 0.5×-load baseline with a bounded backlog and a nonzero
+ *    degraded fraction — liveness bought with trace quality, not with
+ *    dropped work.
+ *
+ * Per cell the record carries delivered throughput (tasks per virtual
+ * tick), p50/p99 issue latency (virtual ticks), wall-clock p99 (µs),
+ * shed/degraded fractions, peak backlog and the peak resident log
+ * bytes (bounded by the streaming-retire mode). The section merges
+ * into BENCH_micro_repeats.json under "fig_overload"; ci.sh gates on
+ * its presence via bench_compare --require.
+ *
+ * Usage:
+ *   fig_overload                 # table + JSON merge
+ *   fig_overload --json=PATH     # merge target
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "svc/load_driver.h"
+
+namespace {
+
+using namespace apo;
+
+constexpr std::size_t kTenants = 4;
+constexpr std::size_t kKernelTasks = 40;
+constexpr std::uint64_t kTaskBudget = 48000;
+constexpr std::size_t kQueueBound = 6;
+constexpr std::size_t kResume = 1;
+constexpr double kDegradedTaskCost = 0.25;
+
+struct Cell {
+    double load = 0.0;
+    std::string policy;
+    svc::DriverResult result;
+    double wall_ms = 0.0;
+};
+
+double MillisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+svc::OverloadPolicy PolicyOf(const std::string& name)
+{
+    if (name == "shed") {
+        return svc::OverloadPolicy::kShed;
+    }
+    if (name == "degrade") {
+        return svc::OverloadPolicy::kDegrade;
+    }
+    return svc::OverloadPolicy::kBlock;
+}
+
+Cell RunCell(double load, const std::string& policy)
+{
+    apps::MachineConfig machine;
+    machine.nodes = 1;
+    machine.gpus_per_node = 4;
+
+    svc::LoadDriverOptions options;
+    options.service.machine = machine;
+    options.service.config.min_trace_length = 10;
+    options.service.config.batchsize = 960;  // kernel-aligned windows
+    options.service.config.multi_scale_factor = 40;
+    // The sustained-driver configuration: streaming-retire logs, so
+    // resident memory plateaus however long the run.
+    options.service.log_mode = sim::LogMode::kStreaming;
+    options.service.degraded_task_cost = kDegradedTaskCost;
+    options.tenants = kTenants;
+    options.offered_load = load;
+    options.task_budget = kTaskBudget;
+    options.policy = PolicyOf(policy);
+    options.max_queue_iterations = kQueueBound;
+    options.degrade_resume_iterations = kResume;
+    options.kernel_tasks = kKernelTasks;
+
+    Cell cell;
+    cell.load = load;
+    cell.policy = policy;
+    const auto start = std::chrono::steady_clock::now();
+    svc::LoadDriver driver(std::move(options));
+    cell.result = driver.Run();
+    cell.wall_ms = MillisSince(start);
+    return cell;
+}
+
+std::string SectionOf(const std::vector<Cell>& cells)
+{
+    std::ostringstream json;
+    json << "{\n"
+         << "    \"bench\": \"fig_overload\",\n"
+         << "    \"tenants\": " << kTenants << ", \"kernel_tasks\": "
+         << kKernelTasks << ", \"task_budget\": " << kTaskBudget
+         << ",\n"
+         << "    \"queue_bound\": " << kQueueBound
+         << ", \"degraded_task_cost\": " << kDegradedTaskCost << ",\n"
+         << "    " << apo::bench::ConcurrencyJson() << ",\n"
+         << "    \"rows\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell& cell = cells[i];
+        char buffer[640];
+        std::snprintf(
+            buffer, sizeof buffer,
+            "      {\"load\": %.2f, \"policy\": \"%s\", "
+            "\"throughput_tasks_per_tick\": %.4f, "
+            "\"p50_issue_latency\": %.1f, \"p99_issue_latency\": %.1f, "
+            "\"p99_issue_wall_us\": %.1f, "
+            "\"shed_fraction\": %.4f, \"degraded_fraction\": %.4f, "
+            "\"max_backlog\": %llu, \"peak_resident_bytes\": %zu, "
+            "\"virtual_time\": %llu, \"wall_ms\": %.3f}%s\n",
+            cell.load, cell.policy.c_str(),
+            cell.result.throughput_tasks_per_tick,
+            cell.result.worst_p50_issue_latency,
+            cell.result.worst_p99_issue_latency,
+            cell.result.worst_p99_issue_wall_us,
+            cell.result.shed_fraction, cell.result.degraded_fraction,
+            static_cast<unsigned long long>(cell.result.max_backlog),
+            cell.result.peak_resident_bytes,
+            static_cast<unsigned long long>(
+                cell.result.service.virtual_time),
+            cell.wall_ms, i + 1 < cells.size() ? "," : "");
+        json << buffer;
+    }
+    json << "    ]\n  }";
+    return json.str();
+}
+
+const Cell* FindCell(const std::vector<Cell>& cells, double load,
+                     const std::string& policy)
+{
+    for (const Cell& cell : cells) {
+        if (cell.load == load && cell.policy == policy) {
+            return &cell;
+        }
+    }
+    return nullptr;
+}
+
+/** The acceptance assertions described in the file comment. Returns
+ * false (after printing why) on any violation. */
+bool CheckAcceptance(const std::vector<Cell>& cells)
+{
+    // Sustainable load: the three policies are behaviour-identical.
+    for (const double load : {0.5, 0.9}) {
+        const Cell* block = FindCell(cells, load, "block");
+        const Cell* shed = FindCell(cells, load, "shed");
+        const Cell* degrade = FindCell(cells, load, "degrade");
+        for (const Cell* cell : {block, shed, degrade}) {
+            if (cell->result.shed_fraction != 0.0 ||
+                cell->result.degraded_fraction != 0.0) {
+                std::fprintf(stderr,
+                             "fig_overload: %s at %.1fx shed/degraded "
+                             "work at sustainable load\n",
+                             cell->policy.c_str(), load);
+                return false;
+            }
+        }
+        if (block->result.tenant_digests != shed->result.tenant_digests ||
+            block->result.tenant_digests !=
+                degrade->result.tenant_digests) {
+            std::fprintf(stderr,
+                         "fig_overload: policies diverge at "
+                         "sustainable %.1fx load (stream digests "
+                         "differ)\n",
+                         load);
+            return false;
+        }
+    }
+    // Saturation: shed sheds, degrade degrades with bounded backlog
+    // and bounded latency, block falls off the cliff.
+    const Cell* shed2 = FindCell(cells, 2.0, "shed");
+    const Cell* degrade2 = FindCell(cells, 2.0, "degrade");
+    const Cell* degrade_base = FindCell(cells, 0.5, "degrade");
+    const Cell* block2 = FindCell(cells, 2.0, "block");
+    if (shed2->result.shed_fraction <= 0.0) {
+        std::fprintf(stderr,
+                     "fig_overload: kShed at 2x shed nothing\n");
+        return false;
+    }
+    if (degrade2->result.degraded_fraction <= 0.0) {
+        std::fprintf(stderr,
+                     "fig_overload: kDegrade at 2x degraded nothing\n");
+        return false;
+    }
+    // Degrade admits everything; the discounted degraded issue rate
+    // must still bound the backlog near the admission bound (slack:
+    // the traced phases of each hysteresis cycle).
+    const std::uint64_t backlog_bound = kQueueBound + 4 * kQueueBound;
+    if (degrade2->result.max_backlog > backlog_bound) {
+        std::fprintf(stderr,
+                     "fig_overload: kDegrade backlog %llu exceeds "
+                     "bound %llu at 2x load\n",
+                     static_cast<unsigned long long>(
+                         degrade2->result.max_backlog),
+                     static_cast<unsigned long long>(backlog_bound));
+        return false;
+    }
+    const double base_p99 =
+        std::max(degrade_base->result.worst_p99_issue_latency, 1.0);
+    if (degrade2->result.worst_p99_issue_latency > 5.0 * base_p99) {
+        std::fprintf(stderr,
+                     "fig_overload: kDegrade p99 %.1f at 2x exceeds "
+                     "5x its 0.5x baseline %.1f\n",
+                     degrade2->result.worst_p99_issue_latency,
+                     base_p99);
+        return false;
+    }
+    if (block2->result.worst_p99_issue_latency <=
+        5.0 * degrade2->result.worst_p99_issue_latency) {
+        std::fprintf(stderr,
+                     "fig_overload: kBlock p99 %.1f at 2x shows no "
+                     "cliff over kDegrade's %.1f\n",
+                     block2->result.worst_p99_issue_latency,
+                     degrade2->result.worst_p99_issue_latency);
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string json_path = "BENCH_micro_repeats.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+        }
+    }
+
+    const double loads[] = {0.5, 0.9, 1.1, 2.0};
+    const char* policies[] = {"block", "shed", "degrade"};
+
+    std::printf("# overload sweep (%zu open-loop tenants, %llu-task "
+                "budget, streaming logs)\n",
+                kTenants,
+                static_cast<unsigned long long>(kTaskBudget));
+    std::printf("%5s %-8s %8s %8s %10s %7s %8s %8s %9s\n", "load",
+                "policy", "thr/tick", "p50", "p99", "shed", "degraded",
+                "backlog", "wall_ms");
+    std::vector<Cell> cells;
+    for (const double load : loads) {
+        for (const char* policy : policies) {
+            Cell cell = RunCell(load, policy);
+            std::printf(
+                "%5.2f %-8s %8.4f %8.1f %10.1f %7.4f %8.4f %8llu "
+                "%9.1f\n",
+                cell.load, cell.policy.c_str(),
+                cell.result.throughput_tasks_per_tick,
+                cell.result.worst_p50_issue_latency,
+                cell.result.worst_p99_issue_latency,
+                cell.result.shed_fraction,
+                cell.result.degraded_fraction,
+                static_cast<unsigned long long>(cell.result.max_backlog),
+                cell.wall_ms);
+            cells.push_back(std::move(cell));
+        }
+    }
+
+    if (!CheckAcceptance(cells)) {
+        return 1;
+    }
+
+    const int rc = apo::bench::MergeIntoJson(json_path, "fig_overload",
+                                             SectionOf(cells));
+    if (rc == 0) {
+        std::printf("merged into %s\n", json_path.c_str());
+    }
+    return rc;
+}

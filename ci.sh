@@ -20,7 +20,7 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "== sanitizers: TSan executor stress + cluster simulation (parallel engine, 8 worker threads) + shared decision engine + multi-tenant service =="
 cmake -B build-tsan -S . -DAPO_TSAN=ON -DAPO_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j "$JOBS" --target support_executor_stress_test sim_cluster_test core_incremental_test core_decision_test svc_service_test fault_checkpoint_test fault_membership_test
+cmake --build build-tsan -j "$JOBS" --target support_executor_stress_test sim_cluster_test core_incremental_test core_decision_test svc_service_test svc_overload_test fault_checkpoint_test fault_membership_test
 # APO_JOBS=8 forces every default-jobs cluster through the parallel
 # per-node engine at >= 8 worker threads regardless of the host's core
 # count, so TSan sees the real cross-thread traffic (TaskTeam barriers,
@@ -31,8 +31,9 @@ cmake --build build-tsan -j "$JOBS" --target support_executor_stress_test sim_cl
 # jobs through one PooledExecutor racing on the shared cross-tenant
 # cache. The fault_* suites run crash/checkpoint/resync through the
 # parallel engine's barriers (the ASan leg already covers them via the
-# full ctest above).
-APO_JOBS=8 ctest --test-dir build-tsan -R '^(support_executor_stress_test|sim_cluster_test|core_incremental_test|core_decision_test|svc_service_test|fault_checkpoint_test|fault_membership_test)$' --output-on-failure -j "$JOBS"
+# full ctest above). svc_overload_test adds the watchdog's stuck-miner
+# abandonment and the MiningCache waiter-release rendezvous.
+APO_JOBS=8 ctest --test-dir build-tsan -R '^(support_executor_stress_test|sim_cluster_test|core_incremental_test|core_decision_test|svc_service_test|svc_overload_test|fault_checkpoint_test|fault_membership_test)$' --output-on-failure -j "$JOBS"
 
 echo "== perf record: finder launch path + frontend issue path + digest =="
 # Snapshot the committed record before the benches overwrite it: the
@@ -97,6 +98,25 @@ else
     exit 1
 fi
 
+echo "== perf record: overload sweep (open-loop load x policy) =="
+if [ -x build/fig_overload ]; then
+    # Exits nonzero if the acceptance assertions fail: policies must be
+    # bit-identical at sustainable load; at 2x, kShed/kDegrade must
+    # bound backlog and latency while kBlock shows the queueing cliff.
+    ./build/fig_overload --json=BENCH_micro_repeats.json
+    if ! grep -q '"fig_overload"' BENCH_micro_repeats.json; then
+        echo "error: the fig_overload record is missing from" \
+             "BENCH_micro_repeats.json" >&2
+        exit 1
+    fi
+elif [ "${APO_ALLOW_NO_BENCH:-0}" = "1" ]; then
+    echo "fig_overload not built; skipping overload record (APO_ALLOW_NO_BENCH=1)"
+else
+    echo "error: fig_overload was not built; set" \
+         "APO_ALLOW_NO_BENCH=1 to skip the overload record" >&2
+    exit 1
+fi
+
 echo "== perf record: fault-tolerance cost sweep =="
 if [ -x build/fig_recovery ]; then
     # Exits nonzero if any churned run's digests diverge from the
@@ -125,7 +145,8 @@ if [ -x build/bench_compare ] && [ -n "$BENCH_BASELINE" ]; then
     ./build/bench_compare --baseline="$BENCH_BASELINE" \
         --current=BENCH_micro_repeats.json --threshold=0.10 \
         --require=steady_state_mining --require=fig_multitenant \
-        --require=decision_cost --require=fig_recovery
+        --require=decision_cost --require=fig_recovery \
+        --require=fig_overload
     compare_status=$?
     set -e
     if [ "$compare_status" -eq 1 ]; then

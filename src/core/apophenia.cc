@@ -23,6 +23,21 @@ Apophenia::DoExecuteTask(const rt::TaskLaunchView& launch)
         runtime_->ExecuteTask(launch);
         return;
     }
+    if (degraded_) {
+        // Overload posture: issue straight through. The token is NOT
+        // shown to the finder — the degraded window never enters the
+        // history ring, the steady ring or (via mining) the trie, so
+        // leaving degrade later is bit-safe. SetDegraded(true) already
+        // drained the pending buffer and match state.
+        ++counter_;
+        stats_.tasks_observed += 1;
+        stats_.tasks_degraded += 1;
+        stats_.tasks_forwarded_untraced += 1;
+        runtime_->ExecuteTask(launch);
+        EmitTask(counter_ - 1);
+        pending_base_ = counter_;
+        return;
+    }
     // The launch's dependence-analysis token was hashed at the API
     // boundary and rides on the view. Untraceable operations get a
     // unique *mining* token per occurrence, so they can never appear
@@ -278,6 +293,37 @@ Apophenia::DoFlush()
     }
     FlushPrefixBelow(pending_base_ + pending_.size());
     active_.clear();
+}
+
+void
+Apophenia::SetDegraded(bool degraded)
+{
+    if (degraded == degraded_ || !config_.enabled) {
+        return;
+    }
+    if (degraded) {
+        // Resolve every in-progress match before going dark, exactly
+        // as DoFlush does at end-of-stream: profitable held matches
+        // still fire (their tasks were already admitted), everything
+        // else forwards untraced, and no active pointer survives into
+        // the degraded window.
+        while (!held_.empty()) {
+            const CompletedMatch front = held_.front();
+            held_.pop_front();
+            Fire(front);
+        }
+        FlushPrefixBelow(pending_base_ + pending_.size());
+        active_.clear();
+    }
+    degraded_ = degraded;
+}
+
+std::size_t
+Apophenia::AbandonStaleAnalyses(std::uint64_t max_age_tasks)
+{
+    const std::uint64_t cutoff =
+        counter_ > max_age_tasks ? counter_ - max_age_tasks : 0;
+    return finder_.AbandonJobsOlderThan(cutoff);
 }
 
 void

@@ -84,6 +84,9 @@ struct ApopheniaStats {
     std::uint64_t tasks_observed = 0;
     std::uint64_t tasks_forwarded_traced = 0;
     std::uint64_t tasks_forwarded_untraced = 0;
+    /** Tasks issued on the degraded (untraced, unmined) path — a
+     * subset of tasks_forwarded_untraced. See SetDegraded(). */
+    std::uint64_t tasks_degraded = 0;
     std::uint64_t traces_fired = 0;     ///< Begin/End pairs issued
     std::uint64_t trace_records = 0;    ///< fires that recorded
     std::uint64_t trace_replays = 0;    ///< fires that replayed
@@ -157,6 +160,37 @@ class Apophenia final : public api::Frontend {
     /** Ingest the oldest pending job's candidates into the trie,
      * waiting for its completion if necessary. The job must exist. */
     void IngestOldestJob();
+
+    // -- Overload control (serving support) ---------------------------------
+
+    /**
+     * Graceful degradation switch: while degraded, ExecuteTask issues
+     * straight to the runtime — no mining, no matching, no replay.
+     * Entering degrade first resolves every in-progress match exactly
+     * as DoFlush would (fire profitable held matches, forward the
+     * rest), so no launch is stranded in the pending buffer. Degraded
+     * tokens are kept out of the finder's history ring, steady ring
+     * and the trie entirely: re-enabling later is bit-safe — the
+     * finder state equals that of a stream that simply never
+     * contained the degraded window. Counted in
+     * ApopheniaStats::tasks_degraded. No-op when already in the
+     * requested state. Checkpointing a degraded front-end is not
+     * supported (degrade is a transient overload posture, not
+     * decision state).
+     */
+    void SetDegraded(bool degraded);
+    bool Degraded() const { return degraded_; }
+
+    /**
+     * Watchdog hook: abandon every in-flight analysis job older than
+     * `max_age_tasks` observed tasks that has not completed. The
+     * finder forgets the job (its candidates are never ingested);
+     * its worker keeps running harmlessly in the background and is
+     * reaped once done. Returns the number of jobs abandoned. Pair
+     * with MiningCache::AbandonInProgress() so cache waiters blocked
+     * on the stuck window are released too.
+     */
+    std::size_t AbandonStaleAnalyses(std::uint64_t max_age_tasks);
 
     // -- Decision broadcast (shared decision engine support) ----------------
 
@@ -301,6 +335,7 @@ class Apophenia final : public api::Frontend {
      * could supersede it. */
     std::deque<CompletedMatch> held_;
     rt::TraceId next_trace_id_ = 1;
+    bool degraded_ = false;
     ApopheniaStats stats_;
     std::uint64_t candidate_digest_ = 0x5eed;
     std::vector<Decision>* decisions_ = nullptr;

@@ -87,6 +87,8 @@ ParseApopheniaFlags(std::vector<std::string>& args)
             config.shared_decisions = false;
         } else if (a == "-lg:auto_trace:no_checkpoints") {
             config.checkpoints = false;
+        } else if (a == "-lg:auto_trace:no_overload_control") {
+            config.overload_control = false;
         } else if (a == "-lg:auto_trace:incremental_ring_windows") {
             config.incremental_ring_windows = ParseCount(a, value_of(i, a));
         } else if (a == "-lg:window") {

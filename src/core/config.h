@@ -19,6 +19,7 @@
  *   -lg:auto_trace:buffer_all_launches
  *   -lg:auto_trace:no_shared_decisions
  *   -lg:auto_trace:no_checkpoints
+ *   -lg:auto_trace:no_overload_control
  *
  * The paper's experiments all run with one configuration (batchsize
  * 5000, multi-scale factor 250/500, min length 25); only FlexFlow
@@ -158,6 +159,15 @@ struct ApopheniaConfig {
      * rejoining nodes then resync by replaying the full retained
      * decision tail from stream start. */
     bool checkpoints = true;
+
+    /** Overload robustness: allow the serving layer (svc::) to shed
+     * arrivals past a tenant's admission bound, degrade a backlogged
+     * tenant to untraced issue, evict caches under memory pressure and
+     * abandon stuck analysis jobs. The escape hatch
+     * `-lg:auto_trace:no_overload_control` turns every overload
+     * action off — tenants then always block (closed-loop
+     * backpressure), the pre-overload-control behaviour. */
+    bool overload_control = true;
 
     // -- Trace selection scoring (paper section 4.3) ----------------------
 

@@ -435,6 +435,41 @@ TraceFinder::ReleaseOldestJob()
     free_jobs_.push_back(std::move(job));
 }
 
+std::size_t
+TraceFinder::AbandonJobsOlderThan(std::uint64_t cutoff)
+{
+    // Reap previously orphaned jobs whose workers have since
+    // finished: an acquire load of `done` orders the worker's last
+    // write before the recycle, so the storage is safe to reuse.
+    std::erase_if(orphaned_, [&](std::unique_ptr<AnalysisJob>& job) {
+        if (!job->done.load(std::memory_order_acquire)) {
+            return false;
+        }
+        job->cache_hit = false;
+        job->cache_cross = false;
+        job->mining_path = MiningPath::kNone;
+        job->snapshot.Clear();
+        job->results.clear();
+        job->adopted = nullptr;
+        free_jobs_.push_back(std::move(job));
+        return true;
+    });
+    std::size_t abandoned = 0;
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+        AnalysisJob& job = **it;
+        if (job.issued_at < cutoff &&
+            !job.done.load(std::memory_order_acquire)) {
+            orphaned_.push_back(std::move(*it));
+            it = inflight_.erase(it);
+            ++abandoned;
+        } else {
+            ++it;
+        }
+    }
+    stats_.jobs_abandoned += abandoned;
+    return abandoned;
+}
+
 void
 TraceFinder::SaveState(fault::CheckpointWriter& writer) const
 {

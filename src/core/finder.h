@@ -137,6 +137,9 @@ struct FinderStats {
      * this tenant adopting another tenant's mining. */
     std::uint64_t mining_cache_hits = 0;
     std::uint64_t mining_cache_cross_hits = 0;
+    /** Jobs the overload watchdog gave up on (AbandonJobsOlderThan):
+     * removed from the ingestion queue without ever being ingested. */
+    std::uint64_t jobs_abandoned = 0;
 };
 
 /** See file comment. */
@@ -197,6 +200,18 @@ class TraceFinder {
      * consumed. Must follow WaitOldestJob(). */
     void ReleaseOldestJob();
 
+    /**
+     * Overload watchdog: drop every not-yet-completed in-flight job
+     * issued before task counter `cutoff` from the ingestion queue.
+     * Abandoned jobs' candidates are never ingested; their workers
+     * (which may be stuck on a slow executor) keep the job storage
+     * alive on an orphan list and are reaped back into the free pool
+     * once done. Completed jobs are never abandoned — their results
+     * are already paid for. Returns the number of jobs abandoned.
+     * Ingestion order of the surviving jobs is preserved.
+     */
+    std::size_t AbandonJobsOlderThan(std::uint64_t cutoff);
+
     const FinderStats& Stats() const { return stats_; }
 
     /** The finder's incremental mining engine (nullptr when
@@ -229,6 +244,9 @@ class TraceFinder {
     /** Recycled job storage (snapshot spans, slice and result
      * buffers keep their capacity). */
     std::vector<std::unique_ptr<AnalysisJob>> free_jobs_;
+    /** Abandoned jobs whose workers may still be running; reaped into
+     * free_jobs_ once done (see AbandonJobsOlderThan). */
+    std::vector<std::unique_ptr<AnalysisJob>> orphaned_;
     FinderStats stats_;
     /** Latest replay boundary, and the anchored-window length that
      * triggers the next anchored analysis (doubles each launch to

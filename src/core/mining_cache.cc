@@ -167,6 +167,15 @@ MiningCache::Publish(
     {
         std::lock_guard lock(mutex_);
         Entry& entry = entries_[key];
+        if (entry.ready) {
+            // Late publish: the watchdog abandoned this key while its
+            // miner was stuck, a released waiter re-mined the window
+            // and republished it first. Mining is a pure function of
+            // the window, so the slot already holds the same answer —
+            // keep it (first publication wins, the FIFO queue stays
+            // duplicate-free).
+            return stored;
+        }
         entry.window.resize(window.size());
         for (std::size_t i = 0; i < window.size(); ++i) {
             entry.window[i] = rt::FoldNamespace(name_space, window[i]);
@@ -175,12 +184,17 @@ MiningCache::Publish(
         entry.ready = true;
         entry.owner = name_space;
         ++windows_published_;
+        resident_bytes_ += EntryBytes(entry);
         retained_.push_back(key);
         // Bounded retention: evict the oldest published entries. An
         // evicted window that recurs is simply re-mined; in-flight
         // adopters keep their shared_ptr alive independently.
         while (max_windows_ != 0 && retained_.size() > max_windows_) {
-            entries_.erase(retained_.front());
+            auto oldest = entries_.find(retained_.front());
+            if (oldest != entries_.end()) {
+                resident_bytes_ -= EntryBytes(oldest->second);
+                entries_.erase(oldest);
+            }
             retained_.pop_front();
             ++evictions_;
         }
@@ -216,6 +230,59 @@ MiningCache::Size() const
 {
     std::lock_guard lock(mutex_);
     return entries_.size();
+}
+
+std::size_t
+MiningCache::EntryBytes(const Entry& entry)
+{
+    std::size_t tokens = entry.window.size();
+    if (entry.results != nullptr) {
+        for (const CandidateTrace& candidate : *entry.results) {
+            tokens += candidate.tokens.size();
+        }
+    }
+    return tokens * sizeof(rt::TokenHash);
+}
+
+std::size_t
+MiningCache::ResidentBytes() const
+{
+    std::lock_guard lock(mutex_);
+    return resident_bytes_;
+}
+
+std::size_t
+MiningCache::EvictToResidentBytes(std::size_t target_bytes)
+{
+    std::lock_guard lock(mutex_);
+    std::size_t evicted = 0;
+    while (resident_bytes_ > target_bytes && !retained_.empty()) {
+        auto oldest = entries_.find(retained_.front());
+        if (oldest != entries_.end()) {
+            resident_bytes_ -= EntryBytes(oldest->second);
+            entries_.erase(oldest);
+        }
+        retained_.pop_front();
+        ++evictions_;
+        ++evicted;
+    }
+    return evicted;
+}
+
+std::size_t
+MiningCache::AbandonInProgress()
+{
+    std::size_t abandoned = 0;
+    {
+        std::lock_guard lock(mutex_);
+        abandoned = std::erase_if(entries_, [](const auto& keyed) {
+            return !keyed.second.ready;
+        });
+    }
+    if (abandoned > 0) {
+        published_.notify_all();
+    }
+    return abandoned;
 }
 
 void
@@ -272,6 +339,7 @@ MiningCache::LoadState(fault::CheckpointReader& reader)
         entry.results = std::make_shared<const std::vector<CandidateTrace>>(
             LoadCandidates(reader));
         entry.ready = true;
+        resident_bytes_ += EntryBytes(entry);
         retained_.push_back(key);
     }
     reader.EndSection();

@@ -199,6 +199,30 @@ class MiningCache {
     /** Currently retained published + in-progress entries. */
     std::size_t Size() const;
 
+    // -- Overload control (serving support) ---------------------------------
+
+    /** Resident bytes of the retained entries (stored window tokens
+     * plus candidate-set tokens, 8 bytes each), maintained
+     * incrementally — the service health monitor's memory-pressure
+     * input. */
+    std::size_t ResidentBytes() const;
+
+    /** Pressure eviction: drop the oldest-published entries (the same
+     * FIFO order as kEvictionPolicy) until ResidentBytes() is at most
+     * `target_bytes`. An evicted window that recurs is re-mined;
+     * in-flight adopters keep their shared_ptr. Counted in
+     * Stats::evictions. Returns the number of entries evicted. */
+    std::size_t EvictToResidentBytes(std::size_t target_bytes);
+
+    /** Watchdog escape hatch: erase every in-progress (unpublished)
+     * entry and wake all waiters blocked on them, so a stuck miner
+     * can never hang the rendezvous forever. Each released waiter
+     * re-probes and becomes the window's miner itself; the abandoned
+     * miner's eventual late Publish onto a key that was since
+     * republished is tolerated and dropped (first publication wins).
+     * Returns the number of entries abandoned. */
+    std::size_t AbandonInProgress();
+
     /** Checkpoint hooks: counters plus every retained published entry
      * in publication (FIFO) order. Every entry must be published —
      * in-progress entries mean a miner is mid-window and the cache is
@@ -233,6 +257,9 @@ class MiningCache {
     Claim Probe(const Key& key, rt::TokenHash name_space,
                 const MatchesEntry& matches);
 
+    /** Bytes an entry contributes to resident_bytes_. */
+    static std::size_t EntryBytes(const Entry& entry);
+
     mutable std::mutex mutex_;
     std::condition_variable published_;
     std::unordered_map<Key, Entry, KeyHasher> entries_;
@@ -241,6 +268,7 @@ class MiningCache {
      * evicted. */
     std::deque<Key> retained_;
     std::size_t max_windows_;
+    std::size_t resident_bytes_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t windows_published_ = 0;

@@ -33,7 +33,42 @@ std::uint64_t ReadU64At(std::span<const std::uint8_t> bytes, std::size_t at)
     return value;
 }
 
+/** "'trace-cache' (tag 5)" — how every diagnostic names a section. */
+std::string Describe(SectionTag tag)
+{
+    return "'" + std::string(SectionName(tag)) + "' (tag " +
+           std::to_string(static_cast<std::uint64_t>(tag)) + ")";
+}
+
+std::string Describe(std::uint64_t raw)
+{
+    return Describe(static_cast<SectionTag>(raw));
+}
+
 }  // namespace
+
+std::string_view
+SectionName(SectionTag tag)
+{
+    switch (tag) {
+        case SectionTag::kOperationLog: return "operation-log";
+        case SectionTag::kRegionAllocator: return "region-allocator";
+        case SectionTag::kRegionForest: return "region-forest";
+        case SectionTag::kDependenceAnalyzer:
+            return "dependence-analyzer";
+        case SectionTag::kTraceCache: return "trace-cache";
+        case SectionTag::kRuntime: return "runtime";
+        case SectionTag::kCandidateTrie: return "candidate-trie";
+        case SectionTag::kHistoryRing: return "history-ring";
+        case SectionTag::kSteadyMiner: return "steady-miner";
+        case SectionTag::kTraceFinder: return "trace-finder";
+        case SectionTag::kApophenia: return "apophenia";
+        case SectionTag::kStreamDigest: return "stream-digest";
+        case SectionTag::kMiningCache: return "mining-cache";
+        case SectionTag::kClusterNode: return "cluster-node";
+    }
+    return "unknown";
+}
 
 std::uint64_t
 ChecksumBytes(std::span<const std::uint8_t> payload)
@@ -135,7 +170,10 @@ std::uint64_t
 CheckpointReader::RawU64()
 {
     if (at_ + 8 > bytes_.size()) {
-        throw CheckpointError("checkpoint image truncated mid-value");
+        throw CheckpointError(
+            "checkpoint image truncated mid-value at byte offset " +
+            std::to_string(at_) + " of " +
+            std::to_string(bytes_.size()));
     }
     const std::uint64_t value = ReadU64At(bytes_, at_);
     at_ += 8;
@@ -146,29 +184,47 @@ void
 CheckpointReader::BeginSection(SectionTag tag)
 {
     if (in_section_) {
-        throw CheckpointError("checkpoint sections cannot nest");
+        throw CheckpointError(
+            "checkpoint sections cannot nest: BeginSection " +
+            Describe(tag) + " while section " + Describe(section_tag_) +
+            " is open at byte offset " + std::to_string(at_));
     }
     if (at_ + 24 > bytes_.size()) {
-        throw CheckpointError("checkpoint image truncated: no section header");
+        throw CheckpointError(
+            "checkpoint image truncated: no header for section " +
+            Describe(tag) + " at byte offset " + std::to_string(at_) +
+            " (" + std::to_string(bytes_.size() - at_) +
+            " bytes remain, 24 needed)");
     }
     const std::uint64_t found = ReadU64At(bytes_, at_);
     if (found != static_cast<std::uint64_t>(tag)) {
         throw CheckpointError(
-            "checkpoint section tag mismatch: expected " +
-            std::to_string(static_cast<std::uint64_t>(tag)) + ", found " +
-            std::to_string(found));
+            "checkpoint section tag mismatch at byte offset " +
+            std::to_string(at_) + ": expected " + Describe(tag) +
+            ", found " + Describe(found));
     }
     const std::uint64_t payload_len = ReadU64At(bytes_, at_ + 8);
     const std::uint64_t checksum = ReadU64At(bytes_, at_ + 16);
     at_ += 24;
     if (payload_len > bytes_.size() - at_) {
-        throw CheckpointError("checkpoint section truncated");
+        // Truncation and corruption are distinct failures: a short
+        // image is a crashed writer, a checksum mismatch is bit rot.
+        throw CheckpointError(
+            "checkpoint section " + Describe(tag) +
+            " truncated at byte offset " + std::to_string(at_) +
+            ": payload claims " + std::to_string(payload_len) +
+            " bytes, " + std::to_string(bytes_.size() - at_) +
+            " remain");
     }
     const std::span<const std::uint8_t> payload(bytes_.data() + at_,
                                                 payload_len);
     if (ChecksumBytes(payload) != checksum) {
-        throw CheckpointError("checkpoint section checksum mismatch");
+        throw CheckpointError(
+            "checkpoint section " + Describe(tag) +
+            " checksum mismatch over " + std::to_string(payload_len) +
+            " payload bytes at byte offset " + std::to_string(at_));
     }
+    section_tag_ = tag;
     section_end_ = at_ + payload_len;
     in_section_ = true;
 }
@@ -177,10 +233,16 @@ void
 CheckpointReader::EndSection()
 {
     if (!in_section_) {
-        throw CheckpointError("EndSection without BeginSection");
+        throw CheckpointError(
+            "EndSection without BeginSection at byte offset " +
+            std::to_string(at_));
     }
     if (at_ != section_end_) {
-        throw CheckpointError("checkpoint section not fully consumed");
+        throw CheckpointError(
+            "checkpoint section " + Describe(section_tag_) +
+            " not fully consumed: reader stopped at byte offset " +
+            std::to_string(at_) + ", section ends at " +
+            std::to_string(section_end_));
     }
     in_section_ = false;
 }
@@ -188,8 +250,17 @@ CheckpointReader::EndSection()
 std::uint64_t
 CheckpointReader::U64()
 {
-    if (!in_section_ || at_ + 8 > section_end_) {
-        throw CheckpointError("checkpoint read past section end");
+    if (!in_section_) {
+        throw CheckpointError(
+            "checkpoint read outside any section at byte offset " +
+            std::to_string(at_));
+    }
+    if (at_ + 8 > section_end_) {
+        throw CheckpointError(
+            "checkpoint read past the end of section " +
+            Describe(section_tag_) + " at byte offset " +
+            std::to_string(at_) + " (section ends at " +
+            std::to_string(section_end_) + ")");
     }
     return RawU64();
 }
@@ -199,7 +270,11 @@ CheckpointReader::Bool()
 {
     const std::uint64_t value = U64();
     if (value > 1) {
-        throw CheckpointError("checkpoint bool out of range");
+        throw CheckpointError(
+            "checkpoint bool out of range in section " +
+            Describe(section_tag_) + " at byte offset " +
+            std::to_string(at_ - 8) + ": value " +
+            std::to_string(value));
     }
     return value == 1;
 }
@@ -209,7 +284,12 @@ CheckpointReader::VecU64()
 {
     const std::uint64_t count = U64();
     if (count > (section_end_ - at_) / 8) {
-        throw CheckpointError("checkpoint vector length exceeds section");
+        throw CheckpointError(
+            "checkpoint vector length " + std::to_string(count) +
+            " exceeds section " + Describe(section_tag_) +
+            " at byte offset " + std::to_string(at_ - 8) + " (" +
+            std::to_string(section_end_ - at_) +
+            " payload bytes remain)");
     }
     std::vector<std::uint64_t> values;
     values.reserve(count);

@@ -30,6 +30,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace apo::fault {
@@ -65,6 +66,11 @@ enum class SectionTag : std::uint64_t {
     kMiningCache = 13,
     kClusterNode = 14,
 };
+
+/** Human-readable name of a section tag — diagnostic messages name
+ * the failing section instead of a bare number. Unknown tags (a
+ * corrupt or future image) map to "unknown". */
+std::string_view SectionName(SectionTag tag);
 
 inline constexpr std::uint64_t kCheckpointMagic = 0x41504f434b505431ULL;
 inline constexpr std::uint64_t kCheckpointVersion = 1;
@@ -128,6 +134,7 @@ class CheckpointReader {
     std::span<const std::uint8_t> bytes_;
     std::size_t at_ = 0;
     std::size_t section_end_ = 0;
+    SectionTag section_tag_ = SectionTag::kOperationLog;  // open section
     bool in_section_ = false;
 };
 

@@ -195,6 +195,27 @@ class Runtime {
      * land mid-trace to the next quiescent point. */
     bool Quiescent() const { return mode_ == Mode::kIdle; }
 
+    /** Memory-pressure hook: evict least-recently-used trace
+     * templates until the cache's resident bytes are at most
+     * `target_bytes`. Only acts at a quiescent point (an open
+     * fragment may reference the template being replayed) — mid-trace
+     * calls return 0 and the caller retries at the next opportunity.
+     * Evicted ids simply re-record at their next BeginTrace; counted
+     * in RuntimeStats::traces_evicted. Returns templates evicted. */
+    std::size_t PressureEvictTraces(std::size_t target_bytes)
+    {
+        if (!Quiescent()) {
+            return 0;
+        }
+        std::size_t evicted = 0;
+        while (cache_.ResidentBytes() > target_bytes &&
+               cache_.EvictLeastRecentlyUsed() != kNoTrace) {
+            ++evicted;
+        }
+        stats_.traces_evicted += evicted;
+        return evicted;
+    }
+
     // -- Checkpoint/restore ------------------------------------------------
 
     /**

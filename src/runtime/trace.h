@@ -147,6 +147,21 @@ class TraceCache {
         return total;
     }
 
+    /** Resident bytes across all templates (token, edge and CSR
+     * offset storage) — the service health monitor's memory-pressure
+     * input. On-demand sum; the template count is bounded by
+     * RuntimeOptions::max_trace_templates. */
+    std::size_t ResidentBytes() const
+    {
+        std::size_t bytes = 0;
+        for (const auto& [id, t] : templates_) {
+            bytes += t.tokens.size() * sizeof(TokenHash) +
+                     t.internal_edges.size() * sizeof(Dependence) +
+                     t.edge_begin.size() * sizeof(std::uint32_t);
+        }
+        return bytes;
+    }
+
     /** Checkpoint hooks: every template (tokens, CSR edges, replay
      * count) plus the LRU clock and per-template stamps, so eviction
      * order after a restore matches the uninterrupted run exactly. */

@@ -619,7 +619,7 @@ class Cluster final : public api::Frontend {
         bool recording = false;   ///< kBegin
         std::uint64_t value = 0;  ///< trace id / region id / parent
         std::uint64_t count = 0;  ///< kPartitionRegion
-        rt::TaskLaunch launch;    ///< kTask
+        rt::TaskLaunch launch{};  ///< kTask
         rt::TokenHash token = 0;  ///< kTask
     };
 

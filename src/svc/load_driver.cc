@@ -1,0 +1,122 @@
+#include "svc/load_driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace apo::svc {
+
+LoadDriver::LoadDriver(LoadDriverOptions options)
+    : options_(std::move(options))
+{
+}
+
+std::uint64_t
+LoadDriver::DeriveArrivalGap(std::size_t tenants,
+                             std::size_t kernel_tasks,
+                             double offered_load)
+{
+    if (tenants == 0 || kernel_tasks == 0 || offered_load <= 0.0) {
+        throw ServiceUsageError(
+            "LoadDriver: tenants, kernel_tasks and offered_load must "
+            "all be positive");
+    }
+    // Aggregate rate = tenants × kernel_tasks / gap tasks per tick;
+    // solve for gap at the target fraction of the 1-task/tick traced
+    // capacity.
+    const double gap = static_cast<double>(tenants) *
+                       static_cast<double>(kernel_tasks) / offered_load;
+    return std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(gap)));
+}
+
+DriverResult
+LoadDriver::Run()
+{
+    const std::uint64_t gap = DeriveArrivalGap(
+        options_.tenants, options_.kernel_tasks, options_.offered_load);
+    const std::uint64_t per_iteration =
+        static_cast<std::uint64_t>(options_.tenants) *
+        static_cast<std::uint64_t>(options_.kernel_tasks);
+    const std::size_t iterations = std::max<std::size_t>(
+        1, static_cast<std::size_t>(options_.task_budget / per_iteration));
+
+    TraceService service(options_.service);
+    std::vector<std::unique_ptr<SyntheticWorkload>> apps;
+    apps.reserve(options_.tenants);
+    for (std::size_t t = 0; t < options_.tenants; ++t) {
+        SyntheticOptions synthetic;
+        synthetic.machine = options_.service.machine;
+        synthetic.seed = options_.seed + t;
+        synthetic.kernel_tasks = options_.kernel_tasks;
+        // Exactly kernel_tasks per iteration: the offered-load
+        // algebra is exact, and every policy sees identical arrival
+        // schedules.
+        synthetic.noise_interval = 0;
+        synthetic.exec_us = options_.exec_us;
+        apps.push_back(
+            std::make_unique<SyntheticWorkload>(std::move(synthetic)));
+
+        TenantOptions tenant;
+        tenant.name = "load-" + std::to_string(t);
+        tenant.app = apps.back().get();
+        tenant.iterations = iterations;
+        tenant.arrival_gap = gap;
+        tenant.overload_policy = options_.policy;
+        tenant.max_queue_iterations = options_.max_queue_iterations;
+        tenant.degrade_resume_iterations =
+            options_.degrade_resume_iterations;
+        service.AddTenant(std::move(tenant));
+    }
+
+    DriverResult result;
+    result.arrival_gap = gap;
+    result.iterations_per_tenant = iterations;
+    result.service = service.Run();
+
+    std::uint64_t offered = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t granted = 0;
+    std::uint64_t degraded = 0;
+    for (const TenantStats& tenant : result.service.tenants) {
+        result.tasks_issued += tenant.tokens_issued;
+        offered += tenant.iterations_completed + tenant.iterations_shed;
+        shed += tenant.iterations_shed;
+        granted += tenant.iterations_completed;
+        degraded += tenant.iterations_degraded;
+        result.worst_p50_issue_latency = std::max(
+            result.worst_p50_issue_latency, tenant.p50_issue_latency);
+        result.worst_p99_issue_latency = std::max(
+            result.worst_p99_issue_latency, tenant.p99_issue_latency);
+        result.worst_p99_issue_wall_us = std::max(
+            result.worst_p99_issue_wall_us, tenant.p99_issue_wall_us);
+        result.max_backlog =
+            std::max(result.max_backlog, tenant.max_backlog);
+        result.tenant_digests.push_back(tenant.stream_digest);
+    }
+    result.throughput_tasks_per_tick =
+        result.service.virtual_time == 0
+            ? 0.0
+            : static_cast<double>(result.tasks_issued) /
+                  static_cast<double>(result.service.virtual_time);
+    result.shed_fraction =
+        offered == 0 ? 0.0
+                     : static_cast<double>(shed) /
+                           static_cast<double>(offered);
+    result.degraded_fraction =
+        granted == 0 ? 0.0
+                     : static_cast<double>(degraded) /
+                           static_cast<double>(granted);
+    result.peak_resident_bytes = result.service.health.peak_resident_bytes;
+    if (result.peak_resident_bytes == 0) {
+        for (const sim::ExperimentResult& experiment :
+             result.service.experiments) {
+            result.peak_resident_bytes =
+                std::max(result.peak_resident_bytes,
+                         experiment.log_peak_resident_bytes);
+        }
+    }
+    return result;
+}
+
+}  // namespace apo::svc

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * svc::LoadDriver — the sustained open-loop load driver (ROADMAP
+ * item 3's missing half).
+ *
+ * The driver turns "offered load" into a concrete tenant fleet: M
+ * synthetic open-loop tenants whose aggregate arrival rate is a
+ * chosen fraction of the service's traced-path capacity, run for a
+ * fixed total task budget under one OverloadPolicy. Service virtual
+ * time advances one tick per traced-path task, so capacity is exactly
+ * 1 task/tick and the arrival gap falls out of the target load:
+ *
+ *   gap = M × kernel_tasks / offered_load      (per tenant, in ticks)
+ *
+ * offered_load < 1 is sustainable: every policy digests identically
+ * and sheds/degrades nothing. offered_load > 1 is *not*: kBlock's
+ * backlog and issue latency grow without bound for as long as the
+ * budget lasts, while kShed holds latency by dropping arrivals and
+ * kDegrade holds it by issuing backlogged windows untraced at
+ * ServiceOptions::degraded_task_cost per task — the capacity headroom
+ * that lets a degraded fleet drain a 2× overload. The fig_overload
+ * bench sweeps exactly this grid and asserts the separation.
+ */
+#ifndef APOPHENIA_SVC_LOAD_DRIVER_H
+#define APOPHENIA_SVC_LOAD_DRIVER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "svc/service.h"
+#include "svc/workload.h"
+
+namespace apo::svc {
+
+/** One sustained-load experiment. */
+struct LoadDriverOptions {
+    /** Base service configuration (machine, costs, finder tuning,
+     * admission policy, log mode, health monitor, …). The driver
+     * fills the tenant set itself. */
+    ServiceOptions service;
+    /** Fleet width: open-loop synthetic tenants. */
+    std::size_t tenants = 4;
+    /** Aggregate arrival rate as a fraction of the service's
+     * traced-path capacity (1 task per virtual tick). 0.5 = half
+     * loaded, 2.0 = offered twice what the service can issue. */
+    double offered_load = 0.9;
+    /** Total tasks offered across the fleet (sets the per-tenant
+     * iteration count: budget / (tenants × kernel_tasks)). */
+    std::uint64_t task_budget = 100000;
+    /** Overload policy applied to every tenant. */
+    OverloadPolicy policy = OverloadPolicy::kBlock;
+    /** Admission bound / hysteresis for kShed and kDegrade. */
+    std::size_t max_queue_iterations = 8;
+    std::size_t degrade_resume_iterations = 2;
+    /** Synthetic workload shape. noise_interval is pinned to 0 so
+     * every iteration costs exactly kernel_tasks — the load algebra
+     * above is then exact, not approximate. */
+    std::uint64_t seed = 1;
+    std::size_t kernel_tasks = 40;
+    double exec_us = 500.0;
+};
+
+/** What one sustained run measured (DriverResult::service carries the
+ * full per-tenant breakdown). */
+struct DriverResult {
+    ServiceResult service;
+    /** The derived arrival schedule. */
+    std::uint64_t arrival_gap = 0;
+    std::size_t iterations_per_tenant = 0;
+    /** Tasks issued through every tenant session (excludes shed
+     * payloads — they were never issued). */
+    std::uint64_t tasks_issued = 0;
+    /** Delivered throughput in tasks per virtual tick. Capped at 1.0
+     * on the traced path; above 1.0 only when degraded issue (at
+     * degraded_task_cost per task) raised the ceiling. */
+    double throughput_tasks_per_tick = 0.0;
+    /** Fleet-wide overload outcome: shed arrivals over offered
+     * arrivals, and degraded grants over granted iterations. */
+    double shed_fraction = 0.0;
+    double degraded_fraction = 0.0;
+    /** Worst tenant's issue-latency percentiles (virtual ticks) and
+     * wall-clock service-time p99 (µs). */
+    double worst_p50_issue_latency = 0.0;
+    double worst_p99_issue_latency = 0.0;
+    double worst_p99_issue_wall_us = 0.0;
+    /** Largest backlog any tenant ever queued. */
+    std::uint64_t max_backlog = 0;
+    /** Peak resident bytes: the health monitor's sample when
+     * monitoring is on, else the worst tenant log high-water. */
+    std::size_t peak_resident_bytes = 0;
+    /** Per-tenant stream digests, in tenant order — equal digests
+     * across two runs certify the tenants issued identical streams
+     * (the ≤0.9× policy-equivalence check). */
+    std::vector<std::uint64_t> tenant_digests;
+};
+
+/** See file comment. Owns the synthetic workload instances for the
+ * duration of Run(). */
+class LoadDriver {
+  public:
+    explicit LoadDriver(LoadDriverOptions options);
+
+    /** Build the fleet, run it to budget exhaustion, aggregate. */
+    DriverResult Run();
+
+    /** The arrival gap (ticks) the options derive to. */
+    static std::uint64_t DeriveArrivalGap(std::size_t tenants,
+                                          std::size_t kernel_tasks,
+                                          double offered_load);
+
+  private:
+    LoadDriverOptions options_;
+};
+
+}  // namespace apo::svc
+
+#endif  // APOPHENIA_SVC_LOAD_DRIVER_H

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
+#include <span>
 
 #include "runtime/errors.h"
 #include "sim/cluster.h"
@@ -85,30 +87,81 @@ struct TraceService::Tenant {
 
     /** Issued-task count at the end of each completed iteration. */
     std::vector<std::size_t> boundaries;
-    /** One issue-latency sample (virtual ticks) per iteration. */
-    std::vector<std::uint64_t> latencies;
-    /** One wall-clock service-time sample (nanoseconds, steady-clock,
-     * grant → iteration return) per iteration. */
-    std::vector<std::uint64_t> wall_ns;
+    /** Issue-latency (virtual ticks) and wall-clock service-time
+     * (nanoseconds, grant → iteration return) reservoirs: fixed
+     * memory however long the run (see LatencyReservoir). */
+    LatencyReservoir latencies;
+    LatencyReservoir wall_ns;
     std::size_t completed = 0;
+    /** Overload accounting (see OverloadPolicy / TenantStats). */
+    std::uint64_t shed = 0;
+    std::uint64_t degraded_iterations = 0;
+    std::uint64_t degrade_windows = 0;
+    std::uint64_t max_backlog = 0;
+    /** Health monitor's force-degrade latch: set on a high-watermark
+     * breach, cleared once resident bytes drain below the low
+     * watermark (OR'd with the backlog hysteresis). */
+    bool memory_degraded = false;
     /** Closed loop: virtual time the next iteration became ready. */
     std::uint64_t ready_since = 0;
     /** Open loop: virtual time of iteration 0's arrival. */
     std::uint64_t arrival_base = 0;
 
-    bool Finished() const
+    /** Streaming log mode: the tenant's retire-consumer stack — the
+     * harness's streaming wiring, per tenant (simulator + traced
+     * flags + digest run incrementally; the log recycles its blocks
+     * behind them). */
+    std::optional<sim::PipelineSimulator> streaming_sim;
+    std::optional<rt::WindowedTransitiveReducer> streaming_reducer;
+    std::vector<rt::Dependence> reduce_scratch;
+    sim::TracedFlags streaming_traced;
+    sim::StreamDigest streaming_digest;
+
+    explicit Tenant(std::size_t reservoir_capacity)
+        : latencies(reservoir_capacity), wall_ns(reservoir_capacity)
     {
-        return completed >= options.iterations;
     }
 
-    /** Arrival time of the next (not-yet-granted) iteration. */
+    /** Arrivals consumed: granted iterations plus shed ones (a shed
+     * request's payload is skipped, not deferred). */
+    std::uint64_t Consumed() const
+    {
+        return static_cast<std::uint64_t>(completed) + shed;
+    }
+
+    bool Finished() const
+    {
+        return Consumed() >= options.iterations;
+    }
+
+    /** Arrival time of the next (not-yet-consumed) iteration. */
     std::uint64_t NextArrival() const
     {
         return options.arrival_gap == 0
                    ? ready_since
-                   : arrival_base + options.arrival_gap *
-                                        static_cast<std::uint64_t>(
-                                            completed);
+                   : arrival_base + options.arrival_gap * Consumed();
+    }
+
+    /** Backlog at `clock`: iterations that have arrived and are
+     * neither granted nor shed. A closed-loop tenant queues at most
+     * one. */
+    std::uint64_t Backlog(std::uint64_t clock) const
+    {
+        if (Finished()) {
+            return 0;
+        }
+        if (options.arrival_gap == 0) {
+            return ready_since <= clock ? 1 : 0;
+        }
+        if (clock < arrival_base) {
+            return 0;
+        }
+        std::uint64_t arrived =
+            (clock - arrival_base) / options.arrival_gap + 1;
+        arrived = std::min<std::uint64_t>(
+            arrived, static_cast<std::uint64_t>(options.iterations));
+        const std::uint64_t done = Consumed();
+        return arrived > done ? arrived - done : 0;
     }
 };
 
@@ -210,7 +263,23 @@ TraceService::DefaultNamespace(std::size_t index)
 std::size_t
 TraceService::AddTenant(TenantOptions tenant)
 {
-    auto state = std::make_unique<Tenant>();
+    const bool streaming = options_.log_mode == sim::LogMode::kStreaming;
+    if (streaming && tenant.replicas > 1) {
+        throw ServiceUsageError(
+            "TraceService::AddTenant: tenant '" + tenant.name +
+            "': sim::LogMode::kStreaming is incompatible with "
+            "replicated tenants (the cluster owns the node logs)");
+    }
+    if (streaming && options_.config.inline_transitive_reduction &&
+        options_.config.window == 0) {
+        throw ServiceUsageError(
+            "TraceService::AddTenant: the inline transitive reduction "
+            "over a streaming tenant log needs a bounded window "
+            "(-lg:window > 0); an unbounded reduction is a whole-log "
+            "transform");
+    }
+    auto state =
+        std::make_unique<Tenant>(options_.latency_reservoir_capacity);
     state->options = std::move(tenant);
     state->name_space = state->options.name_space.value_or(
         DefaultNamespace(tenants_.size()));
@@ -252,6 +321,43 @@ TraceService::AddTenant(TenantOptions tenant)
             *state->runtime, config, options_.executor,
             options_.share_mining_cache ? cache_.get() : nullptr);
         inner = state->engine.get();
+        if (streaming) {
+            // The harness's streaming wiring, per tenant: simulator,
+            // traced flags and digest run as the log's retire
+            // consumer; the log recycles its blocks behind them, so a
+            // sustained open-loop run holds a memory plateau. The
+            // inline transitive reduction streams through the
+            // windowed reducer (validated above).
+            sim::PipelineOptions sim_options;
+            sim_options.machine = options_.machine;
+            sim_options.costs = options_.costs;
+            sim_options.apophenia_front_end = true;
+            sim_options.window = options_.config.window;
+            sim_options.inline_transitive_reduction = false;
+            state->streaming_sim.emplace(sim_options);
+            if (options_.config.inline_transitive_reduction) {
+                state->streaming_reducer.emplace(options_.config.window);
+            }
+            Tenant* raw = state.get();  // heap address, stable
+            state->runtime->EnableLogStreaming([raw](
+                                                   const rt::OpView& op) {
+                raw->streaming_traced.Consume(op);
+                raw->streaming_digest.Consume(op);
+                if (raw->streaming_reducer) {
+                    raw->reduce_scratch.assign(op.dependences.begin(),
+                                               op.dependences.end());
+                    raw->streaming_reducer->Reduce(op.index,
+                                                   raw->reduce_scratch);
+                    rt::OpView reduced = op;
+                    reduced.dependences =
+                        rt::DependenceSpan(std::span<const rt::Dependence>(
+                            raw->reduce_scratch));
+                    raw->streaming_sim->Consume(reduced);
+                } else {
+                    raw->streaming_sim->Consume(op);
+                }
+            });
+        }
     }
     state->session =
         std::make_unique<TenantSession>(*inner, state->name_space);
@@ -302,20 +408,182 @@ TraceService::MiningCacheStats() const
     return cache_->Snapshot();
 }
 
-ServiceResult
-TraceService::Run()
+void
+TraceService::ValidateForRun() const
 {
     if (tenants_.empty()) {
-        throw rt::RuntimeUsageError(
+        throw ServiceUsageError(
             "TraceService::Run: no tenants registered");
     }
     for (const auto& tenant : tenants_) {
-        if (tenant->options.app == nullptr) {
-            throw rt::RuntimeUsageError(
-                "TraceService::Run: tenant '" + tenant->options.name +
+        const TenantOptions& opt = tenant->options;
+        if (opt.app == nullptr) {
+            throw ServiceUsageError(
+                "TraceService::Run: tenant '" + opt.name +
                 "' has no application (TenantOptions::app)");
         }
+        if (opt.overload_policy != OverloadPolicy::kBlock) {
+            if (opt.arrival_gap == 0) {
+                throw ServiceUsageError(
+                    "TraceService::Run: tenant '" + opt.name +
+                    "': OverloadPolicy::kShed/kDegrade needs an "
+                    "open-loop arrival model (arrival_gap > 0) — a "
+                    "closed-loop tenant never queues more than one "
+                    "iteration, so there is nothing to shed or "
+                    "degrade");
+            }
+            if (opt.max_queue_iterations == 0) {
+                throw ServiceUsageError(
+                    "TraceService::Run: tenant '" + opt.name +
+                    "': OverloadPolicy::kShed/kDegrade needs an "
+                    "admission bound (max_queue_iterations > 0); 0 "
+                    "means unbounded, which only OverloadPolicy::"
+                    "kBlock accepts");
+            }
+        }
+        if (opt.overload_policy == OverloadPolicy::kDegrade) {
+            if (opt.replicas > 1) {
+                throw ServiceUsageError(
+                    "TraceService::Run: tenant '" + opt.name +
+                    "': OverloadPolicy::kDegrade is incompatible with "
+                    "replicated tenants (the degrade switch drives "
+                    "the tenant's single decision engine)");
+            }
+            if (opt.degrade_resume_iterations >=
+                opt.max_queue_iterations) {
+                throw ServiceUsageError(
+                    "TraceService::Run: tenant '" + opt.name +
+                    "': degrade_resume_iterations (" +
+                    std::to_string(opt.degrade_resume_iterations) +
+                    ") must be below max_queue_iterations (" +
+                    std::to_string(opt.max_queue_iterations) +
+                    ") — an equal watermark re-enters degrade on the "
+                    "very next arrival");
+            }
+        }
     }
+}
+
+void
+TraceService::ApplyOverloadControl(Tenant& tenant, std::uint64_t clock)
+{
+    const TenantOptions& opt = tenant.options;
+    if (opt.overload_policy == OverloadPolicy::kShed &&
+        !tenant.Finished()) {
+        bool any = false;
+        while (!tenant.Finished() &&
+               tenant.Backlog(clock) > opt.max_queue_iterations) {
+            // Drop the oldest queued arrival: its iteration payload
+            // is skipped, never deferred (Consumed() advances).
+            tenant.shed += 1;
+            any = true;
+        }
+        if (any && tenant.Finished()) {
+            // Shedding consumed the tenant's final arrivals — the
+            // grant path will never run again for it, so drain here
+            // (the same tenant-local end-of-stream Flush).
+            tenant.session->Flush();
+        }
+    }
+    if (opt.overload_policy == OverloadPolicy::kDegrade &&
+        tenant.engine != nullptr) {
+        const std::uint64_t backlog = tenant.Backlog(clock);
+        bool want = tenant.engine->Degraded();
+        if (want) {
+            // Hysteresis: stay degraded until the backlog has drained
+            // to the low watermark, not merely below the bound.
+            if (backlog <= opt.degrade_resume_iterations) {
+                want = false;
+            }
+        } else if (backlog > opt.max_queue_iterations) {
+            want = true;
+        }
+        if (tenant.memory_degraded) {
+            want = true;  // health monitor's force-degrade latch
+        }
+        if (want && !tenant.engine->Degraded()) {
+            tenant.degrade_windows += 1;
+        }
+        tenant.engine->SetDegraded(want);
+    }
+}
+
+void
+TraceService::RunWatchdogAndHealth(std::uint64_t clock)
+{
+    (void)clock;
+    if (options_.analysis_timeout_tasks > 0) {
+        std::size_t abandoned = 0;
+        for (const auto& tenant : tenants_) {
+            if (tenant->engine != nullptr) {
+                abandoned += tenant->engine->AbandonStaleAnalyses(
+                    options_.analysis_timeout_tasks);
+            }
+        }
+        if (abandoned > 0) {
+            health_.watchdog_job_abandons += abandoned;
+            // A stuck job may hold an in-progress mining-cache entry
+            // that other miners are waiting on: clear those so the
+            // waiters wake, re-probe and mine for themselves.
+            health_.watchdog_cache_abandons +=
+                cache_->AbandonInProgress();
+        }
+    }
+    if (options_.memory_high_watermark_bytes == 0) {
+        return;
+    }
+    health_.samples += 1;
+    std::size_t resident = cache_->ResidentBytes();
+    for (const auto& tenant : tenants_) {
+        if (tenant->cluster != nullptr) {
+            for (std::size_t n = 0; n < tenant->cluster->Nodes(); ++n) {
+                const rt::Runtime& node = tenant->cluster->NodeRuntime(n);
+                resident += node.Log().ResidentBytes() +
+                            node.Traces().ResidentBytes();
+            }
+        } else {
+            resident += tenant->runtime->Log().ResidentBytes() +
+                        tenant->runtime->Traces().ResidentBytes();
+        }
+    }
+    health_.peak_resident_bytes =
+        std::max(health_.peak_resident_bytes, resident);
+    const std::size_t high = options_.memory_high_watermark_bytes;
+    const std::size_t low = options_.memory_low_watermark_bytes != 0
+                                ? options_.memory_low_watermark_bytes
+                                : high / 2;
+    if (resident > high) {
+        health_.pressure_events += 1;
+        // Shed reconstructible state first (evicted mining windows
+        // re-mine, evicted templates re-record), then force the
+        // kDegrade tenants off the state-accreting traced path until
+        // resident bytes drain below the low watermark.
+        health_.pressure_cache_evictions +=
+            cache_->EvictToResidentBytes(cache_->ResidentBytes() / 2);
+        for (const auto& tenant : tenants_) {
+            if (tenant->runtime != nullptr) {
+                health_.pressure_trace_evictions +=
+                    tenant->runtime->PressureEvictTraces(
+                        tenant->runtime->Traces().ResidentBytes() / 2);
+            }
+            if (tenant->options.overload_policy ==
+                    OverloadPolicy::kDegrade &&
+                !tenant->memory_degraded) {
+                tenant->memory_degraded = true;
+                health_.forced_degrades += 1;
+            }
+        }
+    } else if (resident <= low) {
+        for (const auto& tenant : tenants_) {
+            tenant->memory_degraded = false;
+        }
+    }
+}
+
+ServiceResult
+TraceService::Run()
+{
+    ValidateForRun();
     AdmissionPolicy* policy =
         options_.policy != nullptr ? options_.policy : &default_policy_;
     {
@@ -339,6 +607,10 @@ TraceService::Run()
         tenant->arrival_base = clock;
     }
 
+    // The escape hatch turns every overload action off: every policy
+    // behaves like kBlock, no watchdog, no health monitor.
+    const bool overload_on = options_.config.overload_control;
+
     std::vector<std::size_t> ready;
     for (;;) {
         ready.clear();
@@ -346,9 +618,14 @@ TraceService::Run()
             std::numeric_limits<std::uint64_t>::max();
         for (std::size_t t = 0; t < tenants_.size(); ++t) {
             Tenant& tenant = *tenants_[t];
+            if (overload_on) {
+                ApplyOverloadControl(tenant, clock);
+            }
             if (tenant.Finished()) {
                 continue;
             }
+            tenant.max_backlog =
+                std::max(tenant.max_backlog, tenant.Backlog(clock));
             const std::uint64_t arrival = tenant.NextArrival();
             if (arrival <= clock) {
                 ready.push_back(t);
@@ -368,22 +645,37 @@ TraceService::Run()
 
         const std::size_t t = policy->Pick(ready);
         Tenant& tenant = *tenants_[t];
-        tenant.latencies.push_back(clock - tenant.NextArrival());
+        tenant.latencies.Add(clock - tenant.NextArrival());
 
         const std::uint64_t before =
             tenant.session->Stats().tasks_executed;
         const auto wall_start = std::chrono::steady_clock::now();
-        tenant.options.app->Iteration(*tenant.session, tenant.completed,
-                                      /*manual_tracing=*/false);
-        tenant.wall_ns.push_back(static_cast<std::uint64_t>(
+        tenant.options.app->Iteration(
+            *tenant.session,
+            static_cast<std::size_t>(tenant.Consumed()),
+            /*manual_tracing=*/false);
+        tenant.wall_ns.Add(static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - wall_start)
                 .count()));
         const std::uint64_t after =
             tenant.session->Stats().tasks_executed;
         const std::uint64_t tasks = after - before;
-        clock += tasks;
-        policy->Charge(t, std::max<std::uint64_t>(1, tasks));
+        // A degraded grant skips mining, matching and replay
+        // bookkeeping, so it advances the service clock at the
+        // discounted rate — the capacity a degraded tenant recovers.
+        std::uint64_t charged = tasks;
+        const bool degraded =
+            tenant.engine != nullptr && tenant.engine->Degraded();
+        if (degraded) {
+            charged = std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(std::llround(
+                       static_cast<double>(tasks) *
+                       options_.degraded_task_cost)));
+            tenant.degraded_iterations += 1;
+        }
+        clock += charged;
+        policy->Charge(t, std::max<std::uint64_t>(1, charged));
 
         tenant.boundaries.push_back(static_cast<std::size_t>(after));
         tenant.completed += 1;
@@ -394,26 +686,25 @@ TraceService::Run()
             // harness's final Flush.
             tenant.session->Flush();
         }
+        if (overload_on) {
+            RunWatchdogAndHealth(clock);
+        }
     }
     return AssembleResults(clock);
 }
 
-namespace {
-
 double
-Percentile(std::vector<std::uint64_t> samples, double q)
+LatencyReservoir::Percentile(double q) const
 {
-    if (samples.empty()) {
+    if (samples_.empty()) {
         return 0.0;
     }
-    std::sort(samples.begin(), samples.end());
-    const double rank =
-        q * static_cast<double>(samples.size() - 1);
+    std::vector<std::uint64_t> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = q * static_cast<double>(sorted.size() - 1);
     const std::size_t at = static_cast<std::size_t>(rank + 0.5);
-    return static_cast<double>(samples[std::min(at, samples.size() - 1)]);
+    return static_cast<double>(sorted[std::min(at, sorted.size() - 1)]);
 }
-
-}  // namespace
 
 ServiceResult
 TraceService::AssembleResults(std::uint64_t virtual_time)
@@ -447,17 +738,31 @@ TraceService::AssembleResults(std::uint64_t virtual_time)
                                               : cluster->Node(0))
                 : *tenant->engine;
         const core::FinderStats& finder = engine.Finder();
+        const bool streaming = tenant->streaming_sim.has_value();
 
         sim::ExperimentResult experiment;
-        const sim::PipelineResult sim =
-            SimulatePipeline(runtime.Log(), pipeline_options);
+        sim::PipelineResult sim;
+        sim::StreamDigest digest;
+        if (streaming) {
+            // The tenant's log streamed through its retire consumer —
+            // drain the tail, finish the incremental simulator and
+            // take the rolling digest (the retained log is gone).
+            tenant->runtime->DrainLogStream();
+            sim = tenant->streaming_sim->Finish();
+            digest = tenant->streaming_digest;
+            experiment.warmup_iterations = sim::WarmupIterations(
+                tenant->streaming_traced, tenant->boundaries);
+        } else {
+            sim = SimulatePipeline(runtime.Log(), pipeline_options);
+            digest = sim::StreamDigest::Of(runtime.Log());
+            experiment.warmup_iterations = sim::WarmupIterations(
+                runtime.Log(), tenant->boundaries);
+        }
         const std::vector<double> ends =
             IterationEndTimes(sim, tenant->boundaries);
         experiment.iterations_per_second = sim::SteadyThroughput(ends);
         experiment.makespan_us = sim.makespan_us;
         experiment.total_tasks = runtime.Log().size();
-        experiment.warmup_iterations =
-            sim::WarmupIterations(runtime.Log(), tenant->boundaries);
         experiment.runtime_stats = runtime.Stats();
         experiment.replayed_fraction =
             runtime.Stats().ReplayedFraction();
@@ -472,8 +777,6 @@ TraceService::AssembleResults(std::uint64_t virtual_time)
         experiment.log_peak_resident_bytes =
             runtime.Log().PeakResidentBytes();
         experiment.log_retired_ops = runtime.Log().RetiredCount();
-        const sim::StreamDigest digest =
-            sim::StreamDigest::Of(runtime.Log());
         experiment.stream_digest = digest.Value();
         experiment.stream_digest_ops = digest.Count();
         if (cluster != nullptr) {
@@ -511,15 +814,20 @@ TraceService::AssembleResults(std::uint64_t virtual_time)
         stats.mining_cache_hits = finder.mining_cache_hits;
         stats.cross_tenant_mining_hits =
             finder.mining_cache_cross_hits;
-        stats.p50_issue_latency = Percentile(tenant->latencies, 0.50);
-        stats.p99_issue_latency = Percentile(tenant->latencies, 0.99);
+        stats.p50_issue_latency = tenant->latencies.Percentile(0.50);
+        stats.p99_issue_latency = tenant->latencies.Percentile(0.99);
         stats.p50_issue_wall_us =
-            Percentile(tenant->wall_ns, 0.50) / 1000.0;
+            tenant->wall_ns.Percentile(0.50) / 1000.0;
         stats.p99_issue_wall_us =
-            Percentile(tenant->wall_ns, 0.99) / 1000.0;
+            tenant->wall_ns.Percentile(0.99) / 1000.0;
         stats.stream_digest = digest.Value();
         stats.stream_digest_ops = digest.Count();
         stats.candidate_digest = engine.CandidateDigest();
+        stats.iterations_shed = tenant->shed;
+        stats.iterations_degraded = tenant->degraded_iterations;
+        stats.degrade_windows = tenant->degrade_windows;
+        stats.tokens_degraded = engine.Stats().tasks_degraded;
+        stats.max_backlog = tenant->max_backlog;
 
         result.experiments.push_back(std::move(experiment));
         result.tenants.push_back(std::move(stats));
@@ -533,6 +841,7 @@ TraceService::AssembleResults(std::uint64_t virtual_time)
                     : static_cast<double>(
                           result.mining_cache.cross_namespace_hits) /
                           static_cast<double>(probes);
+    result.health = health_;
     return result;
 }
 

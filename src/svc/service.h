@@ -57,10 +57,48 @@
 #include "apps/app.h"
 #include "core/apophenia.h"
 #include "core/mining_cache.h"
+#include "runtime/errors.h"
 #include "runtime/runtime.h"
 #include "sim/harness.h"
+#include "support/hash.h"
 
 namespace apo::svc {
+
+/** Misuse of the service interface — incoherent tenant/overload
+ * configurations, rejected up front with a typed error (mirroring
+ * rt::RuntimeUsageError, and derived from it so existing catch sites
+ * keep working). */
+class ServiceUsageError : public rt::RuntimeUsageError {
+  public:
+    using rt::RuntimeUsageError::RuntimeUsageError;
+};
+
+/**
+ * What a tenant does when its admission queue (arrived, not yet
+ * granted open-loop iterations) exceeds TenantOptions::
+ * max_queue_iterations. Tracing is an optimization, so under overload
+ * the service can trade trace quality for liveness instead of
+ * queueing without bound. Subject to the
+ * `-lg:auto_trace:no_overload_control` escape hatch
+ * (core::ApopheniaConfig::overload_control == false ⇒ every policy
+ * behaves like kBlock and no health-monitor action fires).
+ */
+enum class OverloadPolicy : std::uint8_t {
+    /** Closed-loop backpressure (the pre-overload behaviour): excess
+     * arrivals simply queue and issue latency grows. */
+    kBlock,
+    /** Drop arrivals past the bound — the shed request is never
+     * issued (its iteration payload is skipped) and is counted in
+     * TenantStats::iterations_shed. */
+    kShed,
+    /** Admit everything but issue backlogged windows *untraced* (no
+     * mining, no matching, no replay — core::Apophenia::SetDegraded),
+     * re-enabling tracing with hysteresis once the backlog drains to
+     * TenantOptions::degrade_resume_iterations. Degraded windows'
+     * tokens never enter the trie or the steady ring, so re-enable is
+     * bit-safe. */
+    kDegrade,
+};
 
 /** One tenant of the service. */
 struct TenantOptions {
@@ -99,6 +137,19 @@ struct TenantOptions {
      * Subject to the `-lg:auto_trace:no_checkpoints` escape hatch in
      * ServiceOptions::config. */
     std::uint64_t checkpoint_interval_tasks = 0;
+
+    // -- Overload control ---------------------------------------------------
+
+    /** Admission bound: the maximum backlog (arrived, not yet granted
+     * or shed iterations) before `overload_policy` acts. 0 =
+     * unbounded, legal only with kBlock. */
+    std::size_t max_queue_iterations = 0;
+    OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+    /** kDegrade hysteresis low watermark: tracing re-enables once the
+     * backlog has drained to at most this many iterations. Must be
+     * below max_queue_iterations (equal would re-enter degrade on the
+     * very next arrival — thrashing the drain). */
+    std::size_t degrade_resume_iterations = 0;
 };
 
 /** Pluggable admission policy: which ready tenant is granted the
@@ -162,6 +213,54 @@ class DeficitWeightedFairPolicy final : public AdmissionPolicy {
     std::size_t cursor_ = 0;
 };
 
+/**
+ * Fixed-capacity percentile reservoir for latency samples. Below
+ * capacity it stores every sample (so short runs report *exact*
+ * percentiles — identical to the unbounded vectors it replaced);
+ * past capacity it switches to Vitter's Algorithm R with a
+ * deterministic SplitMix64 index stream, so an hours-long open-loop
+ * run holds a memory plateau: after construction, Add() never
+ * allocates (pinned by a counting-allocator test). Deterministic —
+ * the k'th call with the same samples leaves identical state.
+ */
+class LatencyReservoir {
+  public:
+    explicit LatencyReservoir(std::size_t capacity = 1024)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+        samples_.reserve(capacity_);
+    }
+
+    void Add(std::uint64_t sample)
+    {
+        ++count_;
+        if (samples_.size() < capacity_) {
+            samples_.push_back(sample);
+            return;
+        }
+        // Algorithm R: sample n replaces a resident slot with
+        // probability capacity/n, uniformly — under a deterministic
+        // hash of the sample index.
+        const std::uint64_t slot =
+            support::SplitMix64(count_ ^ 0x1a7ebc5d00c5ed1eULL) % count_;
+        if (slot < capacity_) {
+            samples_[static_cast<std::size_t>(slot)] = sample;
+        }
+    }
+
+    /** Samples ever offered (not the resident count). */
+    std::uint64_t Count() const { return count_; }
+
+    /** q'th percentile over the resident samples (exact while count
+     * <= capacity; a uniform-sample estimate beyond). */
+    double Percentile(double q) const;
+
+  private:
+    std::size_t capacity_;
+    std::vector<std::uint64_t> samples_;
+    std::uint64_t count_ = 0;
+};
+
 /** Service construction parameters. Runtime/pipeline knobs mirror
  * sim::ExperimentOptions so a single-tenant service run is
  * configured — and behaves — exactly like the direct harness. */
@@ -194,6 +293,42 @@ struct ServiceOptions {
      * TSan configuration drives cross-tenant cache traffic through a
      * PooledExecutor here); nullptr = deterministic inline mining. */
     support::Executor* executor = nullptr;
+
+    // -- Overload control / health monitor ----------------------------------
+
+    /** Operation-log mode of unreplicated tenants:
+     * sim::LogMode::kStreaming retires each tenant's log through an
+     * incremental pipeline simulator + digest (the harness's
+     * streaming wiring), so resident memory stays bounded on
+     * unbounded streams — the sustained-driver mode. Incompatible
+     * with replicated tenants (their cluster owns the node logs). */
+    sim::LogMode log_mode = sim::LogMode::kRetained;
+    /** Health monitor: service-wide resident-byte high watermark
+     * (tenant oplogs + TraceCaches + the shared MiningCache), sampled
+     * every granted iteration; 0 = monitoring off. A breach evicts
+     * mining-cache entries and LRU trace templates toward
+     * `memory_low_watermark_bytes` and force-degrades every kDegrade
+     * tenant until resident bytes drop below the low watermark. */
+    std::size_t memory_high_watermark_bytes = 0;
+    /** Hysteresis low watermark; 0 = half the high watermark. */
+    std::size_t memory_low_watermark_bytes = 0;
+    /** Watchdog: after every grant, abandon analysis jobs stuck
+     * (launched, not completed) for more than this many of their
+     * tenant's observed tasks, and release mining-cache waiters
+     * blocked on in-progress entries (MiningCache::AbandonInProgress)
+     * so no waiter hangs on a stuck miner. 0 = watchdog off. */
+    std::uint64_t analysis_timeout_tasks = 0;
+    /** Virtual-time cost of a degraded task relative to a traced-path
+     * task: the degraded path skips mining, matching and replay
+     * bookkeeping, so a degraded iteration advances the service clock
+     * by ceil(tasks × this) instead of tasks — which is exactly how
+     * degrading raises the service's throughput ceiling under
+     * overload. 1.0 = no capacity gain. */
+    double degraded_task_cost = 0.5;
+    /** Capacity of the per-tenant issue-latency reservoirs (virtual
+     * and wall-clock) — the fixed memory that replaced the unbounded
+     * per-iteration sample vectors. */
+    std::size_t latency_reservoir_capacity = 1024;
 };
 
 /** Per-tenant accounting of one service run. */
@@ -232,6 +367,48 @@ struct TenantStats {
     std::uint64_t stream_digest_ops = 0;
     /** Digest of the candidate sets the tenant's finder ingested. */
     std::uint64_t candidate_digest = 0;
+
+    // -- Overload accounting -------------------------------------------------
+
+    /** kShed: arrivals dropped past the admission bound (their
+     * iteration payloads were never issued). */
+    std::uint64_t iterations_shed = 0;
+    /** kDegrade: iterations granted while the tenant was degraded
+     * (issued untraced). */
+    std::uint64_t iterations_degraded = 0;
+    /** Distinct entries into the degraded posture (each exit went
+     * through the hysteresis low watermark). */
+    std::uint64_t degrade_windows = 0;
+    /** Tasks issued on the engine's degraded path
+     * (core::ApopheniaStats::tasks_degraded). */
+    std::uint64_t tokens_degraded = 0;
+    /** Peak backlog (arrived, ungranted iterations) ever observed —
+     * kBlock's unbounded growth vs kShed/kDegrade's bound, in one
+     * number. */
+    std::uint64_t max_backlog = 0;
+};
+
+/** Service-level health-monitor accounting of one run (all zero with
+ * monitoring off — no watermark, no watchdog, or the
+ * `-lg:auto_trace:no_overload_control` escape hatch). */
+struct HealthStats {
+    /** Resident-byte samples taken (one per granted iteration). */
+    std::uint64_t samples = 0;
+    /** Peak sampled resident bytes (tenant oplogs + trace caches +
+     * the shared mining cache). */
+    std::size_t peak_resident_bytes = 0;
+    /** High-watermark breaches. */
+    std::uint64_t pressure_events = 0;
+    /** Trace templates / mining-cache entries evicted by pressure. */
+    std::uint64_t pressure_trace_evictions = 0;
+    std::uint64_t pressure_cache_evictions = 0;
+    /** kDegrade tenants force-degraded by memory pressure. */
+    std::uint64_t forced_degrades = 0;
+    /** Watchdog: analysis jobs abandoned past analysis_timeout_tasks,
+     * and in-progress mining-cache entries cleared to release
+     * waiters. */
+    std::uint64_t watchdog_job_abandons = 0;
+    std::uint64_t watchdog_cache_abandons = 0;
 };
 
 /** Everything a bench reports about one service run. */
@@ -248,6 +425,8 @@ struct ServiceResult {
     /** Final virtual time (tasks issued service-wide, plus idle
      * jumps to open-loop arrivals). */
     std::uint64_t virtual_time = 0;
+    /** Health-monitor accounting (see HealthStats). */
+    HealthStats health;
 };
 
 /** See file comment. */
@@ -295,12 +474,18 @@ class TraceService {
   private:
     struct Tenant;
 
+    /** Typed up-front rejection of incoherent tenant/overload
+     * configurations (see ServiceUsageError). */
+    void ValidateForRun() const;
+    void ApplyOverloadControl(Tenant& tenant, std::uint64_t clock);
+    void RunWatchdogAndHealth(std::uint64_t clock);
     ServiceResult AssembleResults(std::uint64_t virtual_time);
 
     ServiceOptions options_;
     RoundRobinPolicy default_policy_;
     std::unique_ptr<core::MiningCache> cache_;
     std::vector<std::unique_ptr<Tenant>> tenants_;
+    HealthStats health_;
 };
 
 }  // namespace apo::svc

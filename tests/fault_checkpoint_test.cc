@@ -519,5 +519,109 @@ TEST(MiningCacheCheckpoint, LoadRequiresFreshCache)
     EXPECT_THROW(cache.LoadState(reader), fault::CheckpointError);
 }
 
+/** Run `fn`, expect a CheckpointError, and assert its message
+ * contains every needle — the diagnostics contract: name the failing
+ * section (by name and tag) and the byte offset, and keep truncation
+ * distinguishable from corruption. */
+template <typename Fn>
+void ExpectErrorMentions(Fn&& fn,
+                         std::initializer_list<std::string_view> needles)
+{
+    try {
+        fn();
+        ADD_FAILURE() << "expected a fault::CheckpointError";
+    } catch (const fault::CheckpointError& error) {
+        const std::string what = error.what();
+        for (const std::string_view needle : needles) {
+            EXPECT_NE(what.find(needle), std::string::npos)
+                << "missing \"" << needle << "\" in: " << what;
+        }
+    }
+}
+
+TEST(CheckpointDiagnostics, MessagesNameSectionTagAndOffset)
+{
+    // Image layout: 16-byte header, 24-byte section frame (tag at
+    // offset 16), 16 payload bytes at offset 40 — 56 bytes total.
+    fault::CheckpointWriter writer;
+    writer.BeginSection(fault::SectionTag::kTraceCache);
+    writer.U64(1);
+    writer.U64(2);
+    writer.EndSection();
+    const std::vector<std::uint8_t> image = writer.Image();
+    ASSERT_EQ(image.size(), 56u);
+
+    // Wrong tag: both sections named, with numbers, at the frame's
+    // offset.
+    ExpectErrorMentions(
+        [&] {
+            fault::CheckpointReader reader(image);
+            reader.BeginSection(fault::SectionTag::kMiningCache);
+        },
+        {"tag mismatch", "'mining-cache' (tag 13)",
+         "'trace-cache' (tag 5)", "byte offset 16"});
+
+    // Truncated payload: the claimed length vs what remains, called
+    // truncation (a crashed writer) — not a checksum mismatch.
+    ExpectErrorMentions(
+        [&] {
+            const std::vector<std::uint8_t> cut(image.begin(),
+                                                image.end() - 8);
+            fault::CheckpointReader reader(cut);
+            reader.BeginSection(fault::SectionTag::kTraceCache);
+        },
+        {"'trace-cache' (tag 5)", "truncated", "claims 16 bytes",
+         "8 remain", "byte offset 40"});
+
+    // A flipped payload bit: a checksum mismatch (bit rot), not a
+    // truncation.
+    ExpectErrorMentions(
+        [&] {
+            std::vector<std::uint8_t> corrupt = image;
+            corrupt[55] ^= 0x01;
+            fault::CheckpointReader reader(corrupt);
+            reader.BeginSection(fault::SectionTag::kTraceCache);
+        },
+        {"'trace-cache' (tag 5)", "checksum mismatch",
+         "16 payload bytes", "byte offset 40"});
+
+    // Over-read: the section is named with both the read position and
+    // the section end.
+    ExpectErrorMentions(
+        [&] {
+            fault::CheckpointReader reader(image);
+            reader.BeginSection(fault::SectionTag::kTraceCache);
+            reader.U64();
+            reader.U64();
+            reader.U64();
+        },
+        {"past the end", "'trace-cache' (tag 5)", "byte offset 56",
+         "ends at 56"});
+
+    // Under-read: EndSection names the section and where the reader
+    // stopped.
+    ExpectErrorMentions(
+        [&] {
+            fault::CheckpointReader reader(image);
+            reader.BeginSection(fault::SectionTag::kTraceCache);
+            reader.U64();
+            reader.EndSection();
+        },
+        {"not fully consumed", "'trace-cache' (tag 5)",
+         "byte offset 48", "ends at 56"});
+}
+
+TEST(CheckpointDiagnostics, SectionNamesCoverEveryTag)
+{
+    for (std::uint64_t raw = 1; raw <= 14; ++raw) {
+        EXPECT_NE(
+            fault::SectionName(static_cast<fault::SectionTag>(raw)),
+            "unknown")
+            << "tag " << raw;
+    }
+    EXPECT_EQ(fault::SectionName(static_cast<fault::SectionTag>(99)),
+              "unknown");
+}
+
 }  // namespace
 }  // namespace apo
